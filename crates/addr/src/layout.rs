@@ -1,0 +1,94 @@
+//! Object header layout.
+//!
+//! Every object is preceded by a header holding system information such as
+//! the object's size (paper, Section 2.1). The reproduction uses a
+//! three-word header:
+//!
+//! ```text
+//! word 0   [ data size in words (low 32) | flags (high 32) ]
+//! word 1   stable OID (see DESIGN.md, "Substitutions")
+//! word 2   forwarding address (0 = none)
+//! ```
+//!
+//! An object *reference* is the address of the header's first word; field
+//! `i` lives at `addr + HEADER_WORDS + i`. The forwarding word is written by
+//! the bunch garbage collector when it copies a locally owned object to
+//! to-space — "a forwarding pointer is written into the object's header,
+//! which is left in from-space" (paper, Section 4.2).
+
+/// Words occupied by the header, preceding the data words.
+pub const HEADER_WORDS: u64 = 3;
+
+/// Header flag bits (stored in the high 32 bits of header word 0).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ObjFlags(pub u32);
+
+impl ObjFlags {
+    /// The object has been copied to to-space; header word 2 holds the new
+    /// address and the from-space body must no longer be used.
+    pub const FORWARDED: ObjFlags = ObjFlags(1 << 0);
+
+    /// Returns `true` if all bits of `other` are set in `self`.
+    pub fn contains(self, other: ObjFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `self` with the bits of `other` added.
+    pub fn with(self, other: ObjFlags) -> ObjFlags {
+        ObjFlags(self.0 | other.0)
+    }
+
+    /// Returns `self` with the bits of `other` removed.
+    pub fn without(self, other: ObjFlags) -> ObjFlags {
+        ObjFlags(self.0 & !other.0)
+    }
+}
+
+/// Packs data size (words) and flags into header word 0.
+pub fn pack_header0(size_words: u64, flags: ObjFlags) -> u64 {
+    assert!(size_words <= u32::MAX as u64, "object too large");
+    size_words | ((flags.0 as u64) << 32)
+}
+
+/// Extracts the data size in words from header word 0.
+pub fn header0_size(word: u64) -> u64 {
+    word & 0xFFFF_FFFF
+}
+
+/// Extracts the flags from header word 0.
+pub fn header0_flags(word: u64) -> ObjFlags {
+    ObjFlags((word >> 32) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let w = pack_header0(17, ObjFlags::FORWARDED);
+        assert_eq!(header0_size(w), 17);
+        assert!(header0_flags(w).contains(ObjFlags::FORWARDED));
+    }
+
+    #[test]
+    fn flags_set_and_clear() {
+        let f = ObjFlags::default().with(ObjFlags::FORWARDED);
+        assert!(f.contains(ObjFlags::FORWARDED));
+        let f = f.without(ObjFlags::FORWARDED);
+        assert!(!f.contains(ObjFlags::FORWARDED));
+    }
+
+    #[test]
+    fn zero_size_objects_are_representable() {
+        let w = pack_header0(0, ObjFlags::default());
+        assert_eq!(header0_size(w), 0);
+        assert_eq!(header0_flags(w), ObjFlags::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_object_rejected() {
+        pack_header0(u64::from(u32::MAX) + 1, ObjFlags::default());
+    }
+}

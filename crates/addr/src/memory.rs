@@ -1,0 +1,286 @@
+//! A node's view of the single address space.
+//!
+//! Every node maps some subset of the world's segments into local backing
+//! memory. Replicas of a segment occupy the *same* addresses on every node
+//! (single address space); their contents may diverge — that is exactly the
+//! weak consistency the collector is designed to tolerate.
+//!
+//! Along with the words, each mapped segment carries the two GC bit arrays of
+//! the paper's Section 8: the *object-map* (set bit = an object header starts
+//! at this word) and the *reference-map* (set bit = this word holds a
+//! pointer), plus the local bump-allocation cursor.
+
+use std::collections::BTreeMap;
+
+use bmx_common::{Addr, Bitmap, BmxError, NodeId, Result, SegmentId};
+
+use crate::server::SegmentInfo;
+
+/// One locally mapped segment replica.
+#[derive(Clone)]
+pub struct MappedSegment {
+    /// The global descriptor (id, base, length, bunch).
+    pub info: SegmentInfo,
+    /// Backing words.
+    pub words: Vec<u64>,
+    /// Object-map: set bit = object header starts at this word offset.
+    pub object_map: Bitmap,
+    /// Reference-map: set bit = this word offset holds a pointer.
+    pub ref_map: Bitmap,
+    /// Bump-allocation cursor, in words from the segment base.
+    pub alloc_cursor: u64,
+}
+
+impl MappedSegment {
+    /// Creates an empty (all-zero) mapping of `info`.
+    pub fn new(info: SegmentInfo) -> Self {
+        let n = info.words as usize;
+        MappedSegment {
+            info,
+            words: vec![0; n],
+            object_map: Bitmap::new(n),
+            ref_map: Bitmap::new(n),
+            alloc_cursor: 0,
+        }
+    }
+
+    /// Words still available for bump allocation.
+    pub fn free_words(&self) -> u64 {
+        self.info.words - self.alloc_cursor
+    }
+
+    /// Word offsets of every object header in this segment, ascending.
+    pub fn object_offsets(&self) -> Vec<u64> {
+        self.object_map.iter_ones().map(|i| i as u64).collect()
+    }
+}
+
+/// A transferable snapshot of a mapped segment (used when a second node maps
+/// an already-mapped bunch: the image travels as DSM traffic).
+#[derive(Clone)]
+pub struct SegmentImage {
+    /// The snapshot itself; [`SegmentImage::install`] re-creates a mapping.
+    pub segment: MappedSegment,
+}
+
+impl SegmentImage {
+    /// Approximate wire size in bytes, for network accounting.
+    pub fn wire_size(&self) -> u64 {
+        // Words + two bitmaps (1/64th each) + descriptor.
+        let words = self.segment.info.words;
+        words * 8 + words / 4 + 64
+    }
+
+    /// Installs the image into `mem`, replacing any existing mapping.
+    pub fn install(self, mem: &mut NodeMemory) {
+        mem.install_segment(self.segment);
+    }
+}
+
+/// The set of segments mapped on one node.
+pub struct NodeMemory {
+    node: NodeId,
+    /// Keyed by base address for O(log n) address resolution.
+    by_base: BTreeMap<u64, MappedSegment>,
+    /// Segment id → base address.
+    bases: BTreeMap<SegmentId, u64>,
+}
+
+impl NodeMemory {
+    /// Creates an empty memory for `node`.
+    pub fn new(node: NodeId) -> Self {
+        NodeMemory { node, by_base: BTreeMap::new(), bases: BTreeMap::new() }
+    }
+
+    /// The owning node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Maps a fresh, zeroed replica of `info`.
+    pub fn map_segment(&mut self, info: SegmentInfo) {
+        self.install_segment(MappedSegment::new(info));
+    }
+
+    /// Installs a pre-populated segment replica (e.g. a received image).
+    pub fn install_segment(&mut self, seg: MappedSegment) {
+        self.bases.insert(seg.info.id, seg.info.base.0);
+        self.by_base.insert(seg.info.base.0, seg);
+    }
+
+    /// Unmaps a segment, dropping the local replica.
+    pub fn unmap_segment(&mut self, id: SegmentId) -> Result<MappedSegment> {
+        let base = self.bases.remove(&id).ok_or(BmxError::NoSuchSegment(id))?;
+        Ok(self.by_base.remove(&base).expect("bases/by_base in sync"))
+    }
+
+    /// Returns `true` if the segment is mapped locally.
+    pub fn has_segment(&self, id: SegmentId) -> bool {
+        self.bases.contains_key(&id)
+    }
+
+    /// Returns `true` if `addr` falls in a locally mapped segment.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        self.resolve(addr).is_ok()
+    }
+
+    /// Borrows the mapped segment with the given id.
+    pub fn segment(&self, id: SegmentId) -> Result<&MappedSegment> {
+        let base = self.bases.get(&id).ok_or(BmxError::NoSuchSegment(id))?;
+        Ok(&self.by_base[base])
+    }
+
+    /// Mutably borrows the mapped segment with the given id.
+    pub fn segment_mut(&mut self, id: SegmentId) -> Result<&mut MappedSegment> {
+        let base = *self.bases.get(&id).ok_or(BmxError::NoSuchSegment(id))?;
+        Ok(self.by_base.get_mut(&base).expect("bases/by_base in sync"))
+    }
+
+    /// Ids of all locally mapped segments, ascending by base address.
+    pub fn mapped_segments(&self) -> Vec<SegmentId> {
+        self.by_base.values().map(|s| s.info.id).collect()
+    }
+
+    /// Resolves an address to its mapped segment and word offset.
+    pub fn resolve(&self, addr: Addr) -> Result<(&MappedSegment, u64)> {
+        let unmapped = || BmxError::Unmapped { node: self.node, addr };
+        if addr.is_null() || !addr.is_aligned() {
+            return Err(unmapped());
+        }
+        let (_, seg) = self.by_base.range(..=addr.0).next_back().ok_or_else(unmapped)?;
+        if !seg.info.contains(addr) {
+            return Err(unmapped());
+        }
+        Ok((seg, addr.words_from(seg.info.base)))
+    }
+
+    /// Resolves an address to its mapped segment (mutably) and word offset.
+    pub fn resolve_mut(&mut self, addr: Addr) -> Result<(&mut MappedSegment, u64)> {
+        let node = self.node;
+        let unmapped = || BmxError::Unmapped { node, addr };
+        if addr.is_null() || !addr.is_aligned() {
+            return Err(unmapped());
+        }
+        let (_, seg) = self.by_base.range_mut(..=addr.0).next_back().ok_or_else(unmapped)?;
+        if !seg.info.contains(addr) {
+            return Err(unmapped());
+        }
+        let off = addr.words_from(seg.info.base);
+        Ok((seg, off))
+    }
+
+    /// Reads the word at `addr`.
+    pub fn read_word(&self, addr: Addr) -> Result<u64> {
+        let (seg, off) = self.resolve(addr)?;
+        Ok(seg.words[off as usize])
+    }
+
+    /// Writes the word at `addr`.
+    pub fn write_word(&mut self, addr: Addr, value: u64) -> Result<()> {
+        let (seg, off) = self.resolve_mut(addr)?;
+        seg.words[off as usize] = value;
+        Ok(())
+    }
+
+    /// Takes a transferable snapshot of a mapped segment.
+    pub fn image(&self, id: SegmentId) -> Result<SegmentImage> {
+        Ok(SegmentImage { segment: self.segment(id)?.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Protection, SegmentServer};
+    use bmx_common::NodeId;
+
+    fn setup() -> (SegmentServer, NodeMemory, SegmentInfo) {
+        let mut srv = SegmentServer::new(64);
+        let b = srv.create_bunch(NodeId(0), Protection::default());
+        let info = srv.alloc_segment(b).unwrap();
+        let mut mem = NodeMemory::new(NodeId(0));
+        mem.map_segment(info);
+        (srv, mem, info)
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let (_, mut mem, info) = setup();
+        let a = info.base.add_words(3);
+        mem.write_word(a, 0xDEAD_BEEF).unwrap();
+        assert_eq!(mem.read_word(a).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(mem.read_word(info.base).unwrap(), 0);
+    }
+
+    #[test]
+    fn unmapped_and_null_and_unaligned_fail() {
+        let (_, mem, info) = setup();
+        assert!(matches!(mem.read_word(Addr::NULL), Err(BmxError::Unmapped { .. })));
+        assert!(mem.read_word(Addr(info.base.0 + 1)).is_err());
+        assert!(mem.read_word(info.base.add_words(64)).is_err());
+        assert!(mem.read_word(Addr(info.base.0 - 8)).is_err());
+    }
+
+    #[test]
+    fn images_transfer_contents_between_nodes() {
+        let (_, mut mem1, info) = setup();
+        let a = info.base.add_words(5);
+        mem1.write_word(a, 42).unwrap();
+        mem1.segment_mut(info.id).unwrap().object_map.set(5);
+        mem1.segment_mut(info.id).unwrap().alloc_cursor = 9;
+
+        let mut mem2 = NodeMemory::new(NodeId(1));
+        mem1.image(info.id).unwrap().install(&mut mem2);
+        assert_eq!(mem2.read_word(a).unwrap(), 42);
+        assert!(mem2.segment(info.id).unwrap().object_map.get(5));
+        assert_eq!(mem2.segment(info.id).unwrap().alloc_cursor, 9);
+    }
+
+    #[test]
+    fn replicas_occupy_same_addresses_but_diverge() {
+        let (_, mut mem1, info) = setup();
+        let mut mem2 = NodeMemory::new(NodeId(1));
+        mem2.map_segment(info);
+        let a = info.base.add_words(2);
+        mem1.write_word(a, 7).unwrap();
+        mem2.write_word(a, 8).unwrap();
+        assert_eq!(mem1.read_word(a).unwrap(), 7);
+        assert_eq!(mem2.read_word(a).unwrap(), 8);
+    }
+
+    #[test]
+    fn unmap_then_access_fails() {
+        let (_, mut mem, info) = setup();
+        let seg = mem.unmap_segment(info.id).unwrap();
+        assert_eq!(seg.info.id, info.id);
+        assert!(mem.read_word(info.base).is_err());
+        assert!(!mem.has_segment(info.id));
+        assert!(mem.unmap_segment(info.id).is_err());
+    }
+
+    #[test]
+    fn resolution_with_multiple_segments() {
+        let mut srv = SegmentServer::new(16);
+        let b = srv.create_bunch(NodeId(0), Protection::default());
+        let s1 = srv.alloc_segment(b).unwrap();
+        let s2 = srv.alloc_segment(b).unwrap();
+        let s3 = srv.alloc_segment(b).unwrap();
+        let mut mem = NodeMemory::new(NodeId(0));
+        mem.map_segment(s1);
+        mem.map_segment(s3);
+        // s2 not mapped: its addresses must not resolve to s1.
+        assert!(mem.read_word(s2.base).is_err());
+        assert!(mem.read_word(s1.base.add_words(15)).is_ok());
+        assert!(mem.read_word(s3.base).is_ok());
+        assert_eq!(mem.mapped_segments(), vec![s1.id, s3.id]);
+    }
+
+    #[test]
+    fn free_words_tracks_cursor() {
+        let (_, mut mem, info) = setup();
+        let seg = mem.segment_mut(info.id).unwrap();
+        assert_eq!(seg.free_words(), 64);
+        seg.alloc_cursor = 10;
+        assert_eq!(seg.free_words(), 54);
+    }
+}

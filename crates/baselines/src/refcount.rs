@@ -1,0 +1,176 @@
+//! Bevan-style distributed reference counting over an unreliable network.
+//!
+//! Section 6.1: "The main advantage of sending messages with tables
+//! containing all the reachability information, over sending
+//! increment/decrement messages, is that the former are idempotent. In case
+//! of message loss they can be resent without the need for a reliable
+//! communication protocol."
+//!
+//! This module demonstrates the contrast. A [`RefCountSim`] tracks, per
+//! object, the owner-side count and the ground-truth number of remote
+//! references; reference creations and deletions send `Inc`/`Dec` messages
+//! through a (possibly lossy) [`Network`]. After the trace drains:
+//!
+//! * a count of zero with live references ⇒ **unsafe** (the owner would
+//!   reclaim a live object);
+//! * a positive count with no references ⇒ **leak**;
+//! * re-sending messages cannot help, because inc/dec are not idempotent —
+//!   whereas the BMX reachability tables can simply be re-sent (the E5
+//!   harness shows the same trace is fully recovered under the table
+//!   scheme).
+
+use std::collections::BTreeMap;
+
+use bmx_common::{NodeId, Oid, SplitMix64};
+use bmx_net::{MsgClass, Network, NetworkConfig, WireSize};
+
+/// One inc/dec message.
+#[derive(Clone, Copy, Debug)]
+pub enum RcMsg {
+    /// A remote reference to the object was created.
+    Inc(Oid),
+    /// A remote reference to the object was deleted.
+    Dec(Oid),
+}
+
+impl WireSize for RcMsg {
+    fn wire_size(&self) -> u64 {
+        16
+    }
+}
+
+/// Outcome of a reference-counting run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefCountOutcome {
+    /// Objects whose owner-side count hit zero while references exist:
+    /// live objects that would be reclaimed. The safety violation.
+    pub unsafe_reclaims: u64,
+    /// Objects whose count stayed positive with no references: never
+    /// reclaimed. The liveness failure.
+    pub leaks: u64,
+    /// Objects whose count matches ground truth.
+    pub correct: u64,
+    /// Messages dropped by the network.
+    pub dropped: u64,
+}
+
+/// The reference-counting world: one owner node holding counts, `holders`
+/// nodes creating and dropping references.
+pub struct RefCountSim {
+    net: Network<RcMsg>,
+    counts: BTreeMap<Oid, i64>,
+    truth: BTreeMap<Oid, i64>,
+    holders: u32,
+    rng: SplitMix64,
+}
+
+/// The owner's node id in the simulation.
+const OWNER: NodeId = NodeId(0);
+
+impl RefCountSim {
+    /// Creates a world with `objects` objects and `holders` reference-holder
+    /// nodes, over a network dropping GC traffic with probability `drop_p`.
+    pub fn new(objects: u64, holders: u32, drop_p: f64, seed: u64) -> Self {
+        let cfg = NetworkConfig::lossless(1).with_drop(MsgClass::GcBackground, drop_p);
+        RefCountSim {
+            net: Network::new(cfg),
+            counts: (1..=objects).map(|i| (Oid(i), 0)).collect(),
+            truth: (1..=objects).map(|i| (Oid(i), 0)).collect(),
+            holders,
+            rng: SplitMix64::new(seed ^ 0x5EED_5A17),
+        }
+    }
+
+    /// Runs `events` random reference creations/deletions and drains the
+    /// network, applying surviving messages to the owner-side counts.
+    pub fn run(&mut self, events: u64) -> RefCountOutcome {
+        let objects: Vec<Oid> = self.truth.keys().copied().collect();
+        for _ in 0..events {
+            let oid = objects[self.rng.next_below(objects.len() as u64) as usize];
+            let holder = NodeId(1 + self.rng.next_below(self.holders as u64) as u32);
+            let t = self.truth.get_mut(&oid).expect("known oid");
+            // Deleting requires an existing reference; otherwise create.
+            if *t > 0 && self.rng.chance(0.5) {
+                *t -= 1;
+                self.net.send(holder, OWNER, MsgClass::GcBackground, RcMsg::Dec(oid));
+            } else {
+                *t += 1;
+                self.net.send(holder, OWNER, MsgClass::GcBackground, RcMsg::Inc(oid));
+            }
+        }
+        // Drain.
+        loop {
+            let due = self.net.tick();
+            if due.is_empty() && self.net.in_flight() == 0 {
+                break;
+            }
+            for env in due {
+                match env.payload {
+                    RcMsg::Inc(oid) => *self.counts.get_mut(&oid).expect("known") += 1,
+                    RcMsg::Dec(oid) => *self.counts.get_mut(&oid).expect("known") -= 1,
+                }
+            }
+        }
+        self.evaluate()
+    }
+
+    fn evaluate(&self) -> RefCountOutcome {
+        let mut out = RefCountOutcome { dropped: self.net.total_dropped(), ..Default::default() };
+        for (oid, &truth) in &self.truth {
+            let count = self.counts[oid];
+            if count == truth {
+                out.correct += 1;
+            } else if count <= 0 && truth > 0 {
+                out.unsafe_reclaims += 1;
+            } else {
+                // Count disagrees and does not undercount to zero: the
+                // object can never be reclaimed even once truth reaches 0.
+                out.leaks += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of tracked objects.
+    pub fn object_count(&self) -> u64 {
+        self.truth.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_counts_are_exact() {
+        let mut sim = RefCountSim::new(50, 4, 0.0, 7);
+        let out = sim.run(2_000);
+        assert_eq!(out.correct, 50);
+        assert_eq!(out.unsafe_reclaims, 0);
+        assert_eq!(out.leaks, 0);
+        assert_eq!(out.dropped, 0);
+    }
+
+    #[test]
+    fn loss_corrupts_counts() {
+        let mut sim = RefCountSim::new(50, 4, 0.2, 7);
+        let out = sim.run(2_000);
+        assert!(out.dropped > 0);
+        assert!(
+            out.unsafe_reclaims + out.leaks > 0,
+            "20% loss must corrupt some counts: {out:?}"
+        );
+        assert!(out.correct < 50);
+    }
+
+    #[test]
+    fn more_loss_more_corruption() {
+        let run = |p| RefCountSim::new(100, 4, p, 11).run(4_000);
+        let low = run(0.05);
+        let high = run(0.4);
+        assert!(
+            high.correct < low.correct,
+            "higher loss must corrupt more: low={low:?} high={high:?}"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! The replicated-inter-bunch-SSP ablation (Section 3.2).
+//!
+//! "We decided to use intra-bunch SSPs, instead of replicating inter-bunch
+//! SSPs, in order to reduce the number of scion messages and the amount of
+//! memory consumed for GC purposes. In fact, if inter-bunch SSPs were
+//! replicated, each time object ownership changes, a new inter-bunch SSP
+//! would have to be created, which would imply sending the corresponding
+//! scion-message. By using intra-bunch SSPs, no extra messages are needed,
+//! because the information is piggy-backed onto consistency protocol
+//! messages. In addition, an inter-bunch SSP occupies more memory than an
+//! intra-bunch SSP."
+//!
+//! This module replays an ownership-migration trace under both strategies
+//! and accounts messages and metadata memory, using the paper's own cost
+//! model: an inter-bunch SSP is bigger than an intra-bunch SSP, and only
+//! the replicated strategy sends scion-messages on migration.
+
+use std::collections::BTreeSet;
+
+use bmx_common::NodeId;
+
+/// Metadata footprints, word-denominated (matching `bmx-gc`'s types: an
+/// inter-bunch stub carries id, bunches, oids, address, scion site — seven
+/// words; an intra-bunch stub carries oid, bunch, node — three words).
+pub const INTER_SSP_WORDS: u64 = 7;
+/// An intra-bunch SSP half (oid, bunch, peer node).
+pub const INTRA_SSP_WORDS: u64 = 3;
+
+/// Which design to account.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SspStrategy {
+    /// The paper's design: intra-bunch SSPs, piggy-backed creation.
+    IntraBunch,
+    /// The ablation: re-create the inter-bunch SSPs at every new owner.
+    ReplicatedInter,
+}
+
+/// An ownership-migration trace: each entry moves one stub-holding object
+/// to a new owner node.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationTrace {
+    /// Number of inter-bunch stubs the migrating object holds (created at
+    /// its original node).
+    pub stubs_per_object: u64,
+    /// Sequence of owner nodes each object visits (first entry = creator).
+    pub paths: Vec<Vec<NodeId>>,
+}
+
+impl MigrationTrace {
+    /// A trace of `objects` objects, each holding `stubs_per_object` stubs,
+    /// each visiting `hops` distinct nodes round-robin over `nodes` nodes.
+    pub fn round_robin(objects: usize, stubs_per_object: u64, hops: usize, nodes: u32) -> Self {
+        let paths = (0..objects)
+            .map(|o| {
+                (0..=hops).map(|h| NodeId(((o + h) % nodes as usize) as u32)).collect()
+            })
+            .collect();
+        MigrationTrace { stubs_per_object, paths }
+    }
+
+    /// Total migrations in the trace.
+    pub fn migrations(&self) -> u64 {
+        self.paths.iter().map(|p| (p.len().saturating_sub(1)) as u64).sum()
+    }
+}
+
+/// Accounted costs of a strategy over a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SspCost {
+    /// Extra scion-messages sent because of migrations.
+    pub scion_messages: u64,
+    /// Words of SSP metadata resident at the end (stubs + scions).
+    pub metadata_words: u64,
+    /// SSP records resident at the end.
+    pub records: u64,
+}
+
+/// Replays `trace` under `strategy` and returns the accounted cost.
+///
+/// Under [`SspStrategy::IntraBunch`], each migration creates one intra-bunch
+/// stub/scion pair (piggy-backed onto the write-token grant: zero messages)
+/// unless the object already has a pair between those two nodes. Under
+/// [`SspStrategy::ReplicatedInter`], each migration re-creates every
+/// inter-bunch stub at the new owner and sends one scion-message per stub
+/// (the scion site must learn of the new stub replica).
+pub fn replay(trace: &MigrationTrace, strategy: SspStrategy) -> SspCost {
+    let mut cost = SspCost::default();
+    for path in &trace.paths {
+        // Creation-site stubs + their scions exist under both strategies.
+        cost.records += 2 * trace.stubs_per_object;
+        cost.metadata_words += 2 * trace.stubs_per_object * INTER_SSP_WORDS;
+        match strategy {
+            SspStrategy::IntraBunch => {
+                // With chain compression (see bmx-gc), every owner that is
+                // not the stub site holds exactly one intra stub pointing
+                // directly at the site; the site holds the matching scions.
+                let site = path[0];
+                let holders: BTreeSet<NodeId> =
+                    path.iter().copied().filter(|&n| n != site).collect();
+                cost.records += 2 * holders.len() as u64;
+                cost.metadata_words += 2 * holders.len() as u64 * INTRA_SSP_WORDS;
+            }
+            SspStrategy::ReplicatedInter => {
+                let mut holders: BTreeSet<NodeId> = BTreeSet::new();
+                holders.insert(path[0]);
+                for w in path.windows(2) {
+                    if holders.insert(w[1]) {
+                        // New holder: replicate every stub + notify the
+                        // scion site per stub.
+                        cost.records += trace.stubs_per_object;
+                        cost.metadata_words += trace.stubs_per_object * INTER_SSP_WORDS;
+                        cost.scion_messages += trace.stubs_per_object;
+                    }
+                }
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_migration_no_difference() {
+        let trace = MigrationTrace::round_robin(10, 2, 0, 4);
+        let a = replay(&trace, SspStrategy::IntraBunch);
+        let b = replay(&trace, SspStrategy::ReplicatedInter);
+        assert_eq!(a, b);
+        assert_eq!(a.scion_messages, 0);
+    }
+
+    #[test]
+    fn intra_ssp_sends_no_messages() {
+        let trace = MigrationTrace::round_robin(10, 3, 5, 4);
+        let a = replay(&trace, SspStrategy::IntraBunch);
+        assert_eq!(a.scion_messages, 0, "piggy-backed onto grants");
+    }
+
+    #[test]
+    fn replication_pays_messages_and_memory() {
+        let trace = MigrationTrace::round_robin(10, 3, 3, 8);
+        let intra = replay(&trace, SspStrategy::IntraBunch);
+        let repl = replay(&trace, SspStrategy::ReplicatedInter);
+        assert!(repl.scion_messages > 0);
+        assert!(
+            repl.metadata_words > intra.metadata_words,
+            "inter SSPs are bigger and duplicated: {repl:?} vs {intra:?}"
+        );
+    }
+
+    #[test]
+    fn revisiting_an_owner_is_free_under_both() {
+        // Path 0 -> 1 -> 0 -> 1: two distinct holders only.
+        let trace = MigrationTrace {
+            stubs_per_object: 1,
+            paths: vec![vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)]],
+        };
+        let repl = replay(&trace, SspStrategy::ReplicatedInter);
+        assert_eq!(repl.scion_messages, 1, "only the first visit to node 1 replicates");
+        let intra = replay(&trace, SspStrategy::IntraBunch);
+        // Compression: node 1 is the only non-site holder -> one SSP pair
+        // (plus the creation-site inter SSP).
+        assert_eq!(intra.records, 2 + 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! The strongly consistent copying collector — Section 4.2's rejected
+//! "obvious solution".
+//!
+//! "One obvious solution to this problem would be to acquire the write
+//! token of every live object before copying it. However, this solution is
+//! undesirable, since it would trigger memory consistency actions that
+//! could disrupt the application's working-set. For example, each readable
+//! copy would be invalidated."
+//!
+//! [`strong_bgc`] does exactly that: it traces the local replica of a bunch,
+//! acquires the write token for every live object (attributed to the
+//! collector in the counters), and only then copies — which, thanks to the
+//! acquisitions, it may do for *every* live object, not just locally owned
+//! ones. The per-replica independence of the real BGC is lost: the cost now
+//! scales with the replication degree (experiment E1) and readers are
+//! invalidated (experiment E2).
+
+use std::collections::BTreeSet;
+
+use bmx::{Cluster, ClusterMsg};
+use bmx_addr::object;
+use bmx_common::{Addr, BunchId, NodeId, Oid, Result, StatKind};
+use bmx_dsm::{AcquireStart, DsmPacket, DsmShared, Token};
+use bmx_gc::CollectStats;
+use bmx_net::MsgClass;
+
+/// Runs the token-acquiring copying collection of `bunch` at `node`.
+pub fn strong_bgc(cluster: &mut Cluster, node: NodeId, bunch: BunchId) -> Result<CollectStats> {
+    // Phase 1: find the live objects of the local replica (same roots as
+    // the real BGC).
+    let live = trace_local(cluster, node, bunch)?;
+
+    // Phase 2: acquire the write token for each — the step the paper's
+    // design exists to avoid. Token acquisitions and the invalidations they
+    // trigger are attributed to the collector.
+    let inval_before: u64 =
+        (0..cluster.nodes()).map(|i| cluster.stats[i as usize].get(StatKind::Invalidations)).sum();
+    for &oid in &live {
+        let already = cluster.engine.token(node, oid) == Token::Write;
+        if already {
+            continue;
+        }
+        cluster.stats[node.0 as usize].bump(StatKind::GcTokenAcquires);
+        let started = {
+            let Cluster { engine, gc, mems, stats, net, .. } = cluster;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.start_write(node, oid, &mut sh, &mut send)?
+        };
+        if started == AcquireStart::Requested {
+            cluster.pump()?;
+        }
+    }
+    let inval_after: u64 =
+        (0..cluster.nodes()).map(|i| cluster.stats[i as usize].get(StatKind::Invalidations)).sum();
+    cluster.stats[node.0 as usize]
+        .add(StatKind::GcInvalidations, inval_after - inval_before);
+
+    // Phase 3: with every live object now locally owned, the ordinary
+    // collection copies all of them.
+    cluster.run_bgc(node, bunch)
+}
+
+/// Local-replica trace with the BGC's root set, returning the live OIDs.
+fn trace_local(cluster: &Cluster, node: NodeId, bunch: BunchId) -> Result<Vec<Oid>> {
+    let ns = cluster.gc.node(node);
+    let mem = &cluster.mems[node.0 as usize];
+    let mut roots: Vec<Addr> = ns.roots.values().copied().collect();
+    if let Some(brs) = ns.bunch(bunch) {
+        roots.extend(brs.scion_table.inter.iter().map(|s| s.target_addr));
+        roots.extend(brs.scion_table.intra.iter().filter_map(|s| ns.directory.addr_of(s.oid)));
+    }
+    for (oid, st) in cluster.engine.replicas(node) {
+        if st.bunch == bunch && !st.entering.is_empty() {
+            if let Some(a) = ns.directory.addr_of(oid) {
+                roots.push(a);
+            }
+        }
+    }
+    let mut live = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut stack = roots;
+    while let Some(a) = stack.pop() {
+        if a.is_null() {
+            continue;
+        }
+        let a = ns.directory.resolve(a);
+        if !seen.insert(a) {
+            continue;
+        }
+        let Ok(v) = object::view(mem, a) else { continue };
+        if cluster.gc.bunch_of(a) != Some(bunch) {
+            continue;
+        }
+        live.push(v.oid);
+        for (_, t) in object::ref_fields(mem, a)? {
+            stack.push(t);
+        }
+    }
+    Ok(live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmx::{ClusterConfig, ObjSpec};
+
+    /// Build a 3-node cluster where nodes 1 and 2 hold read replicas of a
+    /// small list owned by node 0.
+    fn replicated_fixture() -> (Cluster, Vec<Addr>, BunchId) {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(3));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let mut objs = Vec::new();
+        let mut prev: Option<Addr> = None;
+        for i in 0..5 {
+            let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
+            c.write_data(n0, o, 1, i).unwrap();
+            if let Some(p) = prev {
+                c.write_ref(n0, p, 0, o).unwrap();
+            }
+            prev = Some(o);
+            objs.push(o);
+        }
+        c.add_root(n0, objs[0]);
+        c.map_bunch(NodeId(1), b, n0).unwrap();
+        c.map_bunch(NodeId(2), b, n0).unwrap();
+        for &o in &objs {
+            c.acquire_read(NodeId(1), o).unwrap();
+            c.release(NodeId(1), o).unwrap();
+            c.acquire_read(NodeId(2), o).unwrap();
+            c.release(NodeId(2), o).unwrap();
+        }
+        (c, objs, b)
+    }
+
+    #[test]
+    fn strong_collector_acquires_tokens_and_invalidates_readers() {
+        let (mut c, objs, b) = replicated_fixture();
+        let stats = strong_bgc(&mut c, NodeId(0), b).unwrap();
+        assert_eq!(stats.live, objs.len() as u64);
+        assert_eq!(stats.copied, objs.len() as u64, "everything owned, everything copied");
+        let gc_acqs = c.stats[0].get(StatKind::GcTokenAcquires);
+        assert!(gc_acqs > 0, "the baseline must acquire tokens");
+        let gc_inval = c.stats[0].get(StatKind::GcInvalidations);
+        assert!(gc_inval > 0, "read replicas must have been invalidated");
+        // Readers lost their tokens.
+        for &o in &objs {
+            assert_eq!(c.token_at(NodeId(1), o).unwrap(), Token::None);
+            assert_eq!(c.token_at(NodeId(2), o).unwrap(), Token::None);
+        }
+    }
+
+    #[test]
+    fn real_bgc_on_same_fixture_disturbs_nothing() {
+        let (mut c, objs, b) = replicated_fixture();
+        let stats = c.run_bgc(NodeId(0), b).unwrap();
+        assert_eq!(stats.live, objs.len() as u64);
+        c.assert_gc_acquired_no_tokens();
+        assert_eq!(c.total_stat(StatKind::GcInvalidations), 0);
+        // Readers keep their tokens.
+        for &o in &objs {
+            assert_eq!(c.token_at(NodeId(1), o).unwrap(), Token::Read);
+            assert_eq!(c.token_at(NodeId(2), o).unwrap(), Token::Read);
+        }
+    }
+}

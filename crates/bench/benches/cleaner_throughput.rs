@@ -1,0 +1,91 @@
+//! Criterion bench for the scion cleaner: processing a reachability table
+//! against populated scion tables, and the report-(re)build path used for
+//! idempotent re-sends.
+
+use bmx_common::{Addr, BunchId, Epoch, NodeId, NodeStats, Oid};
+use bmx_dsm::DsmEngine;
+use bmx_gc::msg::ReachabilityReport;
+use bmx_gc::ssp::{InterScion, InterStub, SspId};
+use bmx_gc::{cleaner, GcState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Builds a GcState with `n` inter scions at node 1 (half of which the
+/// report will justify) plus the matching report from node 0.
+fn fixture(n: u64) -> (GcState, DsmEngine, ReachabilityReport) {
+    let server = std::rc::Rc::new(std::cell::RefCell::new(
+        bmx_addr::SegmentServer::new(64),
+    ));
+    let mut gc = GcState::new(2, server);
+    let engine = DsmEngine::new(2);
+    let (b_src, b_tgt) = (BunchId(1), BunchId(2));
+    let mut stubs = Vec::new();
+    for i in 0..n {
+        let id = SspId { node: NodeId(0), seq: i };
+        gc.node_mut(NodeId(1)).bunch_or_default(b_tgt).scion_table.add_inter(InterScion {
+            id,
+            source_node: NodeId(0),
+            source_bunch: b_src,
+            target_bunch: b_tgt,
+            target_addr: Addr(0x1_0000 + i * 64),
+            target_oid: Some(Oid(i)),
+        });
+        if i % 2 == 0 {
+            stubs.push(InterStub {
+                id,
+                source_bunch: b_src,
+                source_oid: Oid(1000 + i),
+                target_bunch: b_tgt,
+                target_addr: Addr(0x1_0000 + i * 64),
+                target_oid: Some(Oid(i)),
+                scion_at: NodeId(1),
+            });
+        }
+    }
+    let report = ReachabilityReport {
+        from: NodeId(0),
+        bunch: b_src,
+        epoch: Epoch(1),
+        inter_stubs: stubs,
+        intra_stubs: vec![],
+        exiting: vec![],
+    };
+    (gc, engine, report)
+}
+
+fn bench_cleaner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cleaner_throughput");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [100u64, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("process_report", n), &n, |b, &n| {
+            b.iter_batched(
+                || fixture(n),
+                |(mut gc, mut engine, report)| {
+                    let mut stats = NodeStats::new();
+                    cleaner::process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        // Duplicate processing (the idempotent fast path for re-sends).
+        group.bench_with_input(BenchmarkId::new("duplicate_report", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let (mut gc, mut engine, report) = fixture(n);
+                    let mut stats = NodeStats::new();
+                    cleaner::process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report);
+                    (gc, engine, report)
+                },
+                |(mut gc, mut engine, report)| {
+                    let mut stats = NodeStats::new();
+                    cleaner::process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cleaner);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the DSM substrate itself: token acquire/release
+//! latency (local hit, remote read grant, remote write transfer with
+//! invalidation) in simulated-network round trips and wall time.
+
+use bmx_bench::fixtures;
+use bmx_common::NodeId;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_acquires(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsm_protocol");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Local hit: re-acquiring a token already held.
+    let mut fx = fixtures::replicated_list(2, 8).expect("fixture");
+    let cell = fx.list.cells[0];
+    fx.cluster.acquire_read(NodeId(1), cell).expect("warm");
+    fx.cluster.release(NodeId(1), cell).expect("warm");
+    group.bench_function("acquire_read_local_hit", |b| {
+        b.iter(|| {
+            fx.cluster.acquire_read(NodeId(1), cell).expect("acquire");
+            fx.cluster.release(NodeId(1), cell).expect("release");
+        })
+    });
+
+    // Remote write transfer ping-pong: ownership flips between two nodes
+    // every iteration (grant + invalidation each time).
+    let mut fx = fixtures::replicated_list(2, 8).expect("fixture");
+    let cell = fx.list.cells[1];
+    let mut turn = 0u32;
+    group.bench_function("acquire_write_ping_pong", |b| {
+        b.iter(|| {
+            let node = NodeId(turn % 2);
+            turn += 1;
+            fx.cluster.acquire_write(node, cell).expect("acquire");
+            fx.cluster.release(node, cell).expect("release");
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_acquires);
+criterion_main!(benches);

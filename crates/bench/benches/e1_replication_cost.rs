@@ -1,0 +1,46 @@
+//! Criterion bench for experiment E1: BGC time versus replication degree,
+//! against the token-acquiring strong baseline.
+
+use bmx_baselines::strong_bgc;
+use bmx_bench::fixtures;
+use bmx_common::NodeId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const OBJECTS: usize = 200;
+
+fn bench_bgc_vs_replicas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_bgc_vs_replicas");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for replicas in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("bmx_bgc", replicas), &replicas, |b, &r| {
+            b.iter_batched(
+                || {
+                    let mut fx = fixtures::replicated_list(r, OBJECTS).expect("fixture");
+                    fixtures::warm_readers(&mut fx).expect("warm");
+                    fixtures::make_garbage(&mut fx, OBJECTS / 4).expect("garbage");
+                    fx
+                },
+                |mut fx| fx.cluster.run_bgc(NodeId(0), fx.bunch).expect("bgc"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("strong_gc", replicas), &replicas, |b, &r| {
+            b.iter_batched(
+                || {
+                    let mut fx = fixtures::replicated_list(r, OBJECTS).expect("fixture");
+                    fixtures::warm_readers(&mut fx).expect("warm");
+                    fixtures::make_garbage(&mut fx, OBJECTS / 4).expect("garbage");
+                    fx
+                },
+                |mut fx| strong_bgc(&mut fx.cluster, NodeId(0), fx.bunch).expect("strong"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bgc_vs_replicas);
+criterion_main!(benches);

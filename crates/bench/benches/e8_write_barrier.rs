@@ -1,0 +1,52 @@
+//! Criterion bench for experiment E8: per-store cost of the write barrier
+//! (data store, intra-bunch pointer store, inter-bunch pointer store).
+
+use bmx::{Cluster, ClusterConfig, ObjSpec};
+use bmx_common::{Addr, BunchId, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+struct Fix {
+    cluster: Cluster,
+    src: Addr,
+    same: Addr,
+    other: Addr,
+}
+
+fn fixture() -> Fix {
+    let mut cluster =
+        Cluster::new(ClusterConfig { segment_words: 1 << 16, ..ClusterConfig::with_nodes(1) });
+    let n0 = NodeId(0);
+    let b1: BunchId = cluster.create_bunch(n0).expect("bunch");
+    let b2 = cluster.create_bunch(n0).expect("bunch");
+    let src = cluster.alloc(n0, b1, &ObjSpec::with_refs(4, &[0, 1])).expect("src");
+    let same = cluster.alloc(n0, b1, &ObjSpec::data(1)).expect("same");
+    let other = cluster.alloc(n0, b2, &ObjSpec::data(1)).expect("other");
+    Fix { cluster, src, same, other }
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let n0 = NodeId(0);
+    let mut group = c.benchmark_group("e8_write_barrier");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let mut fx = fixture();
+    group.bench_function("data_store", |b| {
+        b.iter(|| fx.cluster.write_data(n0, fx.src, 2, 7).expect("store"))
+    });
+
+    let mut fx = fixture();
+    group.bench_function("ref_store_intra_bunch", |b| {
+        b.iter(|| fx.cluster.write_ref(n0, fx.src, 0, fx.same).expect("store"))
+    });
+
+    let mut fx = fixture();
+    group.bench_function("ref_store_inter_bunch", |b| {
+        b.iter(|| fx.cluster.write_ref(n0, fx.src, 1, fx.other).expect("store"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrier);
+criterion_main!(benches);

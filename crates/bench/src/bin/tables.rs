@@ -1,0 +1,65 @@
+//! Regenerates every evaluation table (experiments E1–E10).
+//!
+//! Usage: `cargo run --release -p bmx-bench --bin tables [e1 e2 ...]`
+//! (no arguments = all experiments). The output of a full run is recorded
+//! in EXPERIMENTS.md.
+
+use bmx_bench::experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    if want("e1") {
+        let rows = e1_replication::run(&[1, 2, 4, 8, 16]);
+        print!("{}", e1_replication::table(&rows).render());
+    }
+    if want("e2") {
+        let mut rows = Vec::new();
+        for readers in [1, 2, 4, 8] {
+            rows.extend(e2_interference::run(readers));
+        }
+        print!("{}", e2_interference::table(&rows).render());
+    }
+    if want("e3") {
+        let mut rows = Vec::new();
+        for synced in [10, 50, 100] {
+            rows.extend(e3_piggyback::run(synced));
+        }
+        print!("{}", e3_piggyback::table(&rows).render());
+    }
+    if want("e4") {
+        let rows = e4_pause::run(&[1, 2, 4, 8, 16, 32]);
+        print!("{}", e4_pause::table(&rows).render());
+        let rows = e4_pause::run_flip(&[100, 400, 1600]);
+        print!("{}", e4_pause::flip_table(&rows).render());
+    }
+    if want("e5") {
+        let rows = e5_message_loss::run(&[0.0, 0.1, 0.3, 0.5]);
+        print!("{}", e5_message_loss::table(&rows).render());
+    }
+    if want("e6") {
+        let rows = e6_ssp_ablation::run(&[0, 1, 2, 4, 8]);
+        print!("{}", e6_ssp_ablation::table(&rows).render());
+    }
+    if want("e7") {
+        let rows = e7_cycles::run(&[2, 4, 8, 16, 32]);
+        print!("{}", e7_cycles::table(&rows).render());
+    }
+    if want("e8") {
+        let rows = e8_barrier::run();
+        print!("{}", e8_barrier::table(&rows).render());
+    }
+    if want("e9") {
+        let rows = e9_recovery::run(&[(2, 4), (4, 8), (8, 16), (16, 16)]);
+        print!("{}", e9_recovery::table(&rows).render());
+    }
+    if want("e10") {
+        let rows = e10_fromspace::run(&[0.0, 0.25, 0.5, 0.75, 1.0]);
+        print!("{}", e10_fromspace::table(&rows).render());
+    }
+    if want("e11") {
+        let rows = e11_consistency::run();
+        print!("{}", e11_consistency::table(&rows).render());
+    }
+}

@@ -1,0 +1,121 @@
+//! E11 — entry consistency versus per-operation (SC-style) coherence
+//! (paper, Section 1: "weak consistency protocols seem to offer the best
+//! performance when compared to sequential consistency") — the premise
+//! that makes non-interfering GC worth having.
+//!
+//! Two nodes take turns scanning a shared working set, `reads_per_turn`
+//! loads per turn. Under entry consistency each node acquires its tokens
+//! once per turn (and keeps them while the peer only reads too); under the
+//! SC-style bracket every load pays an acquire/release. Identical logical
+//! work, very different protocol traffic.
+
+use bmx_common::{NodeId, StatKind};
+
+use crate::fixtures;
+use crate::table::Table;
+
+/// One measured mode.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Consistency style.
+    pub mode: &'static str,
+    /// Logical loads performed.
+    pub loads: u64,
+    /// DSM protocol messages exchanged.
+    pub protocol_msgs: u64,
+    /// Replica invalidations.
+    pub invalidations: u64,
+}
+
+/// Working-set size.
+pub const OBJECTS: usize = 40;
+/// Scan turns per node.
+pub const TURNS: usize = 5;
+
+/// Runs both modes.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    // Entry consistency: acquire once per object per node; subsequent
+    // turns are local (read tokens are retained until someone writes).
+    {
+        let mut fx = fixtures::replicated_list(2, OBJECTS).expect("fixture");
+        let before: u64 = fx.cluster.total_stat(StatKind::DsmProtocolMessages);
+        let mut loads = 0;
+        for _turn in 0..TURNS {
+            for node in [NodeId(0), NodeId(1)] {
+                for &cell in &fx.list.cells {
+                    fx.cluster.acquire_read(node, cell).expect("acquire");
+                    let _ = fx.cluster.read_data(node, cell, 1).expect("load");
+                    fx.cluster.release(node, cell).expect("release");
+                    loads += 1;
+                }
+            }
+        }
+        rows.push(Row {
+            mode: "entry-consistency",
+            loads,
+            protocol_msgs: fx.cluster.total_stat(StatKind::DsmProtocolMessages) - before,
+            invalidations: fx.cluster.total_stat(StatKind::Invalidations),
+        });
+    }
+
+    // SC-style: every load is a write-acquire bracket on a counter bump —
+    // the strongest per-operation style: exclusive access per operation.
+    {
+        let mut fx = fixtures::replicated_list(2, OBJECTS).expect("fixture");
+        let before: u64 = fx.cluster.total_stat(StatKind::DsmProtocolMessages);
+        let mut loads = 0;
+        for _turn in 0..TURNS {
+            for node in [NodeId(0), NodeId(1)] {
+                for &cell in &fx.list.cells {
+                    let v = fx.cluster.sc_read_data(node, cell, 1).expect("sc load");
+                    fx.cluster.sc_write_data(node, cell, 1, v).expect("sc store");
+                    loads += 1;
+                }
+            }
+        }
+        rows.push(Row {
+            mode: "per-op (SC-style)",
+            loads,
+            protocol_msgs: fx.cluster.total_stat(StatKind::DsmProtocolMessages) - before,
+            invalidations: fx.cluster.total_stat(StatKind::Invalidations),
+        });
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E11: entry consistency vs per-operation coherence (40 objects, 5 turns x 2 nodes)",
+        &["mode", "loads", "protocol_msgs", "invalidations"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.mode.to_string(),
+            r.loads.to_string(),
+            r.protocol_msgs.to_string(),
+            r.invalidations.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_consistency_pays_far_fewer_messages() {
+        let rows = run();
+        let ec = &rows[0];
+        let sc = &rows[1];
+        assert_eq!(ec.loads, sc.loads, "identical logical work");
+        assert!(
+            ec.protocol_msgs * 4 < sc.protocol_msgs,
+            "EC must be several times cheaper: {ec:?} vs {sc:?}"
+        );
+        assert!(sc.invalidations > ec.invalidations);
+    }
+}

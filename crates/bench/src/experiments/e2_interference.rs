@@ -1,0 +1,115 @@
+//! E2 — collector/consistency interference (Sections 4.2 and 8).
+//!
+//! Readers on R nodes hold read tokens over the whole working set. A
+//! collection runs at the owner; afterwards each reader re-reads the
+//! working set. Under the BGC, every re-read is a local token hit (zero
+//! messages); under the token-acquiring baseline every replica was
+//! invalidated, so the readers' working set must be re-faulted through the
+//! protocol — the disruption the paper's design exists to avoid.
+
+use bmx_baselines::strong_bgc;
+use bmx_common::{NodeId, StatKind};
+
+use crate::fixtures;
+use crate::table::Table;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Which collector ran.
+    pub collector: &'static str,
+    /// Reader nodes.
+    pub readers: u32,
+    /// Tokens the collector acquired.
+    pub gc_token_acquires: u64,
+    /// Replicas invalidated on the collector's behalf.
+    pub gc_invalidations: u64,
+    /// DSM messages the readers needed to restore their working set.
+    pub refault_msgs: u64,
+}
+
+/// Objects in the working set.
+pub const OBJECTS: usize = 120;
+
+/// Runs both collectors for the given reader count.
+pub fn run(readers: u32) -> Vec<Row> {
+    ["bmx", "strong"]
+        .into_iter()
+        .map(|which| {
+            let mut fx = fixtures::replicated_list(readers + 1, OBJECTS).expect("fixture");
+            fixtures::warm_readers(&mut fx).expect("warm");
+            let before_gc: Vec<_> = fx.cluster.stats.to_vec();
+            match which {
+                "bmx" => {
+                    fx.cluster.run_bgc(NodeId(0), fx.bunch).expect("bgc");
+                }
+                _ => {
+                    strong_bgc(&mut fx.cluster, NodeId(0), fx.bunch).expect("strong");
+                }
+            }
+            let gc_token_acquires = delta(&fx.cluster, &before_gc, StatKind::GcTokenAcquires);
+            let gc_invalidations = delta(&fx.cluster, &before_gc, StatKind::GcInvalidations);
+
+            // Readers re-touch their working set.
+            let before_read: Vec<_> = fx.cluster.stats.to_vec();
+            for i in 1..=readers {
+                for &cell in &fx.list.cells {
+                    fx.cluster.acquire_read(NodeId(i), cell).expect("re-read");
+                    fx.cluster.release(NodeId(i), cell).expect("release");
+                }
+            }
+            let refault_msgs = delta(&fx.cluster, &before_read, StatKind::DsmProtocolMessages);
+            Row {
+                collector: which,
+                readers,
+                gc_token_acquires,
+                gc_invalidations,
+                refault_msgs,
+            }
+        })
+        .collect()
+}
+
+fn delta(cluster: &bmx::Cluster, before: &[bmx_common::NodeStats], kind: StatKind) -> u64 {
+    cluster
+        .stats
+        .iter()
+        .zip(before)
+        .map(|(now, then)| now.get(kind) - then.get(kind))
+        .sum()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E2: consistency interference (120-object working set)",
+        &["collector", "readers", "gc_tok", "gc_inval", "refault_msgs"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.collector.to_string(),
+            r.readers.to_string(),
+            r.gc_token_acquires.to_string(),
+            r.gc_invalidations.to_string(),
+            r.refault_msgs.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bgc_causes_zero_refaults() {
+        let rows = run(2);
+        let bmx = &rows[0];
+        let strong = &rows[1];
+        assert_eq!(bmx.gc_token_acquires, 0);
+        assert_eq!(bmx.gc_invalidations, 0);
+        assert_eq!(bmx.refault_msgs, 0, "readers' tokens survived the BGC");
+        assert!(strong.gc_invalidations > 0);
+        assert!(strong.refault_msgs > 0, "readers had to re-fault after the baseline");
+    }
+}

@@ -1,0 +1,102 @@
+//! E3 — lazy piggy-backed reference updating versus explicit messages
+//! (Section 4.4: "no extra message is used").
+//!
+//! After a collection relocates part of the working set at the owner, a
+//! second node synchronizes on a fraction of the objects. In piggy-back
+//! mode the relocation records ride those acquire replies; in the explicit
+//! ablation every relocation costs its own background message the moment
+//! it happens.
+
+use bmx_common::{NodeId, StatKind};
+use bmx_gc::RelocMode;
+
+use crate::fixtures;
+use crate::table::Table;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Propagation mode.
+    pub mode: &'static str,
+    /// Objects relocated by the collection.
+    pub relocated: u64,
+    /// Objects the second node then synchronized on.
+    pub synced: usize,
+    /// Relocation records that travelled piggy-backed.
+    pub piggybacked: u64,
+    /// Explicit relocation messages sent.
+    pub explicit_msgs: u64,
+    /// Total GC-only messages on the wire (background class).
+    pub background_msgs: u64,
+}
+
+/// Working-set size.
+pub const OBJECTS: usize = 100;
+
+/// Runs both modes, syncing `synced` objects after the collection.
+pub fn run(synced: usize) -> Vec<Row> {
+    [(RelocMode::Piggyback, "piggyback"), (RelocMode::Explicit, "explicit")]
+        .into_iter()
+        .map(|(mode, name)| {
+            let mut fx =
+                fixtures::replicated_list_with(2, OBJECTS, mode).expect("fixture");
+            let n0 = NodeId(0);
+            let n1 = NodeId(1);
+            let stats =
+                fx.cluster.run_bgc(n0, fx.bunch).expect("bgc relocates the owner's objects");
+            // Node 1 synchronizes on part of the set.
+            for &cell in fx.list.cells.iter().take(synced) {
+                fx.cluster.acquire_read(n1, cell).expect("sync");
+                fx.cluster.release(n1, cell).expect("release");
+            }
+            Row {
+                mode: name,
+                relocated: stats.copied,
+                synced,
+                piggybacked: fx.cluster.total_stat(StatKind::PiggybackedRelocations),
+                explicit_msgs: fx.cluster.total_stat(StatKind::ExplicitRelocationMessages),
+                background_msgs: fx
+                    .cluster
+                    .net
+                    .class_stats(bmx_net::MsgClass::GcBackground)
+                    .sent,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E3: relocation propagation (100 objects relocated at the owner)",
+        &["mode", "relocated", "synced", "piggybacked", "explicit_msgs", "bg_msgs"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.mode.to_string(),
+            r.relocated.to_string(),
+            r.synced.to_string(),
+            r.piggybacked.to_string(),
+            r.explicit_msgs.to_string(),
+            r.background_msgs.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piggyback_mode_sends_no_extra_messages() {
+        let rows = run(40);
+        let pig = &rows[0];
+        let exp = &rows[1];
+        assert!(pig.relocated > 0);
+        assert_eq!(pig.explicit_msgs, 0, "the paper's claim: zero extra messages");
+        assert_eq!(pig.background_msgs, 0);
+        assert!(pig.piggybacked > 0, "records travelled on protocol messages");
+        assert!(exp.explicit_msgs > 0, "the ablation pays real messages");
+    }
+}

@@ -1,0 +1,110 @@
+//! E9 — RVM-backed persistence and crash recovery (Sections 2.1 and 8):
+//! checkpoint a collected (hence compacted) bunch, crash, recover, verify.
+
+use std::time::Instant;
+
+use bmx::persist;
+use bmx::{Cluster, ClusterConfig};
+use bmx_common::NodeId;
+use bmx_rvm::{Rvm, RvmOptions};
+use bmx_workloads::db;
+
+use crate::table::Table;
+
+/// One measured heap size.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Objects in the database graph.
+    pub objects: usize,
+    /// Bytes committed to the RVM log by the checkpoint.
+    pub checkpoint_bytes: u64,
+    /// Checkpoint wall time, microseconds.
+    pub checkpoint_us: u128,
+    /// Recovery wall time, microseconds.
+    pub recover_us: u128,
+    /// Parts verified intact after recovery.
+    pub verified: usize,
+}
+
+/// Runs the sweep over database sizes (assemblies x parts).
+pub fn run(sizes: &[(usize, usize)]) -> Vec<Row> {
+    sizes
+        .iter()
+        .map(|&(assemblies, parts)| {
+            let dir = std::env::temp_dir().join(format!(
+                "bmx-e9-{}-{}-{}",
+                std::process::id(),
+                assemblies,
+                parts
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let n0 = NodeId(0);
+            let (graph, checkpoint_bytes, checkpoint_us) = {
+                let mut c = Cluster::new(ClusterConfig {
+                    // Small segments so the checkpoint grows with the heap.
+                    segment_words: 1 << 10,
+                    ..ClusterConfig::with_nodes(1)
+                });
+                let b = c.create_bunch(n0).expect("bunch");
+                let graph = db::build_db(&mut c, n0, b, assemblies, parts).expect("db");
+                c.add_root(n0, graph.module);
+                // Persistence by reachability: collect first, so only live
+                // objects reach the disk image.
+                c.run_bgc(n0, b).expect("bgc");
+                let mut rvm = Rvm::open(&dir, RvmOptions::default()).expect("rvm");
+                let t0 = Instant::now();
+                persist::checkpoint_bunch(&mut c, n0, b, &mut rvm).expect("checkpoint");
+                (graph, rvm.log_bytes(), t0.elapsed().as_micros())
+                // <- crash: everything volatile is dropped here
+            };
+            let mut c = Cluster::new(ClusterConfig {
+                segment_words: 1 << 10,
+                ..ClusterConfig::with_nodes(1)
+            });
+            let b = c.create_bunch(n0).expect("bunch");
+            let mut rvm = Rvm::open(&dir, RvmOptions::default()).expect("rvm");
+            let t0 = Instant::now();
+            persist::recover_bunch(&mut c, n0, b, &mut rvm).expect("recover");
+            let recover_us = t0.elapsed().as_micros();
+            let verified = db::verify_db(&c, n0, &graph).expect("verify");
+            Row {
+                objects: graph.object_count(),
+                checkpoint_bytes,
+                checkpoint_us,
+                recover_us,
+                verified,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E9: checkpoint / crash / recover (design database)",
+        &["objects", "ckpt_bytes", "ckpt_us", "recover_us", "parts_verified"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.objects.to_string(),
+            r.checkpoint_bytes.to_string(),
+            r.checkpoint_us.to_string(),
+            r.recover_us.to_string(),
+            r.verified.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_restores_the_whole_graph() {
+        let rows = run(&[(2, 4), (4, 8)]);
+        assert_eq!(rows[0].verified, 8);
+        assert_eq!(rows[1].verified, 32);
+        assert!(rows[1].checkpoint_bytes > rows[0].checkpoint_bytes);
+    }
+}

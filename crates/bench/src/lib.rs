@@ -1,0 +1,15 @@
+//! The experiment harness.
+//!
+//! One module per experiment of DESIGN.md's index (E1–E10). Each `run`
+//! function is deterministic, returns printable rows, and is shared by the
+//! `tables` binary (which regenerates the evaluation tables recorded in
+//! EXPERIMENTS.md) and the Criterion benches (which time the hot paths).
+//! The figure scenarios F1–F4 live as integration tests
+//! (`tests/figure_scenarios.rs`) since they are assertion-checked
+//! configurations rather than measurements.
+
+pub mod experiments;
+pub mod fixtures;
+pub mod table;
+
+pub use table::Table;

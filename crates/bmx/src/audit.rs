@@ -1,0 +1,268 @@
+//! The cluster auditor: whole-system invariant checking for tests.
+//!
+//! A garbage collector's bugs rarely announce themselves at the faulting
+//! operation; they surface collections later as a dangling pointer or a
+//! silently resurrected object. The auditor walks the *entire* cluster and
+//! cross-checks the structural invariants the design promises, so test
+//! suites can call [`audit`] after any scenario and fail at the first
+//! inconsistency instead of the last symptom:
+//!
+//! 1. **Header/directory agreement** — every non-forwarded object header
+//!    agrees with the node's directory about its OID's current address, and
+//!    forwarding headers agree with the directory's forwarding knowledge.
+//! 2. **Reference sanity** — every pointer field of every live object
+//!    resolves (through local forwarding) to either null, a mapped object
+//!    header, or an address outside the locally mapped space (a remote-only
+//!    bunch — legal under weak consistency).
+//! 3. **DSM ownership** — every OID with any replica record has exactly one
+//!    owner node, and the owner holds a token (owner ⇒ consistent copy).
+//! 4. **SSP bipartiteness** — every intra-bunch stub's scion site is a
+//!    known node; every intra scion's stub holder likewise; inter-bunch
+//!    stub/scion id spaces are consistent per creating node.
+//! 5. **Root validity** — every mutator root resolves to a live local
+//!    object header.
+
+use std::collections::BTreeMap;
+
+use bmx_addr::object;
+use bmx_common::{NodeId, Oid};
+use bmx_dsm::Token;
+
+use crate::cluster::Cluster;
+
+/// One inconsistency found by the auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The node it was found on (or the owner-check's subject).
+    pub node: NodeId,
+    /// Human-readable description.
+    pub what: String,
+}
+
+/// Walks the whole cluster and returns every invariant violation found.
+pub fn audit(cluster: &Cluster) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let nodes = cluster.nodes();
+
+    // Per-node structural checks.
+    for i in 0..nodes {
+        let node = NodeId(i);
+        audit_node(cluster, node, &mut findings);
+    }
+
+    // Global ownership: exactly one owner per live OID.
+    let mut owners: BTreeMap<Oid, Vec<NodeId>> = BTreeMap::new();
+    for i in 0..nodes {
+        let node = NodeId(i);
+        for (oid, st) in cluster.engine.replicas(node) {
+            if st.is_owner {
+                owners.entry(oid).or_default().push(node);
+            }
+        }
+    }
+    for i in 0..nodes {
+        let node = NodeId(i);
+        for (oid, _) in cluster.engine.replicas(node) {
+            match owners.get(&oid).map(Vec::len).unwrap_or(0) {
+                1 => {}
+                0 => findings.push(Finding {
+                    node,
+                    what: format!("{oid} has replicas but no owner anywhere"),
+                }),
+                n => findings.push(Finding {
+                    node,
+                    what: format!("{oid} has {n} owners: {:?}", owners[&oid]),
+                }),
+            }
+        }
+    }
+    for (oid, owner_nodes) in &owners {
+        for &o in owner_nodes {
+            let st = cluster.engine.obj_state(o, *oid).expect("owner has state");
+            if st.token == Token::None {
+                findings.push(Finding {
+                    node: o,
+                    what: format!("owner of {oid} holds no token (owner must stay consistent)"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+fn audit_node(cluster: &Cluster, node: NodeId, findings: &mut Vec<Finding>) {
+    let ns = cluster.gc.node(node);
+    let mem = &cluster.mems[node.0 as usize];
+    let mut push = |what: String| findings.push(Finding { node, what });
+
+    // 1 & 2: headers, directory, references.
+    for sid in mem.mapped_segments() {
+        let Ok(seg) = mem.segment(sid) else { continue };
+        for addr in object::objects_in(seg) {
+            let Ok(v) = object::view(mem, addr) else {
+                push(format!("object-map bit without readable header at {addr}"));
+                continue;
+            };
+            if v.is_forwarded() {
+                let resolved = ns.directory.resolve(addr);
+                if resolved == addr {
+                    push(format!(
+                        "forwarding header at {addr} unknown to the directory"
+                    ));
+                }
+                continue;
+            }
+            // Live object: the directory's current address for its OID, if
+            // tracked, must be this address.
+            if let Some(cur) = ns.directory.addr_of(v.oid) {
+                if cur != addr {
+                    push(format!(
+                        "directory says {} is at {cur}, header found at {addr}",
+                        v.oid
+                    ));
+                }
+            }
+            match object::ref_fields(mem, addr) {
+                Ok(fields) => {
+                    for (f, t) in fields {
+                        if t.is_null() {
+                            continue;
+                        }
+                        let cur = ns.directory.resolve(t);
+                        if !mem.is_mapped(cur) {
+                            // Legal only if the target's bunch is not mapped
+                            // locally at all (a purely remote reference).
+                            if let Some(b) = cluster.server.borrow().bunch_of(cur) {
+                                if ns.bunches.contains_key(&b) {
+                                    push(format!(
+                                        "{addr}.{f} -> {cur}: unmapped address in a locally mapped bunch"
+                                    ));
+                                }
+                            } else {
+                                push(format!("{addr}.{f} -> {cur}: address outside every bunch"));
+                            }
+                        } else if object::view(mem, cur).is_err() {
+                            push(format!("{addr}.{f} -> {cur}: no object header there"));
+                        }
+                    }
+                }
+                Err(e) => push(format!("cannot scan fields of {addr}: {e}")),
+            }
+        }
+    }
+
+    // 4: SSP endpoint sanity.
+    let node_count = cluster.nodes();
+    for brs in ns.bunches.values() {
+        for s in &brs.stub_table.intra {
+            if s.scion_at.0 >= node_count {
+                push(format!("intra stub for {} names unknown node {}", s.oid, s.scion_at));
+            }
+            if s.scion_at == node {
+                push(format!("intra stub for {} points at its own node", s.oid));
+            }
+        }
+        for s in &brs.scion_table.intra {
+            if s.stub_at.0 >= node_count {
+                push(format!("intra scion for {} names unknown node {}", s.oid, s.stub_at));
+            }
+        }
+        for s in &brs.stub_table.inter {
+            if s.scion_at.0 >= node_count {
+                push(format!("inter stub {:?} names unknown scion site", s.id));
+            }
+        }
+        for s in &brs.scion_table.inter {
+            if s.source_node.0 >= node_count {
+                push(format!("inter scion {:?} names unknown source node", s.id));
+            }
+        }
+    }
+
+    // 5: roots resolve to live headers.
+    for (&rid, &addr) in &ns.roots {
+        if addr.is_null() {
+            continue;
+        }
+        let cur = ns.directory.resolve(addr);
+        match object::view(mem, cur) {
+            Ok(v) if v.is_forwarded() => {
+                push(format!("root {rid} resolves to a forwarding header at {cur}"))
+            }
+            Ok(_) => {}
+            Err(_) => push(format!("root {rid} at {addr} resolves to {cur}: not an object")),
+        }
+    }
+}
+
+/// Panics with a readable report if the cluster violates any invariant.
+pub fn assert_clean(cluster: &Cluster) {
+    let findings = audit(cluster);
+    assert!(
+        findings.is_empty(),
+        "cluster audit found {} problems:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  [{:?}] {}", f.node, f.what))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::mutator::ObjSpec;
+
+    #[test]
+    fn clean_cluster_audits_clean() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let a = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
+        let t = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
+        c.write_ref(n0, a, 0, t).unwrap();
+        c.add_root(n0, a);
+        c.map_bunch(NodeId(1), b, n0).unwrap();
+        c.run_bgc(n0, b).unwrap();
+        c.run_bgc(NodeId(1), b).unwrap();
+        assert_clean(&c);
+    }
+
+    #[test]
+    fn auditor_catches_a_planted_dangling_reference() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let a = c.alloc(n0, b, &ObjSpec::with_refs(1, &[0])).unwrap();
+        c.add_root(n0, a);
+        // Plant corruption behind the API's back: a pointer into the void
+        // of the mapped segment.
+        let bogus = a.add_words(40);
+        bmx_addr::object::write_ref_field(&mut c.mems[0], a, 0, bogus).unwrap();
+        let findings = audit(&c);
+        assert!(
+            findings.iter().any(|f| f.what.contains("no object header")),
+            "expected a dangling-reference finding, got {findings:?}"
+        );
+    }
+
+    #[test]
+    fn auditor_catches_a_planted_double_owner() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let a = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
+        c.map_bunch(NodeId(1), b, n0).unwrap();
+        let oid = c.oid_at_local(n0, a).unwrap();
+        // Corrupt the protocol state directly.
+        c.engine.register_alloc(NodeId(1), oid, b);
+        let findings = audit(&c);
+        assert!(
+            findings.iter().any(|f| f.what.contains("2 owners")),
+            "expected a double-owner finding, got {findings:?}"
+        );
+    }
+}

@@ -1,0 +1,646 @@
+//! The deterministic cluster driver.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use bmx_addr::object;
+use bmx_addr::server::Protection;
+use bmx_addr::{NodeMemory, SegmentServer};
+use bmx_common::{
+    Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKind,
+};
+use bmx_dsm::{DsmEngine, DsmPacket, DsmShared, Token};
+use bmx_gc::{barrier, cleaner, collect, fromspace, CollectStats, GcMsg, GcState, RelocMode};
+use bmx_net::{Envelope, MsgClass, Network, NetworkConfig};
+
+use crate::msg::ClusterMsg;
+
+/// Construction parameters for a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Constant segment size, in 8-byte words.
+    pub segment_words: u64,
+    /// Network behaviour (latency, loss injection).
+    pub net: NetworkConfig,
+    /// How relocation records propagate (experiment E3 knob).
+    pub reloc_mode: RelocMode,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            segment_words: 4096,
+            net: NetworkConfig::lossless(1),
+            reloc_mode: RelocMode::Piggyback,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with `n` nodes and defaults otherwise.
+    pub fn with_nodes(n: u32) -> Self {
+        ClusterConfig { nodes: n, ..Default::default() }
+    }
+}
+
+/// The simulated BMX cluster.
+pub struct Cluster {
+    /// The shared segment server (BMX-server role).
+    pub server: bmx_gc::SharedServer,
+    /// The entry-consistency protocol engine.
+    pub engine: DsmEngine,
+    /// The collector state (also the DSM's `GcIntegration`).
+    pub gc: GcState,
+    /// Per-node memories.
+    pub mems: Vec<NodeMemory>,
+    /// Per-node counters.
+    pub stats: Vec<NodeStats>,
+    /// The simulated network.
+    pub net: Network<ClusterMsg>,
+    next_oid: Vec<u64>,
+    /// In-flight incremental collections, one slot per node.
+    incrementals: Vec<Option<bmx_gc::IncrementalBgc>>,
+}
+
+impl Cluster {
+    /// Builds a cluster.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let server: bmx_gc::SharedServer =
+            Rc::new(RefCell::new(SegmentServer::new(cfg.segment_words)));
+        let mut gc = GcState::new(cfg.nodes as usize, Rc::clone(&server));
+        gc.reloc_mode = cfg.reloc_mode;
+        Cluster {
+            server,
+            engine: DsmEngine::new(cfg.nodes as usize),
+            gc,
+            mems: (0..cfg.nodes).map(|i| NodeMemory::new(NodeId(i))).collect(),
+            stats: (0..cfg.nodes).map(|_| NodeStats::new()).collect(),
+            net: Network::new(cfg.net),
+            next_oid: vec![0; cfg.nodes as usize],
+            incrementals: (0..cfg.nodes).map(|_| None).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.mems.len() as u32
+    }
+
+    /// Mints a fresh OID at `node`.
+    pub fn mint_oid(&mut self, node: NodeId) -> Oid {
+        let c = &mut self.next_oid[node.0 as usize];
+        *c += 1;
+        Oid(((node.0 as u64 + 1) << 40) | *c)
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing.
+    // ------------------------------------------------------------------
+
+    /// Sends a GC message, classing and counting it.
+    pub fn send_gc(&mut self, src: NodeId, dst: NodeId, msg: GcMsg) {
+        let class = match &msg {
+            GcMsg::ScionCreate { .. } => MsgClass::ScionMessage,
+            GcMsg::Report(_) => MsgClass::StubTable,
+            _ => MsgClass::GcBackground,
+        };
+        self.stats[src.0 as usize].bump(StatKind::MessagesSent);
+        self.net.send(src, dst, class, ClusterMsg::Gc(msg));
+    }
+
+    /// Delivers every in-flight message (and the cascades it triggers).
+    pub fn pump(&mut self) -> Result<()> {
+        while self.net.in_flight() > 0 {
+            let due = self.net.tick();
+            for env in due {
+                self.dispatch(env)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, env: Envelope<ClusterMsg>) -> Result<()> {
+        match env.payload {
+            ClusterMsg::Dsm(pkt) => self.dispatch_dsm(env.src, env.dst, pkt),
+            ClusterMsg::Gc(msg) => self.dispatch_gc(env.src, env.dst, msg),
+        }
+    }
+
+    fn dispatch_dsm(&mut self, src: NodeId, dst: NodeId, pkt: DsmPacket) -> Result<()> {
+        let Cluster { engine, gc, mems, stats, net, .. } = self;
+        let mut sh = DsmShared { mems, stats, gc };
+        let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+            net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+        };
+        engine.handle(src, dst, pkt, &mut sh, &mut send)?;
+        // `emit` inside the engine counts DsmProtocolMessages; mirror the
+        // transport-level count here.
+        Ok(())
+    }
+
+    fn dispatch_gc(&mut self, _src: NodeId, dst: NodeId, msg: GcMsg) -> Result<()> {
+        match msg {
+            GcMsg::ScionCreate { scion } => {
+                barrier::install_scion(&mut self.gc, dst, scion);
+                Ok(())
+            }
+            GcMsg::Report(report) => {
+                cleaner::process_report(
+                    &mut self.gc,
+                    &mut self.engine,
+                    &mut self.stats[dst.0 as usize],
+                    dst,
+                    &report,
+                );
+                Ok(())
+            }
+            GcMsg::AddressChange { bunch: _, relocations } => {
+                let Cluster { gc, mems, .. } = self;
+                bmx_gc::integration::apply_relocations_at(gc, dst, &relocations, mems);
+                Ok(())
+            }
+            GcMsg::Retire { bunch, segments, relocations, reply_to } => {
+                let msgs = {
+                    let Cluster { engine, gc, mems, stats, .. } = self;
+                    fromspace::handle_retire(
+                        gc,
+                        engine,
+                        mems,
+                        &mut stats[dst.0 as usize],
+                        dst,
+                        bunch,
+                        &segments,
+                        &relocations,
+                        reply_to,
+                    )?
+                };
+                for (to, m) in msgs {
+                    self.send_gc(dst, to, m);
+                }
+                Ok(())
+            }
+            GcMsg::RetireAck { bunch, from } => {
+                let Cluster { gc, mems, stats, .. } = self;
+                fromspace::handle_retire_ack(
+                    gc,
+                    &mut mems[dst.0 as usize],
+                    &mut stats[dst.0 as usize],
+                    dst,
+                    bunch,
+                    from,
+                )?;
+                Ok(())
+            }
+            GcMsg::CopyRequest { bunch, oids, avoid, reply_to } => {
+                let msgs = {
+                    let Cluster { engine, gc, mems, stats, .. } = self;
+                    fromspace::handle_copy_request(
+                        gc,
+                        engine,
+                        &mut mems[dst.0 as usize],
+                        &mut stats[dst.0 as usize],
+                        dst,
+                        bunch,
+                        &oids,
+                        &avoid,
+                        reply_to,
+                    )?
+                };
+                // The owner's fresh relocations must reach the requester and
+                // all other replica holders lazily too; the copy reply
+                // carries them to the requester directly.
+                for (to, m) in msgs {
+                    self.send_gc(dst, to, m);
+                }
+                Ok(())
+            }
+            GcMsg::CopyReply { bunch, relocations, from: _ } => {
+                let msgs = {
+                    let Cluster { gc, mems, stats, .. } = self;
+                    fromspace::handle_copy_reply(
+                        gc,
+                        mems,
+                        &mut stats[dst.0 as usize],
+                        dst,
+                        bunch,
+                        &relocations,
+                    )?
+                };
+                for (to, m) in msgs {
+                    self.send_gc(dst, to, m);
+                }
+                Ok(())
+            }
+        }
+        .map(|_: ()| ())
+    }
+
+    // ------------------------------------------------------------------
+    // Bunches.
+    // ------------------------------------------------------------------
+
+    /// Creates a bunch at `node` with one initial segment, mapped locally.
+    pub fn create_bunch(&mut self, node: NodeId) -> Result<BunchId> {
+        self.create_bunch_with(node, Protection::default())
+    }
+
+    /// Creates a bunch with explicit protection attributes (paper, §2.1:
+    /// "protection attributes like the usual Unix read, write, and execute
+    /// permissions"). The mutator API enforces them; the collector is
+    /// exempt (its writes are system bookkeeping, not application access).
+    pub fn create_bunch_with(&mut self, node: NodeId, protection: Protection) -> Result<BunchId> {
+        let (bunch, seg) = {
+            let mut srv = self.server.borrow_mut();
+            let b = srv.create_bunch(node, protection);
+            let s = srv.alloc_segment(b)?;
+            (b, s)
+        };
+        self.mems[node.0 as usize].map_segment(seg);
+        self.gc.note_mapping(bunch, node);
+        let brs = self.gc.node_mut(node).bunch_or_default(bunch);
+        brs.alloc_segments.push(seg.id);
+        Ok(bunch)
+    }
+
+    /// Maps a replica of `bunch` at `node`, copying the current images from
+    /// `from` (which must have the bunch mapped). Registers the replicas
+    /// with the DSM and the entering ownerPtrs with the owners.
+    pub fn map_bunch(&mut self, node: NodeId, bunch: BunchId, from: NodeId) -> Result<()> {
+        if self.gc.node(node).bunches.contains_key(&bunch) {
+            return Ok(());
+        }
+        let seg_ids: Vec<_> = {
+            let srv = self.server.borrow();
+            srv.bunch(bunch)?
+                .segments
+                .iter()
+                .copied()
+                .filter(|&s| self.mems[from.0 as usize].has_segment(s))
+                .collect()
+        };
+        if seg_ids.is_empty() {
+            return Err(BmxError::BunchUnmapped { node: from, bunch });
+        }
+        // Ship the images (accounted as consistency traffic).
+        let mut total_bytes = 0;
+        for &sid in &seg_ids {
+            let image = self.mems[from.0 as usize].image(sid)?;
+            total_bytes += image.wire_size();
+            image.install(&mut self.mems[node.0 as usize]);
+        }
+        self.stats[from.0 as usize].add(StatKind::MessagesSent, seg_ids.len() as u64);
+        self.stats[from.0 as usize].add(StatKind::BytesSent, total_bytes);
+        self.stats[from.0 as usize].add(StatKind::DsmProtocolMessages, seg_ids.len() as u64);
+
+        // Learn the objects: directory entries, forwarding edges, replica
+        // registrations.
+        let mut found: Vec<(Oid, Addr, Addr)> = Vec::new(); // (oid, addr, fwd)
+        for &sid in &seg_ids {
+            let seg = self.mems[node.0 as usize].segment(sid)?;
+            for addr in object::objects_in(seg) {
+                let v = object::view(&self.mems[node.0 as usize], addr)?;
+                found.push((v.oid, addr, if v.is_forwarded() { v.forwarding } else { Addr::NULL }));
+            }
+        }
+        for (oid, addr, fwd) in &found {
+            let dir = &mut self.gc.node_mut(node).directory;
+            if fwd.is_null() {
+                dir.set_addr(*oid, *addr);
+            } else {
+                // The image carries a forwarding header: the replica's
+                // current copy is at the (resolved) forwarding target.
+                dir.record_move(*oid, *addr, *fwd);
+                let cur = dir.resolve(*fwd);
+                dir.set_addr(*oid, cur);
+            }
+        }
+        // Bunch-level GC state mirrors the source's space structure.
+        let (alloc_segments, pending_from) = {
+            let src = self.gc.node(from).bunch(bunch);
+            match src {
+                Some(b) => (b.alloc_segments.clone(), b.pending_from.clone()),
+                None => (seg_ids.clone(), Vec::new()),
+            }
+        };
+        let brs = self.gc.node_mut(node).bunch_or_default(bunch);
+        brs.alloc_segments = alloc_segments;
+        brs.pending_from = pending_from;
+        self.gc.note_mapping(bunch, node);
+
+        // DSM registration for every non-forwarded object replica.
+        for (oid, _addr, fwd) in found {
+            if !fwd.is_null() {
+                continue;
+            }
+            let hint = match self.engine.obj_state(from, oid) {
+                Some(st) if st.is_owner => from,
+                Some(st) => st.owner_hint,
+                None => from,
+            };
+            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.register_mapped_replica(node, oid, bunch, hint, &mut sh, &mut send);
+        }
+        self.pump()
+    }
+
+    /// Which nodes currently have `bunch` mapped.
+    pub fn mapped_nodes(&self, bunch: BunchId) -> Vec<NodeId> {
+        self.gc.mapped_nodes(bunch)
+    }
+
+    // ------------------------------------------------------------------
+    // Collector services.
+    // ------------------------------------------------------------------
+
+    /// Runs the bunch garbage collector on the local replica of `bunch` at
+    /// `node`, publishing the reachability reports.
+    pub fn run_bgc(&mut self, node: NodeId, bunch: BunchId) -> Result<CollectStats> {
+        self.run_collection(node, &[bunch])
+    }
+
+    /// Runs the group garbage collector at `node` over every locally mapped
+    /// bunch (the locality heuristic of Section 7).
+    pub fn run_ggc(&mut self, node: NodeId) -> Result<CollectStats> {
+        let group: Vec<BunchId> = self.gc.node(node).bunches.keys().copied().collect();
+        self.run_collection(node, &group)
+    }
+
+    /// Runs the group collector under a grouping heuristic: each group the
+    /// heuristic produces is collected in turn; returns aggregate stats.
+    pub fn run_ggc_with(
+        &mut self,
+        node: NodeId,
+        heuristic: bmx_gc::Heuristic,
+    ) -> Result<CollectStats> {
+        let groups = bmx_gc::grouping::groups(&self.gc, node, heuristic);
+        debug_assert!(bmx_gc::grouping::is_partition(&self.gc, node, &groups));
+        let mut total = CollectStats::default();
+        for g in groups {
+            let s = self.run_collection(node, &g)?;
+            total.copied += s.copied;
+            total.copied_words += s.copied_words;
+            total.scanned += s.scanned;
+            total.reclaimed += s.reclaimed;
+            total.reclaimed_words += s.reclaimed_words;
+            total.live += s.live;
+        }
+        Ok(total)
+    }
+
+    /// Runs a collection over an explicit group of bunches at `node`.
+    pub fn run_collection(&mut self, node: NodeId, group: &[BunchId]) -> Result<CollectStats> {
+        if let Some(&b) = group
+            .iter()
+            .find(|b| self.gc.node(node).active_groups.contains(b))
+        {
+            return Err(BmxError::CollectorBusy { bunch: b });
+        }
+        let outcome = {
+            let Cluster { engine, gc, mems, stats, .. } = self;
+            collect(
+                gc,
+                engine,
+                &mut mems[node.0 as usize],
+                &mut stats[node.0 as usize],
+                node,
+                group,
+            )?
+        };
+        for oid in &outcome.dead {
+            self.engine.drop_replica(node, *oid);
+        }
+        for (dests, report) in outcome.reports {
+            // The local cleaner consumes the report too: scions for locally
+            // mapped target bunches live on this very node.
+            cleaner::process_report(
+                &mut self.gc,
+                &mut self.engine,
+                &mut self.stats[node.0 as usize],
+                node,
+                &report,
+            );
+            for dst in dests {
+                self.stats[node.0 as usize].bump(StatKind::StubTableMessages);
+                self.send_gc(node, dst, GcMsg::Report(report.clone()));
+            }
+        }
+        self.flush_explicit_relocations();
+        self.pump()?;
+        Ok(outcome.stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental collection (O'Toole-style, experiment E4b).
+    // ------------------------------------------------------------------
+
+    /// Starts an incremental collection of `group` at `node`: snapshots
+    /// the roots and arms the graying write barrier. Mutator work may
+    /// proceed between [`Cluster::incremental_step`] calls.
+    pub fn start_incremental(&mut self, node: NodeId, group: &[BunchId]) -> Result<()> {
+        if self.incrementals[node.0 as usize].is_some() {
+            return Err(BmxError::CollectorBusy {
+                bunch: group.first().copied().unwrap_or(BunchId(0)),
+            });
+        }
+        let inc = {
+            let Cluster { engine, gc, mems, stats, .. } = self;
+            bmx_gc::IncrementalBgc::start(
+                gc,
+                engine,
+                &mut mems[node.0 as usize],
+                &mut stats[node.0 as usize],
+                node,
+                group,
+            )?
+        };
+        self.incrementals[node.0 as usize] = Some(inc);
+        Ok(())
+    }
+
+    /// Performs up to `budget` objects' worth of collection work at `node`.
+    /// Returns `true` when the collection is ready to flip.
+    pub fn incremental_step(&mut self, node: NodeId, budget: usize) -> Result<bool> {
+        let mut inc = self.incrementals[node.0 as usize]
+            .take()
+            .ok_or(BmxError::Protocol("no incremental collection active".into()))?;
+        let ready = {
+            let Cluster { engine, gc, mems, stats, .. } = self;
+            inc.step(gc, engine, &mut mems[node.0 as usize], &mut stats[node.0 as usize], budget)?
+        };
+        self.incrementals[node.0 as usize] = Some(inc);
+        Ok(ready)
+    }
+
+    /// Flips the incremental collection at `node`: the only mutator-visible
+    /// pause. Publishes reports like a normal collection.
+    pub fn incremental_flip(&mut self, node: NodeId) -> Result<CollectStats> {
+        let inc = self.incrementals[node.0 as usize]
+            .take()
+            .ok_or(BmxError::Protocol("no incremental collection active".into()))?;
+        let outcome = {
+            let Cluster { engine, gc, mems, stats, .. } = self;
+            inc.flip(gc, engine, &mut mems[node.0 as usize], &mut stats[node.0 as usize])?
+        };
+        for oid in &outcome.dead {
+            self.engine.drop_replica(node, *oid);
+        }
+        for (dests, report) in outcome.reports {
+            cleaner::process_report(
+                &mut self.gc,
+                &mut self.engine,
+                &mut self.stats[node.0 as usize],
+                node,
+                &report,
+            );
+            for dst in dests {
+                self.stats[node.0 as usize].bump(StatKind::StubTableMessages);
+                self.send_gc(node, dst, GcMsg::Report(report.clone()));
+            }
+        }
+        self.flush_explicit_relocations();
+        self.pump()?;
+        Ok(outcome.stats)
+    }
+
+    /// Whether an incremental collection is active at `node`.
+    pub fn incremental_active(&self, node: NodeId) -> bool {
+        self.incrementals[node.0 as usize].is_some()
+    }
+
+    /// Re-sends the current reachability report of `bunch` at `node` to the
+    /// given destinations — the recovery action for lost stub-table
+    /// messages (they are idempotent, Section 6.1).
+    pub fn resend_report(&mut self, node: NodeId, bunch: BunchId, dests: &[NodeId]) -> Result<()> {
+        let report = self.build_report(node, bunch)?;
+        for &d in dests {
+            if d != node {
+                self.stats[node.0 as usize].bump(StatKind::StubTableMessages);
+                self.send_gc(node, d, GcMsg::Report(report.clone()));
+            }
+        }
+        self.pump()
+    }
+
+    /// Builds the current reachability report of `bunch` at `node` (same
+    /// content a re-send would carry).
+    pub fn build_report(&mut self, node: NodeId, bunch: BunchId) -> Result<bmx_gc::ReachabilityReport> {
+        let brs = self
+            .gc
+            .node(node)
+            .bunch(bunch)
+            .ok_or(BmxError::BunchUnmapped { node, bunch })?;
+        let exiting: Vec<(Oid, NodeId)> = self
+            .engine
+            .exiting_owner_ptrs(node, bunch)
+            .into_iter()
+            .collect();
+        Ok(bmx_gc::ReachabilityReport {
+            from: node,
+            bunch,
+            epoch: brs.epoch,
+            inter_stubs: brs.stub_table.inter.clone(),
+            intra_stubs: brs.stub_table.intra.clone(),
+            exiting,
+        })
+    }
+
+    /// In [`RelocMode::Explicit`], transmits queued relocation records as
+    /// their own background messages (the ablation of experiment E3).
+    pub fn flush_explicit_relocations(&mut self) {
+        let queued = std::mem::take(&mut self.gc.explicit_queue);
+        for (src, dst, relocs) in queued {
+            self.stats[src.0 as usize].bump(StatKind::ExplicitRelocationMessages);
+            self.send_gc(
+                src,
+                dst,
+                GcMsg::AddressChange { bunch: BunchId(0), relocations: relocs },
+            );
+        }
+    }
+
+    /// Starts the from-space reuse protocol for `bunch` at `node` and runs
+    /// it to completion. Returns `true` if the segments were reclaimed.
+    pub fn reuse_from_space(&mut self, node: NodeId, bunch: BunchId) -> Result<bool> {
+        let msgs = {
+            let Cluster { engine, gc, mems, stats, .. } = self;
+            fromspace::start_reuse(
+                gc,
+                engine,
+                &mut mems[node.0 as usize],
+                &mut stats[node.0 as usize],
+                node,
+                bunch,
+            )?
+        };
+        for (dst, m) in msgs {
+            self.send_gc(node, dst, m);
+        }
+        self.pump()?;
+        Ok(self.gc.node(node).bunch(bunch).is_some_and(|b| b.reuse.is_none()))
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for experiments and tests.
+    // ------------------------------------------------------------------
+
+    /// Sum of a counter across all nodes.
+    pub fn total_stat(&self, kind: StatKind) -> u64 {
+        self.stats.iter().map(|s| s.get(kind)).sum()
+    }
+
+    /// The set of addresses reachable from `node`'s mutator roots (through
+    /// local forwarding), for graph verification in tests.
+    pub fn reachable_from_roots(&self, node: NodeId) -> BTreeSet<Addr> {
+        let ns = self.gc.node(node);
+        let mem = &self.mems[node.0 as usize];
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<Addr> = ns.roots.values().copied().collect();
+        while let Some(a) = stack.pop() {
+            if a.is_null() {
+                continue;
+            }
+            let a = ns.directory.resolve(a);
+            if !seen.insert(a) {
+                continue;
+            }
+            let Ok(fields) = object::ref_fields(mem, a) else { continue };
+            for (_, t) in fields {
+                stack.push(t);
+            }
+        }
+        seen
+    }
+
+    /// Asserts the structural invariant that the collector never acquired a
+    /// token on any node.
+    pub fn assert_gc_acquired_no_tokens(&self) {
+        for (i, s) in self.stats.iter().enumerate() {
+            assert_eq!(
+                s.get(StatKind::GcTokenAcquires),
+                0,
+                "collector acquired a token on node N{i}"
+            );
+        }
+    }
+
+    /// Current token at `node` for the object at `addr`.
+    pub fn token_at(&self, node: NodeId, addr: Addr) -> Result<Token> {
+        let oid = self.oid_at_local(node, addr)?;
+        Ok(self.engine.token(node, oid))
+    }
+
+    /// Local-only address-to-OID resolution (header read through local
+    /// forwarding).
+    pub fn oid_at_local(&self, node: NodeId, addr: Addr) -> Result<Oid> {
+        let cur = self.gc.node(node).directory.resolve(addr);
+        Ok(object::view(&self.mems[node.0 as usize], cur)?.oid)
+    }
+}

@@ -1,0 +1,23 @@
+//! The unified cluster message type.
+
+use bmx_dsm::DsmPacket;
+use bmx_gc::GcMsg;
+use bmx_net::WireSize;
+
+/// Everything that travels on the simulated network.
+#[derive(Clone, Debug)]
+pub enum ClusterMsg {
+    /// Consistency-protocol traffic (with piggy-backed GC payloads).
+    Dsm(DsmPacket),
+    /// Collector-to-collector traffic.
+    Gc(GcMsg),
+}
+
+impl WireSize for ClusterMsg {
+    fn wire_size(&self) -> u64 {
+        match self {
+            ClusterMsg::Dsm(p) => p.wire_size(),
+            ClusterMsg::Gc(m) => m.wire_size(),
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The mutator API.
+//!
+//! Applications (the *mutator*, in GC terms) see: allocation within bunches,
+//! barriered pointer stores, entry-consistency acquire/release brackets, and
+//! explicit stack roots. They never send messages themselves — communication
+//! happens purely through the DSM (paper, Section 2.2).
+
+use bmx_addr::object;
+use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result, StatKind};
+use bmx_dsm::{AcquireStart, DsmPacket, DsmShared, Token};
+use bmx_net::MsgClass;
+
+use crate::cluster::Cluster;
+use crate::msg::ClusterMsg;
+
+/// Shape of an object to allocate.
+#[derive(Clone, Debug)]
+pub struct ObjSpec {
+    /// Data words.
+    pub size: u64,
+    /// Which fields hold pointers.
+    pub refs: Vec<u64>,
+}
+
+impl ObjSpec {
+    /// `size` data words, none of them pointers.
+    pub fn data(size: u64) -> Self {
+        ObjSpec { size, refs: Vec::new() }
+    }
+
+    /// `size` data words with the given pointer fields.
+    pub fn with_refs(size: u64, refs: &[u64]) -> Self {
+        ObjSpec { size, refs: refs.to_vec() }
+    }
+}
+
+impl Cluster {
+    /// Enforces the bunch protection attributes (paper, Section 2.1) for a
+    /// mutator access to the object at `addr`.
+    fn check_protection(&self, addr: Addr, write: bool) -> Result<()> {
+        // No forwarding resolution needed: to-space segments belong to the
+        // same bunch, so any name of the object identifies it.
+        let Some(bunch) = self.server.borrow().bunch_of(addr) else {
+            return Ok(()); // unmapped: the access will fail with Unmapped
+        };
+        let prot = self.server.borrow().bunch(bunch)?.protection;
+        if (write && !prot.write) || (!write && !prot.read) {
+            return Err(BmxError::AccessDenied { bunch, write });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation.
+    // ------------------------------------------------------------------
+
+    /// Allocates an object in `bunch` at `node`.
+    ///
+    /// Only the bunch's creator node allocates in it (the prototype's
+    /// constraint, which keeps replica allocation cursors from colliding;
+    /// see DESIGN.md).
+    pub fn alloc(&mut self, node: NodeId, bunch: BunchId, spec: &ObjSpec) -> Result<Addr> {
+        let creator = self.server.borrow().bunch(bunch)?.creator;
+        if creator != node {
+            return Err(BmxError::Protocol(format!(
+                "node {node} may not allocate in bunch {bunch} created by {creator}"
+            )));
+        }
+        let oid = self.mint_oid(node);
+        let need = bmx_addr::HEADER_WORDS + spec.size;
+        // Find a current-space segment with room, or grow the bunch.
+        let seg_id = {
+            let candidates = self
+                .gc
+                .node(node)
+                .bunch(bunch)
+                .map(|b| b.alloc_segments.clone())
+                .unwrap_or_default();
+            let mem = &self.mems[node.0 as usize];
+            let found = candidates
+                .iter()
+                .copied()
+                .find(|&s| mem.has_segment(s) && mem.segment(s).is_ok_and(|x| x.free_words() >= need));
+            match found {
+                Some(s) => s,
+                None => {
+                    let info = self.server.borrow_mut().alloc_segment(bunch)?;
+                    if need > info.words {
+                        return Err(BmxError::OutOfMemory { bunch, words: spec.size });
+                    }
+                    self.mems[node.0 as usize].map_segment(info);
+                    self.gc.node_mut(node).bunch_or_default(bunch).alloc_segments.push(info.id);
+                    info.id
+                }
+            }
+        };
+        let addr = {
+            let seg = self.mems[node.0 as usize].segment_mut(seg_id)?;
+            object::alloc_in_segment(seg, oid, spec.size, &spec.refs)?
+        };
+        self.gc.node_mut(node).directory.set_addr(oid, addr);
+        self.engine.register_alloc(node, oid, bunch);
+        Ok(addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Field access (through local forwarding).
+    // ------------------------------------------------------------------
+
+    /// Barriered pointer store: `(*obj).field = target`.
+    pub fn write_ref(&mut self, node: NodeId, obj: Addr, field: u64, target: Addr) -> Result<()> {
+        self.check_protection(obj, true)?;
+        let out = {
+            let Cluster { gc, mems, stats, .. } = self;
+            bmx_gc::barrier::write_ref(
+                gc,
+                node,
+                &mut mems[node.0 as usize],
+                &mut stats[node.0 as usize],
+                obj,
+                field,
+                target,
+            )?
+        };
+        if let Some((dst, msg)) = out {
+            self.send_gc(node, dst, msg);
+            self.pump()?;
+        }
+        Ok(())
+    }
+
+    /// Non-pointer store: `(*obj).field = value`.
+    pub fn write_data(&mut self, node: NodeId, obj: Addr, field: u64, value: u64) -> Result<()> {
+        self.check_protection(obj, true)?;
+        let cur = self.gc.node(node).directory.resolve(obj);
+        object::write_data_field(&mut self.mems[node.0 as usize], cur, field, value)
+    }
+
+    /// Non-pointer load.
+    pub fn read_data(&self, node: NodeId, obj: Addr, field: u64) -> Result<u64> {
+        self.check_protection(obj, false)?;
+        let cur = self.gc.node(node).directory.resolve(obj);
+        object::read_field(&self.mems[node.0 as usize], cur, field)
+    }
+
+    /// Pointer load.
+    pub fn read_ref(&self, node: NodeId, obj: Addr, field: u64) -> Result<Addr> {
+        self.check_protection(obj, false)?;
+        let cur = self.gc.node(node).directory.resolve(obj);
+        object::read_ref_field(&self.mems[node.0 as usize], cur, field)
+    }
+
+    /// The pointer-comparison operation (Section 4.2): are `a` and `b` the
+    /// same object at `node`, accounting for forwarding pointers?
+    pub fn ptr_eq(&self, node: NodeId, a: Addr, b: Addr) -> bool {
+        self.gc.node(node).directory.ptr_eq(a, b)
+    }
+
+    // ------------------------------------------------------------------
+    // Entry-consistency brackets.
+    // ------------------------------------------------------------------
+
+    /// Resolves the OID of the object at `addr` for `node`.
+    ///
+    /// Fast path: the local header. If the object's data never reached this
+    /// node, the header is fetched from the bunch creator — a stand-in for
+    /// the address-keyed routing of the original system (see DESIGN.md), and
+    /// accounted as one protocol round-trip.
+    pub fn oid_at(&mut self, node: NodeId, addr: Addr) -> Result<Oid> {
+        if let Ok(oid) = self.oid_at_local(node, addr) {
+            return Ok(oid);
+        }
+        let bunch = self
+            .server
+            .borrow()
+            .bunch_of(addr)
+            .ok_or(BmxError::Unmapped { node, addr })?;
+        let creator = self.server.borrow().bunch(bunch)?.creator;
+        let oid = self.oid_at_local(creator, addr)?;
+        self.stats[node.0 as usize].add(StatKind::MessagesSent, 2);
+        self.stats[node.0 as usize].add(StatKind::DsmProtocolMessages, 2);
+        // The node now knows where this object lives locally (same address
+        // until relocations say otherwise) and who to ask for tokens.
+        self.gc.node_mut(node).directory.set_addr(oid, addr);
+        if self.engine.obj_state(node, oid).is_none() {
+            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            let hint = match engine.obj_state(creator, oid) {
+                Some(st) if st.is_owner => creator,
+                Some(st) => st.owner_hint,
+                None => creator,
+            };
+            engine.register_mapped_replica(node, oid, bunch, hint, &mut sh, &mut send);
+            self.pump()?;
+        }
+        Ok(oid)
+    }
+
+    /// Acquires a read token for the object at `addr` and enters the
+    /// critical section.
+    pub fn acquire_read(&mut self, node: NodeId, addr: Addr) -> Result<()> {
+        let oid = self.oid_at(node, addr)?;
+        let started = {
+            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.start_read(node, oid, &mut sh, &mut send)?
+        };
+        if started == AcquireStart::Requested {
+            self.pump()?;
+            if self.engine.token(node, oid) == Token::None {
+                return Err(BmxError::WouldBlock { oid });
+            }
+        }
+        self.engine.lock(node, oid)
+    }
+
+    /// Acquires the write token for the object at `addr` and enters the
+    /// critical section.
+    pub fn acquire_write(&mut self, node: NodeId, addr: Addr) -> Result<()> {
+        let oid = self.oid_at(node, addr)?;
+        let started = {
+            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.start_write(node, oid, &mut sh, &mut send)?
+        };
+        if started == AcquireStart::Requested {
+            self.pump()?;
+            if self.engine.token(node, oid) != Token::Write {
+                return Err(BmxError::WouldBlock { oid });
+            }
+        }
+        self.engine.lock(node, oid)
+    }
+
+    /// Releases the token bracket for the object at `addr`.
+    pub fn release(&mut self, node: NodeId, addr: Addr) -> Result<()> {
+        let oid = self.oid_at_local(node, addr)?;
+        {
+            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.unlock(node, oid, &mut sh, &mut send)?;
+        }
+        self.pump()
+    }
+
+    // ------------------------------------------------------------------
+    // Sequentially-consistent convenience brackets (experiment E11).
+    // ------------------------------------------------------------------
+
+    /// A sequentially-consistent load: acquire-read, load, release.
+    ///
+    /// This is the per-operation coherence style the paper's Section 1
+    /// contrasts weak consistency against; entry-consistency programs hold
+    /// tokens across whole critical sections instead.
+    pub fn sc_read_data(&mut self, node: NodeId, obj: Addr, field: u64) -> Result<u64> {
+        self.acquire_read(node, obj)?;
+        let v = self.read_data(node, obj, field);
+        self.release(node, obj)?;
+        v
+    }
+
+    /// A sequentially-consistent store: acquire-write, store, release.
+    pub fn sc_write_data(&mut self, node: NodeId, obj: Addr, field: u64, value: u64) -> Result<()> {
+        self.acquire_write(node, obj)?;
+        let r = self.write_data(node, obj, field, value);
+        self.release(node, obj)?;
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Roots.
+    // ------------------------------------------------------------------
+
+    /// Registers a mutator stack root at `node`.
+    pub fn add_root(&mut self, node: NodeId, addr: Addr) -> u64 {
+        // A root created during an incremental collection makes its target
+        // reachable: gray it.
+        let bunch = self.gc.bunch_of(addr);
+        self.gc.node_mut(node).gray_if_active(bunch, addr);
+        self.gc.node_mut(node).add_root(addr)
+    }
+
+    /// Reads a root slot (the BGC may have rewritten it).
+    pub fn root(&self, node: NodeId, id: u64) -> Option<Addr> {
+        self.gc.node(node).root(id)
+    }
+
+    /// Re-points a root slot.
+    pub fn set_root(&mut self, node: NodeId, id: u64, addr: Addr) {
+        let bunch = self.gc.bunch_of(addr);
+        self.gc.node_mut(node).gray_if_active(bunch, addr);
+        self.gc.node_mut(node).set_root(id, addr);
+    }
+
+    /// Drops a root slot.
+    pub fn remove_root(&mut self, node: NodeId, id: u64) -> Option<Addr> {
+        self.gc.node_mut(node).remove_root(id)
+    }
+}

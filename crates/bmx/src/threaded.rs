@@ -1,0 +1,142 @@
+//! A threaded driver for the simulated cluster.
+//!
+//! The deterministic [`Cluster`] is single-threaded by
+//! design (the paper's protocol properties are easiest to audit that way),
+//! but real BMX applications are concurrent programs. This module provides
+//! the actor pattern that bridges the two: one dedicated thread owns the
+//! cluster; any number of application threads submit closures through a
+//! [`ClusterHandle`] and block for their results. Per-operation atomicity
+//! is exactly the cluster's, and the channel serializes the interleaving —
+//! so multi-threaded programs get an arbitrary (but valid) schedule, which
+//! is what the stress tests shake.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use crate::cluster::{Cluster, ClusterConfig};
+
+type Job = Box<dyn FnOnce(&mut Cluster) + Send>;
+
+enum Msg {
+    Job(Job),
+    /// Stop the loop even if handle clones still exist.
+    Stop,
+}
+
+/// The owning side of the actor: join it to stop.
+pub struct ClusterActor {
+    tx: Sender<Msg>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A cloneable, `Send` handle for submitting work to the cluster thread.
+#[derive(Clone)]
+pub struct ClusterHandle {
+    tx: Sender<Msg>,
+}
+
+impl ClusterActor {
+    /// Builds the cluster *inside* a dedicated thread (the cluster itself
+    /// is intentionally not `Send`) and returns the actor plus a handle.
+    pub fn spawn(cfg: ClusterConfig) -> (ClusterActor, ClusterHandle) {
+        let (tx, rx) = unbounded::<Msg>();
+        let thread = std::thread::Builder::new()
+            .name("bmx-cluster".into())
+            .spawn(move || {
+                let mut cluster = Cluster::new(cfg);
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Job(job) => job(&mut cluster),
+                        Msg::Stop => break,
+                    }
+                }
+            })
+            .expect("spawn cluster thread");
+        (ClusterActor { tx: tx.clone(), thread: Some(thread) }, ClusterHandle { tx })
+    }
+
+    /// Stops the actor and joins the thread. Jobs already queued run first;
+    /// handle clones outstanding afterwards get errors.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Msg::Stop);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ClusterActor {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::Stop);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl ClusterHandle {
+    /// Runs `f` on the cluster thread and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster thread has stopped.
+    pub fn with<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Cluster) -> R + Send + 'static,
+    {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(Msg::Job(Box::new(move |c: &mut Cluster| {
+                let _ = rtx.send(f(c));
+            })))
+            .expect("cluster thread alive");
+        rrx.recv().expect("cluster thread replied")
+    }
+
+    /// Fire-and-forget variant (no reply).
+    pub fn post<F>(&self, f: F)
+    where
+        F: FnOnce(&mut Cluster) + Send + 'static,
+    {
+        self.tx.send(Msg::Job(Box::new(f))).expect("cluster thread alive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutator::ObjSpec;
+    use bmx_common::NodeId;
+
+    #[test]
+    fn handle_round_trips_operations() {
+        let (actor, h) = ClusterActor::spawn(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let (bunch, obj) = h.with(move |c| {
+            let b = c.create_bunch(n0).unwrap();
+            let o = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
+            c.write_data(n0, o, 0, 99).unwrap();
+            (b, o)
+        });
+        let v = h.with(move |c| c.read_data(n0, obj, 0).unwrap());
+        assert_eq!(v, 99);
+        let _ = bunch;
+        actor.shutdown();
+    }
+
+    #[test]
+    fn clones_share_one_cluster() {
+        let (actor, h) = ClusterActor::spawn(ClusterConfig::with_nodes(1));
+        let h2 = h.clone();
+        let n0 = NodeId(0);
+        let obj = h.with(move |c| {
+            let b = c.create_bunch(n0).unwrap();
+            c.alloc(n0, b, &ObjSpec::data(1)).unwrap()
+        });
+        h2.with(move |c| c.write_data(n0, obj, 0, 7).unwrap());
+        assert_eq!(h.with(move |c| c.read_data(n0, obj, 0).unwrap()), 7);
+        actor.shutdown();
+    }
+}

@@ -1,0 +1,227 @@
+//! Bit arrays backing the object-map and reference-map.
+//!
+//! The contents of a bunch are described by two bit arrays (paper,
+//! Section 8): the *object-map*, whose set bits mark the addresses at which
+//! objects start, and the *reference-map*, whose set bits mark the words that
+//! hold pointers. Both are one bit per word of the described range.
+
+/// A fixed-capacity bit array indexed by word offset.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates a bitmap covering `len` words, all clear.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of word slots covered by the bitmap.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the bitmap covers zero words.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, idx: usize) {
+        assert!(idx < self.len, "bitmap index {idx} out of bounds {}", self.len);
+        self.bits[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Clears the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn clear(&mut self, idx: usize) {
+        assert!(idx < self.len, "bitmap index {idx} out of bounds {}", self.len);
+        self.bits[idx / 64] &= !(1u64 << (idx % 64));
+    }
+
+    /// Returns the bit at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bitmap index {idx} out of bounds {}", self.len);
+        self.bits[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(wi, &w)| {
+            BitIter { word: w, base: wi * 64 }.filter(move |&i| i < self.len)
+        })
+    }
+
+    /// Index of the first set bit at or after `from`, if any.
+    pub fn next_one(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut wi = from / 64;
+        let mut w = self.bits[wi] & (u64::MAX << (from % 64));
+        loop {
+            if w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                return (idx < self.len).then_some(idx);
+            }
+            wi += 1;
+            if wi == self.bits.len() {
+                return None;
+            }
+            w = self.bits[wi];
+        }
+    }
+}
+
+impl core::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Bitmap[{}; ones=", self.len)?;
+        f.debug_list().entries(self.iter_ones()).finish()?;
+        write!(f, "]")
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 4);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut b = Bitmap::new(200);
+        for i in [3usize, 64, 65, 199] {
+            b.set(i);
+        }
+        let ones: Vec<_> = b.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn next_one_scans_forward() {
+        let mut b = Bitmap::new(300);
+        b.set(5);
+        b.set(70);
+        b.set(299);
+        assert_eq!(b.next_one(0), Some(5));
+        assert_eq!(b.next_one(5), Some(5));
+        assert_eq!(b.next_one(6), Some(70));
+        assert_eq!(b.next_one(71), Some(299));
+        assert_eq!(b.next_one(300), None);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut b = Bitmap::new(64);
+        b.set(1);
+        b.set(33);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_set_panics() {
+        Bitmap::new(8).set(8);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.next_one(0), None);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn model_matches_hashset(ops in proptest::collection::vec((0usize..500, any::<bool>()), 0..200)) {
+            let mut b = Bitmap::new(500);
+            let mut model = std::collections::BTreeSet::new();
+            for (idx, set) in ops {
+                if set {
+                    b.set(idx);
+                    model.insert(idx);
+                } else {
+                    b.clear(idx);
+                    model.remove(&idx);
+                }
+            }
+            prop_assert_eq!(b.count_ones(), model.len());
+            let got: Vec<_> = b.iter_ones().collect();
+            let want: Vec<_> = model.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn next_one_agrees_with_iter(ones in proptest::collection::btree_set(0usize..256, 0..64), from in 0usize..260) {
+            let mut b = Bitmap::new(256);
+            for &i in &ones {
+                b.set(i);
+            }
+            let expect = ones.iter().copied().find(|&i| i >= from);
+            prop_assert_eq!(b.next_one(from), expect);
+        }
+    }
+}

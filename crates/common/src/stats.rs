@@ -1,0 +1,275 @@
+//! Instrumentation counters.
+//!
+//! The paper's claims are about *quantities* — messages sent on behalf of the
+//! collector, tokens the collector acquired (which must be zero), replicas
+//! invalidated, pause durations. Every substrate increments the counters
+//! defined here, and the experiment harness in `bmx-bench` reads them back to
+//! regenerate the evaluation tables.
+
+use core::fmt;
+
+/// Everything the experiments count, per node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(usize)]
+pub enum StatKind {
+    /// Point-to-point messages handed to the network.
+    MessagesSent,
+    /// Messages dropped by the (unreliable) network.
+    MessagesDropped,
+    /// Payload bytes handed to the network.
+    BytesSent,
+    /// Read-token acquisitions performed by mutators.
+    MutatorReadAcquires,
+    /// Write-token acquisitions performed by mutators.
+    MutatorWriteAcquires,
+    /// Token acquisitions performed by the garbage collector.
+    ///
+    /// The central claim of the paper is that this counter stays at zero:
+    /// "In any circumstance, the garbage collector acquires neither a read
+    /// nor a write token" (Section 10).
+    GcTokenAcquires,
+    /// Read replicas invalidated by write-token transfers.
+    Invalidations,
+    /// Read replicas invalidated *on behalf of the collector* (only a
+    /// token-acquiring baseline collector ever increments this).
+    GcInvalidations,
+    /// Objects copied from from-space to to-space by a collector.
+    ObjectsCopied,
+    /// Words copied from from-space to to-space by a collector.
+    WordsCopied,
+    /// Live objects scanned in place (non-owned replicas).
+    ObjectsScanned,
+    /// Scion-messages sent (inter-bunch SSP creation across nodes).
+    ScionMessages,
+    /// Reachability-table messages sent to scion cleaners.
+    StubTableMessages,
+    /// Relocation records piggy-backed onto consistency-protocol messages.
+    PiggybackedRelocations,
+    /// Explicit (non-piggy-backed) relocation messages sent.
+    ExplicitRelocationMessages,
+    /// Times a mutator was blocked waiting on collector work.
+    MutatorStalls,
+    /// Objects reclaimed (their words returned to a free space).
+    ObjectsReclaimed,
+    /// Words reclaimed.
+    WordsReclaimed,
+    /// Scions removed by the scion cleaner.
+    ScionsCleaned,
+    /// Entering ownerPtrs removed by the scion cleaner.
+    OwnerPtrsCleaned,
+    /// Write-barrier slow paths taken (inter-bunch reference creation).
+    BarrierSlowPaths,
+    /// Write-barrier fast paths taken.
+    BarrierFastPaths,
+    /// RVM log records written.
+    RvmLogRecords,
+    /// RVM bytes logged.
+    RvmBytesLogged,
+    /// Messages the DSM layer exchanged on behalf of applications.
+    DsmProtocolMessages,
+    /// Background (non-piggy-backed) GC messages.
+    BackgroundGcMessages,
+}
+
+impl StatKind {
+    /// All counter kinds, for iteration in reports.
+    pub const ALL: [StatKind; 26] = [
+        StatKind::MessagesSent,
+        StatKind::MessagesDropped,
+        StatKind::BytesSent,
+        StatKind::MutatorReadAcquires,
+        StatKind::MutatorWriteAcquires,
+        StatKind::GcTokenAcquires,
+        StatKind::Invalidations,
+        StatKind::GcInvalidations,
+        StatKind::ObjectsCopied,
+        StatKind::WordsCopied,
+        StatKind::ObjectsScanned,
+        StatKind::ScionMessages,
+        StatKind::StubTableMessages,
+        StatKind::PiggybackedRelocations,
+        StatKind::ExplicitRelocationMessages,
+        StatKind::MutatorStalls,
+        StatKind::ObjectsReclaimed,
+        StatKind::WordsReclaimed,
+        StatKind::ScionsCleaned,
+        StatKind::OwnerPtrsCleaned,
+        StatKind::BarrierSlowPaths,
+        StatKind::BarrierFastPaths,
+        StatKind::RvmLogRecords,
+        StatKind::RvmBytesLogged,
+        StatKind::DsmProtocolMessages,
+        StatKind::BackgroundGcMessages,
+    ];
+
+    const COUNT: usize = Self::ALL.len();
+}
+
+/// A single monotonically increasing counter.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+}
+
+/// The full counter set of one node.
+#[derive(Clone)]
+pub struct NodeStats {
+    counters: [Counter; StatKind::COUNT],
+}
+
+impl Default for NodeStats {
+    fn default() -> Self {
+        NodeStats { counters: [Counter::default(); StatKind::COUNT] }
+    }
+}
+
+impl NodeStats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter of the given kind.
+    #[inline]
+    pub fn add(&mut self, kind: StatKind, n: u64) {
+        self.counters[kind as usize].add(n);
+    }
+
+    /// Increments the counter of the given kind by one.
+    #[inline]
+    pub fn bump(&mut self, kind: StatKind) {
+        self.counters[kind as usize].bump();
+    }
+
+    /// Reads a counter.
+    #[inline]
+    pub fn get(&self, kind: StatKind) -> u64 {
+        self.counters[kind as usize].0
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.counters = [Counter::default(); StatKind::COUNT];
+    }
+
+    /// Returns the element-wise sum of `self` and `other`.
+    pub fn merged(&self, other: &NodeStats) -> NodeStats {
+        let mut out = self.clone();
+        for (dst, src) in out.counters.iter_mut().zip(other.counters.iter()) {
+            dst.add(src.0);
+        }
+        out
+    }
+
+    /// Returns the element-wise difference `self - baseline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter in `baseline` exceeds the one in `self`
+    /// (counters are monotonic, so this indicates misuse).
+    pub fn since(&self, baseline: &NodeStats) -> NodeStats {
+        let mut out = NodeStats::new();
+        for (i, kind) in StatKind::ALL.iter().enumerate() {
+            let now = self.counters[i].0;
+            let then = baseline.counters[i].0;
+            assert!(now >= then, "counter {kind:?} went backwards");
+            out.counters[i] = Counter(now - then);
+        }
+        out
+    }
+
+    /// Iterates over `(kind, value)` pairs with non-zero values.
+    pub fn nonzero(&self) -> impl Iterator<Item = (StatKind, u64)> + '_ {
+        StatKind::ALL
+            .iter()
+            .map(move |&k| (k, self.get(k)))
+            .filter(|&(_, v)| v != 0)
+    }
+}
+
+impl fmt::Debug for NodeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.nonzero()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let s = NodeStats::new();
+        for k in StatKind::ALL {
+            assert_eq!(s.get(k), 0);
+        }
+    }
+
+    #[test]
+    fn bump_and_add() {
+        let mut s = NodeStats::new();
+        s.bump(StatKind::MessagesSent);
+        s.add(StatKind::BytesSent, 120);
+        assert_eq!(s.get(StatKind::MessagesSent), 1);
+        assert_eq!(s.get(StatKind::BytesSent), 120);
+        assert_eq!(s.get(StatKind::Invalidations), 0);
+    }
+
+    #[test]
+    fn merged_sums_elementwise() {
+        let mut a = NodeStats::new();
+        let mut b = NodeStats::new();
+        a.add(StatKind::ObjectsCopied, 3);
+        b.add(StatKind::ObjectsCopied, 4);
+        b.bump(StatKind::Invalidations);
+        let m = a.merged(&b);
+        assert_eq!(m.get(StatKind::ObjectsCopied), 7);
+        assert_eq!(m.get(StatKind::Invalidations), 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut base = NodeStats::new();
+        base.add(StatKind::MessagesSent, 10);
+        let mut now = base.clone();
+        now.add(StatKind::MessagesSent, 5);
+        assert_eq!(now.since(&base).get(StatKind::MessagesSent), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn since_rejects_regression() {
+        let mut base = NodeStats::new();
+        base.add(StatKind::MessagesSent, 10);
+        NodeStats::new().since(&base);
+    }
+
+    #[test]
+    fn nonzero_lists_only_touched_counters() {
+        let mut s = NodeStats::new();
+        s.bump(StatKind::ScionMessages);
+        let v: Vec<_> = s.nonzero().collect();
+        assert_eq!(v, vec![(StatKind::ScionMessages, 1)]);
+    }
+
+    #[test]
+    fn all_kinds_are_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for k in StatKind::ALL {
+            assert!(seen.insert(k as usize), "duplicate index for {k:?}");
+        }
+        assert_eq!(seen.len(), StatKind::COUNT);
+    }
+}

@@ -1,0 +1,578 @@
+//! The from-space reuse protocol (paper, Section 4.5).
+//!
+//! After a bunch collection, the retired from-space segments may still hold
+//! forwarding headers and live non-owned objects, so they cannot be reused
+//! immediately — and they do not need to be until the to-space fills up.
+//! Reclaiming them is the only part of the design that sends explicit GC
+//! messages, and it runs entirely in the background:
+//!
+//! 1. **Copy-out** — the initiator asks the owner of each live non-owned
+//!    object remaining in the doomed segments to copy it out (the owner
+//!    copies into *its* current space — never into a doomed segment — and
+//!    replies with the relocations); objects the initiator itself owns are
+//!    copied out locally.
+//! 2. **Retire round** — once the initiator's replica holds nothing live,
+//!    every other replica holder is told the ranges are retiring, with the
+//!    full relocation set. Each receiver applies the relocations, evacuates
+//!    any live objects *its own* replica still has there (copying owned
+//!    ones out itself, copy-requesting non-owned ones from their owners —
+//!    the initiator cannot know about replicas it already reclaimed
+//!    locally), rewrites its local references and roots away from the
+//!    ranges, wipes its replica of the segments, drops the forwarding
+//!    knowledge, and acknowledges.
+//! 3. **Wipe** — with every ack in, the initiator rewrites its own
+//!    references, wipes the segments, and returns them to the bunch's
+//!    allocation pool. The address range is then genuinely reusable:
+//!    no replica anywhere still holds live data or needs a forwarding
+//!    pointer into it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bmx_addr::layout::HEADER_WORDS;
+use bmx_addr::object::{self, ObjectImage};
+use bmx_addr::NodeMemory;
+use bmx_common::{
+    Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind,
+};
+use bmx_dsm::{DsmEngine, Relocation};
+
+use crate::integration::apply_relocations_at;
+use crate::msg::GcMsg;
+use crate::state::{GcState, RetireState, ReusePhase, ReuseState};
+
+/// Begins reclaiming the pending from-space segments of `bunch` at `node`.
+///
+/// Returns the background messages to transmit. If nothing blocks reuse
+/// (no live residents, no other replica holders), the segments are
+/// reclaimed immediately and no messages are produced.
+pub fn start_reuse(
+    gc: &mut GcState,
+    engine: &DsmEngine,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    node: NodeId,
+    bunch: BunchId,
+) -> Result<Vec<(NodeId, GcMsg)>> {
+    let segments = {
+        let brs = gc
+            .node(node)
+            .bunch(bunch)
+            .ok_or(BmxError::BunchUnmapped { node, bunch })?;
+        if brs.reuse.is_some() {
+            return Err(BmxError::CollectorBusy { bunch });
+        }
+        brs.pending_from.clone()
+    };
+    if segments.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (by_owner, awaiting_oids) =
+        evacuate_locally_and_group(gc, engine, mem, stats, node, bunch, &segments)?;
+
+    gc.node_mut(node).bunch_mut(bunch).expect("checked").reuse = Some(ReuseState {
+        segments: segments.clone(),
+        phase: ReusePhase::CopyOut { awaiting_oids },
+    });
+
+    let mut msgs = Vec::new();
+    for (owner, oids) in by_owner {
+        msgs.push((
+            owner,
+            GcMsg::CopyRequest { bunch, oids, avoid: segments.clone(), reply_to: node },
+        ));
+        stats.bump(StatKind::BackgroundGcMessages);
+    }
+    if msgs.is_empty() {
+        msgs.extend(advance_to_retire(gc, mem, stats, node, bunch)?);
+    }
+    Ok(msgs)
+}
+
+/// Result of scanning doomed segments: copy-requests grouped by owner,
+/// plus the set of object ids whose relocation is awaited.
+type Evacuation = (BTreeMap<NodeId, Vec<Oid>>, BTreeSet<Oid>);
+
+/// Scans `segments` in the local replica: locally owned live residents are
+/// copied out on the spot; non-owned live residents are grouped by their
+/// ownerPtr for copy requests.
+fn evacuate_locally_and_group(
+    gc: &mut GcState,
+    engine: &DsmEngine,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    node: NodeId,
+    bunch: BunchId,
+    segments: &[SegmentId],
+) -> Result<Evacuation> {
+    let mut by_owner: BTreeMap<NodeId, Vec<Oid>> = BTreeMap::new();
+    let mut awaiting = BTreeSet::new();
+    for &seg_id in segments {
+        if !mem.has_segment(seg_id) {
+            continue;
+        }
+        for addr in object::objects_in(mem.segment(seg_id)?) {
+            let v = object::view(mem, addr)?;
+            if v.is_forwarded() {
+                continue;
+            }
+            match engine.obj_state(node, v.oid) {
+                Some(st) if !st.is_owner => {
+                    by_owner.entry(st.owner_hint).or_default().push(v.oid);
+                    awaiting.insert(v.oid);
+                }
+                Some(_) => {
+                    // Locally owned (e.g. acquired after the collection):
+                    // copy it out ourselves.
+                    copy_out_locally(gc, mem, stats, node, bunch, addr, segments)?;
+                }
+                None => {
+                    // No replica record: dead resident that predates the
+                    // sweep (or a record dropped since); nothing keeps it.
+                }
+            }
+        }
+    }
+    Ok((by_owner, awaiting))
+}
+
+/// Copies one locally owned object out of a doomed segment into the local
+/// current space, never into `avoid`.
+fn copy_out_locally(
+    gc: &mut GcState,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    node: NodeId,
+    bunch: BunchId,
+    from: Addr,
+    avoid: &[SegmentId],
+) -> Result<Relocation> {
+    let img = ObjectImage::capture(mem, from)?;
+    let need = HEADER_WORDS + img.data.len() as u64;
+    let seg_id = alloc_target_with_space(gc, mem, node, bunch, need, avoid)?;
+    let dst = {
+        let seg = mem.segment(seg_id)?;
+        seg.info.base.add_words(seg.alloc_cursor)
+    };
+    object::install_object_at(mem, dst, &img)?;
+    object::set_forwarding(mem, from, dst)?;
+    gc.node_mut(node).directory.record_move(img.oid, from, dst);
+    let r = Relocation { oid: img.oid, from, to: dst };
+    if let Some(brs) = gc.node_mut(node).bunch_mut(bunch) {
+        brs.relocations.push(r);
+    }
+    stats.bump(StatKind::ObjectsCopied);
+    stats.add(StatKind::WordsCopied, need);
+    Ok(r)
+}
+
+/// Finds (or allocates) a current-space segment of `bunch` with room for
+/// `need` words, skipping the `avoid` list (doomed segments must never be
+/// copy targets).
+fn alloc_target_with_space(
+    gc: &mut GcState,
+    mem: &mut NodeMemory,
+    node: NodeId,
+    bunch: BunchId,
+    need: u64,
+    avoid: &[SegmentId],
+) -> Result<SegmentId> {
+    let candidates: Vec<SegmentId> = gc
+        .node(node)
+        .bunch(bunch)
+        .map(|b| b.alloc_segments.clone())
+        .unwrap_or_default();
+    for id in candidates {
+        if avoid.contains(&id) {
+            continue;
+        }
+        if mem.has_segment(id) && mem.segment(id)?.free_words() >= need {
+            return Ok(id);
+        }
+    }
+    let info = gc.server.borrow_mut().alloc_segment(bunch)?;
+    if need > info.words {
+        return Err(BmxError::OutOfMemory { bunch, words: need });
+    }
+    mem.map_segment(info);
+    gc.node_mut(node).bunch_or_default(bunch).alloc_segments.push(info.id);
+    Ok(info.id)
+}
+
+/// Handles a `CopyRequest` at the (presumed) owner: copies each owned
+/// object into the local current space, forwards the request for objects
+/// whose ownership moved on, and returns the reply plus any forwards.
+#[allow(clippy::too_many_arguments)]
+pub fn handle_copy_request(
+    gc: &mut GcState,
+    engine: &DsmEngine,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    at: NodeId,
+    bunch: BunchId,
+    oids: &[Oid],
+    avoid: &[SegmentId],
+    reply_to: NodeId,
+) -> Result<Vec<(NodeId, GcMsg)>> {
+    let mut relocs = Vec::new();
+    let mut forwards: BTreeMap<NodeId, Vec<Oid>> = BTreeMap::new();
+    // Never copy into the requester's doomed segments, nor into segments
+    // pending retirement at this node.
+    let mut local_doomed: Vec<SegmentId> = gc
+        .node(at)
+        .bunch(bunch)
+        .map(|b| b.pending_from.clone())
+        .unwrap_or_default();
+    local_doomed.extend_from_slice(avoid);
+    for &oid in oids {
+        if let Some(r) = gc.node(at).directory.reloc_of(oid) {
+            relocs.push(r);
+            continue;
+        }
+        match engine.obj_state(at, oid) {
+            Some(st) if st.is_owner => {
+                let Some(from) = gc.node(at).directory.addr_of(oid) else { continue };
+                let r = copy_out_locally(gc, mem, stats, at, bunch, from, &local_doomed)?;
+                relocs.push(r);
+            }
+            Some(st) => {
+                forwards.entry(st.owner_hint).or_default().push(oid);
+            }
+            None => {
+                // The object died globally as far as this node knows;
+                // nothing to relocate. The requester treats the oid as
+                // settled via its own next collection.
+            }
+        }
+    }
+    let mut msgs = Vec::new();
+    msgs.push((reply_to, GcMsg::CopyReply { bunch, relocations: relocs, from: at }));
+    stats.bump(StatKind::BackgroundGcMessages);
+    for (owner, oids) in forwards {
+        msgs.push((owner, GcMsg::CopyRequest { bunch, oids, avoid: avoid.to_vec(), reply_to }));
+        stats.bump(StatKind::BackgroundGcMessages);
+    }
+    Ok(msgs)
+}
+
+/// Handles a `CopyReply` at a node: applies the relocations and advances
+/// whichever protocol (initiator reuse or receiver retire) was waiting.
+pub fn handle_copy_reply(
+    gc: &mut GcState,
+    mems: &mut [NodeMemory],
+    stats: &mut NodeStats,
+    at: NodeId,
+    bunch: BunchId,
+    relocations: &[Relocation],
+) -> Result<Vec<(NodeId, GcMsg)>> {
+    apply_relocations_at(gc, at, relocations, mems);
+    let mut msgs = Vec::new();
+    // Initiator in copy-out phase?
+    let copyout_done = {
+        let brs = gc.node_mut(at).bunch_mut(bunch);
+        match brs.and_then(|b| b.reuse.as_mut()) {
+            Some(ReuseState { phase: ReusePhase::CopyOut { awaiting_oids }, .. }) => {
+                for r in relocations {
+                    awaiting_oids.remove(&r.oid);
+                }
+                awaiting_oids.is_empty()
+            }
+            _ => false,
+        }
+    };
+    if copyout_done {
+        msgs.extend(advance_to_retire(gc, &mut mems[at.0 as usize], stats, at, bunch)?);
+    }
+    // Receiver in retire handling?
+    let retire_done = {
+        let brs = gc.node_mut(at).bunch_mut(bunch);
+        match brs.and_then(|b| b.retire.as_mut()) {
+            Some(rt) => {
+                for r in relocations {
+                    rt.awaiting_oids.remove(&r.oid);
+                }
+                rt.awaiting_oids.is_empty()
+            }
+            None => false,
+        }
+    };
+    if retire_done {
+        msgs.extend(complete_retire(gc, &mut mems[at.0 as usize], stats, at, bunch)?);
+    }
+    Ok(msgs)
+}
+
+/// Phase two: the initiator's replica is clean; announce the retirement to
+/// every other replica holder (or finish immediately if there are none).
+fn advance_to_retire(
+    gc: &mut GcState,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    node: NodeId,
+    bunch: BunchId,
+) -> Result<Vec<(NodeId, GcMsg)>> {
+    let segments = {
+        let brs = gc.node(node).bunch(bunch).ok_or(BmxError::BunchUnmapped { node, bunch })?;
+        match &brs.reuse {
+            Some(r) => r.segments.clone(),
+            None => return Ok(Vec::new()),
+        }
+    };
+    let relocations = relocs_out_of(gc, mem, node, &segments);
+    let dests: Vec<NodeId> =
+        gc.mapped_nodes(bunch).into_iter().filter(|&d| d != node).collect();
+    if dests.is_empty() {
+        finish_local(gc, mem, stats, node, bunch)?;
+        return Ok(Vec::new());
+    }
+    {
+        let brs = gc.node_mut(node).bunch_mut(bunch).expect("checked");
+        if let Some(r) = brs.reuse.as_mut() {
+            r.phase = ReusePhase::Retire { awaiting_acks: dests.iter().copied().collect() };
+        }
+    }
+    let mut msgs = Vec::new();
+    for d in dests {
+        stats.bump(StatKind::ExplicitRelocationMessages);
+        msgs.push((
+            d,
+            GcMsg::Retire {
+                bunch,
+                segments: segments.clone(),
+                relocations: relocations.clone(),
+                reply_to: node,
+            },
+        ));
+    }
+    Ok(msgs)
+}
+
+/// Every relocation the directory retains out of the given segments.
+fn relocs_out_of(
+    gc: &GcState,
+    mem: &NodeMemory,
+    node: NodeId,
+    segments: &[SegmentId],
+) -> Vec<Relocation> {
+    let mut out = Vec::new();
+    for &sid in segments {
+        if let Ok(seg) = mem.segment(sid) {
+            out.extend(
+                gc.node(node).directory.relocs_from_range(seg.info.base, seg.info.words),
+            );
+        }
+    }
+    out
+}
+
+/// Handles a `Retire` at a replica holder.
+#[allow(clippy::too_many_arguments)]
+pub fn handle_retire(
+    gc: &mut GcState,
+    engine: &DsmEngine,
+    mems: &mut [NodeMemory],
+    stats: &mut NodeStats,
+    at: NodeId,
+    bunch: BunchId,
+    segments: &[SegmentId],
+    relocations: &[Relocation],
+    reply_to: NodeId,
+) -> Result<Vec<(NodeId, GcMsg)>> {
+    apply_relocations_at(gc, at, relocations, mems);
+    let mem = &mut mems[at.0 as usize];
+    // Evacuate whatever *this* replica still has alive in the ranges: the
+    // initiator cannot know about replicas it reclaimed locally long ago.
+    let (by_owner, awaiting_oids) =
+        evacuate_locally_and_group(gc, engine, mem, stats, at, bunch, segments)?;
+    gc.node_mut(at).bunch_or_default(bunch).retire = Some(RetireState {
+        requester: reply_to,
+        segments: segments.to_vec(),
+        awaiting_oids,
+    });
+    let mut msgs = Vec::new();
+    for (owner, oids) in by_owner {
+        msgs.push((
+            owner,
+            GcMsg::CopyRequest { bunch, oids, avoid: segments.to_vec(), reply_to: at },
+        ));
+        stats.bump(StatKind::BackgroundGcMessages);
+    }
+    if msgs.is_empty() {
+        msgs.extend(complete_retire(gc, mem, stats, at, bunch)?);
+    }
+    Ok(msgs)
+}
+
+/// Completes a receiver's retire handling: wipes the local replica of the
+/// ranges and acknowledges to the initiator.
+fn complete_retire(
+    gc: &mut GcState,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    at: NodeId,
+    bunch: BunchId,
+) -> Result<Vec<(NodeId, GcMsg)>> {
+    let Some(rt) = gc.node_mut(at).bunch_or_default(bunch).retire.take() else {
+        return Ok(Vec::new());
+    };
+    wipe_segments(gc, mem, stats, at, bunch, &rt.segments)?;
+    // The initiator claims the segments; they leave this node's pools.
+    if let Some(brs) = gc.node_mut(at).bunch_mut(bunch) {
+        brs.pending_from.retain(|s| !rt.segments.contains(s));
+        brs.alloc_segments.retain(|s| !rt.segments.contains(s));
+    }
+    stats.bump(StatKind::BackgroundGcMessages);
+    Ok(vec![(rt.requester, GcMsg::RetireAck { bunch, from: at })])
+}
+
+/// Handles a `RetireAck` at the initiator; finishes once all are in.
+pub fn handle_retire_ack(
+    gc: &mut GcState,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    at: NodeId,
+    bunch: BunchId,
+    from: NodeId,
+) -> Result<()> {
+    let done = {
+        let brs = gc.node_mut(at).bunch_mut(bunch);
+        match brs.and_then(|b| b.reuse.as_mut()) {
+            Some(ReuseState { phase: ReusePhase::Retire { awaiting_acks }, .. }) => {
+                awaiting_acks.remove(&from);
+                awaiting_acks.is_empty()
+            }
+            _ => false,
+        }
+    };
+    if done {
+        finish_local(gc, mem, stats, at, bunch)?;
+    }
+    Ok(())
+}
+
+/// Phase three at the initiator: wipe, forget, and return the segments to
+/// the allocation pool.
+fn finish_local(
+    gc: &mut GcState,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    node: NodeId,
+    bunch: BunchId,
+) -> Result<()> {
+    let Some(reuse) = gc.node_mut(node).bunch_or_default(bunch).reuse.take() else {
+        return Ok(());
+    };
+    wipe_segments(gc, mem, stats, node, bunch, &reuse.segments)?;
+    let brs = gc.node_mut(node).bunch_mut(bunch).expect("mapped");
+    brs.pending_from.retain(|s| !reuse.segments.contains(s));
+    brs.relocations.retain(|r| {
+        !reuse.segments.iter().any(|&s| {
+            mem.segment(s)
+                .map(|seg| r.from.in_range(seg.info.base, seg.info.words))
+                .unwrap_or(false)
+        })
+    });
+    brs.alloc_segments.extend(reuse.segments.iter().copied());
+    Ok(())
+}
+
+/// Rewrites local references and roots away from the doomed ranges, zeroes
+/// the segment replicas, and forgets the forwarding knowledge.
+fn wipe_segments(
+    gc: &mut GcState,
+    mem: &mut NodeMemory,
+    stats: &mut NodeStats,
+    at: NodeId,
+    bunch: BunchId,
+    segments: &[SegmentId],
+) -> Result<()> {
+    let _ = bunch;
+    let ranges: Vec<(Addr, u64)> = segments
+        .iter()
+        .filter_map(|&s| mem.segment(s).ok().map(|seg| (seg.info.base, seg.info.words)))
+        .collect();
+    let in_doomed = |a: Addr| ranges.iter().any(|&(b, w)| a.in_range(b, w));
+    // No live object may remain: the protocol's phases guarantee it; check
+    // loudly rather than silently corrupting.
+    for &sid in segments {
+        if !mem.has_segment(sid) {
+            continue;
+        }
+        for addr in object::objects_in(mem.segment(sid)?) {
+            let v = object::view(mem, addr)?;
+            if !v.is_forwarded() {
+                return Err(BmxError::Protocol(format!(
+                    "retiring segment {sid} with live resident {addr} ({})",
+                    v.oid
+                )));
+            }
+        }
+    }
+    // Rewrite references in every other mapped segment that still point
+    // into the ranges, then the roots.
+    for sid in mem.mapped_segments() {
+        if segments.contains(&sid) {
+            continue;
+        }
+        for addr in object::objects_in(mem.segment(sid)?) {
+            if object::view(mem, addr)?.is_forwarded() {
+                continue;
+            }
+            for (f, t) in object::ref_fields(mem, addr)? {
+                if !t.is_null() && in_doomed(t) {
+                    let cur = gc.node(at).directory.resolve(t);
+                    object::write_ref_field(mem, addr, f, cur)?;
+                }
+            }
+        }
+    }
+    let root_updates: Vec<(u64, Addr)> = {
+        let ns = gc.node(at);
+        ns.roots
+            .iter()
+            .filter(|&(_, &a)| in_doomed(a))
+            .map(|(&id, &a)| (id, ns.directory.resolve(a)))
+            .collect()
+    };
+    for (id, a) in root_updates {
+        gc.node_mut(at).set_root(id, a);
+    }
+    // Update scion target addresses that still point into the ranges.
+    let bunches: Vec<BunchId> = gc.node(at).bunches.keys().copied().collect();
+    for b in bunches {
+        let updates: Vec<(usize, Addr)> = {
+            let ns = gc.node(at);
+            let Some(brs) = ns.bunch(b) else { continue };
+            brs.scion_table
+                .inter
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| in_doomed(s.target_addr))
+                .map(|(i, s)| (i, ns.directory.resolve(s.target_addr)))
+                .collect()
+        };
+        if let Some(brs) = gc.node_mut(at).bunch_mut(b) {
+            for (i, a) in updates {
+                brs.scion_table.inter[i].target_addr = a;
+            }
+        }
+    }
+    // Zero the replicas and drop the forwarding knowledge.
+    let mut freed = 0;
+    for &sid in segments {
+        if !mem.has_segment(sid) {
+            continue;
+        }
+        let (base, words) = {
+            let seg = mem.segment_mut(sid)?;
+            seg.words.fill(0);
+            seg.object_map.clear_all();
+            seg.ref_map.clear_all();
+            seg.alloc_cursor = 0;
+            (seg.info.base, seg.info.words)
+        };
+        freed += words;
+        gc.node_mut(at).directory.forget_range(base, words);
+    }
+    stats.add(StatKind::WordsReclaimed, freed);
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Bunch-grouping heuristics for the group collector.
+//!
+//! The paper's GGC groups bunches "based on a heuristic that maximizes the
+//! amount of inter-bunch garbage that is collected and minimizes the cost
+//! of performing the collection. Currently, we use a locality-based
+//! heuristic ... We believe that some of these cycles can be collected by
+//! improving the grouping heuristic" (Section 7). This module implements
+//! the locality heuristic plus two of the improvements the paper leaves as
+//! future work:
+//!
+//! * [`Heuristic::Locality`] — every bunch mapped at the node (the paper's
+//!   prototype);
+//! * [`Heuristic::SizeBounded`] — locality capped at `k` bunches per group
+//!   (bounds the collection cost, may split cycles across groups);
+//! * [`Heuristic::SspClosure`] — connected components of the local
+//!   SSP graph: bunches joined by an inter-bunch stub/scion pair at this
+//!   node end up in the same group, so a locally-visible cycle is never
+//!   split — the smallest groups that still collect every local cycle.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bmx_common::{BunchId, NodeId};
+
+use crate::state::GcState;
+
+/// How the group collector picks its groups at one node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Heuristic {
+    /// All locally mapped bunches in one group (the paper's prototype).
+    Locality,
+    /// Locality, split into chunks of at most `k` bunches.
+    SizeBounded(usize),
+    /// Connected components of the local inter-bunch SSP graph.
+    SspClosure,
+}
+
+/// Computes the groups the heuristic prescribes for `node`.
+///
+/// Groups are disjoint and cover every locally mapped bunch; collecting
+/// them one by one is equivalent to one GGC run under
+/// [`Heuristic::Locality`], cheaper under the others.
+pub fn groups(gc: &GcState, node: NodeId, heuristic: Heuristic) -> Vec<Vec<BunchId>> {
+    let all: Vec<BunchId> = gc.node(node).bunches.keys().copied().collect();
+    match heuristic {
+        Heuristic::Locality => {
+            if all.is_empty() {
+                Vec::new()
+            } else {
+                vec![all]
+            }
+        }
+        Heuristic::SizeBounded(k) => {
+            let k = k.max(1);
+            all.chunks(k).map(<[BunchId]>::to_vec).collect()
+        }
+        Heuristic::SspClosure => ssp_components(gc, node, &all),
+    }
+}
+
+/// Union of locally visible SSP edges between bunches, as connected
+/// components.
+fn ssp_components(gc: &GcState, node: NodeId, all: &[BunchId]) -> Vec<Vec<BunchId>> {
+    // Union-find over the bunch ids.
+    let index: BTreeMap<BunchId, usize> =
+        all.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let mut parent: Vec<usize> = (0..all.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let union = |parent: &mut Vec<usize>, a: BunchId, b: BunchId| {
+        let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) else { return };
+        let (ra, rb) = (find(parent, ia), find(parent, ib));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+    let ns = gc.node(node);
+    for brs in ns.bunches.values() {
+        for s in &brs.stub_table.inter {
+            union(&mut parent, s.source_bunch, s.target_bunch);
+        }
+        for s in &brs.scion_table.inter {
+            union(&mut parent, s.source_bunch, s.target_bunch);
+        }
+    }
+    let mut by_root: BTreeMap<usize, Vec<BunchId>> = BTreeMap::new();
+    for (i, &b) in all.iter().enumerate() {
+        by_root.entry(find(&mut parent, i)).or_default().push(b);
+    }
+    by_root.into_values().collect()
+}
+
+/// Sanity: the produced groups partition the locally mapped bunches.
+pub fn is_partition(gc: &GcState, node: NodeId, groups: &[Vec<BunchId>]) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut count = 0;
+    for g in groups {
+        for &b in g {
+            if !seen.insert(b) {
+                return false;
+            }
+            count += 1;
+        }
+    }
+    count == gc.node(node).bunches.len()
+}

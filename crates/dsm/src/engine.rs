@@ -1,0 +1,769 @@
+//! The entry-consistency protocol engine.
+//!
+//! The engine is deliberately transport-agnostic: it never touches the
+//! network directly. Operations and the message handler receive a `send`
+//! closure; the cluster driver (in `bmx`) wires that closure to the
+//! simulated network and pumps deliveries back into [`DsmEngine::handle`].
+//! This keeps the protocol unit-testable with a five-line pump and lets the
+//! same engine run under the deterministic or the threaded driver.
+//!
+//! Every outgoing message drains the collector's piggy-back buffer for its
+//! destination ([`GcIntegration::drain_piggyback`]); every incoming message
+//! applies the attached payload before the protocol action. Together with
+//! the grant-side hooks, this implements the three invariants of the paper's
+//! Section 5.
+
+use bmx_addr::object::{self, ObjectImage};
+use bmx_addr::NodeMemory;
+use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKind};
+
+use crate::integration::GcIntegration;
+use crate::msg::{DsmMsg, DsmPacket, Relocation};
+use crate::state::{
+    DsmNodeState, ObjState, PendingInval, PendingWrite, QueuedReq, ReqKind, Token,
+};
+
+/// Mutable context the engine operates in: node memories, per-node counters,
+/// and the collector's integration hooks.
+pub struct DsmShared<'a> {
+    /// One memory per node, indexed by `NodeId`.
+    pub mems: &'a mut [NodeMemory],
+    /// One counter set per node, indexed by `NodeId`.
+    pub stats: &'a mut [NodeStats],
+    /// The collector's participation hooks.
+    pub gc: &'a mut dyn GcIntegration,
+}
+
+/// Send callback: `(src, dst, packet)`.
+pub type SendFn<'a> = dyn FnMut(NodeId, NodeId, DsmPacket) + 'a;
+
+/// Outcome of starting an acquire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AcquireStart {
+    /// The token was already held (or obtainable locally); no messages.
+    Satisfied,
+    /// A request is in flight; pump the network and check completion.
+    Requested,
+}
+
+/// The protocol engine for a fixed-size cluster.
+pub struct DsmEngine {
+    nodes: Vec<DsmNodeState>,
+}
+
+impl DsmEngine {
+    /// Creates an engine for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DsmEngine { nodes: (0..n).map(|_| DsmNodeState::default()).collect() }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn ns(&self, node: NodeId) -> &DsmNodeState {
+        &self.nodes[node.0 as usize]
+    }
+
+    fn ns_mut(&mut self, node: NodeId) -> &mut DsmNodeState {
+        &mut self.nodes[node.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Registration.
+    // ------------------------------------------------------------------
+
+    /// Registers a freshly allocated object: `node` owns it and holds the
+    /// write token.
+    pub fn register_alloc(&mut self, node: NodeId, oid: Oid, bunch: BunchId) {
+        self.ns_mut(node).objects.insert(oid, ObjState::new_owner(bunch, node));
+    }
+
+    /// Registers a replica created by mapping a bunch image from `source`:
+    /// the replica starts inconsistent, with its ownerPtr pointing along
+    /// `source`'s knowledge of the owner. Sends the entering-ownerPtr
+    /// registration toward the owner.
+    pub fn register_mapped_replica(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        bunch: BunchId,
+        owner_hint: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) {
+        if owner_hint == node {
+            // Degenerate mapping from ourselves; nothing to register.
+            return;
+        }
+        self.ns_mut(node)
+            .objects
+            .insert(oid, ObjState::new_replica(bunch, Token::None, owner_hint));
+        self.emit(sh, send, node, owner_hint, DsmMsg::RegisterReplica { oid, holder: node });
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (used by the collector and the experiments).
+    // ------------------------------------------------------------------
+
+    /// Token `node` currently holds for `oid`.
+    pub fn token(&self, node: NodeId, oid: Oid) -> Token {
+        self.ns(node).get(oid).map_or(Token::None, |s| s.token)
+    }
+
+    /// Whether `node` is the owner (holds or last held the write token).
+    pub fn is_owner(&self, node: NodeId, oid: Oid) -> bool {
+        self.ns(node).get(oid).is_some_and(|s| s.is_owner)
+    }
+
+    /// Whether `node` holds any replica of `oid` (even inconsistent).
+    pub fn has_replica(&self, node: NodeId, oid: Oid) -> bool {
+        self.ns(node).get(oid).is_some()
+    }
+
+    /// Full object state, if a replica exists at `node`.
+    pub fn obj_state(&self, node: NodeId, oid: Oid) -> Option<&ObjState> {
+        self.ns(node).get(oid)
+    }
+
+    /// Every replica `node` holds, in `Oid` order.
+    pub fn replicas(&self, node: NodeId) -> Vec<(Oid, &ObjState)> {
+        self.ns(node).replicas().collect()
+    }
+
+    /// The exiting ownerPtrs of `bunch` at `node`: one per non-owned
+    /// replica, pointing at the node's current hint of the owner.
+    pub fn exiting_owner_ptrs(&self, node: NodeId, bunch: BunchId) -> Vec<(Oid, NodeId)> {
+        self.ns(node)
+            .replicas()
+            .filter(|(_, s)| s.bunch == bunch && !s.is_owner)
+            .map(|(o, s)| (o, s.owner_hint))
+            .collect()
+    }
+
+    /// The entering ownerPtrs of `bunch` at `node`: per owned replica, the
+    /// nodes registered as holding replicas that point here.
+    pub fn entering_owner_ptrs(&self, node: NodeId, bunch: BunchId) -> Vec<(Oid, Vec<NodeId>)> {
+        self.ns(node)
+            .replicas()
+            .filter(|(_, s)| s.bunch == bunch && !s.entering.is_empty())
+            .map(|(o, s)| (o, s.entering.iter().copied().collect()))
+            .collect()
+    }
+
+    /// Whether the local acquire of `oid` at `node` is still outstanding.
+    pub fn is_waiting(&self, node: NodeId, oid: Oid) -> bool {
+        self.ns(node).waiting_for.contains_key(&oid)
+    }
+
+    // ------------------------------------------------------------------
+    // Collector-driven state updates (scion cleaner / BGC reclamation).
+    // ------------------------------------------------------------------
+
+    /// Drops the replica record at `node` (the local BGC reclaimed the
+    /// object). Returns the dropped state.
+    pub fn drop_replica(&mut self, node: NodeId, oid: Oid) -> Option<ObjState> {
+        self.ns_mut(node).drop_replica(oid)
+    }
+
+    /// Removes `from` from the entering-ownerPtr set of `oid` at `node`
+    /// (the scion cleaner learned the remote replica is gone).
+    pub fn remove_entering(&mut self, node: NodeId, oid: Oid, from: NodeId) {
+        if let Some(s) = self.ns_mut(node).get_mut(oid) {
+            s.entering.remove(&from);
+        }
+    }
+
+    /// Adds `from` to the entering-ownerPtr set of `oid` at `node` (the
+    /// scion cleaner learned of a remote replica pointing here).
+    pub fn add_entering(&mut self, node: NodeId, oid: Oid, from: NodeId) {
+        if let Some(s) = self.ns_mut(node).get_mut(oid) {
+            s.entering.insert(from);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mutator operations.
+    // ------------------------------------------------------------------
+
+    /// Starts a read-token acquire at `node`.
+    pub fn start_read(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<AcquireStart> {
+        sh.stats[node.0 as usize].bump(StatKind::MutatorReadAcquires);
+        let hint = {
+            let st = self.ns(node).get(oid).ok_or(BmxError::OwnerUnknown { oid })?;
+            if st.token != Token::None {
+                return Ok(AcquireStart::Satisfied);
+            }
+            debug_assert!(!st.is_owner, "owner must hold a token");
+            st.owner_hint
+        };
+        self.ns_mut(node).waiting_for.insert(oid, ReqKind::Read);
+        self.emit(sh, send, node, hint, DsmMsg::ReadReq { oid, requester: node });
+        Ok(AcquireStart::Requested)
+    }
+
+    /// Starts a write-token acquire at `node`.
+    pub fn start_write(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<AcquireStart> {
+        sh.stats[node.0 as usize].bump(StatKind::MutatorWriteAcquires);
+        let (is_owner, token, hint) = {
+            let st = self.ns(node).get(oid).ok_or(BmxError::OwnerUnknown { oid })?;
+            (st.is_owner, st.token, st.owner_hint)
+        };
+        if token == Token::Write {
+            return Ok(AcquireStart::Satisfied);
+        }
+        self.ns_mut(node).waiting_for.insert(oid, ReqKind::Write);
+        if is_owner {
+            // Owner promoting read -> write: invalidate readers locally.
+            self.owner_start_write_transfer(node, oid, node, sh, send)?;
+        } else {
+            self.emit(sh, send, node, hint, DsmMsg::WriteReq { oid, requester: node });
+        }
+        Ok(AcquireStart::Requested)
+    }
+
+    /// Marks the object as inside a mutator critical section.
+    ///
+    /// The driver calls this after the acquire completed; remote requests
+    /// and invalidations arriving while locked are deferred to
+    /// [`DsmEngine::unlock`].
+    pub fn lock(&mut self, node: NodeId, oid: Oid) -> Result<()> {
+        let st = self
+            .ns_mut(node)
+            .get_mut(oid)
+            .ok_or(BmxError::NoToken { node, oid })?;
+        if st.token == Token::None {
+            return Err(BmxError::NoToken { node, oid });
+        }
+        st.locked = true;
+        Ok(())
+    }
+
+    /// Ends the critical section (token release) and serves deferred work.
+    pub fn unlock(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        {
+            let st = self
+                .ns_mut(node)
+                .get_mut(oid)
+                .ok_or(BmxError::NoToken { node, oid })?;
+            st.locked = false;
+        }
+        // Serve deferred invalidations first: they strip the token, and the
+        // queued requests will then be forwarded rather than granted.
+        let parents = self.ns_mut(node).deferred_invals.remove(&oid).unwrap_or_default();
+        for parent in parents {
+            self.handle_invalidate(node, oid, parent, sh, send)?;
+        }
+        let queued = self.ns_mut(node).queued.remove(&oid).unwrap_or_default();
+        for q in queued {
+            match q.kind {
+                ReqKind::Read => self.handle_read_req(node, oid, q.requester, sh, send)?,
+                ReqKind::Write => self.handle_write_req(node, oid, q.requester, sh, send)?,
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing.
+    // ------------------------------------------------------------------
+
+    /// Wraps `msg` with the piggy-back payload pending for `dst` and sends.
+    fn emit(
+        &mut self,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+        src: NodeId,
+        dst: NodeId,
+        msg: DsmMsg,
+    ) {
+        let piggyback = sh.gc.drain_piggyback(src, dst);
+        sh.stats[src.0 as usize].bump(StatKind::DsmProtocolMessages);
+        sh.stats[src.0 as usize]
+            .add(StatKind::PiggybackedRelocations, piggyback.len() as u64);
+        send(src, dst, DsmPacket { msg, piggyback });
+    }
+
+    /// Handles a delivered packet at `dst`.
+    pub fn handle(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        packet: DsmPacket,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        // Piggy-backed relocations apply before the protocol action
+        // (invariant 1) and fan out to local copy-sets (invariant 2).
+        if !packet.piggyback.is_empty() {
+            self.apply_incoming_relocations(dst, &packet.piggyback, sh);
+        }
+        match packet.msg {
+            DsmMsg::ReadReq { oid, requester } => {
+                self.handle_read_req(dst, oid, requester, sh, send)
+            }
+            DsmMsg::WriteReq { oid, requester } => {
+                self.handle_write_req(dst, oid, requester, sh, send)
+            }
+            DsmMsg::ReadGrant { oid, bunch, addr, image, owner_hint, relocations } => {
+                self.handle_read_grant(dst, oid, bunch, addr, image, owner_hint, relocations, sh)
+            }
+            DsmMsg::WriteGrant { oid, bunch, addr, image, relocations, intra_ssp } => self
+                .handle_write_grant(
+                    src, dst, oid, bunch, addr, image, relocations, intra_ssp, sh,
+                ),
+            DsmMsg::Invalidate { oid, parent } => {
+                self.handle_invalidate_arrival(dst, oid, parent, sh, send)
+            }
+            DsmMsg::InvalidateAck { oid, child } => {
+                self.handle_invalidate_ack(dst, oid, child, sh, send)
+            }
+            DsmMsg::RegisterReplica { oid, holder } => {
+                self.handle_register_replica(dst, oid, holder, sh, send)
+            }
+        }
+    }
+
+    fn apply_incoming_relocations(
+        &mut self,
+        node: NodeId,
+        relocs: &[Relocation],
+        sh: &mut DsmShared<'_>,
+    ) {
+        sh.gc.apply_relocations(node, relocs, sh.mems);
+        // Invariant 2: forward to the local copy-set of each affected object.
+        for r in relocs {
+            if let Some(st) = self.ns(node).get(r.oid) {
+                if !st.copy_set.is_empty() {
+                    let cs: Vec<NodeId> = st.copy_set.iter().copied().collect();
+                    sh.gc.queue_forward(node, &cs, std::slice::from_ref(r));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request handling.
+    // ------------------------------------------------------------------
+
+    fn handle_read_req(
+        &mut self,
+        at: NodeId,
+        oid: Oid,
+        requester: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let (token, locked, pending, hint, is_owner) = {
+            let st = self
+                .ns(at)
+                .get(oid)
+                .ok_or_else(|| BmxError::Protocol(format!("ReadReq for unknown {oid} at {at}")))?;
+            (
+                st.token,
+                st.locked,
+                self.ns(at).pending_write.contains_key(&oid),
+                st.owner_hint,
+                st.is_owner,
+            )
+        };
+        if locked || pending {
+            self.ns_mut(at)
+                .queued
+                .entry(oid)
+                .or_default()
+                .push(QueuedReq { requester, kind: ReqKind::Read });
+            return Ok(());
+        }
+        if token == Token::None {
+            // Inconsistent copy: cannot grant; forward along the ownerPtr.
+            self.emit(sh, send, at, hint, DsmMsg::ReadReq { oid, requester });
+            return Ok(());
+        }
+        // Grant. A write token demotes to read (the owner keeps a consistent,
+        // readable copy and remains the owner).
+        let (bunch, owner_hint_for_grantee) = {
+            let st = self.ns_mut(at).get_mut(oid).expect("checked above");
+            if st.token == Token::Write {
+                st.token = Token::Read;
+            }
+            st.copy_set.insert(requester);
+            if st.is_owner {
+                st.entering.insert(requester);
+            }
+            (st.bunch, if st.is_owner { at } else { st.owner_hint })
+        };
+        if !is_owner {
+            // The owner must learn about the new replica holder.
+            self.emit(sh, send, at, hint, DsmMsg::RegisterReplica { oid, holder: requester });
+        }
+        let addr = sh
+            .gc
+            .local_addr(at, oid)
+            .ok_or_else(|| BmxError::Protocol(format!("granter {at} has no address for {oid}")))?;
+        let image = ObjectImage::capture(&sh.mems[at.0 as usize], addr)?;
+        let relocations = sh.gc.grant_relocations(at, oid, sh.mems);
+        self.emit(
+            sh,
+            send,
+            at,
+            requester,
+            DsmMsg::ReadGrant { oid, bunch, addr, image, owner_hint: owner_hint_for_grantee, relocations },
+        );
+        Ok(())
+    }
+
+    fn handle_write_req(
+        &mut self,
+        at: NodeId,
+        oid: Oid,
+        requester: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let (is_owner, locked, pending, hint) = {
+            let st = self
+                .ns(at)
+                .get(oid)
+                .ok_or_else(|| BmxError::Protocol(format!("WriteReq for unknown {oid} at {at}")))?;
+            (
+                st.is_owner,
+                st.locked,
+                self.ns(at).pending_write.contains_key(&oid),
+                st.owner_hint,
+            )
+        };
+        if !is_owner {
+            // Not the owner: forward along the ownerPtr chain.
+            self.emit(sh, send, at, hint, DsmMsg::WriteReq { oid, requester });
+            return Ok(());
+        }
+        if locked || pending {
+            self.ns_mut(at)
+                .queued
+                .entry(oid)
+                .or_default()
+                .push(QueuedReq { requester, kind: ReqKind::Write });
+            return Ok(());
+        }
+        self.owner_start_write_transfer(at, oid, requester, sh, send)
+    }
+
+    /// At the owner: invalidate all readers, then transfer the write token
+    /// to `requester` (which may be the owner itself, for a promotion).
+    fn owner_start_write_transfer(
+        &mut self,
+        owner: NodeId,
+        oid: Oid,
+        requester: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let targets: Vec<NodeId> = {
+            let st = self.ns_mut(owner).get_mut(oid).expect("owner state exists");
+            let t = st.copy_set.iter().copied().collect();
+            st.copy_set.clear();
+            t
+        };
+        if targets.is_empty() {
+            return self.complete_write_transfer(owner, oid, requester, sh, send);
+        }
+        self.ns_mut(owner).pending_write.insert(
+            oid,
+            PendingWrite { requester, awaiting: targets.iter().copied().collect() },
+        );
+        for t in targets {
+            self.emit(sh, send, owner, t, DsmMsg::Invalidate { oid, parent: owner });
+        }
+        Ok(())
+    }
+
+    fn handle_invalidate_arrival(
+        &mut self,
+        at: NodeId,
+        oid: Oid,
+        parent: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let locked = self.ns(at).get(oid).is_some_and(|s| s.locked);
+        if locked {
+            self.ns_mut(at).deferred_invals.entry(oid).or_default().push(parent);
+            return Ok(());
+        }
+        self.handle_invalidate(at, oid, parent, sh, send)
+    }
+
+    fn handle_invalidate(
+        &mut self,
+        at: NodeId,
+        oid: Oid,
+        parent: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let children: Vec<NodeId> = match self.ns_mut(at).get_mut(oid) {
+            Some(st) => {
+                if st.token != Token::None {
+                    st.token = Token::None;
+                    sh.stats[at.0 as usize].bump(StatKind::Invalidations);
+                }
+                let c = st.copy_set.iter().copied().collect();
+                st.copy_set.clear();
+                c
+            }
+            // Replica already reclaimed locally: nothing to invalidate.
+            None => Vec::new(),
+        };
+        if children.is_empty() {
+            self.emit(sh, send, at, parent, DsmMsg::InvalidateAck { oid, child: at });
+            return Ok(());
+        }
+        self.ns_mut(at).pending_inval.insert(
+            oid,
+            PendingInval { parent, awaiting: children.iter().copied().collect() },
+        );
+        for c in children {
+            self.emit(sh, send, at, c, DsmMsg::Invalidate { oid, parent: at });
+        }
+        Ok(())
+    }
+
+    fn handle_invalidate_ack(
+        &mut self,
+        at: NodeId,
+        oid: Oid,
+        child: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        // Aggregating a transitive invalidation?
+        if let Some(pi) = self.ns_mut(at).pending_inval.get_mut(&oid) {
+            pi.awaiting.remove(&child);
+            if pi.awaiting.is_empty() {
+                let parent = pi.parent;
+                self.ns_mut(at).pending_inval.remove(&oid);
+                self.emit(sh, send, at, parent, DsmMsg::InvalidateAck { oid, child: at });
+            }
+            return Ok(());
+        }
+        // Otherwise this is the owner collecting acks for a write transfer.
+        let done = {
+            let pw = self.ns_mut(at).pending_write.get_mut(&oid).ok_or_else(|| {
+                BmxError::Protocol(format!("stray InvalidateAck for {oid} at {at}"))
+            })?;
+            pw.awaiting.remove(&child);
+            pw.awaiting.is_empty()
+        };
+        if done {
+            let requester =
+                self.ns_mut(at).pending_write.remove(&oid).expect("present").requester;
+            self.complete_write_transfer(at, oid, requester, sh, send)?;
+            // Requests queued behind the transfer can now be served (they
+            // will be forwarded to the new owner).
+            let queued = self.ns_mut(at).queued.remove(&oid).unwrap_or_default();
+            for q in queued {
+                match q.kind {
+                    ReqKind::Read => self.handle_read_req(at, oid, q.requester, sh, send)?,
+                    ReqKind::Write => self.handle_write_req(at, oid, q.requester, sh, send)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All readers are invalid; hand the write token to `requester`.
+    fn complete_write_transfer(
+        &mut self,
+        owner: NodeId,
+        oid: Oid,
+        requester: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        if requester == owner {
+            // Local promotion: the owner keeps ownership, now exclusive.
+            let st = self.ns_mut(owner).get_mut(oid).expect("owner state exists");
+            st.token = Token::Write;
+            self.ns_mut(owner).waiting_for.remove(&oid);
+            return Ok(());
+        }
+        // Invariant 3: intra-bunch SSPs are prepared (scion side) before the
+        // grant is sent; the stub-creation requests ride on the grant.
+        let intra_ssp = sh.gc.prepare_ownership_transfer(owner, requester, oid);
+        let relocations = sh.gc.grant_relocations(owner, oid, sh.mems);
+        let addr = sh
+            .gc
+            .local_addr(owner, oid)
+            .ok_or_else(|| BmxError::Protocol(format!("owner {owner} has no address for {oid}")))?;
+        let image = ObjectImage::capture(&sh.mems[owner.0 as usize], addr)?;
+        let bunch = {
+            let st = self.ns_mut(owner).get_mut(oid).expect("owner state exists");
+            if st.token != Token::None {
+                st.token = Token::None;
+                sh.stats[owner.0 as usize].bump(StatKind::Invalidations);
+            }
+            st.is_owner = false;
+            st.owner_hint = requester;
+            st.entering.remove(&requester);
+            st.bunch
+        };
+        self.emit(
+            sh,
+            send,
+            owner,
+            requester,
+            DsmMsg::WriteGrant { oid, bunch, addr, image, relocations, intra_ssp },
+        );
+        Ok(())
+    }
+
+    fn handle_register_replica(
+        &mut self,
+        at: NodeId,
+        oid: Oid,
+        holder: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let (is_owner, hint) = {
+            let st = self.ns(at).get(oid).ok_or_else(|| {
+                BmxError::Protocol(format!("RegisterReplica for unknown {oid} at {at}"))
+            })?;
+            (st.is_owner, st.owner_hint)
+        };
+        if is_owner {
+            self.ns_mut(at).get_mut(oid).expect("checked").entering.insert(holder);
+        } else {
+            self.emit(sh, send, at, hint, DsmMsg::RegisterReplica { oid, holder });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Grant handling.
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_read_grant(
+        &mut self,
+        at: NodeId,
+        oid: Oid,
+        bunch: BunchId,
+        addr: Addr,
+        image: ObjectImage,
+        owner_hint: NodeId,
+        relocations: Vec<Relocation>,
+        sh: &mut DsmShared<'_>,
+    ) -> Result<()> {
+        self.apply_incoming_relocations(at, &relocations, sh);
+        self.install_replica(at, oid, addr, &image, sh)?;
+        let ns = self.ns_mut(at);
+        match ns.get_mut(oid) {
+            Some(st) => {
+                st.token = Token::Read;
+                if !st.is_owner {
+                    st.owner_hint = owner_hint;
+                }
+            }
+            None => {
+                ns.objects.insert(oid, ObjState::new_replica(bunch, Token::Read, owner_hint));
+            }
+        }
+        ns.waiting_for.remove(&oid);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_write_grant(
+        &mut self,
+        src: NodeId,
+        at: NodeId,
+        oid: Oid,
+        bunch: BunchId,
+        addr: Addr,
+        image: ObjectImage,
+        relocations: Vec<Relocation>,
+        intra_ssp: Vec<crate::msg::IntraSspCreate>,
+        sh: &mut DsmShared<'_>,
+    ) -> Result<()> {
+        self.apply_incoming_relocations(at, &relocations, sh);
+        // Invariant 3, new-owner side: the intra-bunch stubs exist before the
+        // acquire completes.
+        sh.gc.apply_intra_ssp(at, &intra_ssp);
+        self.install_replica(at, oid, addr, &image, sh)?;
+        let ns = self.ns_mut(at);
+        match ns.get_mut(oid) {
+            Some(st) => {
+                st.token = Token::Write;
+                st.is_owner = true;
+                st.owner_hint = at;
+                st.entering.insert(src);
+            }
+            None => {
+                let mut st = ObjState::new_owner(bunch, at);
+                st.entering.insert(src);
+                ns.objects.insert(oid, st);
+            }
+        }
+        ns.waiting_for.remove(&oid);
+        Ok(())
+    }
+
+    /// Installs a granted object image into the local replica.
+    ///
+    /// The address in the grant is the *granter's* current address; the
+    /// local address may differ if this node relocated the object itself
+    /// (Fig. 3 case (d)) — `resolve_current` follows local forwarding. The
+    /// installed data's pointer fields are likewise rewritten through local
+    /// forwarding before the acquire completes.
+    fn install_replica(
+        &mut self,
+        at: NodeId,
+        oid: Oid,
+        granter_addr: Addr,
+        image: &ObjectImage,
+        sh: &mut DsmShared<'_>,
+    ) -> Result<()> {
+        let local = sh
+            .gc
+            .local_addr(at, oid)
+            .unwrap_or(granter_addr);
+        let local = sh.gc.resolve_current(at, local);
+        sh.gc.ensure_mapped(at, local, sh.mems);
+        let mem = &mut sh.mems[at.0 as usize];
+        object::install_object_at(mem, local, image)?;
+        sh.gc.note_local_addr(at, oid, local);
+        // Fig. 3 case (d): rewrite refs that point at from-space copies that
+        // were already relocated locally.
+        for (field, target) in object::ref_fields(mem, local)? {
+            let cur = sh.gc.resolve_current(at, target);
+            if cur != target {
+                object::write_ref_field(mem, local, field, cur)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests;

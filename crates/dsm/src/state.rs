@@ -1,0 +1,191 @@
+//! Per-node, per-object DSM protocol state.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bmx_common::{BunchId, NodeId, Oid};
+
+/// Token held by a node for one object.
+///
+/// [`Token::None`] corresponds to the paper's *inconsistent copy* marker
+/// `i`: the replica's bytes are still there, but their observed state is
+/// undefined until a token is re-acquired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Token {
+    /// No token: the local replica (if any) is inconsistent.
+    #[default]
+    None,
+    /// Shared read token: the replica is consistent for reading.
+    Read,
+    /// Exclusive write token: no other consistent copy exists.
+    Write,
+}
+
+/// Why a remote request is parked at this node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReqKind {
+    /// A read-token request.
+    Read,
+    /// A write-token request.
+    Write,
+}
+
+/// A remote request queued behind a critical section.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedReq {
+    /// The node that asked.
+    pub requester: NodeId,
+    /// What it asked for.
+    pub kind: ReqKind,
+}
+
+/// Pending write-token transfer at the owner: invalidation acks outstanding.
+#[derive(Clone, Debug)]
+pub struct PendingWrite {
+    /// Node the write token will be granted to.
+    pub requester: NodeId,
+    /// Direct copy-set members whose (aggregated) acks are still missing.
+    pub awaiting: BTreeSet<NodeId>,
+}
+
+/// Pending transitive invalidation at a non-owner: children's acks missing.
+#[derive(Clone, Debug)]
+pub struct PendingInval {
+    /// Where to send the aggregated ack.
+    pub parent: NodeId,
+    /// Direct grantees whose acks are still missing.
+    pub awaiting: BTreeSet<NodeId>,
+}
+
+/// Protocol state one node keeps for one object replica.
+///
+/// The *presence* of this record means the node holds a replica of the
+/// object (possibly inconsistent); the bunch garbage collector derives its
+/// exiting-ownerPtr tables from these records.
+#[derive(Clone, Debug)]
+pub struct ObjState {
+    /// The bunch the object belongs to.
+    pub bunch: BunchId,
+    /// Token currently held.
+    pub token: Token,
+    /// True if this node holds or last held the write token.
+    pub is_owner: bool,
+    /// The ownerPtr: where owner-bound requests are forwarded. Meaningless
+    /// while `is_owner`.
+    pub owner_hint: NodeId,
+    /// Direct read grantees (the local share of the distributed copy-set).
+    pub copy_set: BTreeSet<NodeId>,
+    /// Nodes whose ownerPtr enters here (GC roots at the owner; maintained
+    /// from grants and scion-cleaner reports).
+    pub entering: BTreeSet<NodeId>,
+    /// Mutator is inside an acquire/release critical section.
+    pub locked: bool,
+}
+
+impl ObjState {
+    /// Fresh state for the allocating node: owner with the write token.
+    pub fn new_owner(bunch: BunchId, node: NodeId) -> Self {
+        ObjState {
+            bunch,
+            token: Token::Write,
+            is_owner: true,
+            owner_hint: node,
+            copy_set: BTreeSet::new(),
+            entering: BTreeSet::new(),
+            locked: false,
+        }
+    }
+
+    /// Fresh state for a node that just received a replica from `hint`'s
+    /// direction.
+    pub fn new_replica(bunch: BunchId, token: Token, owner_hint: NodeId) -> Self {
+        ObjState {
+            bunch,
+            token,
+            is_owner: false,
+            owner_hint,
+            copy_set: BTreeSet::new(),
+            entering: BTreeSet::new(),
+            locked: false,
+        }
+    }
+}
+
+/// All DSM state of one node.
+#[derive(Default)]
+pub struct DsmNodeState {
+    /// Per-object replica state. Presence of a key = a replica exists here.
+    pub objects: BTreeMap<Oid, ObjState>,
+    /// Requests parked behind critical sections, per object.
+    pub queued: BTreeMap<Oid, Vec<QueuedReq>>,
+    /// Outstanding write-transfer invalidations at this (owner) node.
+    pub pending_write: BTreeMap<Oid, PendingWrite>,
+    /// Outstanding transitive invalidations at this (non-owner) node.
+    pub pending_inval: BTreeMap<Oid, PendingInval>,
+    /// Local acquires waiting for a grant (used by the driver to detect
+    /// completion).
+    pub waiting_for: BTreeMap<Oid, ReqKind>,
+    /// Invalidations deferred because the mutator holds the object in a
+    /// critical section; each entry is the parent awaiting the ack.
+    pub deferred_invals: BTreeMap<Oid, Vec<NodeId>>,
+}
+
+impl DsmNodeState {
+    /// Borrows the state of `oid`, if a replica exists here.
+    pub fn get(&self, oid: Oid) -> Option<&ObjState> {
+        self.objects.get(&oid)
+    }
+
+    /// Mutably borrows the state of `oid`, if a replica exists here.
+    pub fn get_mut(&mut self, oid: Oid) -> Option<&mut ObjState> {
+        self.objects.get_mut(&oid)
+    }
+
+    /// Oids of every replica this node holds, in `Oid` order.
+    pub fn replicas(&self) -> impl Iterator<Item = (Oid, &ObjState)> {
+        self.objects.iter().map(|(&o, s)| (o, s))
+    }
+
+    /// Removes the replica record (the object was reclaimed locally).
+    pub fn drop_replica(&mut self, oid: Oid) -> Option<ObjState> {
+        self.queued.remove(&oid);
+        self.objects.remove(&oid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_owner_holds_write_token() {
+        let s = ObjState::new_owner(BunchId(1), NodeId(3));
+        assert_eq!(s.token, Token::Write);
+        assert!(s.is_owner);
+        assert_eq!(s.owner_hint, NodeId(3));
+    }
+
+    #[test]
+    fn new_replica_is_not_owner() {
+        let s = ObjState::new_replica(BunchId(1), Token::Read, NodeId(0));
+        assert!(!s.is_owner);
+        assert_eq!(s.token, Token::Read);
+        assert_eq!(s.owner_hint, NodeId(0));
+    }
+
+    #[test]
+    fn node_state_tracks_replicas() {
+        let mut ns = DsmNodeState::default();
+        ns.objects.insert(Oid(1), ObjState::new_owner(BunchId(1), NodeId(0)));
+        ns.objects.insert(Oid(2), ObjState::new_replica(BunchId(1), Token::None, NodeId(1)));
+        assert_eq!(ns.replicas().count(), 2);
+        assert!(ns.get(Oid(1)).unwrap().is_owner);
+        ns.drop_replica(Oid(1));
+        assert!(ns.get(Oid(1)).is_none());
+        assert_eq!(ns.replicas().count(), 1);
+    }
+
+    #[test]
+    fn default_token_is_inconsistent() {
+        assert_eq!(Token::default(), Token::None);
+    }
+}

@@ -1,0 +1,383 @@
+//! The discrete-event point-to-point network.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use bmx_common::{MsgSeq, NodeId, SplitMix64};
+
+/// Classes of traffic, with distinct reliability and accounting.
+///
+/// The experiment harness separates "messages the application would have paid
+/// for anyway" (DSM protocol traffic) from "messages that exist only because
+/// of the collector" (scion-messages, stub tables, explicit relocation
+/// rounds). The paper's zero-overhead claims are statements about the second
+/// group.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MsgClass {
+    /// Consistency-protocol traffic sent on behalf of applications
+    /// (token requests/grants, invalidations). Assumed reliable.
+    Dsm,
+    /// Scion-messages announcing a new cross-node inter-bunch reference.
+    ScionMessage,
+    /// Idempotent reachability tables (new stubs + exiting ownerPtrs) for the
+    /// scion cleaner. Tolerates loss; requires only FIFO.
+    StubTable,
+    /// Explicit relocation/background GC traffic (from-space reuse protocol,
+    /// non-piggy-backed address updates).
+    GcBackground,
+}
+
+impl MsgClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [MsgClass; 4] =
+        [MsgClass::Dsm, MsgClass::ScionMessage, MsgClass::StubTable, MsgClass::GcBackground];
+
+    /// Whether the collector design *requires* this class to be delivered
+    /// reliably. Only the DSM protocol itself does.
+    pub fn requires_reliability(self) -> bool {
+        matches!(self, MsgClass::Dsm)
+    }
+}
+
+/// Sizing hook so the network can account bytes without knowing payload types.
+pub trait WireSize {
+    /// Approximate serialized size of the value in bytes.
+    fn wire_size(&self) -> u64;
+}
+
+/// A message in flight or delivered.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Per-(src, dst) FIFO sequence number.
+    pub seq: MsgSeq,
+    /// Traffic class (reliability + accounting).
+    pub class: MsgClass,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Network configuration.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Delivery latency in ticks for every message (uniform keeps FIFO
+    /// trivially true; the design only needs per-channel FIFO, not global
+    /// ordering).
+    pub latency: u64,
+    /// Per-class drop probability, applied only to classes that tolerate
+    /// loss; configuring a drop rate on [`MsgClass::Dsm`] is rejected at
+    /// construction since the DSM protocol assumes reliable delivery.
+    pub drop_rate: BTreeMap<MsgClass, f64>,
+    /// RNG seed for drop injection.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig { latency: 1, drop_rate: BTreeMap::new(), seed: 0xB_A5E }
+    }
+}
+
+impl NetworkConfig {
+    /// A lossless network with the given latency.
+    pub fn lossless(latency: u64) -> Self {
+        NetworkConfig { latency, ..Default::default() }
+    }
+
+    /// Sets a drop probability for a loss-tolerant class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` requires reliability or `p` is not in `[0, 1]`.
+    pub fn with_drop(mut self, class: MsgClass, p: f64) -> Self {
+        assert!(
+            !class.requires_reliability(),
+            "{class:?} is assumed reliable by the DSM protocol"
+        );
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.drop_rate.insert(class, p);
+        self
+    }
+}
+
+/// Per-class traffic counters.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Messages accepted for delivery.
+    pub sent: u64,
+    /// Messages dropped by loss injection.
+    pub dropped: u64,
+    /// Payload bytes accepted for delivery.
+    pub bytes: u64,
+}
+
+struct InFlight<M> {
+    deliver_at: u64,
+    env: Envelope<M>,
+}
+
+/// The simulated network.
+///
+/// Time is a logical tick counter advanced by [`Network::tick`]. Messages
+/// sent at time `t` become deliverable at `t + latency`, in per-channel FIFO
+/// order. Loss injection happens at send time, which preserves FIFO of the
+/// surviving messages (exactly the guarantee of numbering messages on a lossy
+/// link and discarding gaps).
+pub struct Network<M> {
+    cfg: NetworkConfig,
+    now: u64,
+    rng: SplitMix64,
+    /// Per-(src, dst) FIFO of in-flight messages.
+    channels: BTreeMap<(NodeId, NodeId), VecDeque<InFlight<M>>>,
+    /// Per-(src, dst) next sequence number.
+    seqs: BTreeMap<(NodeId, NodeId), MsgSeq>,
+    stats: BTreeMap<MsgClass, ClassStats>,
+}
+
+impl<M: WireSize> Network<M> {
+    /// Creates an empty network.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        let rng = SplitMix64::new(cfg.seed);
+        Network { cfg, now: 0, rng, channels: BTreeMap::new(), seqs: BTreeMap::new(), stats: BTreeMap::new() }
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Sends `payload` from `src` to `dst` under `class`.
+    ///
+    /// Returns the sequence number the message was stamped with, whether or
+    /// not loss injection subsequently discarded it (the sender cannot know).
+    pub fn send(&mut self, src: NodeId, dst: NodeId, class: MsgClass, payload: M) -> MsgSeq {
+        let seq = self.seqs.entry((src, dst)).or_default().bump();
+        let stats = self.stats.entry(class).or_default();
+        let dropped = match self.cfg.drop_rate.get(&class) {
+            Some(&p) => self.rng.chance(p),
+            None => false,
+        };
+        if dropped {
+            stats.dropped += 1;
+            return seq;
+        }
+        stats.sent += 1;
+        stats.bytes += payload.wire_size();
+        let env = Envelope { src, dst, seq, class, payload };
+        self.channels
+            .entry((src, dst))
+            .or_default()
+            .push_back(InFlight { deliver_at: self.now + self.cfg.latency, env });
+        seq
+    }
+
+    /// Advances time by one tick and returns every message that became
+    /// deliverable, in deterministic (channel, FIFO) order.
+    pub fn tick(&mut self) -> Vec<Envelope<M>> {
+        self.now += 1;
+        self.drain_due()
+    }
+
+    /// Returns messages already due without advancing time.
+    pub fn drain_due(&mut self) -> Vec<Envelope<M>> {
+        let now = self.now;
+        let mut out = Vec::new();
+        for queue in self.channels.values_mut() {
+            while queue.front().is_some_and(|m| m.deliver_at <= now) {
+                out.push(queue.pop_front().expect("front checked").env);
+            }
+        }
+        out
+    }
+
+    /// Runs ticks until no message is in flight, invoking `handler` for each
+    /// delivery; the handler may send further messages through the network it
+    /// is given. Returns the number of ticks executed.
+    ///
+    /// This is the main pump used by the cluster simulation: deliveries and
+    /// their cascading replies run to quiescence deterministically.
+    pub fn run_to_quiescence(
+        &mut self,
+        mut handler: impl FnMut(&mut Self, Envelope<M>),
+    ) -> u64 {
+        let start = self.now;
+        while self.in_flight() > 0 {
+            for env in self.tick() {
+                handler(self, env);
+            }
+        }
+        self.now - start
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.channels.values().map(VecDeque::len).sum()
+    }
+
+    /// Traffic counters for one class.
+    pub fn class_stats(&self, class: MsgClass) -> ClassStats {
+        self.stats.get(&class).copied().unwrap_or_default()
+    }
+
+    /// Total messages accepted across all classes.
+    pub fn total_sent(&self) -> u64 {
+        self.stats.values().map(|s| s.sent).sum()
+    }
+
+    /// Total messages dropped across all classes.
+    pub fn total_dropped(&self) -> u64 {
+        self.stats.values().map(|s| s.dropped).sum()
+    }
+
+    /// Resets traffic counters (in-flight messages are unaffected).
+    pub fn reset_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Changes the drop probability of a loss-tolerant class at runtime
+    /// (e.g. to heal the network after a loss-injection phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` requires reliability or `p` is out of `[0, 1]`.
+    pub fn set_drop(&mut self, class: MsgClass, p: f64) {
+        assert!(
+            !class.requires_reliability(),
+            "{class:?} is assumed reliable by the DSM protocol"
+        );
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        if p == 0.0 {
+            self.cfg.drop_rate.remove(&class);
+        } else {
+            self.cfg.drop_rate.insert(class, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct P(u64);
+
+    impl WireSize for P {
+        fn wire_size(&self) -> u64 {
+            8
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn delivery_respects_latency() {
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(2));
+        net.send(n(0), n(1), MsgClass::Dsm, P(7));
+        assert!(net.tick().is_empty(), "too early after one tick");
+        let got = net.tick();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, P(7));
+        assert_eq!(got[0].src, n(0));
+        assert_eq!(got[0].dst, n(1));
+    }
+
+    #[test]
+    fn per_channel_fifo_order() {
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1));
+        for i in 0..10 {
+            net.send(n(0), n(1), MsgClass::StubTable, P(i));
+        }
+        let got = net.tick();
+        let vals: Vec<u64> = got.iter().map(|e| e.payload.0).collect();
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+        let seqs: Vec<u64> = got.iter().map(|e| e.seq.0).collect();
+        assert_eq!(seqs, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_channel() {
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1));
+        let a = net.send(n(0), n(1), MsgClass::Dsm, P(0));
+        let b = net.send(n(0), n(2), MsgClass::Dsm, P(0));
+        let c = net.send(n(0), n(1), MsgClass::Dsm, P(0));
+        assert_eq!(a, MsgSeq(1));
+        assert_eq!(b, MsgSeq(1));
+        assert_eq!(c, MsgSeq(2));
+    }
+
+    #[test]
+    fn loss_injection_drops_only_lossy_class() {
+        let cfg = NetworkConfig::lossless(1).with_drop(MsgClass::StubTable, 1.0);
+        let mut net: Network<P> = Network::new(cfg);
+        net.send(n(0), n(1), MsgClass::StubTable, P(1));
+        net.send(n(0), n(1), MsgClass::Dsm, P(2));
+        let got = net.tick();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].class, MsgClass::Dsm);
+        assert_eq!(net.class_stats(MsgClass::StubTable).dropped, 1);
+        assert_eq!(net.class_stats(MsgClass::Dsm).sent, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "assumed reliable")]
+    fn dsm_class_cannot_be_lossy() {
+        let _ = NetworkConfig::lossless(1).with_drop(MsgClass::Dsm, 0.5);
+    }
+
+    #[test]
+    fn fifo_survives_loss() {
+        // With 50% loss the survivors must still arrive in send order.
+        let cfg = NetworkConfig::lossless(1).with_drop(MsgClass::GcBackground, 0.5);
+        let mut net: Network<P> = Network::new(cfg);
+        for i in 0..100 {
+            net.send(n(3), n(4), MsgClass::GcBackground, P(i));
+        }
+        let got = net.tick();
+        let vals: Vec<u64> = got.iter().map(|e| e.payload.0).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted, "survivors out of order");
+        assert!(net.class_stats(MsgClass::GcBackground).dropped > 0);
+        assert!(!vals.is_empty());
+    }
+
+    #[test]
+    fn run_to_quiescence_handles_cascades() {
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1));
+        net.send(n(0), n(1), MsgClass::Dsm, P(3));
+        let mut deliveries = 0;
+        net.run_to_quiescence(|net, env| {
+            deliveries += 1;
+            // Each delivery of P(k>0) triggers a reply P(k-1).
+            if env.payload.0 > 0 {
+                net.send(env.dst, env.src, MsgClass::Dsm, P(env.payload.0 - 1));
+            }
+        });
+        assert_eq!(deliveries, 4, "3 -> 2 -> 1 -> 0");
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1));
+        net.send(n(0), n(1), MsgClass::Dsm, P(1));
+        net.send(n(0), n(1), MsgClass::Dsm, P(2));
+        assert_eq!(net.class_stats(MsgClass::Dsm).bytes, 16);
+        assert_eq!(net.total_sent(), 2);
+        net.reset_stats();
+        assert_eq!(net.total_sent(), 0);
+        assert_eq!(net.in_flight(), 2, "reset_stats leaves traffic alone");
+    }
+
+    #[test]
+    fn drain_due_does_not_advance_time() {
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(0));
+        net.send(n(0), n(1), MsgClass::Dsm, P(1));
+        assert_eq!(net.drain_due().len(), 1);
+        assert_eq!(net.now(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Piggy-back buffers.
+//!
+//! The collector never pays for its own messages when it can avoid it: an
+//! object's new address "can be communicated to other nodes by piggy-backing
+//! such information onto messages due to the consistency protocol, which are
+//! performed on behalf of applications. Thus, no extra message is used"
+//! (paper, Section 4.4). The same trick carries intra-bunch SSP creation
+//! requests (Section 5, invariant 3) and, optionally, reachability tables
+//! (Section 6.1).
+//!
+//! A [`PiggybackBuffer`] accumulates pending per-destination payloads; when
+//! the DSM layer is about to send a message to node `d`, it drains the buffer
+//! for `d` and attaches the result. A background flusher can also drain
+//! buffers for destinations that see no DSM traffic (Section 4.4: if there is
+//! no communication on behalf of applications, updates are only needed when
+//! the from-space must be reused — then explicit messages are sent).
+
+use std::collections::BTreeMap;
+
+use bmx_common::NodeId;
+
+/// Per-destination accumulation of payloads awaiting a carrier message.
+#[derive(Clone, Debug)]
+pub struct PiggybackBuffer<P> {
+    pending: BTreeMap<NodeId, Vec<P>>,
+}
+
+impl<P> Default for PiggybackBuffer<P> {
+    fn default() -> Self {
+        PiggybackBuffer { pending: BTreeMap::new() }
+    }
+}
+
+impl<P> PiggybackBuffer<P> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `payload` for the next message toward `dst`.
+    pub fn push(&mut self, dst: NodeId, payload: P) {
+        self.pending.entry(dst).or_default().push(payload);
+    }
+
+    /// Queues `payload` for every destination in `dsts` (cloning as needed).
+    pub fn push_all(&mut self, dsts: impl IntoIterator<Item = NodeId>, payload: P)
+    where
+        P: Clone,
+    {
+        for d in dsts {
+            self.push(d, payload.clone());
+        }
+    }
+
+    /// Removes and returns everything queued for `dst`.
+    ///
+    /// Called by the DSM layer right before sending a protocol message to
+    /// `dst`; the drained payloads ride along for free.
+    pub fn drain(&mut self, dst: NodeId) -> Vec<P> {
+        self.pending.remove(&dst).unwrap_or_default()
+    }
+
+    /// Returns the destinations that currently have pending payloads.
+    pub fn destinations(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.pending.keys().copied()
+    }
+
+    /// Number of payloads pending for `dst`.
+    pub fn pending_for(&self, dst: NodeId) -> usize {
+        self.pending.get(&dst).map_or(0, Vec::len)
+    }
+
+    /// Total payloads pending across all destinations.
+    pub fn total_pending(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if nothing is pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn push_then_drain_is_fifo_per_destination() {
+        let mut b = PiggybackBuffer::new();
+        b.push(n(1), "a");
+        b.push(n(2), "x");
+        b.push(n(1), "b");
+        assert_eq!(b.drain(n(1)), vec!["a", "b"]);
+        assert_eq!(b.drain(n(1)), Vec::<&str>::new());
+        assert_eq!(b.drain(n(2)), vec!["x"]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn push_all_fans_out() {
+        let mut b = PiggybackBuffer::new();
+        b.push_all([n(1), n(2), n(3)], 42u32);
+        assert_eq!(b.total_pending(), 3);
+        assert_eq!(b.pending_for(n(2)), 1);
+        let dsts: Vec<_> = b.destinations().collect();
+        assert_eq!(dsts, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn drain_unknown_destination_is_empty() {
+        let mut b: PiggybackBuffer<u8> = PiggybackBuffer::new();
+        assert!(b.drain(n(9)).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Model-based property test for the RVM substrate: a random sequence of
+//! transactions (committed, aborted, or lost to a crash) against a plain
+//! in-memory model. After every crash/reopen, the store must equal the
+//! model exactly: all committed bytes, none of the uncommitted ones.
+
+use bmx_rvm::{RegionId, Rvm, RvmOptions};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const REGION: RegionId = RegionId(1);
+const LEN: usize = 128;
+
+#[derive(Clone, Debug)]
+enum Step {
+    /// Write `val` at `offset..offset+len`, then commit.
+    Commit { offset: usize, len: usize, val: u8 },
+    /// Write, then abort.
+    Abort { offset: usize, len: usize, val: u8 },
+    /// Write, then crash before commit (drop + reopen).
+    CrashMid { offset: usize, len: usize, val: u8 },
+    /// Crash between transactions (drop + reopen).
+    CrashIdle,
+    /// Apply the log to the data files and reset it.
+    Truncate,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let span = (0usize..LEN, 1usize..24, any::<u8>()).prop_map(|(o, l, v)| {
+        let o = o.min(LEN - 1);
+        let l = l.min(LEN - o);
+        (o, l, v)
+    });
+    prop_oneof![
+        4 => span.clone().prop_map(|(offset, len, val)| Step::Commit { offset, len, val }),
+        2 => span.clone().prop_map(|(offset, len, val)| Step::Abort { offset, len, val }),
+        2 => span.prop_map(|(offset, len, val)| Step::CrashMid { offset, len, val }),
+        1 => Just(Step::CrashIdle),
+        1 => Just(Step::Truncate),
+    ]
+}
+
+fn fresh_dir(tag: u64) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bmx-rvm-model-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn reopen(dir: &PathBuf) -> Rvm {
+    let mut rvm = Rvm::open(dir, RvmOptions::default()).expect("open");
+    rvm.map(REGION, LEN).expect("map");
+    rvm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn store_always_equals_the_committed_model(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        tag in any::<u64>(),
+    ) {
+        let dir = fresh_dir(tag);
+        let mut model = vec![0u8; LEN];
+        let mut rvm = reopen(&dir);
+        for step in steps {
+            match step {
+                Step::Commit { offset, len, val } => {
+                    let t = rvm.begin().expect("begin");
+                    rvm.set_range(t, REGION, offset as u64, &vec![val; len]).expect("write");
+                    rvm.commit(t).expect("commit");
+                    model[offset..offset + len].fill(val);
+                }
+                Step::Abort { offset, len, val } => {
+                    let t = rvm.begin().expect("begin");
+                    rvm.set_range(t, REGION, offset as u64, &vec![val; len]).expect("write");
+                    rvm.abort(t).expect("abort");
+                }
+                Step::CrashMid { offset, len, val } => {
+                    let t = rvm.begin().expect("begin");
+                    rvm.set_range(t, REGION, offset as u64, &vec![val; len]).expect("write");
+                    drop(rvm); // crash with the transaction open
+                    rvm = reopen(&dir);
+                }
+                Step::CrashIdle => {
+                    drop(rvm);
+                    rvm = reopen(&dir);
+                }
+                Step::Truncate => {
+                    rvm.truncate().expect("truncate");
+                }
+            }
+            // The live image always equals the model after each step.
+            prop_assert_eq!(rvm.read(REGION, 0, LEN).expect("read"), &model[..]);
+        }
+        // One final crash: recovery must reproduce the model byte for byte.
+        drop(rvm);
+        let rvm = reopen(&dir);
+        prop_assert_eq!(rvm.read(REGION, 0, LEN).expect("read"), &model[..]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

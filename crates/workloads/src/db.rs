@@ -1,0 +1,158 @@
+//! A design-database-like object graph, in the spirit of OO7.
+//!
+//! Three levels: a module object points at `assemblies` assembly objects,
+//! each pointing at `parts_per_assembly` atomic parts; parts within one
+//! assembly form a ring (so the graph has internal cycles, which a copying
+//! collector must handle without duplication).
+
+use bmx::{Cluster, ObjSpec};
+use bmx_common::{Addr, BunchId, NodeId, Result};
+
+/// A built database graph.
+#[derive(Clone, Debug)]
+pub struct DbGraph {
+    /// The module (top) object.
+    pub module: Addr,
+    /// Assembly objects.
+    pub assemblies: Vec<Addr>,
+    /// Atomic parts, grouped by assembly.
+    pub parts: Vec<Vec<Addr>>,
+}
+
+impl DbGraph {
+    /// Total object count.
+    pub fn object_count(&self) -> usize {
+        1 + self.assemblies.len() + self.parts.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// Builds the graph in `bunch` at `node` (the bunch's creator).
+pub fn build_db(
+    cluster: &mut Cluster,
+    node: NodeId,
+    bunch: BunchId,
+    assemblies: usize,
+    parts_per_assembly: usize,
+) -> Result<DbGraph> {
+    assert!(assemblies > 0 && parts_per_assembly > 0);
+    // Module: one ref field per assembly.
+    let module_refs: Vec<u64> = (0..assemblies as u64).collect();
+    let module = cluster.alloc(node, bunch, &ObjSpec::with_refs(assemblies as u64, &module_refs))?;
+    let mut all_assemblies = Vec::new();
+    let mut all_parts = Vec::new();
+    for a in 0..assemblies {
+        let asm_refs: Vec<u64> = (0..parts_per_assembly as u64).collect();
+        let asm = cluster.alloc(
+            node,
+            bunch,
+            &ObjSpec::with_refs(parts_per_assembly as u64 + 1, &asm_refs),
+        )?;
+        cluster.write_ref(node, module, a as u64, asm)?;
+        // Parts: field 0 = ring next, field 1 = payload.
+        let mut parts = Vec::new();
+        for p in 0..parts_per_assembly {
+            let part = cluster.alloc(node, bunch, &ObjSpec::with_refs(2, &[0]))?;
+            cluster.write_data(node, part, 1, (a * parts_per_assembly + p) as u64)?;
+            cluster.write_ref(node, asm, p as u64, part)?;
+            parts.push(part);
+        }
+        // Close the ring.
+        for p in 0..parts_per_assembly {
+            let next = parts[(p + 1) % parts_per_assembly];
+            cluster.write_ref(node, parts[p], 0, next)?;
+        }
+        all_assemblies.push(asm);
+        all_parts.push(parts);
+    }
+    Ok(DbGraph { module, assemblies: all_assemblies, parts: all_parts })
+}
+
+/// Checks the graph's structure at `node` (through local forwarding):
+/// every assembly reachable from the module, every ring closed, payloads
+/// exactly as built. Returns the number of parts verified.
+pub fn verify_db(cluster: &Cluster, node: NodeId, g: &DbGraph) -> Result<usize> {
+    verify_db_with(cluster, node, g, true)
+}
+
+/// Structural check only — rings and slots, ignoring payloads (for
+/// workloads that mutate revision counters). Returns the parts verified.
+pub fn verify_db_structure(cluster: &Cluster, node: NodeId, g: &DbGraph) -> Result<usize> {
+    verify_db_with(cluster, node, g, false)
+}
+
+fn verify_db_with(
+    cluster: &Cluster,
+    node: NodeId,
+    g: &DbGraph,
+    check_payloads: bool,
+) -> Result<usize> {
+    let mut verified = 0;
+    for (a, asm) in g.assemblies.iter().enumerate() {
+        let got = cluster.read_ref(node, g.module, a as u64)?;
+        assert!(cluster.ptr_eq(node, got, *asm), "module slot {a} lost its assembly");
+        let parts = &g.parts[a];
+        for (p, part) in parts.iter().enumerate() {
+            let got = cluster.read_ref(node, *asm, p as u64)?;
+            assert!(cluster.ptr_eq(node, got, *part), "assembly {a} slot {p} lost its part");
+            if check_payloads {
+                let payload = cluster.read_data(node, *part, 1)?;
+                assert_eq!(payload, (a * parts.len() + p) as u64, "payload of part {a}/{p}");
+            }
+            let ring = cluster.read_ref(node, *part, 0)?;
+            assert!(
+                cluster.ptr_eq(node, ring, parts[(p + 1) % parts.len()]),
+                "ring broken at {a}/{p}"
+            );
+            verified += 1;
+        }
+    }
+    Ok(verified)
+}
+
+/// Drops assembly `idx` from the module (making it and its parts garbage
+/// unless shared elsewhere).
+pub fn drop_assembly(cluster: &mut Cluster, node: NodeId, g: &DbGraph, idx: usize) -> Result<()> {
+    cluster.write_ref(node, g.module, idx as u64, Addr::NULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmx::ClusterConfig;
+
+    #[test]
+    fn build_and_verify() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let g = build_db(&mut c, n0, b, 3, 4).unwrap();
+        assert_eq!(g.object_count(), 1 + 3 + 12);
+        assert_eq!(verify_db(&c, n0, &g).unwrap(), 12);
+    }
+
+    #[test]
+    fn survives_a_local_collection() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let g = build_db(&mut c, n0, b, 2, 5).unwrap();
+        c.add_root(n0, g.module);
+        let stats = c.run_bgc(n0, b).unwrap();
+        assert_eq!(stats.live, g.object_count() as u64);
+        assert_eq!(verify_db(&c, n0, &g).unwrap(), 10);
+    }
+
+    #[test]
+    fn dropped_assembly_is_reclaimed() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let g = build_db(&mut c, n0, b, 2, 5).unwrap();
+        c.add_root(n0, g.module);
+        drop_assembly(&mut c, n0, &g, 1).unwrap();
+        let stats = c.run_bgc(n0, b).unwrap();
+        // Assembly 1 and its 5 parts die, despite their internal ring.
+        assert_eq!(stats.reclaimed, 6);
+        assert_eq!(stats.live, (g.object_count() - 6) as u64);
+    }
+}

@@ -1,0 +1,113 @@
+//! Linked-list workloads.
+//!
+//! Lists give the experiments precise control: every node is one object
+//! with one pointer field and a payload, so live/garbage ratios and copy
+//! volumes are exact.
+
+use bmx::{Cluster, ObjSpec};
+use bmx_common::{Addr, BunchId, NodeId, Result};
+
+/// A built list: its head address and every cell in order.
+#[derive(Clone, Debug)]
+pub struct ListHandle {
+    /// Address of the first cell.
+    pub head: Addr,
+    /// All cells, head first.
+    pub cells: Vec<Addr>,
+}
+
+/// Cell layout: field 0 = next pointer, field 1 = payload.
+pub const NEXT: u64 = 0;
+/// Payload field index.
+pub const PAYLOAD: u64 = 1;
+
+/// Builds an `n`-cell list in `bunch` at `node` (which must be the bunch's
+/// creator). Payloads are `base_payload + index`.
+pub fn build_list(
+    cluster: &mut Cluster,
+    node: NodeId,
+    bunch: BunchId,
+    n: usize,
+    base_payload: u64,
+) -> Result<ListHandle> {
+    assert!(n > 0, "empty lists have no head");
+    let spec = ObjSpec::with_refs(2, &[NEXT]);
+    let mut cells = Vec::with_capacity(n);
+    for i in 0..n {
+        let cell = cluster.alloc(node, bunch, &spec)?;
+        cluster.write_data(node, cell, PAYLOAD, base_payload + i as u64)?;
+        if let Some(&prev) = cells.last() {
+            cluster.write_ref(node, prev, NEXT, cell)?;
+        }
+        cells.push(cell);
+    }
+    Ok(ListHandle { head: cells[0], cells })
+}
+
+/// Walks the list from `head` at `node`, returning the payloads in order.
+pub fn read_payloads(cluster: &Cluster, node: NodeId, head: Addr) -> Result<Vec<u64>> {
+    let mut out = Vec::new();
+    let mut cur = head;
+    while !cur.is_null() {
+        out.push(cluster.read_data(node, cur, PAYLOAD)?);
+        cur = cluster.read_ref(node, cur, NEXT)?;
+    }
+    Ok(out)
+}
+
+/// Cuts the list after `keep` cells at `node`, making the tail garbage.
+/// Returns the number of detached cells.
+pub fn truncate_list(
+    cluster: &mut Cluster,
+    node: NodeId,
+    handle: &ListHandle,
+    keep: usize,
+) -> Result<usize> {
+    assert!(keep > 0 && keep <= handle.cells.len());
+    if keep == handle.cells.len() {
+        return Ok(0);
+    }
+    cluster.write_ref(node, handle.cells[keep - 1], NEXT, Addr::NULL)?;
+    Ok(handle.cells.len() - keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmx::ClusterConfig;
+
+    #[test]
+    fn build_and_walk() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let list = build_list(&mut c, n0, b, 10, 100).unwrap();
+        assert_eq!(list.cells.len(), 10);
+        let payloads = read_payloads(&c, n0, list.head).unwrap();
+        assert_eq!(payloads, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn truncate_detaches_tail() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let list = build_list(&mut c, n0, b, 8, 0).unwrap();
+        let cut = truncate_list(&mut c, n0, &list, 3).unwrap();
+        assert_eq!(cut, 5);
+        assert_eq!(read_payloads(&c, n0, list.head).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn lists_span_segments() {
+        // A tiny segment forces the bunch to grow while building.
+        let mut cfg = ClusterConfig::with_nodes(1);
+        cfg.segment_words = 64;
+        let mut c = Cluster::new(cfg);
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let list = build_list(&mut c, n0, b, 100, 0).unwrap();
+        assert_eq!(read_payloads(&c, n0, list.head).unwrap().len(), 100);
+        assert!(c.server.borrow().bunch(b).unwrap().segments.len() > 1);
+    }
+}

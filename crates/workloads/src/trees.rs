@@ -1,0 +1,124 @@
+//! Binary-tree workloads: deep structures exercising trace depth, subtree
+//! detachment, and structural verification after relocation.
+
+use bmx::{Cluster, ObjSpec};
+use bmx_common::{Addr, BunchId, NodeId, Result};
+
+/// Field layout of a tree node: left, right, payload.
+pub const LEFT: u64 = 0;
+/// Right-child pointer field.
+pub const RIGHT: u64 = 1;
+/// Payload field.
+pub const VALUE: u64 = 2;
+
+/// Builds a complete binary tree of the given `depth` (depth 0 = a single
+/// node) in `bunch` at `node`. Payloads are the in-order index. Returns the
+/// root and the total node count.
+pub fn build_tree(
+    cluster: &mut Cluster,
+    node: NodeId,
+    bunch: BunchId,
+    depth: u32,
+) -> Result<(Addr, u64)> {
+    let mut counter = 0;
+    let root = build_rec(cluster, node, bunch, depth, &mut counter)?;
+    Ok((root, counter))
+}
+
+fn build_rec(
+    cluster: &mut Cluster,
+    node: NodeId,
+    bunch: BunchId,
+    depth: u32,
+    counter: &mut u64,
+) -> Result<Addr> {
+    let left = if depth > 0 {
+        Some(build_rec(cluster, node, bunch, depth - 1, counter)?)
+    } else {
+        None
+    };
+    let me = cluster.alloc(node, bunch, &ObjSpec::with_refs(3, &[LEFT, RIGHT]))?;
+    cluster.write_data(node, me, VALUE, *counter)?;
+    *counter += 1;
+    if let Some(l) = left {
+        cluster.write_ref(node, me, LEFT, l)?;
+    }
+    if depth > 0 {
+        let right = build_rec(cluster, node, bunch, depth - 1, counter)?;
+        cluster.write_ref(node, me, RIGHT, right)?;
+    }
+    Ok(me)
+}
+
+/// In-order traversal of payloads (through local forwarding).
+pub fn in_order(cluster: &Cluster, node: NodeId, root: Addr) -> Result<Vec<u64>> {
+    let mut out = Vec::new();
+    walk(cluster, node, root, &mut out)?;
+    Ok(out)
+}
+
+fn walk(cluster: &Cluster, node: NodeId, cur: Addr, out: &mut Vec<u64>) -> Result<()> {
+    if cur.is_null() {
+        return Ok(());
+    }
+    walk(cluster, node, cluster.read_ref(node, cur, LEFT)?, out)?;
+    out.push(cluster.read_data(node, cur, VALUE)?);
+    walk(cluster, node, cluster.read_ref(node, cur, RIGHT)?, out)
+}
+
+/// Detaches one child subtree, turning it into garbage. Returns the number
+/// of detached nodes (for a complete tree of the child's height).
+pub fn prune(
+    cluster: &mut Cluster,
+    node: NodeId,
+    parent: Addr,
+    side: u64,
+    child_depth: u32,
+) -> Result<u64> {
+    cluster.write_ref(node, parent, side, Addr::NULL)?;
+    Ok((1u64 << (child_depth + 1)) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmx::ClusterConfig;
+
+    #[test]
+    fn build_and_traverse() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let (root, count) = build_tree(&mut c, n0, b, 3).unwrap();
+        assert_eq!(count, 15);
+        let values = in_order(&c, n0, root).unwrap();
+        assert_eq!(values, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_survives_collection_in_order() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let (root, count) = build_tree(&mut c, n0, b, 4).unwrap();
+        let rid = c.add_root(n0, root);
+        let s = c.run_bgc(n0, b).unwrap();
+        assert_eq!(s.live, count);
+        let root_now = c.root(n0, rid).unwrap();
+        assert_eq!(in_order(&c, n0, root_now).unwrap(), (0..count).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pruned_subtree_is_reclaimed() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let (root, count) = build_tree(&mut c, n0, b, 4).unwrap();
+        c.add_root(n0, root);
+        let dropped = prune(&mut c, n0, root, LEFT, 3).unwrap();
+        assert_eq!(dropped, 15);
+        let s = c.run_bgc(n0, b).unwrap();
+        assert_eq!(s.reclaimed, dropped);
+        assert_eq!(s.live, count - dropped);
+    }
+}

@@ -1,0 +1,122 @@
+//! A web-like exploratory graph: random links with long-tailed out-degree.
+
+use bmx::{Cluster, ObjSpec};
+use bmx_common::{Addr, BunchId, NodeId, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum pointer fields per page object.
+pub const MAX_LINKS: u64 = 6;
+
+/// Builds `n` "pages" in `bunch` at `node`, then wires random links: each
+/// page links to a geometric number of earlier pages (so the graph is
+/// acyclic but bushy). Returns the pages in allocation order; page 0 is the
+/// natural root.
+pub fn build_web(
+    cluster: &mut Cluster,
+    node: NodeId,
+    bunch: BunchId,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<Addr>> {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let refs: Vec<u64> = (0..MAX_LINKS).collect();
+    let mut pages = Vec::with_capacity(n);
+    for _ in 0..n {
+        pages.push(cluster.alloc(node, bunch, &ObjSpec::with_refs(MAX_LINKS + 1, &refs))?);
+    }
+    for i in 1..n {
+        // Long-tailed link count: mostly 1-2, occasionally more. Field
+        // MAX_LINKS-1 is reserved for the spine, so random links use the
+        // fields below it.
+        let mut links = 1;
+        while links < MAX_LINKS - 1 && rng.gen_bool(0.4) {
+            links += 1;
+        }
+        for f in 0..links {
+            let target = pages[rng.gen_range(0..i)];
+            // Cross-links in both directions make the graph bushy; the
+            // spine below keeps everything reachable regardless.
+            if rng.gen_bool(0.5) {
+                cluster.write_ref(node, pages[i], f, target)?;
+            } else {
+                cluster.write_ref(node, target, f, pages[i])?;
+            }
+        }
+        // The spine: page i-1's reserved slot points at page i, written
+        // exactly once and never clobbered, guaranteeing reachability from
+        // page 0.
+        cluster.write_ref(node, pages[i - 1], MAX_LINKS - 1, pages[i])?;
+    }
+    Ok(pages)
+}
+
+/// Counts pages reachable from `root` at `node`.
+pub fn reachable_pages(cluster: &Cluster, node: NodeId, root: Addr) -> Result<usize> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(a) = stack.pop() {
+        if a.is_null() {
+            continue;
+        }
+        let canon = {
+            // Resolve through forwarding so copies do not double-count.
+            let dir = &cluster.gc.node(node).directory;
+            dir.resolve(a)
+        };
+        if !seen.insert(canon) {
+            continue;
+        }
+        for f in 0..MAX_LINKS {
+            stack.push(cluster.read_ref(node, canon, f)?);
+        }
+    }
+    Ok(seen.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmx::ClusterConfig;
+
+    #[test]
+    fn web_is_fully_reachable_from_root() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let pages = build_web(&mut c, n0, b, 50, 42).unwrap();
+        assert_eq!(reachable_pages(&c, n0, pages[0]).unwrap(), 50);
+    }
+
+    #[test]
+    fn web_survives_collection() {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let n0 = NodeId(0);
+        let b = c.create_bunch(n0).unwrap();
+        let pages = build_web(&mut c, n0, b, 40, 7).unwrap();
+        c.add_root(n0, pages[0]);
+        let stats = c.run_bgc(n0, b).unwrap();
+        assert_eq!(stats.live, 40);
+        assert_eq!(reachable_pages(&c, n0, pages[0]).unwrap(), 40);
+    }
+
+    #[test]
+    fn same_seed_same_graph() {
+        let build = |seed| {
+            let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+            let n0 = NodeId(0);
+            let b = c.create_bunch(n0).unwrap();
+            let pages = build_web(&mut c, n0, b, 30, seed).unwrap();
+            let mut edges = Vec::new();
+            for &p in &pages {
+                for f in 0..MAX_LINKS {
+                    edges.push(c.read_ref(n0, p, f).unwrap());
+                }
+            }
+            edges
+        };
+        assert_eq!(build(5), build(5));
+        assert_ne!(build(5), build(6));
+    }
+}

@@ -1,0 +1,81 @@
+//! A WWW-like exploratory tool — the paper's "exploratory tools similar to
+//! the World-Wide-Web" workload (Section 1).
+//!
+//! A content node hosts a bushy page graph in one bunch, plus per-topic
+//! index bunches that cross-reference it (inter-bunch SSPs). Crawler nodes
+//! map replicas and browse with read tokens. Pruning a topic index creates
+//! an inter-bunch cycle of dead pages that per-bunch collection can never
+//! reclaim — the group collector gets it (Section 7).
+//!
+//! Run with: `cargo run --example web_explorer`
+
+use bmx_repro::prelude::*;
+use bmx_repro::workloads::{cycles, web};
+
+fn main() -> Result<()> {
+    let mut cluster = Cluster::new(ClusterConfig::with_nodes(2));
+    let (host, crawler) = (NodeId(0), NodeId(1));
+
+    // The host builds a 60-page web in its content bunch.
+    let content = cluster.create_bunch(host)?;
+    let pages = web::build_web(&mut cluster, host, content, 60, 0xC0FFEE)?;
+    cluster.add_root(host, pages[0]);
+    println!("web built: {} pages reachable", web::reachable_pages(&cluster, host, pages[0])?);
+
+    // A topic index in its own bunch points at a few pages (inter-bunch
+    // references create stub-scion pairs automatically via the barrier).
+    let index = cluster.create_bunch(host)?;
+    let topic = cluster.alloc(host, index, &ObjSpec::with_refs(3, &[0, 1, 2]))?;
+    for (slot, &p) in pages.iter().step_by(20).take(3).enumerate() {
+        cluster.write_ref(host, topic, slot as u64, p)?;
+    }
+    cluster.add_root(host, topic);
+    let stubs = cluster.gc.node(host).bunch(index).unwrap().stub_table.inter.len();
+    println!("topic index created {stubs} inter-bunch SSPs");
+
+    // The crawler maps the content bunch and browses with read tokens.
+    cluster.map_bunch(crawler, content, host)?;
+    cluster.add_root(crawler, pages[0]);
+    let mut visited = 0;
+    let mut frontier = vec![pages[0]];
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some(p) = frontier.pop() {
+        if p.is_null() || !seen.insert(p) {
+            continue;
+        }
+        cluster.acquire_read(crawler, p)?;
+        for f in 0..web::MAX_LINKS {
+            frontier.push(cluster.read_ref(crawler, p, f)?);
+        }
+        cluster.release(crawler, p)?;
+        visited += 1;
+    }
+    println!("crawler visited {visited} pages under read tokens");
+
+    // Dead inter-bunch cycles: a ring of "stale mirror" bunches nobody
+    // references. Per-bunch collection keeps it alive forever...
+    let (ring_bunches, ring_objs) = cycles::build_inter_bunch_ring(&mut cluster, host, 5)?;
+    let mut per_bunch_reclaimed = 0;
+    for &b in &ring_bunches {
+        per_bunch_reclaimed += cluster.run_bgc(host, b)?.reclaimed;
+    }
+    println!(
+        "per-bunch BGC rounds reclaimed {per_bunch_reclaimed} of the {}-object dead ring",
+        ring_objs.len()
+    );
+    assert_eq!(per_bunch_reclaimed, 0);
+
+    // ...while the group collector (locality heuristic: everything mapped
+    // at the host) reclaims the ring and keeps all live pages.
+    let before = web::reachable_pages(&cluster, host, pages[0])?;
+    let s = cluster.run_ggc(host)?;
+    println!("GGC at the host: reclaimed {} objects (the dead ring)", s.reclaimed);
+    assert_eq!(s.reclaimed, ring_objs.len() as u64);
+    let after = web::reachable_pages(&cluster, host, pages[0])?;
+    assert_eq!(before, after, "live pages survive the group collection");
+
+    // The crawler's replica is untouched and its tokens intact.
+    cluster.assert_gc_acquired_no_tokens();
+    println!("ok: {after} pages live, dead cycle gone, crawler undisturbed");
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Group collection with replicated bunches: the GGC's group-internal scion
+//! exclusion must never override remote liveness (entering ownerPtrs and
+//! mutator roots on other nodes), and cycles spanning *nodes* need the
+//! reachability-table cascade plus a group collection to fall.
+
+use bmx_repro::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// A dead intra-node inter-bunch cycle is collected by the GGC even while
+/// another node holds (unreachable) replicas of one of its bunches — the
+/// remote replicas die via the table cascade afterwards.
+#[test]
+fn ggc_with_remote_replicas_of_group_bunches() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+    let (n0, n1) = (n(0), n(1));
+    // Cycle: o1 (B1) -> o2 (B2) -> o1, built at node 0.
+    let b1 = c.create_bunch(n0).unwrap();
+    let b2 = c.create_bunch(n0).unwrap();
+    let o1 = c.alloc(n0, b1, &ObjSpec::with_refs(1, &[0])).unwrap();
+    let o2 = c.alloc(n0, b2, &ObjSpec::with_refs(1, &[0])).unwrap();
+    c.write_ref(n0, o1, 0, o2).unwrap();
+    c.write_ref(n0, o2, 0, o1).unwrap();
+    // Node 1 maps B1 (holding a replica of o1) but never roots anything.
+    c.map_bunch(n1, b1, n0).unwrap();
+
+    // Node 1's replica registration gives node 0 an entering ownerPtr for
+    // o1, which correctly blocks the GGC at node 0.
+    let s = c.run_ggc(n0).unwrap();
+    assert_eq!(s.reclaimed, 0, "remote replica shields the cycle");
+
+    // Node 1 collects: its unreachable replica of o1 dies, the report
+    // clears the entering pointer, and node 0's next GGC takes the cycle.
+    c.run_bgc(n1, b1).unwrap();
+    let s = c.run_ggc(n0).unwrap();
+    assert_eq!(s.reclaimed, 2, "cycle falls once the shield is gone");
+    c.assert_gc_acquired_no_tokens();
+}
+
+/// A *live* object in a group bunch — rooted only on a remote node — must
+/// survive the GGC, cycle exclusion notwithstanding.
+#[test]
+fn ggc_respects_remote_mutator_roots() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+    let (n0, n1) = (n(0), n(1));
+    let b1 = c.create_bunch(n0).unwrap();
+    let b2 = c.create_bunch(n0).unwrap();
+    let o1 = c.alloc(n0, b1, &ObjSpec::with_refs(1, &[0])).unwrap();
+    let o2 = c.alloc(n0, b2, &ObjSpec::with_refs(1, &[0])).unwrap();
+    c.write_ref(n0, o1, 0, o2).unwrap();
+    c.write_ref(n0, o2, 0, o1).unwrap();
+    c.map_bunch(n1, b1, n0).unwrap();
+    c.acquire_read(n1, o1).unwrap();
+    c.release(n1, o1).unwrap();
+    c.add_root(n1, o1);
+
+    // Settle node 1's exiting table so node 0 sees the current shield.
+    c.run_bgc(n1, b1).unwrap();
+    for _round in 0..3 {
+        let s = c.run_ggc(n0).unwrap();
+        assert_eq!(s.reclaimed, 0, "remotely rooted cycle must survive");
+        c.run_bgc(n1, b1).unwrap();
+    }
+    // The remote mutator can still traverse the whole cycle.
+    c.acquire_read(n1, o1).unwrap();
+    let o2_seen = c.read_ref(n1, o1, 0).unwrap();
+    c.release(n1, o1).unwrap();
+    assert!(c.ptr_eq(n1, o2_seen, o2));
+}
+
+/// A dead cycle whose *ownership* is split across nodes is kept alive by a
+/// loop of entering ownerPtrs that crosses sites — the class of garbage
+/// the paper's single-site group collector admittedly does not reach
+/// ("if an application does not move bunches around the nodes there is a
+/// possibility that some dead cycles may not ever be removed at all",
+/// Section 7). The paper's own remedy — ownership movement — then lets the
+/// cascade collect it. Both halves are pinned down here.
+#[test]
+fn split_ownership_cycle_needs_consolidation() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+    let (n0, n1) = (n(0), n(1));
+    let b1 = c.create_bunch(n0).unwrap();
+    let b2 = c.create_bunch(n0).unwrap();
+    let o1 = c.alloc(n0, b1, &ObjSpec::with_refs(1, &[0])).unwrap();
+    let o2 = c.alloc(n0, b2, &ObjSpec::with_refs(1, &[0])).unwrap();
+    c.write_ref(n0, o1, 0, o2).unwrap();
+    c.write_ref(n0, o2, 0, o1).unwrap();
+    c.map_bunch(n1, b1, n0).unwrap();
+    c.map_bunch(n1, b2, n0).unwrap();
+    // Node 1 takes ownership of o2, then forgets it (no roots anywhere).
+    c.acquire_write(n1, o2).unwrap();
+    c.release(n1, o2).unwrap();
+
+    // Part 1 — the limitation: each node's replicas shield the other's
+    // through entering ownerPtrs (o1's at node 0 fed by node 1's exiting
+    // list and vice versa for o2), and single-site group collections can
+    // never break the cross-site loop.
+    let mut reclaimed = 0;
+    for _ in 0..4 {
+        reclaimed += c.run_ggc(n0).unwrap().reclaimed;
+        reclaimed += c.run_ggc(n1).unwrap().reclaimed;
+    }
+    assert_eq!(reclaimed, 0, "split-ownership cycles survive per-site GGC");
+
+    // Part 2 — the remedy: consolidate ownership at one site ("move
+    // bunches around the nodes"); the other site's replicas then die, the
+    // tables cascade, and the consolidated site's GGC takes the cycle.
+    c.acquire_write(n0, o2).unwrap();
+    c.release(n0, o2).unwrap();
+    let mut reclaimed = 0;
+    for _ in 0..4 {
+        reclaimed += c.run_ggc(n1).unwrap().reclaimed;
+        reclaimed += c.run_ggc(n0).unwrap().reclaimed;
+    }
+    assert_eq!(reclaimed, 4, "cycle reclaimed on both nodes after consolidation");
+    assert!(c.oid_at_local(n0, o1).is_err());
+    assert!(c.oid_at_local(n1, o2).is_err());
+    c.assert_gc_acquired_no_tokens();
+}

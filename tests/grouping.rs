@@ -1,0 +1,80 @@
+//! Grouping heuristics for the group collector (Section 7 and its stated
+//! future work): locality, size-bounded locality, and SSP-closure.
+
+use bmx_repro::gc::Heuristic;
+use bmx_repro::prelude::*;
+use bmx_repro::workloads::cycles;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// SSP-closure groups each ring into its own component; collecting the
+/// components one by one reclaims every ring without ever collecting the
+/// whole heap at once.
+#[test]
+fn ssp_closure_collects_each_ring_separately() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+    let n0 = n(0);
+    // Three disjoint dead rings plus one live rooted ring.
+    let _r1 = cycles::build_inter_bunch_ring(&mut c, n0, 3).unwrap();
+    let _r2 = cycles::build_inter_bunch_ring(&mut c, n0, 4).unwrap();
+    let (_, live_objs) = cycles::build_inter_bunch_ring(&mut c, n0, 5).unwrap();
+    c.add_root(n0, live_objs[0]);
+
+    let groups = bmx_repro::gc::grouping::groups(&c.gc, n0, Heuristic::SspClosure);
+    assert_eq!(groups.len(), 3, "one component per ring: {groups:?}");
+    assert!(bmx_repro::gc::grouping::is_partition(&c.gc, n0, &groups));
+
+    let stats = c.run_ggc_with(n0, Heuristic::SspClosure).unwrap();
+    assert_eq!(stats.reclaimed, 3 + 4, "both dead rings reclaimed");
+    assert_eq!(stats.live, 5, "the rooted ring survives");
+}
+
+/// Size-bounded grouping bounds the per-collection cost but can split a
+/// cycle, leaving it uncollected — the cost/completeness trade-off the
+/// paper describes.
+#[test]
+fn size_bounded_grouping_can_split_cycles() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+    let n0 = n(0);
+    let (_bunches, objs) = cycles::build_inter_bunch_ring(&mut c, n0, 6).unwrap();
+    // Cap groups at 3 bunches: the 6-bunch ring is split and survives.
+    let stats = c.run_ggc_with(n0, Heuristic::SizeBounded(3)).unwrap();
+    assert_eq!(stats.reclaimed, 0, "a split cycle survives");
+    // The full-locality heuristic reclaims it.
+    let stats = c.run_ggc_with(n0, Heuristic::Locality).unwrap();
+    assert_eq!(stats.reclaimed, objs.len() as u64);
+}
+
+/// Locality groups everything mapped; its single group equals `run_ggc`.
+#[test]
+fn locality_heuristic_equals_plain_ggc() {
+    let build = || {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+        let (_, objs) = cycles::build_inter_bunch_ring(&mut c, n(0), 4).unwrap();
+        (c, objs)
+    };
+    let (mut c1, _) = build();
+    let s1 = c1.run_ggc(n(0)).unwrap();
+    let (mut c2, _) = build();
+    let s2 = c2.run_ggc_with(n(0), Heuristic::Locality).unwrap();
+    assert_eq!(s1.reclaimed, s2.reclaimed);
+    assert_eq!(s1.live, s2.live);
+}
+
+/// The SSP-closure groups react to new references: linking two previously
+/// separate components merges their groups.
+#[test]
+fn ssp_closure_tracks_new_references() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+    let n0 = n(0);
+    let (_b1, o1) = cycles::build_inter_bunch_ring(&mut c, n0, 2).unwrap();
+    let (_b2, o2) = cycles::build_inter_bunch_ring(&mut c, n0, 2).unwrap();
+    let before = bmx_repro::gc::grouping::groups(&c.gc, n0, Heuristic::SspClosure);
+    assert_eq!(before.len(), 2);
+    // Bridge the rings (field 1 is a second pointer slot).
+    c.write_ref(n0, o1[0], 1, o2[0]).unwrap();
+    let after = bmx_repro::gc::grouping::groups(&c.gc, n0, Heuristic::SspClosure);
+    assert_eq!(after.len(), 1, "bridged components merge");
+}

@@ -1,0 +1,162 @@
+//! Multi-hop ownership chains and intra-bunch SSP transitivity.
+//!
+//! When ownership of a stub-holding object migrates through several nodes
+//! (A → B → C), each transfer leaves an intra-bunch SSP behind; the chain
+//! C→B→A must keep the inter-bunch stubs at A — and the target they
+//! protect — alive until the object dies everywhere. Section 4.3's case
+//! analysis covers the single-hop case; the reproduction generalizes stub
+//! retention to "intra stubs live while the local replica lives"
+//! (DESIGN.md §5), and these tests pin that behaviour down.
+
+use bmx_repro::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// Builds: object O in bunch B1 created at node 0 with an inter-bunch
+/// reference to target X (bunch B2, node 0); B1 replicated on nodes 1, 2.
+fn chain_fixture() -> (Cluster, BunchId, BunchId, Addr, Addr) {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(3));
+    let n0 = n(0);
+    let b1 = c.create_bunch(n0).unwrap();
+    let b2 = c.create_bunch(n0).unwrap();
+    let o = c.alloc(n0, b1, &ObjSpec::with_refs(1, &[0])).unwrap();
+    let x = c.alloc(n0, b2, &ObjSpec::data(1)).unwrap();
+    c.write_data(n0, x, 0, 1234).unwrap();
+    c.write_ref(n0, o, 0, x).unwrap(); // inter-bunch stub at node 0
+    c.map_bunch(n(1), b1, n0).unwrap();
+    c.map_bunch(n(2), b1, n0).unwrap();
+    (c, b1, b2, o, x)
+}
+
+/// Ownership hops 0 -> 1 -> 2; the SSP chain 2 -> 1 -> 0 forms, and the
+/// inter-bunch target stays protected through collections at every node.
+#[test]
+fn two_hop_chain_protects_the_stub_site() {
+    let (mut c, b1, b2, o, x) = chain_fixture();
+    // Only the mutator at node 2 keeps O alive.
+    c.acquire_write(n(1), o).unwrap();
+    c.release(n(1), o).unwrap();
+    c.acquire_write(n(2), o).unwrap();
+    c.release(n(2), o).unwrap();
+    c.add_root(n(2), o);
+
+    // Chain shape after compression: the second transfer points the new
+    // owner's stub *directly* at the inter-stub site (node 0), rather than
+    // building an A->B->C forwarding chain (which, with bounces, could
+    // weld uncollectable cross-node SSP cycles). Node 1 retains its own
+    // stub->0 while its replica lives.
+    assert_eq!(c.gc.node(n(1)).bunch(b1).unwrap().stub_table.intra[0].scion_at, n(0));
+    assert!(c.gc.node(n(1)).bunch(b1).unwrap().scion_table.intra.is_empty());
+    assert_eq!(c.gc.node(n(2)).bunch(b1).unwrap().stub_table.intra[0].scion_at, n(0));
+    assert_eq!(c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra[0].stub_at, n(1));
+
+    // Collections at every node, twice over. The stub site (node 0, held
+    // by node 2's direct stub through its intra scion) and the owner
+    // (node 2, rooted) must keep their replicas; the compressed-out middle
+    // node (1) may legitimately drop its replica — it is no longer part of
+    // the protection chain.
+    let mut reclaimed = [0u64; 3];
+    for _round in 0..2 {
+        for i in 0..3 {
+            reclaimed[i as usize] += c.run_bgc(n(i), b1).unwrap().reclaimed;
+        }
+        let s = c.run_bgc(n(0), b2).unwrap();
+        assert_eq!(s.reclaimed, 0, "X protected by the chain");
+    }
+    assert_eq!(reclaimed[0], 0, "the stub site's replica must survive");
+    assert_eq!(reclaimed[2], 0, "the rooted owner must survive");
+    assert!(reclaimed[1] <= 1, "at most the middleman's replica dies");
+    // Node 0's scion table carries the re-keyed entry for node 2's direct
+    // stub (created by the cleaner from node 2's report).
+    let scions_at_0 = &c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra;
+    assert!(
+        scions_at_0.iter().any(|s| s.stub_at == n(2)),
+        "node 2's direct stub was re-keyed at node 0: {scions_at_0:?}"
+    );
+    assert_eq!(c.read_data(n(0), x, 0).unwrap(), 1234);
+    let _ = o;
+}
+
+/// When the last mutator reference dies, the chain unwinds end to end and
+/// the inter-bunch target falls.
+#[test]
+fn chain_unwinds_after_death() {
+    let (mut c, b1, b2, _o, x) = chain_fixture();
+    let o = _o;
+    c.acquire_write(n(1), o).unwrap();
+    c.release(n(1), o).unwrap();
+    c.acquire_write(n(2), o).unwrap();
+    c.release(n(2), o).unwrap();
+    let root = c.add_root(n(2), o);
+
+    // Death at the head of the chain.
+    c.remove_root(n(2), root);
+    // The cascade requires one collection per link, head to tail, plus the
+    // final target collection; run a few full rounds to let it settle.
+    let mut total_reclaimed = 0;
+    for _ in 0..4 {
+        for i in [2u32, 1, 0] {
+            total_reclaimed += c.run_bgc(n(i), b1).unwrap().reclaimed;
+        }
+    }
+    assert_eq!(total_reclaimed, 3, "O's replica reclaimed on all three nodes");
+    let s = c.run_bgc(n(0), b2).unwrap();
+    assert_eq!(s.reclaimed, 1, "X falls once the chain is gone");
+    let oid_x = c.oid_at_local(n(0), x).err();
+    assert!(oid_x.is_some(), "X is gone");
+    c.assert_gc_acquired_no_tokens();
+}
+
+/// Ownership bouncing back and forth (A -> B -> A -> B) keeps exactly one
+/// SSP pair per direction — no unbounded growth.
+#[test]
+fn bouncing_ownership_does_not_grow_tables() {
+    let (mut c, b1, _b2, o, _x) = chain_fixture();
+    c.add_root(n(0), o);
+    for _ in 0..5 {
+        c.acquire_write(n(1), o).unwrap();
+        c.release(n(1), o).unwrap();
+        c.acquire_write(n(0), o).unwrap();
+        c.release(n(0), o).unwrap();
+    }
+    let stubs_0 = c.gc.node(n(0)).bunch(b1).unwrap().stub_table.intra.len();
+    let stubs_1 = c.gc.node(n(1)).bunch(b1).unwrap().stub_table.intra.len();
+    assert!(stubs_0 <= 1, "node 0 intra stubs bounded: {stubs_0}");
+    assert!(stubs_1 <= 1, "node 1 intra stubs bounded: {stubs_1}");
+    let scions_0 = c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra.len();
+    let scions_1 = c.gc.node(n(1)).bunch(b1).unwrap().scion_table.intra.len();
+    assert!(scions_0 <= 1 && scions_1 <= 1, "scions bounded: {scions_0}/{scions_1}");
+}
+
+/// A reader on a third node (hint still pointing at the original owner)
+/// keeps the object alive through the ownerPtr chain even after two
+/// ownership hops it never observed.
+#[test]
+fn stale_hints_still_protect_through_the_chain() {
+    let (mut c, b1, _b2, o, _x) = chain_fixture();
+    // Node 2 reads O while node 0 still owns it; its hint points at 0.
+    c.acquire_read(n(2), o).unwrap();
+    c.release(n(2), o).unwrap();
+    c.add_root(n(2), o);
+    // Ownership silently moves 0 -> 1; node 2 is invalidated but never
+    // re-synchronizes, so its ownerPtr still names node 0.
+    c.acquire_write(n(1), o).unwrap();
+    c.release(n(1), o).unwrap();
+    let oid = c.oid_at_local(n(0), o).unwrap();
+    assert_eq!(c.engine.obj_state(n(2), oid).unwrap().owner_hint, n(0));
+    // Everyone collects; node 2's exiting pointer enters node 0, whose
+    // replica's pointer enters node 1 — the chain holds O alive at the
+    // owner even though the owner never heard from node 2.
+    for _round in 0..2 {
+        for i in [2u32, 0, 1] {
+            let s = c.run_bgc(n(i), b1).unwrap();
+            assert_eq!(s.reclaimed, 0, "chain liveness at node {i}");
+        }
+    }
+    // Node 2's replica is still materialized and structurally intact: its
+    // single pointer field still denotes X.
+    let x_at_2 = c.read_ref(n(2), o, 0).unwrap();
+    assert!(c.ptr_eq(n(2), x_at_2, _x), "node 2 still reads its replica");
+}

@@ -1,0 +1,81 @@
+//! Bunch protection attributes (Section 2.1): Unix-style read/write bits
+//! enforced at the mutator API; the collector is exempt (its bookkeeping
+//! writes are not application accesses).
+
+use bmx_repro::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+#[test]
+fn read_only_bunch_rejects_mutator_writes() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+    let n0 = n(0);
+    let prot = Protection { read: true, write: false, execute: false };
+    let b = c.create_bunch_with(n0, prot).unwrap();
+    let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
+    // Reads are fine.
+    assert_eq!(c.read_data(n0, o, 1).unwrap(), 0);
+    // Writes are denied, both data and pointer.
+    assert!(matches!(
+        c.write_data(n0, o, 1, 5),
+        Err(BmxError::AccessDenied { write: true, .. })
+    ));
+    assert!(matches!(
+        c.write_ref(n0, o, 0, Addr::NULL),
+        Err(BmxError::AccessDenied { write: true, .. })
+    ));
+}
+
+#[test]
+fn unreadable_bunch_rejects_mutator_reads() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+    let n0 = n(0);
+    let prot = Protection { read: false, write: true, execute: false };
+    let b = c.create_bunch_with(n0, prot).unwrap();
+    let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
+    c.write_data(n0, o, 1, 9).unwrap();
+    assert!(matches!(
+        c.read_data(n0, o, 1),
+        Err(BmxError::AccessDenied { write: false, .. })
+    ));
+    assert!(matches!(
+        c.read_ref(n0, o, 0),
+        Err(BmxError::AccessDenied { write: false, .. })
+    ));
+}
+
+/// The collector is not a mutator: it collects read-only bunches freely.
+#[test]
+fn collector_ignores_protection() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(1));
+    let n0 = n(0);
+    let prot = Protection { read: true, write: false, execute: false };
+    let b = c.create_bunch_with(n0, prot).unwrap();
+    let o = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
+    c.add_root(n0, o);
+    let _garbage = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
+    let s = c.run_bgc(n0, b).unwrap();
+    assert_eq!(s.copied, 1, "the collector copied (wrote) despite read-only protection");
+    assert_eq!(s.reclaimed, 1);
+    assert_eq!(c.read_data(n0, o, 0).unwrap(), 0);
+}
+
+/// Protection survives checkpoint metadata? (It is server-side state, so a
+/// same-process remap keeps it; the attribute follows the bunch, not the
+/// replica.)
+#[test]
+fn protection_applies_on_every_node() {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+    let n0 = n(0);
+    let prot = Protection { read: true, write: false, execute: false };
+    let b = c.create_bunch_with(n0, prot).unwrap();
+    let o = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
+    c.map_bunch(n(1), b, n0).unwrap();
+    assert!(matches!(
+        c.write_data(n(1), o, 0, 1),
+        Err(BmxError::AccessDenied { .. })
+    ));
+    assert_eq!(c.read_data(n(1), o, 0).unwrap(), 0);
+}

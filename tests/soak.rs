@@ -1,0 +1,143 @@
+//! Soak: a six-node cluster running a mixed workload — sharing, ownership
+//! migration, churn, per-replica and group collections, from-space reuse —
+//! for many rounds, with global invariants checked throughout. Also pins
+//! down determinism: two identical runs produce identical counters.
+
+use bmx_repro::prelude::*;
+use bmx_repro::workloads::{db, lists};
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+const NODES: u32 = 6;
+const ROUNDS: u64 = 12;
+
+struct SoakOutcome {
+    reclaimed: u64,
+    copied: u64,
+    messages: u64,
+    final_sum: u64,
+}
+
+fn run_soak(seed: u64) -> SoakOutcome {
+    let mut c = Cluster::new(ClusterConfig::with_nodes(NODES));
+    let hub = n(0);
+    // A shared database bunch plus a per-node scratch bunch.
+    let db_bunch = c.create_bunch(hub).unwrap();
+    let graph = db::build_db(&mut c, hub, db_bunch, 3, 4).unwrap();
+    c.add_root(hub, graph.module);
+    let mut scratch = Vec::new();
+    for i in 0..NODES {
+        if i != 0 {
+            c.map_bunch(n(i), db_bunch, hub).unwrap();
+            c.add_root(n(i), graph.module);
+        }
+        // Scratch bunches live at the hub (single-creator rule) but are
+        // shared with their "user" node.
+        let b = c.create_bunch(hub).unwrap();
+        let list = lists::build_list(&mut c, hub, b, 6, i as u64 * 100).unwrap();
+        c.add_root(hub, list.head);
+        if i != 0 {
+            c.map_bunch(n(i), b, hub).unwrap();
+            c.add_root(n(i), list.head);
+        }
+        scratch.push((b, list));
+    }
+
+    let mut rng = seed;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    for round in 0..ROUNDS {
+        // Ownership migration: a random node edits a random db part.
+        let editor = n((next() % NODES as u64) as u32);
+        let a = (next() % graph.parts.len() as u64) as usize;
+        let p = (next() % graph.parts[a].len() as u64) as usize;
+        let part = graph.parts[a][p];
+        c.acquire_write(editor, part).unwrap();
+        let v = c.read_data(editor, part, 1).unwrap();
+        c.write_data(editor, part, 1, v + 1).unwrap();
+        c.release(editor, part).unwrap();
+
+        // Churn in one scratch bunch (allocation happens at the hub).
+        let (b, list) = &scratch[(next() % NODES as u64) as usize];
+        for _ in 0..4 {
+            c.alloc(hub, *b, &ObjSpec::data(3)).unwrap(); // garbage
+        }
+        // A reader walks the list from a replica that has it mapped.
+        let reader = if next() % 2 == 0 { hub } else { n((next() % NODES as u64) as u32) };
+        if c.gc.node(reader).bunches.contains_key(b) {
+            for &cell in &list.cells {
+                c.acquire_read(reader, cell).unwrap();
+                c.release(reader, cell).unwrap();
+            }
+        }
+
+        // Housekeeping: rotate collections around the cluster.
+        let collector = n((round % NODES as u64) as u32);
+        if round % 3 == 2 {
+            c.run_ggc(collector).unwrap();
+        } else {
+            // Collect only what this node has mapped (scratch bunches live
+            // on the hub and their user node only).
+            if c.gc.node(collector).bunches.contains_key(b) {
+                c.run_bgc(collector, *b).unwrap();
+            }
+            c.run_bgc(collector, db_bunch).unwrap();
+        }
+        if round % 5 == 4 {
+            let _ = c.reuse_from_space(hub, *b);
+        }
+        c.assert_gc_acquired_no_tokens();
+        // Deep invariant audit every few rounds (headers, directories,
+        // references, ownership, SSP endpoints, roots).
+        if round % 4 == 0 {
+            bmx_repro::bmx::audit::assert_clean(&c);
+        }
+    }
+    bmx_repro::bmx::audit::assert_clean(&c);
+
+    // Final verification: the database graph is intact everywhere it is
+    // mapped, and every scratch list still walks.
+    let verified = db::verify_db_structure(&c, hub, &graph).unwrap();
+    assert_eq!(verified, 12);
+    let mut final_sum = 0;
+    for (i, (_b, list)) in scratch.iter().enumerate() {
+        let head = c.gc.node(hub).directory.resolve(list.head);
+        let payloads = lists::read_payloads(&c, hub, head).unwrap();
+        assert_eq!(payloads.len(), 6, "scratch list {i} intact");
+        final_sum += payloads.iter().sum::<u64>();
+    }
+    SoakOutcome {
+        reclaimed: c.total_stat(StatKind::ObjectsReclaimed),
+        copied: c.total_stat(StatKind::ObjectsCopied),
+        messages: c.net.total_sent(),
+        final_sum,
+    }
+}
+
+#[test]
+fn soak_mixed_workload_holds_invariants() {
+    let out = run_soak(0xBEEF);
+    assert!(out.reclaimed > 0, "churn garbage was collected");
+    assert!(out.copied > 0, "collections copied live objects");
+    assert!(out.messages > 0);
+}
+
+#[test]
+fn soak_is_deterministic() {
+    let a = run_soak(7);
+    let b = run_soak(7);
+    assert_eq!(a.reclaimed, b.reclaimed);
+    assert_eq!(a.copied, b.copied);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.final_sum, b.final_sum);
+    let c = run_soak(8);
+    // A different seed takes a different path (statistically certain).
+    assert!(
+        a.messages != c.messages || a.copied != c.copied || a.reclaimed != c.reclaimed,
+        "different seeds should diverge"
+    );
+}

@@ -1,0 +1,179 @@
+//! Concurrency stress: many application threads drive one simulated
+//! cluster through the actor handle — mutation, token traffic, and
+//! collections race (at operation granularity) and every invariant must
+//! still hold.
+
+use std::sync::Arc;
+
+use bmx_repro::bmx::{ClusterActor, ClusterHandle};
+use bmx_repro::prelude::*;
+use parking_lot::Mutex;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// Four worker threads hammer a shared counter object with write-token
+/// increments from different nodes while a fifth runs collections; the
+/// final count equals the number of increments and the collector acquired
+/// no tokens.
+#[test]
+fn concurrent_increments_with_collections() {
+    const WORKERS: u32 = 4;
+    const INCS_PER_WORKER: u64 = 50;
+
+    let (actor, handle) = ClusterActor::spawn(ClusterConfig::with_nodes(WORKERS));
+    let n0 = n(0);
+    let (bunch, counter) = handle.with(move |c| {
+        let b = c.create_bunch(n0).unwrap();
+        let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
+        c.add_root(n0, o);
+        for i in 1..WORKERS {
+            c.map_bunch(n(i), b, n0).unwrap();
+            c.add_root(n(i), o);
+        }
+        (b, o)
+    });
+
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut threads = Vec::new();
+    for w in 0..WORKERS {
+        let h: ClusterHandle = handle.clone();
+        let failures = Arc::clone(&failures);
+        threads.push(std::thread::spawn(move || {
+            let node = n(w);
+            for i in 0..INCS_PER_WORKER {
+                let res: Result<()> = h.with(move |c| {
+                    c.acquire_write(node, counter)?;
+                    let v = c.read_data(node, counter, 1)?;
+                    c.write_data(node, counter, 1, v + 1)?;
+                    c.release(node, counter)
+                });
+                if let Err(e) = res {
+                    failures.lock().push(format!("worker {w} inc {i}: {e}"));
+                    return;
+                }
+            }
+        }));
+    }
+    // A collector thread interleaves BGCs on every node.
+    {
+        let h = handle.clone();
+        let failures = Arc::clone(&failures);
+        threads.push(std::thread::spawn(move || {
+            for round in 0..12 {
+                let node = n(round % WORKERS);
+                let res: Result<_> = h.with(move |c| c.run_bgc(node, bunch));
+                if let Err(e) = res {
+                    failures.lock().push(format!("gc round {round}: {e}"));
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("thread");
+    }
+    assert!(failures.lock().is_empty(), "failures: {:?}", failures.lock());
+
+    let total = handle.with(move |c| {
+        c.acquire_read(n0, counter).unwrap();
+        let v = c.read_data(n0, counter, 1).unwrap();
+        c.release(n0, counter).unwrap();
+        c.assert_gc_acquired_no_tokens();
+        v
+    });
+    assert_eq!(total, WORKERS as u64 * INCS_PER_WORKER);
+    actor.shutdown();
+}
+
+/// Producers on one node and a consumer on another share a linked queue
+/// through the handle; garbage from consumed cells is collected while the
+/// queue is in active use.
+#[test]
+fn producer_consumer_through_the_actor() {
+    let (actor, handle) = ClusterActor::spawn(ClusterConfig::with_nodes(2));
+    let (prod, cons) = (n(0), n(1));
+    let (bunch, queue) = handle.with(move |c| {
+        let b = c.create_bunch(prod).unwrap();
+        let q = c.alloc(prod, b, &ObjSpec::with_refs(1, &[0])).unwrap();
+        c.add_root(prod, q);
+        c.map_bunch(cons, b, prod).unwrap();
+        c.add_root(cons, q);
+        (b, q)
+    });
+
+    const ITEMS: u64 = 40;
+    let producer = {
+        let h = handle.clone();
+        std::thread::spawn(move || {
+            for i in 0..ITEMS {
+                h.with(move |c| -> Result<()> {
+                    let item = c.alloc(prod, bunch, &ObjSpec::with_refs(2, &[0]))?;
+                    c.write_data(prod, item, 1, i)?;
+                    c.acquire_write(prod, queue)?;
+                    let head = c.read_ref(prod, queue, 0)?;
+                    c.write_ref(prod, item, 0, head)?;
+                    c.write_ref(prod, queue, 0, item)?;
+                    c.release(prod, queue)
+                })
+                .expect("produce");
+            }
+        })
+    };
+    let consumer = {
+        let h = handle.clone();
+        std::thread::spawn(move || {
+            let mut got = Vec::new();
+            let mut spins = 0;
+            while got.len() < ITEMS as usize {
+                let popped: Option<u64> = h
+                    .with(move |c| -> Result<Option<u64>> {
+                        c.acquire_write(cons, queue)?;
+                        let head = c.read_ref(cons, queue, 0)?;
+                        let out = if head.is_null() {
+                            None
+                        } else {
+                            c.acquire_write(cons, head)?;
+                            let v = c.read_data(cons, head, 1)?;
+                            let rest = c.read_ref(cons, head, 0)?;
+                            c.release(cons, head)?;
+                            c.write_ref(cons, queue, 0, rest)?;
+                            Some(v)
+                        };
+                        c.release(cons, queue)?;
+                        Ok(out)
+                    })
+                    .expect("consume");
+                match popped {
+                    Some(v) => got.push(v),
+                    None => {
+                        spins += 1;
+                        assert!(spins < 100_000, "consumer starved");
+                        std::thread::yield_now();
+                    }
+                }
+                // Periodic housekeeping on the consumer's replica.
+                if got.len() % 10 == 5 {
+                    h.with(move |c| c.run_bgc(cons, bunch)).expect("gc");
+                }
+            }
+            got
+        })
+    };
+    producer.join().expect("producer");
+    let got = consumer.join().expect("consumer");
+    assert_eq!(got.len(), ITEMS as usize);
+    // All items seen exactly once (order may interleave).
+    let mut sorted = got.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..ITEMS).collect::<Vec<_>>());
+
+    handle.with(move |c| {
+        c.run_bgc(prod, bunch).unwrap();
+        c.run_bgc(cons, bunch).unwrap();
+        c.assert_gc_acquired_no_tokens();
+    });
+    actor.shutdown();
+}
