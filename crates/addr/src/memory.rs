@@ -89,7 +89,11 @@ pub struct NodeMemory {
 impl NodeMemory {
     /// Creates an empty memory for `node`.
     pub fn new(node: NodeId) -> Self {
-        NodeMemory { node, by_base: BTreeMap::new(), bases: BTreeMap::new() }
+        NodeMemory {
+            node,
+            by_base: BTreeMap::new(),
+            bases: BTreeMap::new(),
+        }
     }
 
     /// The owning node's id.
@@ -143,11 +147,18 @@ impl NodeMemory {
 
     /// Resolves an address to its mapped segment and word offset.
     pub fn resolve(&self, addr: Addr) -> Result<(&MappedSegment, u64)> {
-        let unmapped = || BmxError::Unmapped { node: self.node, addr };
+        let unmapped = || BmxError::Unmapped {
+            node: self.node,
+            addr,
+        };
         if addr.is_null() || !addr.is_aligned() {
             return Err(unmapped());
         }
-        let (_, seg) = self.by_base.range(..=addr.0).next_back().ok_or_else(unmapped)?;
+        let (_, seg) = self
+            .by_base
+            .range(..=addr.0)
+            .next_back()
+            .ok_or_else(unmapped)?;
         if !seg.info.contains(addr) {
             return Err(unmapped());
         }
@@ -161,7 +172,11 @@ impl NodeMemory {
         if addr.is_null() || !addr.is_aligned() {
             return Err(unmapped());
         }
-        let (_, seg) = self.by_base.range_mut(..=addr.0).next_back().ok_or_else(unmapped)?;
+        let (_, seg) = self
+            .by_base
+            .range_mut(..=addr.0)
+            .next_back()
+            .ok_or_else(unmapped)?;
         if !seg.info.contains(addr) {
             return Err(unmapped());
         }
@@ -184,7 +199,9 @@ impl NodeMemory {
 
     /// Takes a transferable snapshot of a mapped segment.
     pub fn image(&self, id: SegmentId) -> Result<SegmentImage> {
-        Ok(SegmentImage { segment: self.segment(id)?.clone() })
+        Ok(SegmentImage {
+            segment: self.segment(id)?.clone(),
+        })
     }
 }
 
@@ -215,7 +232,10 @@ mod tests {
     #[test]
     fn unmapped_and_null_and_unaligned_fail() {
         let (_, mem, info) = setup();
-        assert!(matches!(mem.read_word(Addr::NULL), Err(BmxError::Unmapped { .. })));
+        assert!(matches!(
+            mem.read_word(Addr::NULL),
+            Err(BmxError::Unmapped { .. })
+        ));
         assert!(mem.read_word(Addr(info.base.0 + 1)).is_err());
         assert!(mem.read_word(info.base.add_words(64)).is_err());
         assert!(mem.read_word(Addr(info.base.0 - 8)).is_err());

@@ -58,7 +58,10 @@ pub fn alloc_in_segment(
 ) -> Result<Addr> {
     let need = HEADER_WORDS + data_words;
     if seg.free_words() < need {
-        return Err(BmxError::OutOfMemory { bunch: seg.info.bunch, words: data_words });
+        return Err(BmxError::OutOfMemory {
+            bunch: seg.info.bunch,
+            words: data_words,
+        });
     }
     for &f in ref_fields {
         if f >= data_words {
@@ -115,7 +118,11 @@ pub fn view(mem: &NodeMemory, addr: Addr) -> Result<ObjectView> {
 fn field_slot(mem: &NodeMemory, addr: Addr, field: u64) -> Result<(ObjectView, Addr, bool)> {
     let v = view(mem, addr)?;
     if field >= v.size {
-        return Err(BmxError::FieldOutOfBounds { addr, field, size: v.size });
+        return Err(BmxError::FieldOutOfBounds {
+            addr,
+            field,
+            size: v.size,
+        });
     }
     let slot = v.field_addr(field);
     let (seg, off) = mem.resolve(slot)?;
@@ -167,8 +174,7 @@ pub fn write_ref_field(mem: &mut NodeMemory, addr: Addr, field: u64, target: Add
 pub fn set_forwarding(mem: &mut NodeMemory, addr: Addr, to: Addr) -> Result<()> {
     let v = view(mem, addr)?;
     let (seg, off) = mem.resolve_mut(addr)?;
-    seg.words[off as usize] =
-        layout::pack_header0(v.size, v.flags.with(ObjFlags::FORWARDED));
+    seg.words[off as usize] = layout::pack_header0(v.size, v.flags.with(ObjFlags::FORWARDED));
     seg.words[off as usize + 2] = to.0;
     Ok(())
 }
@@ -200,7 +206,11 @@ pub fn data_words(mem: &NodeMemory, addr: Addr) -> Result<Vec<u64>> {
 pub fn install_data_words(mem: &mut NodeMemory, addr: Addr, data: &[u64]) -> Result<()> {
     let v = view(mem, addr)?;
     if data.len() as u64 != v.size {
-        return Err(BmxError::FieldOutOfBounds { addr, field: data.len() as u64, size: v.size });
+        return Err(BmxError::FieldOutOfBounds {
+            addr,
+            field: data.len() as u64,
+            size: v.size,
+        });
     }
     let (seg, off) = mem.resolve_mut(addr)?;
     let start = (off + HEADER_WORDS) as usize;
@@ -225,7 +235,11 @@ impl ObjectImage {
     pub fn capture(mem: &NodeMemory, addr: Addr) -> Result<ObjectImage> {
         let v = view(mem, addr)?;
         let refs = ref_fields(mem, addr)?.into_iter().map(|(f, _)| f).collect();
-        Ok(ObjectImage { oid: v.oid, ref_fields: refs, data: data_words(mem, addr)? })
+        Ok(ObjectImage {
+            oid: v.oid,
+            ref_fields: refs,
+            data: data_words(mem, addr)?,
+        })
     }
 
     /// Approximate wire size in bytes.
@@ -245,19 +259,25 @@ pub fn install_object_at(mem: &mut NodeMemory, addr: Addr, image: &ObjectImage) 
     let size = image.data.len() as u64;
     for &f in &image.ref_fields {
         if f >= size {
-            return Err(BmxError::FieldOutOfBounds { addr, field: f, size });
+            return Err(BmxError::FieldOutOfBounds {
+                addr,
+                field: f,
+                size,
+            });
         }
     }
     let (seg, off) = mem.resolve_mut(addr)?;
     let need = HEADER_WORDS + size;
     if off + need > seg.info.words {
-        return Err(BmxError::OutOfMemory { bunch: seg.info.bunch, words: size });
+        return Err(BmxError::OutOfMemory {
+            bunch: seg.info.bunch,
+            words: size,
+        });
     }
     seg.words[off as usize] = layout::pack_header0(size, ObjFlags::default());
     seg.words[off as usize + 1] = image.oid.0;
     seg.words[off as usize + 2] = Addr::NULL.0;
-    seg.words[(off + HEADER_WORDS) as usize..(off + need) as usize]
-        .copy_from_slice(&image.data);
+    seg.words[(off + HEADER_WORDS) as usize..(off + need) as usize].copy_from_slice(&image.data);
     for i in off..off + need {
         seg.ref_map.clear(i as usize);
         if i != off {
@@ -276,7 +296,10 @@ pub fn install_object_at(mem: &mut NodeMemory, addr: Addr, image: &ObjectImage) 
 
 /// Addresses of every object header in the segment, ascending.
 pub fn objects_in(seg: &MappedSegment) -> Vec<Addr> {
-    seg.object_offsets().iter().map(|&o| seg.info.base.add_words(o)).collect()
+    seg.object_offsets()
+        .iter()
+        .map(|&o| seg.info.base.add_words(o))
+        .collect()
 }
 
 #[cfg(test)]
@@ -294,7 +317,13 @@ mod tests {
         (mem, info)
     }
 
-    fn alloc(mem: &mut NodeMemory, info: &crate::server::SegmentInfo, oid: u64, size: u64, refs: &[u64]) -> Addr {
+    fn alloc(
+        mem: &mut NodeMemory,
+        info: &crate::server::SegmentInfo,
+        oid: u64,
+        size: u64,
+        refs: &[u64],
+    ) -> Addr {
         let seg = mem.segment_mut(info.id).unwrap();
         alloc_in_segment(seg, Oid(oid), size, refs).unwrap()
     }
@@ -458,9 +487,17 @@ mod tests {
     fn install_rejects_overflow_and_bad_refs() {
         let (mut mem, info) = setup();
         let near_end = info.base.add_words(info.words - 2);
-        let img = ObjectImage { oid: Oid(1), ref_fields: vec![], data: vec![0; 4] };
+        let img = ObjectImage {
+            oid: Oid(1),
+            ref_fields: vec![],
+            data: vec![0; 4],
+        };
         assert!(install_object_at(&mut mem, near_end, &img).is_err());
-        let bad = ObjectImage { oid: Oid(1), ref_fields: vec![4], data: vec![0; 4] };
+        let bad = ObjectImage {
+            oid: Oid(1),
+            ref_fields: vec![4],
+            data: vec![0; 4],
+        };
         assert!(install_object_at(&mut mem, info.base, &bad).is_err());
     }
 

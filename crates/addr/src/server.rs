@@ -25,7 +25,11 @@ pub struct Protection {
 
 impl Default for Protection {
     fn default() -> Self {
-        Protection { read: true, write: true, execute: false }
+        Protection {
+            read: true,
+            write: true,
+            execute: false,
+        }
     }
 }
 
@@ -111,7 +115,12 @@ impl SegmentServer {
         self.next_bunch += 1;
         self.bunches.insert(
             id,
-            BunchInfo { id, creator, segments: Vec::new(), protection },
+            BunchInfo {
+                id,
+                creator,
+                segments: Vec::new(),
+                protection,
+            },
         );
         id
     }
@@ -121,7 +130,10 @@ impl SegmentServer {
         let entry = self
             .bunches
             .get_mut(&bunch)
-            .ok_or(BmxError::BunchUnmapped { node: NodeId(u32::MAX), bunch })?;
+            .ok_or(BmxError::BunchUnmapped {
+                node: NodeId(u32::MAX),
+                bunch,
+            })?;
         let id = SegmentId(self.next_segment);
         self.next_segment += 1;
         let base = Addr(self.next_base);
@@ -129,7 +141,12 @@ impl SegmentServer {
             .next_base
             .checked_add(self.segment_words * bmx_common::WORD_BYTES)
             .ok_or(BmxError::SegmentExhausted { bunch })?;
-        let info = SegmentInfo { id, base, words: self.segment_words, bunch };
+        let info = SegmentInfo {
+            id,
+            base,
+            words: self.segment_words,
+            bunch,
+        };
         self.segments.insert(id, info);
         self.by_base.insert(base.0, id);
         entry.segments.push(id);
@@ -159,8 +176,16 @@ impl SegmentServer {
         let entry = self
             .bunches
             .get_mut(&bunch)
-            .ok_or(BmxError::BunchUnmapped { node: NodeId(u32::MAX), bunch })?;
-        let info = SegmentInfo { id, base, words, bunch };
+            .ok_or(BmxError::BunchUnmapped {
+                node: NodeId(u32::MAX),
+                bunch,
+            })?;
+        let info = SegmentInfo {
+            id,
+            base,
+            words,
+            bunch,
+        };
         self.segments.insert(id, info);
         self.by_base.insert(base.0, id);
         entry.segments.push(id);
@@ -176,14 +201,18 @@ impl SegmentServer {
 
     /// Looks up a segment descriptor.
     pub fn segment(&self, id: SegmentId) -> Result<SegmentInfo> {
-        self.segments.get(&id).copied().ok_or(BmxError::NoSuchSegment(id))
+        self.segments
+            .get(&id)
+            .copied()
+            .ok_or(BmxError::NoSuchSegment(id))
     }
 
     /// Looks up a bunch descriptor.
     pub fn bunch(&self, id: BunchId) -> Result<&BunchInfo> {
-        self.bunches
-            .get(&id)
-            .ok_or(BmxError::BunchUnmapped { node: NodeId(u32::MAX), bunch: id })
+        self.bunches.get(&id).ok_or(BmxError::BunchUnmapped {
+            node: NodeId(u32::MAX),
+            bunch: id,
+        })
     }
 
     /// All bunches, in id order.

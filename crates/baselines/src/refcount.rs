@@ -92,10 +92,12 @@ impl RefCountSim {
             // Deleting requires an existing reference; otherwise create.
             if *t > 0 && self.rng.chance(0.5) {
                 *t -= 1;
-                self.net.send(holder, OWNER, MsgClass::GcBackground, RcMsg::Dec(oid));
+                self.net
+                    .send(holder, OWNER, MsgClass::GcBackground, RcMsg::Dec(oid));
             } else {
                 *t += 1;
-                self.net.send(holder, OWNER, MsgClass::GcBackground, RcMsg::Inc(oid));
+                self.net
+                    .send(holder, OWNER, MsgClass::GcBackground, RcMsg::Inc(oid));
             }
         }
         // Drain.
@@ -115,7 +117,10 @@ impl RefCountSim {
     }
 
     fn evaluate(&self) -> RefCountOutcome {
-        let mut out = RefCountOutcome { dropped: self.net.total_dropped(), ..Default::default() };
+        let mut out = RefCountOutcome {
+            dropped: self.net.total_dropped(),
+            ..Default::default()
+        };
         for (oid, &truth) in &self.truth {
             let count = self.counts[oid];
             if count == truth {

@@ -52,15 +52,23 @@ impl MigrationTrace {
     pub fn round_robin(objects: usize, stubs_per_object: u64, hops: usize, nodes: u32) -> Self {
         let paths = (0..objects)
             .map(|o| {
-                (0..=hops).map(|h| NodeId(((o + h) % nodes as usize) as u32)).collect()
+                (0..=hops)
+                    .map(|h| NodeId(((o + h) % nodes as usize) as u32))
+                    .collect()
             })
             .collect();
-        MigrationTrace { stubs_per_object, paths }
+        MigrationTrace {
+            stubs_per_object,
+            paths,
+        }
     }
 
     /// Total migrations in the trace.
     pub fn migrations(&self) -> u64 {
-        self.paths.iter().map(|p| (p.len().saturating_sub(1)) as u64).sum()
+        self.paths
+            .iter()
+            .map(|p| (p.len().saturating_sub(1)) as u64)
+            .sum()
     }
 }
 
@@ -158,7 +166,10 @@ mod tests {
             paths: vec![vec![NodeId(0), NodeId(1), NodeId(0), NodeId(1)]],
         };
         let repl = replay(&trace, SspStrategy::ReplicatedInter);
-        assert_eq!(repl.scion_messages, 1, "only the first visit to node 1 replicates");
+        assert_eq!(
+            repl.scion_messages, 1,
+            "only the first visit to node 1 replicates"
+        );
         let intra = replay(&trace, SspStrategy::IntraBunch);
         // Compression: node 1 is the only non-site holder -> one SSP pair
         // (plus the creation-site inter SSP).

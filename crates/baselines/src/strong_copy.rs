@@ -33,8 +33,9 @@ pub fn strong_bgc(cluster: &mut Cluster, node: NodeId, bunch: BunchId) -> Result
     // Phase 2: acquire the write token for each — the step the paper's
     // design exists to avoid. Token acquisitions and the invalidations they
     // trigger are attributed to the collector.
-    let inval_before: u64 =
-        (0..cluster.nodes()).map(|i| cluster.stats[i as usize].get(StatKind::Invalidations)).sum();
+    let inval_before: u64 = (0..cluster.nodes())
+        .map(|i| cluster.stats[i as usize].get(StatKind::Invalidations))
+        .sum();
     for &oid in &live {
         let already = cluster.engine.token(node, oid) == Token::Write;
         if already {
@@ -42,7 +43,14 @@ pub fn strong_bgc(cluster: &mut Cluster, node: NodeId, bunch: BunchId) -> Result
         }
         cluster.stats[node.0 as usize].bump(StatKind::GcTokenAcquires);
         let started = {
-            let Cluster { engine, gc, mems, stats, net, .. } = cluster;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = cluster;
             let mut sh = DsmShared { mems, stats, gc };
             let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
                 net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
@@ -53,10 +61,10 @@ pub fn strong_bgc(cluster: &mut Cluster, node: NodeId, bunch: BunchId) -> Result
             cluster.pump()?;
         }
     }
-    let inval_after: u64 =
-        (0..cluster.nodes()).map(|i| cluster.stats[i as usize].get(StatKind::Invalidations)).sum();
-    cluster.stats[node.0 as usize]
-        .add(StatKind::GcInvalidations, inval_after - inval_before);
+    let inval_after: u64 = (0..cluster.nodes())
+        .map(|i| cluster.stats[i as usize].get(StatKind::Invalidations))
+        .sum();
+    cluster.stats[node.0 as usize].add(StatKind::GcInvalidations, inval_after - inval_before);
 
     // Phase 3: with every live object now locally owned, the ordinary
     // collection copies all of them.
@@ -70,7 +78,12 @@ fn trace_local(cluster: &Cluster, node: NodeId, bunch: BunchId) -> Result<Vec<Oi
     let mut roots: Vec<Addr> = ns.roots.values().copied().collect();
     if let Some(brs) = ns.bunch(bunch) {
         roots.extend(brs.scion_table.inter.iter().map(|s| s.target_addr));
-        roots.extend(brs.scion_table.intra.iter().filter_map(|s| ns.directory.addr_of(s.oid)));
+        roots.extend(
+            brs.scion_table
+                .intra
+                .iter()
+                .filter_map(|s| ns.directory.addr_of(s.oid)),
+        );
     }
     for (oid, st) in cluster.engine.replicas(node) {
         if st.bunch == bunch && !st.entering.is_empty() {
@@ -90,7 +103,9 @@ fn trace_local(cluster: &Cluster, node: NodeId, bunch: BunchId) -> Result<Vec<Oi
         if !seen.insert(a) {
             continue;
         }
-        let Ok(v) = object::view(mem, a) else { continue };
+        let Ok(v) = object::view(mem, a) else {
+            continue;
+        };
         if cluster.gc.bunch_of(a) != Some(bunch) {
             continue;
         }
@@ -141,7 +156,11 @@ mod tests {
         let (mut c, objs, b) = replicated_fixture();
         let stats = strong_bgc(&mut c, NodeId(0), b).unwrap();
         assert_eq!(stats.live, objs.len() as u64);
-        assert_eq!(stats.copied, objs.len() as u64, "everything owned, everything copied");
+        assert_eq!(
+            stats.copied,
+            objs.len() as u64,
+            "everything owned, everything copied"
+        );
         let gc_acqs = c.stats[0].get(StatKind::GcTokenAcquires);
         assert!(gc_acqs > 0, "the baseline must acquire tokens");
         let gc_inval = c.stats[0].get(StatKind::GcInvalidations);

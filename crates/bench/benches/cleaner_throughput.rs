@@ -12,23 +12,27 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 /// Builds a GcState with `n` inter scions at node 1 (half of which the
 /// report will justify) plus the matching report from node 0.
 fn fixture(n: u64) -> (GcState, DsmEngine, ReachabilityReport) {
-    let server = std::rc::Rc::new(std::cell::RefCell::new(
-        bmx_addr::SegmentServer::new(64),
-    ));
+    let server = std::rc::Rc::new(std::cell::RefCell::new(bmx_addr::SegmentServer::new(64)));
     let mut gc = GcState::new(2, server);
     let engine = DsmEngine::new(2);
     let (b_src, b_tgt) = (BunchId(1), BunchId(2));
     let mut stubs = Vec::new();
     for i in 0..n {
-        let id = SspId { node: NodeId(0), seq: i };
-        gc.node_mut(NodeId(1)).bunch_or_default(b_tgt).scion_table.add_inter(InterScion {
-            id,
-            source_node: NodeId(0),
-            source_bunch: b_src,
-            target_bunch: b_tgt,
-            target_addr: Addr(0x1_0000 + i * 64),
-            target_oid: Some(Oid(i)),
-        });
+        let id = SspId {
+            node: NodeId(0),
+            seq: i,
+        };
+        gc.node_mut(NodeId(1))
+            .bunch_or_default(b_tgt)
+            .scion_table
+            .add_inter(InterScion {
+                id,
+                source_node: NodeId(0),
+                source_bunch: b_src,
+                target_bunch: b_tgt,
+                target_addr: Addr(0x1_0000 + i * 64),
+                target_oid: Some(Oid(i)),
+            });
         if i % 2 == 0 {
             stubs.push(InterStub {
                 id,

@@ -26,18 +26,22 @@ fn bench_bgc_vs_replicas(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             )
         });
-        group.bench_with_input(BenchmarkId::new("strong_gc", replicas), &replicas, |b, &r| {
-            b.iter_batched(
-                || {
-                    let mut fx = fixtures::replicated_list(r, OBJECTS).expect("fixture");
-                    fixtures::warm_readers(&mut fx).expect("warm");
-                    fixtures::make_garbage(&mut fx, OBJECTS / 4).expect("garbage");
-                    fx
-                },
-                |mut fx| strong_bgc(&mut fx.cluster, NodeId(0), fx.bunch).expect("strong"),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("strong_gc", replicas),
+            &replicas,
+            |b, &r| {
+                b.iter_batched(
+                    || {
+                        let mut fx = fixtures::replicated_list(r, OBJECTS).expect("fixture");
+                        fixtures::warm_readers(&mut fx).expect("warm");
+                        fixtures::make_garbage(&mut fx, OBJECTS / 4).expect("garbage");
+                        fx
+                    },
+                    |mut fx| strong_bgc(&mut fx.cluster, NodeId(0), fx.bunch).expect("strong"),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -13,15 +13,24 @@ struct Fix {
 }
 
 fn fixture() -> Fix {
-    let mut cluster =
-        Cluster::new(ClusterConfig { segment_words: 1 << 16, ..ClusterConfig::with_nodes(1) });
+    let mut cluster = Cluster::new(ClusterConfig {
+        segment_words: 1 << 16,
+        ..ClusterConfig::with_nodes(1)
+    });
     let n0 = NodeId(0);
     let b1: BunchId = cluster.create_bunch(n0).expect("bunch");
     let b2 = cluster.create_bunch(n0).expect("bunch");
-    let src = cluster.alloc(n0, b1, &ObjSpec::with_refs(4, &[0, 1])).expect("src");
+    let src = cluster
+        .alloc(n0, b1, &ObjSpec::with_refs(4, &[0, 1]))
+        .expect("src");
     let same = cluster.alloc(n0, b1, &ObjSpec::data(1)).expect("same");
     let other = cluster.alloc(n0, b2, &ObjSpec::data(1)).expect("other");
-    Fix { cluster, src, same, other }
+    Fix {
+        cluster,
+        src,
+        same,
+        other,
+    }
 }
 
 fn bench_barrier(c: &mut Criterion) {
@@ -42,7 +51,11 @@ fn bench_barrier(c: &mut Criterion) {
 
     let mut fx = fixture();
     group.bench_function("ref_store_inter_bunch", |b| {
-        b.iter(|| fx.cluster.write_ref(n0, fx.src, 1, fx.other).expect("store"))
+        b.iter(|| {
+            fx.cluster
+                .write_ref(n0, fx.src, 1, fx.other)
+                .expect("store")
+        })
     });
 
     group.finish();

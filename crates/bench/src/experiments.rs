@@ -1,5 +1,7 @@
 //! The experiment drivers (DESIGN.md index E1–E10).
 
+pub mod e10_fromspace;
+pub mod e11_consistency;
 pub mod e1_replication;
 pub mod e2_interference;
 pub mod e3_piggyback;
@@ -9,5 +11,3 @@ pub mod e6_ssp_ablation;
 pub mod e7_cycles;
 pub mod e8_barrier;
 pub mod e9_recovery;
-pub mod e10_fromspace;
-pub mod e11_consistency;

@@ -51,8 +51,7 @@ pub fn run(fractions: &[f64]) -> Vec<Row> {
                     - bg_before,
                 retire_msgs: fx.cluster.total_stat(StatKind::ExplicitRelocationMessages)
                     - retire_before,
-                words_reclaimed: fx.cluster.stats[0].get(StatKind::WordsReclaimed)
-                    - words_before,
+                words_reclaimed: fx.cluster.stats[0].get(StatKind::WordsReclaimed) - words_before,
                 completed,
             }
         })
@@ -63,7 +62,13 @@ pub fn run(fractions: &[f64]) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E10: from-space reuse protocol (64-cell list, 2 nodes)",
-        &["remote_frac", "bg_msgs", "retire_msgs", "words_reclaimed", "completed"],
+        &[
+            "remote_frac",
+            "bg_msgs",
+            "retire_msgs",
+            "words_reclaimed",
+            "completed",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -70,7 +70,9 @@ pub fn run() -> Vec<Row> {
             for node in [NodeId(0), NodeId(1)] {
                 for &cell in &fx.list.cells {
                     let v = fx.cluster.sc_read_data(node, cell, 1).expect("sc load");
-                    fx.cluster.sc_write_data(node, cell, 1, v).expect("sc store");
+                    fx.cluster
+                        .sc_write_data(node, cell, 1, v)
+                        .expect("sc store");
                     loads += 1;
                 }
             }

@@ -64,8 +64,7 @@ pub fn run(replica_counts: &[u32]) -> Vec<Row> {
             let strong_us = t0.elapsed().as_micros();
             let strong_token_acquires =
                 total_delta(&fx.cluster, &before, StatKind::GcTokenAcquires);
-            let strong_invalidations =
-                total_delta(&fx.cluster, &before, StatKind::GcInvalidations);
+            let strong_invalidations = total_delta(&fx.cluster, &before, StatKind::GcInvalidations);
 
             Row {
                 replicas: r,
@@ -80,11 +79,7 @@ pub fn run(replica_counts: &[u32]) -> Vec<Row> {
         .collect()
 }
 
-fn total_delta(
-    cluster: &bmx::Cluster,
-    before: &[bmx_common::NodeStats],
-    kind: StatKind,
-) -> u64 {
+fn total_delta(cluster: &bmx::Cluster, before: &[bmx_common::NodeStats], kind: StatKind) -> u64 {
     cluster
         .stats
         .iter()

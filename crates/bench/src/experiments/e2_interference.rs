@@ -110,6 +110,9 @@ mod tests {
         assert_eq!(bmx.gc_invalidations, 0);
         assert_eq!(bmx.refault_msgs, 0, "readers' tokens survived the BGC");
         assert!(strong.gc_invalidations > 0);
-        assert!(strong.refault_msgs > 0, "readers had to re-fault after the baseline");
+        assert!(
+            strong.refault_msgs > 0,
+            "readers had to re-fault after the baseline"
+        );
     }
 }

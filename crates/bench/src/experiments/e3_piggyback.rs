@@ -35,41 +35,52 @@ pub const OBJECTS: usize = 100;
 
 /// Runs both modes, syncing `synced` objects after the collection.
 pub fn run(synced: usize) -> Vec<Row> {
-    [(RelocMode::Piggyback, "piggyback"), (RelocMode::Explicit, "explicit")]
-        .into_iter()
-        .map(|(mode, name)| {
-            let mut fx =
-                fixtures::replicated_list_with(2, OBJECTS, mode).expect("fixture");
-            let n0 = NodeId(0);
-            let n1 = NodeId(1);
-            let stats =
-                fx.cluster.run_bgc(n0, fx.bunch).expect("bgc relocates the owner's objects");
-            // Node 1 synchronizes on part of the set.
-            for &cell in fx.list.cells.iter().take(synced) {
-                fx.cluster.acquire_read(n1, cell).expect("sync");
-                fx.cluster.release(n1, cell).expect("release");
-            }
-            Row {
-                mode: name,
-                relocated: stats.copied,
-                synced,
-                piggybacked: fx.cluster.total_stat(StatKind::PiggybackedRelocations),
-                explicit_msgs: fx.cluster.total_stat(StatKind::ExplicitRelocationMessages),
-                background_msgs: fx
-                    .cluster
-                    .net
-                    .class_stats(bmx_net::MsgClass::GcBackground)
-                    .sent,
-            }
-        })
-        .collect()
+    [
+        (RelocMode::Piggyback, "piggyback"),
+        (RelocMode::Explicit, "explicit"),
+    ]
+    .into_iter()
+    .map(|(mode, name)| {
+        let mut fx = fixtures::replicated_list_with(2, OBJECTS, mode).expect("fixture");
+        let n0 = NodeId(0);
+        let n1 = NodeId(1);
+        let stats = fx
+            .cluster
+            .run_bgc(n0, fx.bunch)
+            .expect("bgc relocates the owner's objects");
+        // Node 1 synchronizes on part of the set.
+        for &cell in fx.list.cells.iter().take(synced) {
+            fx.cluster.acquire_read(n1, cell).expect("sync");
+            fx.cluster.release(n1, cell).expect("release");
+        }
+        Row {
+            mode: name,
+            relocated: stats.copied,
+            synced,
+            piggybacked: fx.cluster.total_stat(StatKind::PiggybackedRelocations),
+            explicit_msgs: fx.cluster.total_stat(StatKind::ExplicitRelocationMessages),
+            background_msgs: fx
+                .cluster
+                .net
+                .class_stats(bmx_net::MsgClass::GcBackground)
+                .sent,
+        }
+    })
+    .collect()
 }
 
 /// Renders the table.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E3: relocation propagation (100 objects relocated at the owner)",
-        &["mode", "relocated", "synced", "piggybacked", "explicit_msgs", "bg_msgs"],
+        &[
+            "mode",
+            "relocated",
+            "synced",
+            "piggybacked",
+            "explicit_msgs",
+            "bg_msgs",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -94,9 +105,15 @@ mod tests {
         let pig = &rows[0];
         let exp = &rows[1];
         assert!(pig.relocated > 0);
-        assert_eq!(pig.explicit_msgs, 0, "the paper's claim: zero extra messages");
+        assert_eq!(
+            pig.explicit_msgs, 0,
+            "the paper's claim: zero extra messages"
+        );
         assert_eq!(pig.background_msgs, 0);
-        assert!(pig.piggybacked > 0, "records travelled on protocol messages");
+        assert!(
+            pig.piggybacked > 0,
+            "records travelled on protocol messages"
+        );
         assert!(exp.explicit_msgs > 0, "the ablation pays real messages");
     }
 }

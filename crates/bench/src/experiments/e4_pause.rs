@@ -111,7 +111,9 @@ pub fn run_flip(populations: &[usize]) -> Vec<FlipRow> {
             loop {
                 let ready = fx.cluster.incremental_active(n0);
                 if !ready {
-                    fx.cluster.start_incremental(n0, &[fx.bunch]).expect("start");
+                    fx.cluster
+                        .start_incremental(n0, &[fx.bunch])
+                        .expect("start");
                 }
                 let done = fx.cluster.incremental_step(n0, 16).expect("step");
                 steps += 1;
@@ -127,7 +129,12 @@ pub fn run_flip(populations: &[usize]) -> Vec<FlipRow> {
             let t0 = Instant::now();
             fx.cluster.incremental_flip(n0).expect("flip");
             let flip_us = t0.elapsed().as_micros();
-            FlipRow { objects, monolithic_us, steps, flip_us }
+            FlipRow {
+                objects,
+                monolithic_us,
+                steps,
+                flip_us,
+            }
         })
         .collect()
 }

@@ -57,7 +57,11 @@ fn run_one(p: f64) -> Row {
     let b_tgt = c.create_bunch(n1).expect("bunch");
     // Half the targets will stay referenced, half become garbage.
     let holder = c
-        .alloc(n0, b_src, &ObjSpec::with_refs(OBJECTS as u64, &(0..OBJECTS as u64).collect::<Vec<_>>()))
+        .alloc(
+            n0,
+            b_src,
+            &ObjSpec::with_refs(OBJECTS as u64, &(0..OBJECTS as u64).collect::<Vec<_>>()),
+        )
         .expect("holder");
     c.add_root(n0, holder);
     let mut targets = Vec::new();
@@ -69,7 +73,8 @@ fn run_one(p: f64) -> Row {
     }
     // Drop the odd-indexed references.
     for i in (1..OBJECTS).step_by(2) {
-        c.write_ref(n0, holder, i as u64, Addr::NULL).expect("unlink");
+        c.write_ref(n0, holder, i as u64, Addr::NULL)
+            .expect("unlink");
     }
     // Collections under loss: the source publishes tables (maybe eaten),
     // the target collects on whatever arrived.
@@ -113,7 +118,15 @@ fn run_one(p: f64) -> Row {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E5: GC traffic under message loss (tables+resend vs inc/dec counting)",
-        &["drop", "tbl_drop", "bmx_live_lost", "bmx_garbage_left", "rc_drop", "rc_unsafe", "rc_leak"],
+        &[
+            "drop",
+            "tbl_drop",
+            "bmx_live_lost",
+            "bmx_garbage_left",
+            "rc_drop",
+            "rc_unsafe",
+            "rc_leak",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -137,14 +150,24 @@ mod tests {
     fn tables_recover_where_counting_corrupts() {
         let rows = run(&[0.0, 0.5]);
         for r in &rows {
-            assert_eq!(r.bmx_live_lost, 0, "safety must hold at {:.0}%", r.drop_rate * 100.0);
             assert_eq!(
-                r.bmx_garbage_left, 0,
+                r.bmx_live_lost,
+                0,
+                "safety must hold at {:.0}%",
+                r.drop_rate * 100.0
+            );
+            assert_eq!(
+                r.bmx_garbage_left,
+                0,
                 "one re-send restores liveness at {:.0}%",
                 r.drop_rate * 100.0
             );
         }
-        assert_eq!(rows[0].rc_unsafe + rows[0].rc_leaks, 0, "lossless counting is exact");
+        assert_eq!(
+            rows[0].rc_unsafe + rows[0].rc_leaks,
+            0,
+            "lossless counting is exact"
+        );
         assert!(
             rows[1].rc_unsafe + rows[1].rc_leaks > 0,
             "lossy counting must corrupt: {:?}",

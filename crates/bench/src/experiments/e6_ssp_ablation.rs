@@ -76,7 +76,12 @@ fn real_migration(hops: usize) -> (u64, u64) {
     };
     let mut objs = Vec::new();
     for _ in 0..OBJECTS {
-        let o = c.alloc(n0, b_src, &ObjSpec::with_refs(STUBS + 1, &(0..STUBS).collect::<Vec<_>>()))
+        let o = c
+            .alloc(
+                n0,
+                b_src,
+                &ObjSpec::with_refs(STUBS + 1, &(0..STUBS).collect::<Vec<_>>()),
+            )
             .expect("obj");
         for f in 0..STUBS {
             let t = c.alloc(NodeId(1), b_tgt, &ObjSpec::data(1)).expect("tgt");
@@ -112,7 +117,15 @@ fn real_migration(hops: usize) -> (u64, u64) {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E6: intra-bunch SSPs vs replicated inter-bunch SSPs (8 objects x 2 stubs)",
-        &["hops", "intra_msgs", "intra_words", "repl_msgs", "repl_words", "real_msgs", "real_intra"],
+        &[
+            "hops",
+            "intra_msgs",
+            "intra_words",
+            "repl_msgs",
+            "repl_words",
+            "real_msgs",
+            "real_intra",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -141,6 +154,9 @@ mod tests {
         assert!(rows[1].repl_words > rows[1].intra_words);
         // The real system sent no scion-messages *during* migrations.
         assert_eq!(rows[1].real_scion_msgs, 0);
-        assert!(rows[1].real_intra_records > 0, "intra stubs exist after migration");
+        assert!(
+            rows[1].real_intra_records > 0,
+            "intra stubs exist after migration"
+        );
     }
 }

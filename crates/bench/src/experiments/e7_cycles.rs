@@ -48,10 +48,17 @@ pub fn run(ring_lens: &[usize]) -> Vec<Row> {
             let mut c = Cluster::new(ClusterConfig::with_nodes(1));
             let (bunches, _objs) = cycles::build_inter_bunch_ring(&mut c, n0, len).expect("ring");
             let partial: Vec<_> = bunches[..len - 1].to_vec();
-            let partial_group_reclaimed =
-                c.run_collection(n0, &partial).expect("partial group").reclaimed;
+            let partial_group_reclaimed = c
+                .run_collection(n0, &partial)
+                .expect("partial group")
+                .reclaimed;
 
-            Row { ring_len: len, per_bunch_reclaimed, ggc_reclaimed, partial_group_reclaimed }
+            Row {
+                ring_len: len,
+                per_bunch_reclaimed,
+                ggc_reclaimed,
+                partial_group_reclaimed,
+            }
         })
         .collect()
 }
@@ -60,7 +67,12 @@ pub fn run(ring_lens: &[usize]) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E7: dead inter-bunch rings (objects reclaimed)",
-        &["ring_len", "per_bunch(3 rounds)", "ggc(full group)", "ggc(ring minus one)"],
+        &[
+            "ring_len",
+            "per_bunch(3 rounds)",
+            "ggc(full group)",
+            "ggc(ring minus one)",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -82,7 +94,10 @@ mod tests {
         let rows = run(&[2, 8]);
         for r in &rows {
             assert_eq!(r.per_bunch_reclaimed, 0, "BGC alone never collects cycles");
-            assert_eq!(r.ggc_reclaimed, r.ring_len as u64, "GGC collects the whole ring");
+            assert_eq!(
+                r.ggc_reclaimed, r.ring_len as u64,
+                "GGC collects the whole ring"
+            );
             assert_eq!(
                 r.partial_group_reclaimed, 0,
                 "a cycle escaping the group survives (the heuristic's limit)"

@@ -35,13 +35,22 @@ pub const STORES: u64 = 5_000;
 pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
     // Shared fixture: two bunches at one node.
-    let mut c = Cluster::new(ClusterConfig { segment_words: 1 << 16, ..ClusterConfig::with_nodes(1) });
+    let mut c = Cluster::new(ClusterConfig {
+        segment_words: 1 << 16,
+        ..ClusterConfig::with_nodes(1)
+    });
     let n0 = NodeId(0);
     let b1 = c.create_bunch(n0).expect("bunch");
     let b2 = c.create_bunch(n0).expect("bunch");
-    let src = c.alloc(n0, b1, &ObjSpec::with_refs(4, &[0, 1])).expect("src");
-    let same = c.alloc(n0, b1, &ObjSpec::data(1)).expect("same-bunch target");
-    let other = c.alloc(n0, b2, &ObjSpec::data(1)).expect("other-bunch target");
+    let src = c
+        .alloc(n0, b1, &ObjSpec::with_refs(4, &[0, 1]))
+        .expect("src");
+    let same = c
+        .alloc(n0, b1, &ObjSpec::data(1))
+        .expect("same-bunch target");
+    let other = c
+        .alloc(n0, b2, &ObjSpec::data(1))
+        .expect("other-bunch target");
 
     // Plain data stores.
     let t0 = Instant::now();
@@ -68,8 +77,10 @@ pub fn run() -> Vec<Row> {
         kind: "ref intra-bunch",
         stores: STORES,
         ns_per_store: intra_ns,
-        fast_paths: c.stats[0].get(StatKind::BarrierFastPaths) - before.get(StatKind::BarrierFastPaths),
-        slow_paths: c.stats[0].get(StatKind::BarrierSlowPaths) - before.get(StatKind::BarrierSlowPaths),
+        fast_paths: c.stats[0].get(StatKind::BarrierFastPaths)
+            - before.get(StatKind::BarrierFastPaths),
+        slow_paths: c.stats[0].get(StatKind::BarrierSlowPaths)
+            - before.get(StatKind::BarrierSlowPaths),
     });
 
     // Inter-bunch pointer stores (slow path; SSP created once, then
@@ -84,8 +95,10 @@ pub fn run() -> Vec<Row> {
         kind: "ref inter-bunch",
         stores: STORES,
         ns_per_store: inter_ns,
-        fast_paths: c.stats[0].get(StatKind::BarrierFastPaths) - before.get(StatKind::BarrierFastPaths),
-        slow_paths: c.stats[0].get(StatKind::BarrierSlowPaths) - before.get(StatKind::BarrierSlowPaths),
+        fast_paths: c.stats[0].get(StatKind::BarrierFastPaths)
+            - before.get(StatKind::BarrierFastPaths),
+        slow_paths: c.stats[0].get(StatKind::BarrierSlowPaths)
+            - before.get(StatKind::BarrierSlowPaths),
     });
     rows
 }
@@ -119,6 +132,9 @@ mod tests {
         let inter = &rows[2];
         assert_eq!(intra.fast_paths, STORES);
         assert_eq!(intra.slow_paths, 0);
-        assert_eq!(inter.slow_paths, STORES, "every inter-bunch store takes the slow path");
+        assert_eq!(
+            inter.slow_paths, STORES,
+            "every inter-bunch store takes the slow path"
+        );
     }
 }

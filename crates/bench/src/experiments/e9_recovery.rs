@@ -82,7 +82,13 @@ pub fn run(sizes: &[(usize, usize)]) -> Vec<Row> {
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
         "E9: checkpoint / crash / recover (design database)",
-        &["objects", "ckpt_bytes", "ckpt_us", "recover_us", "parts_verified"],
+        &[
+            "objects",
+            "ckpt_bytes",
+            "ckpt_us",
+            "recover_us",
+            "parts_verified",
+        ],
     );
     for r in rows {
         t.row(vec![

@@ -33,6 +33,7 @@ pub fn replicated_list_with(
         segment_words: 1 << 16,
         net: NetworkConfig::lossless(1),
         reloc_mode: mode,
+        ..Default::default()
     };
     let mut cluster = Cluster::new(cfg);
     let n0 = NodeId(0);
@@ -43,7 +44,11 @@ pub fn replicated_list_with(
         cluster.map_bunch(NodeId(i), bunch, n0)?;
         cluster.add_root(NodeId(i), list.head);
     }
-    Ok(ReplicatedList { cluster, bunch, list })
+    Ok(ReplicatedList {
+        cluster,
+        bunch,
+        list,
+    })
 }
 
 /// Gives every replica node a read token on every list cell (a warmed-up

@@ -25,7 +25,7 @@
 use std::collections::BTreeMap;
 
 use bmx_addr::object;
-use bmx_common::{NodeId, Oid};
+use bmx_common::{Addr, NodeId, Oid};
 use bmx_dsm::Token;
 
 use crate::cluster::Cluster;
@@ -156,7 +156,10 @@ fn audit_node(cluster: &Cluster, node: NodeId, findings: &mut Vec<Finding>) {
     for brs in ns.bunches.values() {
         for s in &brs.stub_table.intra {
             if s.scion_at.0 >= node_count {
-                push(format!("intra stub for {} names unknown node {}", s.oid, s.scion_at));
+                push(format!(
+                    "intra stub for {} names unknown node {}",
+                    s.oid, s.scion_at
+                ));
             }
             if s.scion_at == node {
                 push(format!("intra stub for {} points at its own node", s.oid));
@@ -164,7 +167,10 @@ fn audit_node(cluster: &Cluster, node: NodeId, findings: &mut Vec<Finding>) {
         }
         for s in &brs.scion_table.intra {
             if s.stub_at.0 >= node_count {
-                push(format!("intra scion for {} names unknown node {}", s.oid, s.stub_at));
+                push(format!(
+                    "intra scion for {} names unknown node {}",
+                    s.oid, s.stub_at
+                ));
             }
         }
         for s in &brs.stub_table.inter {
@@ -186,13 +192,61 @@ fn audit_node(cluster: &Cluster, node: NodeId, findings: &mut Vec<Finding>) {
         }
         let cur = ns.directory.resolve(addr);
         match object::view(mem, cur) {
-            Ok(v) if v.is_forwarded() => {
-                push(format!("root {rid} resolves to a forwarding header at {cur}"))
-            }
+            Ok(v) if v.is_forwarded() => push(format!(
+                "root {rid} resolves to a forwarding header at {cur}"
+            )),
             Ok(_) => {}
-            Err(_) => push(format!("root {rid} at {addr} resolves to {cur}: not an object")),
+            Err(_) => push(format!(
+                "root {rid} at {addr} resolves to {cur}: not an object"
+            )),
         }
     }
+}
+
+/// Checks that every address in `expected_live` still resolves (through the
+/// node's forwarding directory) to a live, non-forwarded object header — the
+/// "zero premature reclamation" gate for chaos runs: whatever the fault plan
+/// did to the message plane, an object the mutator can still reach must
+/// never have been collected.
+pub fn audit_liveness(cluster: &Cluster, expected_live: &[(NodeId, Addr)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for &(node, addr) in expected_live {
+        let ns = cluster.gc.node(node);
+        let mem = &cluster.mems[node.0 as usize];
+        let cur = ns.directory.resolve(addr);
+        match object::view(mem, cur) {
+            Ok(v) if v.is_forwarded() => findings.push(Finding {
+                node,
+                what: format!(
+                    "live object at {addr} resolves to an unresolved forwarding header at {cur}"
+                ),
+            }),
+            Ok(_) => {}
+            Err(_) => findings.push(Finding {
+                node,
+                what: format!("live object at {addr} (resolved {cur}) was reclaimed"),
+            }),
+        }
+    }
+    findings
+}
+
+/// Panics if any of `expected_live` was prematurely reclaimed, or if the
+/// structural audit finds an inconsistency. The combined check chaos tests
+/// run after every fault schedule completes.
+pub fn assert_no_premature_reclamation(cluster: &Cluster, expected_live: &[(NodeId, Addr)]) {
+    let mut findings = audit_liveness(cluster, expected_live);
+    findings.extend(audit(cluster));
+    assert!(
+        findings.is_empty(),
+        "chaos audit found {} problems:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  [{:?}] {}", f.node, f.what))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 /// Panics with a readable report if the cluster violates any invariant.

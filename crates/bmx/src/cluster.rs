@@ -1,20 +1,19 @@
 //! The deterministic cluster driver.
 
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use bmx_addr::object;
 use bmx_addr::server::Protection;
 use bmx_addr::{NodeMemory, SegmentServer};
-use bmx_common::{
-    Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKind,
-};
+use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKind};
 use bmx_dsm::{DsmEngine, DsmPacket, DsmShared, Token};
 use bmx_gc::{barrier, cleaner, collect, fromspace, CollectStats, GcMsg, GcState, RelocMode};
-use bmx_net::{Envelope, MsgClass, Network, NetworkConfig};
+use bmx_net::{Envelope, FaultEvent, MsgClass, Network, NetworkConfig};
 
 use crate::msg::ClusterMsg;
+use crate::retry::{AckOutcome, RetryDaemon, RetryPolicy};
 
 /// Construction parameters for a simulated cluster.
 #[derive(Clone, Debug)]
@@ -23,10 +22,13 @@ pub struct ClusterConfig {
     pub nodes: u32,
     /// Constant segment size, in 8-byte words.
     pub segment_words: u64,
-    /// Network behaviour (latency, loss injection).
+    /// Network behaviour (latency, loss injection, chaos fault plan).
     pub net: NetworkConfig,
     /// How relocation records propagate (experiment E3 knob).
     pub reloc_mode: RelocMode,
+    /// Automatic report-retry daemon, driven by [`Cluster::step`]. `None`
+    /// restores the seed behaviour (manual [`Cluster::resend_report`] only).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -36,6 +38,7 @@ impl Default for ClusterConfig {
             segment_words: 4096,
             net: NetworkConfig::lossless(1),
             reloc_mode: RelocMode::Piggyback,
+            retry: Some(RetryPolicy::default()),
         }
     }
 }
@@ -43,7 +46,10 @@ impl Default for ClusterConfig {
 impl ClusterConfig {
     /// A config with `n` nodes and defaults otherwise.
     pub fn with_nodes(n: u32) -> Self {
-        ClusterConfig { nodes: n, ..Default::default() }
+        ClusterConfig {
+            nodes: n,
+            ..Default::default()
+        }
     }
 }
 
@@ -64,6 +70,12 @@ pub struct Cluster {
     next_oid: Vec<u64>,
     /// In-flight incremental collections, one slot per node.
     incrementals: Vec<Option<bmx_gc::IncrementalBgc>>,
+    /// The automatic report-retry daemon, if enabled.
+    retry: Option<RetryDaemon>,
+    /// Highest sequence number delivered per (src, dst) channel, for
+    /// duplicate-delivery accounting (duplicates are delivered anyway — the
+    /// loss-tolerant handlers are idempotent).
+    last_seq: BTreeMap<(NodeId, NodeId), u64>,
 }
 
 impl Cluster {
@@ -82,6 +94,8 @@ impl Cluster {
             net: Network::new(cfg.net),
             next_oid: vec![0; cfg.nodes as usize],
             incrementals: (0..cfg.nodes).map(|_| None).collect(),
+            retry: cfg.retry.map(RetryDaemon::new),
+            last_seq: BTreeMap::new(),
         }
     }
 
@@ -113,17 +127,124 @@ impl Cluster {
     }
 
     /// Delivers every in-flight message (and the cascades it triggers).
+    ///
+    /// Note that pumping spins the clock only while traffic is in flight; it
+    /// does not fire the retry daemon's timers. Chaos runs drive time with
+    /// [`Cluster::step`] instead.
     pub fn pump(&mut self) -> Result<()> {
         while self.net.in_flight() > 0 {
             let due = self.net.tick();
             for env in due {
                 self.dispatch(env)?;
             }
+            self.note_fault_events();
+        }
+        Ok(())
+    }
+
+    /// Advances the cluster's background clock by `ticks`: each tick
+    /// delivers due messages, accounts fault transitions (partition heals,
+    /// crash/restarts), and polls the retry daemon. This — not
+    /// [`Cluster::pump`] — drives chaos runs, where time must pass for
+    /// partitions to heal and backoff timers to fire.
+    pub fn step(&mut self, ticks: u64) -> Result<()> {
+        for _ in 0..ticks {
+            let due = self.net.tick();
+            for env in due {
+                self.dispatch(env)?;
+            }
+            self.note_fault_events();
+            self.poll_retries()?;
+        }
+        Ok(())
+    }
+
+    /// Steps until the network is idle and no retried report is outstanding,
+    /// or `max_ticks` elapse. Returns the number of ticks consumed.
+    pub fn settle(&mut self, max_ticks: u64) -> Result<u64> {
+        let mut used = 0;
+        while used < max_ticks {
+            // `map_or(true, ..)` rather than `is_none_or`: MSRV is 1.75.
+            #[allow(clippy::unnecessary_map_or)]
+            let quiet =
+                self.net.in_flight() == 0 && self.retry.as_ref().map_or(true, |d| d.pending() == 0);
+            if quiet {
+                break;
+            }
+            self.step(1)?;
+            used += 1;
+        }
+        Ok(used)
+    }
+
+    /// Reports still tracked by the retry daemon (0 when disabled).
+    pub fn retries_pending(&self) -> usize {
+        self.retry.as_ref().map_or(0, RetryDaemon::pending)
+    }
+
+    /// Turns fault transitions observed by the network into per-node
+    /// counters, and pulls retry timers forward for restarted nodes.
+    fn note_fault_events(&mut self) {
+        let now = self.net.now();
+        for ev in self.net.drain_fault_events() {
+            match ev {
+                FaultEvent::PartitionHealed { members } => {
+                    for n in members {
+                        if let Some(s) = self.stats.get_mut(n.0 as usize) {
+                            s.bump(StatKind::PartitionsHealed);
+                        }
+                    }
+                }
+                FaultEvent::NodeCrashed { .. } => {}
+                FaultEvent::NodeRestarted { node } => {
+                    if let Some(s) = self.stats.get_mut(node.0 as usize) {
+                        s.bump(StatKind::NodeRestarts);
+                    }
+                    if let Some(d) = &mut self.retry {
+                        d.hasten(node, now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fires every retry due now: rebuilds the bunch's *current* report
+    /// (idempotent, so resending a newer one than originally tracked is
+    /// safe — it subsumes the lost table) and re-sends it to the pending
+    /// destinations.
+    fn poll_retries(&mut self) -> Result<()> {
+        let now = self.net.now();
+        let (resends, exhausted) = match &mut self.retry {
+            Some(d) => d.due(now),
+            None => return Ok(()),
+        };
+        for r in &exhausted {
+            self.stats[r.node.0 as usize].bump(StatKind::RetryBudgetExhausted);
+        }
+        for r in resends {
+            // The bunch can vanish between tracking and firing (from-space
+            // reuse); the entry then exhausts its budget harmlessly.
+            let Ok(report) = self.build_report(r.node, r.bunch) else {
+                continue;
+            };
+            for d in r.dests {
+                self.stats[r.node.0 as usize].bump(StatKind::StubTableMessages);
+                self.stats[r.node.0 as usize].bump(StatKind::RetryResends);
+                self.send_gc(r.node, d, GcMsg::Report(report.clone()));
+            }
         }
         Ok(())
     }
 
     fn dispatch(&mut self, env: Envelope<ClusterMsg>) -> Result<()> {
+        let last = self.last_seq.entry((env.src, env.dst)).or_insert(0);
+        if env.seq.0 <= *last {
+            // A duplication fault: deliver anyway (the loss-tolerant
+            // handlers are idempotent by design) but account it.
+            self.stats[env.dst.0 as usize].bump(StatKind::DuplicateDeliveries);
+        } else {
+            *last = env.seq.0;
+        }
         match env.payload {
             ClusterMsg::Dsm(pkt) => self.dispatch_dsm(env.src, env.dst, pkt),
             ClusterMsg::Gc(msg) => self.dispatch_gc(env.src, env.dst, msg),
@@ -131,7 +252,14 @@ impl Cluster {
     }
 
     fn dispatch_dsm(&mut self, src: NodeId, dst: NodeId, pkt: DsmPacket) -> Result<()> {
-        let Cluster { engine, gc, mems, stats, net, .. } = self;
+        let Cluster {
+            engine,
+            gc,
+            mems,
+            stats,
+            net,
+            ..
+        } = self;
         let mut sh = DsmShared { mems, stats, gc };
         let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
             net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
@@ -149,23 +277,40 @@ impl Cluster {
                 Ok(())
             }
             GcMsg::Report(report) => {
-                cleaner::process_report(
+                let outcome = cleaner::process_report(
                     &mut self.gc,
                     &mut self.engine,
                     &mut self.stats[dst.0 as usize],
                     dst,
                     &report,
                 );
+                if outcome.applied {
+                    self.ack_report(&report, dst);
+                }
                 Ok(())
             }
-            GcMsg::AddressChange { bunch: _, relocations } => {
+            GcMsg::AddressChange {
+                bunch: _,
+                relocations,
+            } => {
                 let Cluster { gc, mems, .. } = self;
                 bmx_gc::integration::apply_relocations_at(gc, dst, &relocations, mems);
                 Ok(())
             }
-            GcMsg::Retire { bunch, segments, relocations, reply_to } => {
+            GcMsg::Retire {
+                bunch,
+                segments,
+                relocations,
+                reply_to,
+            } => {
                 let msgs = {
-                    let Cluster { engine, gc, mems, stats, .. } = self;
+                    let Cluster {
+                        engine,
+                        gc,
+                        mems,
+                        stats,
+                        ..
+                    } = self;
                     fromspace::handle_retire(
                         gc,
                         engine,
@@ -184,7 +329,9 @@ impl Cluster {
                 Ok(())
             }
             GcMsg::RetireAck { bunch, from } => {
-                let Cluster { gc, mems, stats, .. } = self;
+                let Cluster {
+                    gc, mems, stats, ..
+                } = self;
                 fromspace::handle_retire_ack(
                     gc,
                     &mut mems[dst.0 as usize],
@@ -195,9 +342,20 @@ impl Cluster {
                 )?;
                 Ok(())
             }
-            GcMsg::CopyRequest { bunch, oids, avoid, reply_to } => {
+            GcMsg::CopyRequest {
+                bunch,
+                oids,
+                avoid,
+                reply_to,
+            } => {
                 let msgs = {
-                    let Cluster { engine, gc, mems, stats, .. } = self;
+                    let Cluster {
+                        engine,
+                        gc,
+                        mems,
+                        stats,
+                        ..
+                    } = self;
                     fromspace::handle_copy_request(
                         gc,
                         engine,
@@ -218,9 +376,15 @@ impl Cluster {
                 }
                 Ok(())
             }
-            GcMsg::CopyReply { bunch, relocations, from: _ } => {
+            GcMsg::CopyReply {
+                bunch,
+                relocations,
+                from: _,
+            } => {
                 let msgs = {
-                    let Cluster { gc, mems, stats, .. } = self;
+                    let Cluster {
+                        gc, mems, stats, ..
+                    } = self;
                     fromspace::handle_copy_reply(
                         gc,
                         mems,
@@ -303,7 +467,15 @@ impl Cluster {
             let seg = self.mems[node.0 as usize].segment(sid)?;
             for addr in object::objects_in(seg) {
                 let v = object::view(&self.mems[node.0 as usize], addr)?;
-                found.push((v.oid, addr, if v.is_forwarded() { v.forwarding } else { Addr::NULL }));
+                found.push((
+                    v.oid,
+                    addr,
+                    if v.is_forwarded() {
+                        v.forwarding
+                    } else {
+                        Addr::NULL
+                    },
+                ));
             }
         }
         for (oid, addr, fwd) in &found {
@@ -341,7 +513,14 @@ impl Cluster {
                 Some(st) => st.owner_hint,
                 None => from,
             };
-            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
             let mut sh = DsmShared { mems, stats, gc };
             let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
                 net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
@@ -404,7 +583,13 @@ impl Cluster {
             return Err(BmxError::CollectorBusy { bunch: b });
         }
         let outcome = {
-            let Cluster { engine, gc, mems, stats, .. } = self;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                ..
+            } = self;
             collect(
                 gc,
                 engine,
@@ -427,6 +612,7 @@ impl Cluster {
                 node,
                 &report,
             );
+            self.track_report(node, &report, &dests);
             for dst in dests {
                 self.stats[node.0 as usize].bump(StatKind::StubTableMessages);
                 self.send_gc(node, dst, GcMsg::Report(report.clone()));
@@ -435,6 +621,32 @@ impl Cluster {
         self.flush_explicit_relocations();
         self.pump()?;
         Ok(outcome.stats)
+    }
+
+    /// Registers a freshly published report with the retry daemon.
+    fn track_report(
+        &mut self,
+        node: NodeId,
+        report: &bmx_gc::ReachabilityReport,
+        dests: &[NodeId],
+    ) {
+        let now = self.net.now();
+        if let Some(d) = &mut self.retry {
+            d.track(node, report.bunch, report.epoch, dests, now);
+        }
+    }
+
+    /// Feeds an applied report delivery back to the retry daemon, crediting
+    /// recovery latency when the daemon had to resend.
+    fn ack_report(&mut self, report: &bmx_gc::ReachabilityReport, dst: NodeId) {
+        let now = self.net.now();
+        let Some(d) = &mut self.retry else { return };
+        if let AckOutcome::Complete {
+            recovery_latency: Some(lat),
+        } = d.ack(report.from, report.bunch, report.epoch, dst, now)
+        {
+            self.stats[report.from.0 as usize].add(StatKind::RecoveryLatencyTicks, lat);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -451,7 +663,13 @@ impl Cluster {
             });
         }
         let inc = {
-            let Cluster { engine, gc, mems, stats, .. } = self;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                ..
+            } = self;
             bmx_gc::IncrementalBgc::start(
                 gc,
                 engine,
@@ -470,10 +688,24 @@ impl Cluster {
     pub fn incremental_step(&mut self, node: NodeId, budget: usize) -> Result<bool> {
         let mut inc = self.incrementals[node.0 as usize]
             .take()
-            .ok_or(BmxError::Protocol("no incremental collection active".into()))?;
+            .ok_or(BmxError::Protocol(
+                "no incremental collection active".into(),
+            ))?;
         let ready = {
-            let Cluster { engine, gc, mems, stats, .. } = self;
-            inc.step(gc, engine, &mut mems[node.0 as usize], &mut stats[node.0 as usize], budget)?
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                ..
+            } = self;
+            inc.step(
+                gc,
+                engine,
+                &mut mems[node.0 as usize],
+                &mut stats[node.0 as usize],
+                budget,
+            )?
         };
         self.incrementals[node.0 as usize] = Some(inc);
         Ok(ready)
@@ -484,10 +716,23 @@ impl Cluster {
     pub fn incremental_flip(&mut self, node: NodeId) -> Result<CollectStats> {
         let inc = self.incrementals[node.0 as usize]
             .take()
-            .ok_or(BmxError::Protocol("no incremental collection active".into()))?;
+            .ok_or(BmxError::Protocol(
+                "no incremental collection active".into(),
+            ))?;
         let outcome = {
-            let Cluster { engine, gc, mems, stats, .. } = self;
-            inc.flip(gc, engine, &mut mems[node.0 as usize], &mut stats[node.0 as usize])?
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                ..
+            } = self;
+            inc.flip(
+                gc,
+                engine,
+                &mut mems[node.0 as usize],
+                &mut stats[node.0 as usize],
+            )?
         };
         for oid in &outcome.dead {
             self.engine.drop_replica(node, *oid);
@@ -500,6 +745,7 @@ impl Cluster {
                 node,
                 &report,
             );
+            self.track_report(node, &report, &dests);
             for dst in dests {
                 self.stats[node.0 as usize].bump(StatKind::StubTableMessages);
                 self.send_gc(node, dst, GcMsg::Report(report.clone()));
@@ -517,7 +763,10 @@ impl Cluster {
 
     /// Re-sends the current reachability report of `bunch` at `node` to the
     /// given destinations — the recovery action for lost stub-table
-    /// messages (they are idempotent, Section 6.1).
+    /// messages (they are idempotent, Section 6.1). This is the *manual*
+    /// recovery path kept for targeted tests; with [`ClusterConfig::retry`]
+    /// enabled the retry daemon performs the same recovery automatically
+    /// under [`Cluster::step`].
     pub fn resend_report(&mut self, node: NodeId, bunch: BunchId, dests: &[NodeId]) -> Result<()> {
         let report = self.build_report(node, bunch)?;
         for &d in dests {
@@ -531,7 +780,11 @@ impl Cluster {
 
     /// Builds the current reachability report of `bunch` at `node` (same
     /// content a re-send would carry).
-    pub fn build_report(&mut self, node: NodeId, bunch: BunchId) -> Result<bmx_gc::ReachabilityReport> {
+    pub fn build_report(
+        &mut self,
+        node: NodeId,
+        bunch: BunchId,
+    ) -> Result<bmx_gc::ReachabilityReport> {
         let brs = self
             .gc
             .node(node)
@@ -561,7 +814,10 @@ impl Cluster {
             self.send_gc(
                 src,
                 dst,
-                GcMsg::AddressChange { bunch: BunchId(0), relocations: relocs },
+                GcMsg::AddressChange {
+                    bunch: BunchId(0),
+                    relocations: relocs,
+                },
             );
         }
     }
@@ -570,7 +826,13 @@ impl Cluster {
     /// it to completion. Returns `true` if the segments were reclaimed.
     pub fn reuse_from_space(&mut self, node: NodeId, bunch: BunchId) -> Result<bool> {
         let msgs = {
-            let Cluster { engine, gc, mems, stats, .. } = self;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                ..
+            } = self;
             fromspace::start_reuse(
                 gc,
                 engine,
@@ -584,7 +846,11 @@ impl Cluster {
             self.send_gc(node, dst, m);
         }
         self.pump()?;
-        Ok(self.gc.node(node).bunch(bunch).is_some_and(|b| b.reuse.is_none()))
+        Ok(self
+            .gc
+            .node(node)
+            .bunch(bunch)
+            .is_some_and(|b| b.reuse.is_none()))
     }
 
     // ------------------------------------------------------------------
@@ -611,7 +877,9 @@ impl Cluster {
             if !seen.insert(a) {
                 continue;
             }
-            let Ok(fields) = object::ref_fields(mem, a) else { continue };
+            let Ok(fields) = object::ref_fields(mem, a) else {
+                continue;
+            };
             for (_, t) in fields {
                 stack.push(t);
             }

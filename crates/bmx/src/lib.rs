@@ -51,9 +51,11 @@ pub mod cluster;
 pub mod msg;
 pub mod mutator;
 pub mod persist;
+pub mod retry;
 pub mod threaded;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use msg::ClusterMsg;
 pub use mutator::ObjSpec;
+pub use retry::{RetryDaemon, RetryPolicy};
 pub use threaded::{ClusterActor, ClusterHandle};

@@ -25,12 +25,18 @@ pub struct ObjSpec {
 impl ObjSpec {
     /// `size` data words, none of them pointers.
     pub fn data(size: u64) -> Self {
-        ObjSpec { size, refs: Vec::new() }
+        ObjSpec {
+            size,
+            refs: Vec::new(),
+        }
     }
 
     /// `size` data words with the given pointer fields.
     pub fn with_refs(size: u64, refs: &[u64]) -> Self {
-        ObjSpec { size, refs: refs.to_vec() }
+        ObjSpec {
+            size,
+            refs: refs.to_vec(),
+        }
     }
 }
 
@@ -77,19 +83,25 @@ impl Cluster {
                 .map(|b| b.alloc_segments.clone())
                 .unwrap_or_default();
             let mem = &self.mems[node.0 as usize];
-            let found = candidates
-                .iter()
-                .copied()
-                .find(|&s| mem.has_segment(s) && mem.segment(s).is_ok_and(|x| x.free_words() >= need));
+            let found = candidates.iter().copied().find(|&s| {
+                mem.has_segment(s) && mem.segment(s).is_ok_and(|x| x.free_words() >= need)
+            });
             match found {
                 Some(s) => s,
                 None => {
                     let info = self.server.borrow_mut().alloc_segment(bunch)?;
                     if need > info.words {
-                        return Err(BmxError::OutOfMemory { bunch, words: spec.size });
+                        return Err(BmxError::OutOfMemory {
+                            bunch,
+                            words: spec.size,
+                        });
                     }
                     self.mems[node.0 as usize].map_segment(info);
-                    self.gc.node_mut(node).bunch_or_default(bunch).alloc_segments.push(info.id);
+                    self.gc
+                        .node_mut(node)
+                        .bunch_or_default(bunch)
+                        .alloc_segments
+                        .push(info.id);
                     info.id
                 }
             }
@@ -111,7 +123,9 @@ impl Cluster {
     pub fn write_ref(&mut self, node: NodeId, obj: Addr, field: u64, target: Addr) -> Result<()> {
         self.check_protection(obj, true)?;
         let out = {
-            let Cluster { gc, mems, stats, .. } = self;
+            let Cluster {
+                gc, mems, stats, ..
+            } = self;
             bmx_gc::barrier::write_ref(
                 gc,
                 node,
@@ -183,7 +197,14 @@ impl Cluster {
         // until relocations say otherwise) and who to ask for tokens.
         self.gc.node_mut(node).directory.set_addr(oid, addr);
         if self.engine.obj_state(node, oid).is_none() {
-            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
             let mut sh = DsmShared { mems, stats, gc };
             let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
                 net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
@@ -204,7 +225,14 @@ impl Cluster {
     pub fn acquire_read(&mut self, node: NodeId, addr: Addr) -> Result<()> {
         let oid = self.oid_at(node, addr)?;
         let started = {
-            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
             let mut sh = DsmShared { mems, stats, gc };
             let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
                 net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
@@ -225,7 +253,14 @@ impl Cluster {
     pub fn acquire_write(&mut self, node: NodeId, addr: Addr) -> Result<()> {
         let oid = self.oid_at(node, addr)?;
         let started = {
-            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
             let mut sh = DsmShared { mems, stats, gc };
             let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
                 net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
@@ -245,7 +280,14 @@ impl Cluster {
     pub fn release(&mut self, node: NodeId, addr: Addr) -> Result<()> {
         let oid = self.oid_at_local(node, addr)?;
         {
-            let Cluster { engine, gc, mems, stats, net, .. } = self;
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
             let mut sh = DsmShared { mems, stats, gc };
             let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
                 net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));

@@ -60,7 +60,10 @@ fn decode_segment(info: bmx_addr::SegmentInfo, bytes: &[u8]) -> Result<MappedSeg
     let words = info.words as usize;
     let map_words = words.div_ceil(64);
     if bytes.len() < 8 {
-        return Err(BmxError::Rvm(format!("segment region too short: {}", bytes.len())));
+        return Err(BmxError::Rvm(format!(
+            "segment region too short: {}",
+            bytes.len()
+        )));
     }
     let rd = |i: usize| u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().expect("8 bytes"));
     let mut seg = MappedSegment::new(info);
@@ -202,7 +205,10 @@ pub fn recover_bunch(
     rvm.map(meta_region(bunch), 8 * (1 + 3 * META_CAP))?;
     let meta = decode_meta(rvm.read(meta_region(bunch), 0, 8 * (1 + 3 * META_CAP))?);
     for (id, base, words) in meta {
-        cluster.server.borrow_mut().adopt_segment(bunch, id, base, words)?;
+        cluster
+            .server
+            .borrow_mut()
+            .adopt_segment(bunch, id, base, words)?;
     }
     let seg_infos: Vec<_> = {
         let srv = cluster.server.borrow();
@@ -254,7 +260,15 @@ pub fn recover_bunch(
         }
         for addr in object::objects_in(seg) {
             let v = object::view(mem, addr)?;
-            found.push((v.oid, addr, if v.is_forwarded() { v.forwarding } else { Addr::NULL }));
+            found.push((
+                v.oid,
+                addr,
+                if v.is_forwarded() {
+                    v.forwarding
+                } else {
+                    Addr::NULL
+                },
+            ));
         }
     }
     for (oid, addr, fwd) in found {

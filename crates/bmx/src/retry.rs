@@ -1,0 +1,328 @@
+//! The automatic report-retry daemon.
+//!
+//! The paper's transport (Section 6.1) tolerates losing reachability tables
+//! because they are idempotent and can simply be re-sent. The seed code left
+//! the re-send to the test driver ([`crate::cluster::Cluster::resend_report`]);
+//! this module automates it: every published report is tracked per
+//! destination, and an exponential-backoff timer re-sends the *current*
+//! report of the bunch until every destination's cleaner has applied an
+//! epoch at least as new, or a retry budget runs out (at which point the
+//! next collection's report supersedes the lost one — the design's normal
+//! recovery path, just slower).
+//!
+//! The daemon is driven by [`crate::cluster::Cluster::step`], the cluster's
+//! background clock. It is deliberately *not* driven by `pump()`: pumping
+//! models "wait for the network to go quiet", while the daemon models
+//! background time passing on each node.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bmx_common::{BunchId, Epoch, NodeId};
+
+/// Backoff and budget parameters of the retry daemon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Ticks from publication to the first resend.
+    pub initial_interval: u64,
+    /// Multiplier applied to the interval after each resend.
+    pub backoff: u64,
+    /// Upper bound on the interval.
+    pub max_interval: u64,
+    /// Resends per tracked report before the daemon gives up.
+    pub budget: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_interval: 4,
+            backoff: 2,
+            max_interval: 64,
+            budget: 8,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    epoch: Epoch,
+    /// Tick the report was first published.
+    first_sent: u64,
+    /// Tick of the next resend.
+    next_at: u64,
+    /// Current backoff interval.
+    interval: u64,
+    /// Resends performed so far.
+    attempts: u32,
+    /// Destinations that have not yet confirmed application.
+    pending: BTreeSet<NodeId>,
+}
+
+/// A resend the daemon wants performed now.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Resend {
+    /// The report's origin node.
+    pub node: NodeId,
+    /// The collected bunch.
+    pub bunch: BunchId,
+    /// The destinations still missing the report.
+    pub dests: Vec<NodeId>,
+}
+
+/// The outcome of acknowledging a report delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AckOutcome {
+    /// The delivery did not complete any tracked report.
+    Partial,
+    /// Every destination has now applied the report; if the daemon had to
+    /// resend it, the recovery latency (publication to last application, in
+    /// ticks) is reported.
+    Complete {
+        /// `Some(ticks)` iff at least one resend was needed.
+        recovery_latency: Option<u64>,
+    },
+    /// No tracked report matched.
+    Unknown,
+}
+
+/// Per-cluster retry bookkeeping, keyed by `(origin node, bunch)`. A newer
+/// collection of the same bunch replaces the tracked entry (its report
+/// subsumes the older one).
+#[derive(Clone, Debug)]
+pub struct RetryDaemon {
+    policy: RetryPolicy,
+    entries: BTreeMap<(NodeId, BunchId), Entry>,
+}
+
+impl RetryDaemon {
+    /// Creates an idle daemon.
+    pub fn new(policy: RetryPolicy) -> Self {
+        RetryDaemon {
+            policy,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Starts (or restarts, for a newer epoch) tracking a published report.
+    /// Destinations equal to `node` are ignored — the local cleaner applies
+    /// the report synchronously.
+    pub fn track(
+        &mut self,
+        node: NodeId,
+        bunch: BunchId,
+        epoch: Epoch,
+        dests: &[NodeId],
+        now: u64,
+    ) {
+        let pending: BTreeSet<NodeId> = dests.iter().copied().filter(|&d| d != node).collect();
+        if pending.is_empty() {
+            self.entries.remove(&(node, bunch));
+            return;
+        }
+        self.entries.insert(
+            (node, bunch),
+            Entry {
+                epoch,
+                first_sent: now,
+                next_at: now + self.policy.initial_interval,
+                interval: self.policy.initial_interval,
+                attempts: 0,
+                pending,
+            },
+        );
+    }
+
+    /// Records that `dst`'s cleaner applied the report `(node, bunch)` at
+    /// epoch `epoch`. Stale acknowledgements (older epoch than tracked) are
+    /// ignored.
+    pub fn ack(
+        &mut self,
+        node: NodeId,
+        bunch: BunchId,
+        epoch: Epoch,
+        dst: NodeId,
+        now: u64,
+    ) -> AckOutcome {
+        let Some(entry) = self.entries.get_mut(&(node, bunch)) else {
+            return AckOutcome::Unknown;
+        };
+        if epoch < entry.epoch {
+            return AckOutcome::Unknown;
+        }
+        entry.pending.remove(&dst);
+        if !entry.pending.is_empty() {
+            return AckOutcome::Partial;
+        }
+        let entry = self.entries.remove(&(node, bunch)).expect("present above");
+        let recovery_latency = (entry.attempts > 0).then(|| now - entry.first_sent);
+        AckOutcome::Complete { recovery_latency }
+    }
+
+    /// Collects the resends due at `now`, advancing each entry's backoff.
+    /// Entries that exhaust their budget are dropped and returned separately
+    /// so the caller can account them.
+    pub fn due(&mut self, now: u64) -> (Vec<Resend>, Vec<Resend>) {
+        let mut resends = Vec::new();
+        let mut exhausted = Vec::new();
+        let mut dead: Vec<(NodeId, BunchId)> = Vec::new();
+        for (&(node, bunch), entry) in self.entries.iter_mut() {
+            if entry.next_at > now {
+                continue;
+            }
+            let dests: Vec<NodeId> = entry.pending.iter().copied().collect();
+            if entry.attempts >= self.policy.budget {
+                exhausted.push(Resend { node, bunch, dests });
+                dead.push((node, bunch));
+                continue;
+            }
+            entry.attempts += 1;
+            entry.interval = (entry.interval * self.policy.backoff).min(self.policy.max_interval);
+            entry.next_at = now + entry.interval;
+            resends.push(Resend { node, bunch, dests });
+        }
+        for key in dead {
+            self.entries.remove(&key);
+        }
+        (resends, exhausted)
+    }
+
+    /// Pulls every entry with `node` among its pending destinations forward
+    /// to fire at `now` — called when a node restarts, so recovery does not
+    /// wait out a backed-off interval.
+    pub fn hasten(&mut self, node: NodeId, now: u64) {
+        for entry in self.entries.values_mut() {
+            if entry.pending.contains(&node) {
+                entry.next_at = now;
+            }
+        }
+    }
+
+    /// Number of reports still awaiting full delivery.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    const B: BunchId = BunchId(7);
+
+    #[test]
+    fn untouched_report_is_acked_without_latency() {
+        let mut d = RetryDaemon::new(RetryPolicy::default());
+        d.track(n(0), B, Epoch(1), &[n(0), n(1), n(2)], 10);
+        assert_eq!(d.ack(n(0), B, Epoch(1), n(1), 11), AckOutcome::Partial);
+        assert_eq!(
+            d.ack(n(0), B, Epoch(1), n(2), 12),
+            AckOutcome::Complete {
+                recovery_latency: None
+            },
+            "no resend happened, so no recovery latency"
+        );
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let policy = RetryPolicy {
+            initial_interval: 4,
+            backoff: 2,
+            max_interval: 10,
+            budget: 9,
+        };
+        let mut d = RetryDaemon::new(policy);
+        d.track(n(0), B, Epoch(1), &[n(1)], 0);
+        let mut fire_ticks = Vec::new();
+        let mut now = 0;
+        for _ in 0..4 {
+            loop {
+                now += 1;
+                let (resends, _) = d.due(now);
+                if !resends.is_empty() {
+                    fire_ticks.push(now);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            fire_ticks,
+            vec![4, 12, 22, 32],
+            "intervals 4, 8, then capped at 10"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_drops_the_entry() {
+        let policy = RetryPolicy {
+            initial_interval: 1,
+            backoff: 1,
+            max_interval: 1,
+            budget: 2,
+        };
+        let mut d = RetryDaemon::new(policy);
+        d.track(n(0), B, Epoch(1), &[n(1)], 0);
+        assert_eq!(d.due(1).0.len(), 1);
+        assert_eq!(d.due(2).0.len(), 1);
+        let (resends, exhausted) = d.due(3);
+        assert!(resends.is_empty());
+        assert_eq!(exhausted.len(), 1);
+        assert_eq!(d.pending(), 0, "given up");
+    }
+
+    #[test]
+    fn recovery_latency_spans_publication_to_last_ack() {
+        let mut d = RetryDaemon::new(RetryPolicy::default());
+        d.track(n(0), B, Epoch(3), &[n(1)], 100);
+        assert_eq!(d.due(104).0.len(), 1, "first resend");
+        assert_eq!(
+            d.ack(n(0), B, Epoch(3), n(1), 106),
+            AckOutcome::Complete {
+                recovery_latency: Some(6)
+            }
+        );
+    }
+
+    #[test]
+    fn newer_epoch_supersedes_and_stale_acks_are_ignored() {
+        let mut d = RetryDaemon::new(RetryPolicy::default());
+        d.track(n(0), B, Epoch(1), &[n(1)], 0);
+        d.track(n(0), B, Epoch(2), &[n(1), n(2)], 5);
+        assert_eq!(
+            d.ack(n(0), B, Epoch(1), n(1), 6),
+            AckOutcome::Unknown,
+            "stale epoch"
+        );
+        assert_eq!(d.ack(n(0), B, Epoch(2), n(1), 7), AckOutcome::Partial);
+        assert_eq!(
+            d.ack(n(0), B, Epoch(2), n(2), 8),
+            AckOutcome::Complete {
+                recovery_latency: None
+            }
+        );
+    }
+
+    #[test]
+    fn hasten_pulls_the_timer_forward() {
+        let mut d = RetryDaemon::new(RetryPolicy {
+            initial_interval: 50,
+            ..Default::default()
+        });
+        d.track(n(0), B, Epoch(1), &[n(1)], 0);
+        assert!(d.due(10).0.is_empty(), "not due yet");
+        d.hasten(n(1), 10);
+        assert_eq!(d.due(10).0.len(), 1, "restart pulls the resend forward");
+    }
+
+    #[test]
+    fn tracking_only_local_destinations_is_a_no_op() {
+        let mut d = RetryDaemon::new(RetryPolicy::default());
+        d.track(n(0), B, Epoch(1), &[n(0)], 0);
+        assert_eq!(d.pending(), 0);
+    }
+}

@@ -53,7 +53,13 @@ impl ClusterActor {
                 }
             })
             .expect("spawn cluster thread");
-        (ClusterActor { tx: tx.clone(), thread: Some(thread) }, ClusterHandle { tx })
+        (
+            ClusterActor {
+                tx: tx.clone(),
+                thread: Some(thread),
+            },
+            ClusterHandle { tx },
+        )
     }
 
     /// Stops the actor and joins the thread. Jobs already queued run first;
@@ -100,7 +106,9 @@ impl ClusterHandle {
     where
         F: FnOnce(&mut Cluster) + Send + 'static,
     {
-        self.tx.send(Msg::Job(Box::new(f))).expect("cluster thread alive");
+        self.tx
+            .send(Msg::Job(Box::new(f)))
+            .expect("cluster thread alive");
     }
 }
 

@@ -54,7 +54,11 @@ impl Addr {
     /// Panics on underflow (corrupted pointer).
     #[inline]
     pub fn sub_words(self, n: u64) -> Addr {
-        Addr(self.0.checked_sub(n * WORD_BYTES).expect("address underflow"))
+        Addr(
+            self.0
+                .checked_sub(n * WORD_BYTES)
+                .expect("address underflow"),
+        )
     }
 
     /// Distance from `base` to `self` in whole words.

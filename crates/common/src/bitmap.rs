@@ -38,7 +38,11 @@ impl Bitmap {
     /// Panics if `idx` is out of bounds.
     #[inline]
     pub fn set(&mut self, idx: usize) {
-        assert!(idx < self.len, "bitmap index {idx} out of bounds {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of bounds {}",
+            self.len
+        );
         self.bits[idx / 64] |= 1u64 << (idx % 64);
     }
 
@@ -49,7 +53,11 @@ impl Bitmap {
     /// Panics if `idx` is out of bounds.
     #[inline]
     pub fn clear(&mut self, idx: usize) {
-        assert!(idx < self.len, "bitmap index {idx} out of bounds {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of bounds {}",
+            self.len
+        );
         self.bits[idx / 64] &= !(1u64 << (idx % 64));
     }
 
@@ -60,7 +68,11 @@ impl Bitmap {
     /// Panics if `idx` is out of bounds.
     #[inline]
     pub fn get(&self, idx: usize) -> bool {
-        assert!(idx < self.len, "bitmap index {idx} out of bounds {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitmap index {idx} out of bounds {}",
+            self.len
+        );
         self.bits[idx / 64] & (1u64 << (idx % 64)) != 0
     }
 
@@ -77,7 +89,11 @@ impl Bitmap {
     /// Iterates over the indices of set bits in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.bits.iter().enumerate().flat_map(move |(wi, &w)| {
-            BitIter { word: w, base: wi * 64 }.filter(move |&i| i < self.len)
+            BitIter {
+                word: w,
+                base: wi * 64,
+            }
+            .filter(move |&i| i < self.len)
         })
     }
 

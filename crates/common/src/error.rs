@@ -76,7 +76,10 @@ impl fmt::Display for BmxError {
                 write!(f, "no route to the owner of object {oid}")
             }
             BmxError::FieldOutOfBounds { addr, field, size } => {
-                write!(f, "field {field} out of bounds for object {addr} of {size} words")
+                write!(
+                    f,
+                    "field {field} out of bounds for object {addr} of {size} words"
+                )
             }
             BmxError::RefMapMismatch { addr, field } => {
                 write!(f, "reference-map mismatch at object {addr} field {field}")
@@ -107,9 +110,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = BmxError::Unmapped { node: NodeId(2), addr: Addr(0x40) };
+        let e = BmxError::Unmapped {
+            node: NodeId(2),
+            addr: Addr(0x40),
+        };
         assert_eq!(e.to_string(), "address @0x40 is not mapped on node N2");
-        let e = BmxError::NoToken { node: NodeId(1), oid: Oid(7) };
+        let e = BmxError::NoToken {
+            node: NodeId(1),
+            oid: Oid(7),
+        };
         assert!(e.to_string().contains("O7"));
     }
 

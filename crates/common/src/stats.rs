@@ -69,11 +69,27 @@ pub enum StatKind {
     DsmProtocolMessages,
     /// Background (non-piggy-backed) GC messages.
     BackgroundGcMessages,
+    /// Reachability reports re-sent by the automatic retry daemon.
+    RetryResends,
+    /// Messages delivered more than once (duplication faults); the handlers
+    /// are idempotent, so these are counted, not suppressed.
+    DuplicateDeliveries,
+    /// Network partitions that healed while this node was on one side.
+    PartitionsHealed,
+    /// Times this node came back from a crash.
+    NodeRestarts,
+    /// Ticks between a report's first publication and the retry daemon
+    /// confirming every destination applied it — summed over reports that
+    /// needed at least one resend.
+    RecoveryLatencyTicks,
+    /// Reports the retry daemon gave up on (budget exhausted; the next
+    /// collection's report supersedes them).
+    RetryBudgetExhausted,
 }
 
 impl StatKind {
     /// All counter kinds, for iteration in reports.
-    pub const ALL: [StatKind; 26] = [
+    pub const ALL: [StatKind; 32] = [
         StatKind::MessagesSent,
         StatKind::MessagesDropped,
         StatKind::BytesSent,
@@ -100,6 +116,12 @@ impl StatKind {
         StatKind::RvmBytesLogged,
         StatKind::DsmProtocolMessages,
         StatKind::BackgroundGcMessages,
+        StatKind::RetryResends,
+        StatKind::DuplicateDeliveries,
+        StatKind::PartitionsHealed,
+        StatKind::NodeRestarts,
+        StatKind::RecoveryLatencyTicks,
+        StatKind::RetryBudgetExhausted,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -131,7 +153,9 @@ pub struct NodeStats {
 
 impl Default for NodeStats {
     fn default() -> Self {
-        NodeStats { counters: [Counter::default(); StatKind::COUNT] }
+        NodeStats {
+            counters: [Counter::default(); StatKind::COUNT],
+        }
     }
 }
 

@@ -41,16 +41,15 @@ pub fn write_ref(
         stats.bump(StatKind::BarrierFastPaths);
         return Ok(None);
     }
-    let (Some(src_bunch), Some(tgt_bunch)) =
-        (gc.bunch_of(src_cur), gc.bunch_of(target_cur))
-    else {
+    let (Some(src_bunch), Some(tgt_bunch)) = (gc.bunch_of(src_cur), gc.bunch_of(target_cur)) else {
         stats.bump(StatKind::BarrierFastPaths);
         return Ok(None);
     };
     // Incremental-collection graying: a pointer stored while the target's
     // bunch is under collection makes the target reachable through a
     // possibly-already-scanned object; the collector must revisit it.
-    gc.node_mut(node).gray_if_active(Some(tgt_bunch), target_cur);
+    gc.node_mut(node)
+        .gray_if_active(Some(tgt_bunch), target_cur);
     if src_bunch == tgt_bunch {
         stats.bump(StatKind::BarrierFastPaths);
         return Ok(None);
@@ -78,7 +77,12 @@ pub fn write_ref(
         target_oid,
         scion_at,
     };
-    if !gc.node_mut(node).bunch_or_default(src_bunch).stub_table.add_inter(stub) {
+    if !gc
+        .node_mut(node)
+        .bunch_or_default(src_bunch)
+        .stub_table
+        .add_inter(stub)
+    {
         // The reference was already described by an existing SSP.
         return Ok(None);
     }
@@ -91,7 +95,10 @@ pub fn write_ref(
         target_oid,
     };
     if scion_at == node {
-        gc.node_mut(node).bunch_or_default(tgt_bunch).scion_table.add_inter(scion);
+        gc.node_mut(node)
+            .bunch_or_default(tgt_bunch)
+            .scion_table
+            .add_inter(scion);
         Ok(None)
     } else {
         stats.bump(StatKind::ScionMessages);
@@ -131,17 +138,27 @@ mod tests {
     /// creator). O1, O2 in B1; O3 in B2.
     fn fixture(map_b2_locally: bool) -> Fix {
         let server = Rc::new(RefCell::new(SegmentServer::new(128)));
-        let b1 = server.borrow_mut().create_bunch(NodeId(0), Protection::default());
-        let b2 = server.borrow_mut().create_bunch(NodeId(1), Protection::default());
+        let b1 = server
+            .borrow_mut()
+            .create_bunch(NodeId(0), Protection::default());
+        let b2 = server
+            .borrow_mut()
+            .create_bunch(NodeId(1), Protection::default());
         let s1 = server.borrow_mut().alloc_segment(b1).unwrap();
         let s2 = server.borrow_mut().alloc_segment(b2).unwrap();
         let mut gc = GcState::new(2, server);
         let mut mem = NodeMemory::new(NodeId(0));
         mem.map_segment(s1);
         mem.map_segment(s2);
-        gc.node_mut(NodeId(0)).bunch_or_default(b1).alloc_segments.push(s1.id);
+        gc.node_mut(NodeId(0))
+            .bunch_or_default(b1)
+            .alloc_segments
+            .push(s1.id);
         if map_b2_locally {
-            gc.node_mut(NodeId(0)).bunch_or_default(b2).alloc_segments.push(s2.id);
+            gc.node_mut(NodeId(0))
+                .bunch_or_default(b2)
+                .alloc_segments
+                .push(s2.id);
         }
         let seg1 = mem.segment_mut(s1.id).unwrap();
         let o1 = object::alloc_in_segment(seg1, Oid(1), 2, &[0, 1]).unwrap();
@@ -151,26 +168,57 @@ mod tests {
         for (oid, a) in [(1, o1), (2, o2), (3, o3)] {
             gc.node_mut(NodeId(0)).directory.set_addr(Oid(oid), a);
         }
-        Fix { gc, mem, stats: NodeStats::new(), b1, b2, o1, o2, o3 }
+        Fix {
+            gc,
+            mem,
+            stats: NodeStats::new(),
+            b1,
+            b2,
+            o1,
+            o2,
+            o3,
+        }
     }
 
     #[test]
     fn intra_bunch_store_is_fast_path() {
         let mut f = fixture(true);
-        let out = write_ref(&mut f.gc, NodeId(0), &mut f.mem, &mut f.stats, f.o1, 0, f.o2)
-            .unwrap();
+        let out = write_ref(
+            &mut f.gc,
+            NodeId(0),
+            &mut f.mem,
+            &mut f.stats,
+            f.o1,
+            0,
+            f.o2,
+        )
+        .unwrap();
         assert!(out.is_none());
         assert_eq!(f.stats.get(StatKind::BarrierFastPaths), 1);
         assert_eq!(f.stats.get(StatKind::BarrierSlowPaths), 0);
         assert_eq!(object::read_ref_field(&f.mem, f.o1, 0).unwrap(), f.o2);
-        assert!(f.gc.node(NodeId(0)).bunch(f.b1).unwrap().stub_table.is_empty());
+        assert!(f
+            .gc
+            .node(NodeId(0))
+            .bunch(f.b1)
+            .unwrap()
+            .stub_table
+            .is_empty());
     }
 
     #[test]
     fn null_store_is_fast_path() {
         let mut f = fixture(true);
-        let out = write_ref(&mut f.gc, NodeId(0), &mut f.mem, &mut f.stats, f.o1, 0, Addr::NULL)
-            .unwrap();
+        let out = write_ref(
+            &mut f.gc,
+            NodeId(0),
+            &mut f.mem,
+            &mut f.stats,
+            f.o1,
+            0,
+            Addr::NULL,
+        )
+        .unwrap();
         assert!(out.is_none());
         assert_eq!(f.stats.get(StatKind::BarrierFastPaths), 1);
     }
@@ -178,9 +226,20 @@ mod tests {
     #[test]
     fn inter_bunch_store_creates_local_ssp_when_target_mapped() {
         let mut f = fixture(true);
-        let out = write_ref(&mut f.gc, NodeId(0), &mut f.mem, &mut f.stats, f.o1, 1, f.o3)
-            .unwrap();
-        assert!(out.is_none(), "target bunch mapped locally: no scion-message");
+        let out = write_ref(
+            &mut f.gc,
+            NodeId(0),
+            &mut f.mem,
+            &mut f.stats,
+            f.o1,
+            1,
+            f.o3,
+        )
+        .unwrap();
+        assert!(
+            out.is_none(),
+            "target bunch mapped locally: no scion-message"
+        );
         assert_eq!(f.stats.get(StatKind::BarrierSlowPaths), 1);
         let stubs = &f.gc.node(NodeId(0)).bunch(f.b1).unwrap().stub_table;
         assert_eq!(stubs.inter.len(), 1);
@@ -194,30 +253,82 @@ mod tests {
     #[test]
     fn inter_bunch_store_to_unmapped_bunch_emits_scion_message() {
         let mut f = fixture(false);
-        let out = write_ref(&mut f.gc, NodeId(0), &mut f.mem, &mut f.stats, f.o1, 1, f.o3)
-            .unwrap();
+        let out = write_ref(
+            &mut f.gc,
+            NodeId(0),
+            &mut f.mem,
+            &mut f.stats,
+            f.o1,
+            1,
+            f.o3,
+        )
+        .unwrap();
         let (dest, msg) = out.expect("scion-message required");
         assert_eq!(dest, NodeId(1), "routed to the target bunch's creator");
         assert_eq!(f.stats.get(StatKind::ScionMessages), 1);
-        let GcMsg::ScionCreate { scion } = msg else { panic!("wrong message") };
+        let GcMsg::ScionCreate { scion } = msg else {
+            panic!("wrong message")
+        };
         assert_eq!(scion.source_node, NodeId(0));
         assert_eq!(scion.target_bunch, f.b2);
         // Deliver it and check installation.
         let mut gc2 = f.gc;
         install_scion(&mut gc2, NodeId(1), scion.clone());
-        assert_eq!(gc2.node(NodeId(1)).bunch(f.b2).unwrap().scion_table.inter.len(), 1);
+        assert_eq!(
+            gc2.node(NodeId(1))
+                .bunch(f.b2)
+                .unwrap()
+                .scion_table
+                .inter
+                .len(),
+            1
+        );
         // Idempotent.
         install_scion(&mut gc2, NodeId(1), scion);
-        assert_eq!(gc2.node(NodeId(1)).bunch(f.b2).unwrap().scion_table.inter.len(), 1);
+        assert_eq!(
+            gc2.node(NodeId(1))
+                .bunch(f.b2)
+                .unwrap()
+                .scion_table
+                .inter
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn duplicate_reference_creates_single_ssp() {
         let mut f = fixture(true);
-        write_ref(&mut f.gc, NodeId(0), &mut f.mem, &mut f.stats, f.o1, 1, f.o3).unwrap();
+        write_ref(
+            &mut f.gc,
+            NodeId(0),
+            &mut f.mem,
+            &mut f.stats,
+            f.o1,
+            1,
+            f.o3,
+        )
+        .unwrap();
         // Store the same target again (same field or another field).
-        write_ref(&mut f.gc, NodeId(0), &mut f.mem, &mut f.stats, f.o1, 0, f.o3).unwrap();
-        assert_eq!(f.gc.node(NodeId(0)).bunch(f.b1).unwrap().stub_table.inter.len(), 1);
+        write_ref(
+            &mut f.gc,
+            NodeId(0),
+            &mut f.mem,
+            &mut f.stats,
+            f.o1,
+            0,
+            f.o3,
+        )
+        .unwrap();
+        assert_eq!(
+            f.gc.node(NodeId(0))
+                .bunch(f.b1)
+                .unwrap()
+                .stub_table
+                .inter
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -227,8 +338,19 @@ mod tests {
         let img = object::ObjectImage::capture(&f.mem, f.o1).unwrap();
         let to = f.o2.add_words(16);
         object::install_object_at(&mut f.mem, to, &img).unwrap();
-        f.gc.node_mut(NodeId(0)).directory.record_move(Oid(1), f.o1, to);
-        write_ref(&mut f.gc, NodeId(0), &mut f.mem, &mut f.stats, f.o1, 0, f.o2).unwrap();
+        f.gc.node_mut(NodeId(0))
+            .directory
+            .record_move(Oid(1), f.o1, to);
+        write_ref(
+            &mut f.gc,
+            NodeId(0),
+            &mut f.mem,
+            &mut f.stats,
+            f.o1,
+            0,
+            f.o2,
+        )
+        .unwrap();
         assert_eq!(
             object::read_ref_field(&f.mem, to, 0).unwrap(),
             f.o2,

@@ -52,7 +52,11 @@ pub fn process_report(
     let key = (report.from, report.bunch);
     {
         let ns = gc.node_mut(at);
-        if ns.cleaner_epochs.get(&key).is_some_and(|&e| e >= report.epoch) {
+        if ns
+            .cleaner_epochs
+            .get(&key)
+            .is_some_and(|&e| e >= report.epoch)
+        {
             return out; // duplicate or stale: idempotent no-op
         }
         ns.cleaner_epochs.insert(key, report.epoch);
@@ -63,8 +67,11 @@ pub fn process_report(
     // tables (it runs on every collection's publication).
     let reported_ids: std::collections::BTreeSet<crate::ssp::SspId> =
         report.inter_stubs.iter().map(|st| st.id).collect();
-    let reported_intra: std::collections::BTreeSet<(bmx_common::Oid, NodeId)> =
-        report.intra_stubs.iter().map(|st| (st.oid, st.scion_at)).collect();
+    let reported_intra: std::collections::BTreeSet<(bmx_common::Oid, NodeId)> = report
+        .intra_stubs
+        .iter()
+        .map(|st| (st.oid, st.scion_at))
+        .collect();
 
     // Inter-bunch scions: the reported stub table is authoritative for this
     // (source node, source bunch).
@@ -98,14 +105,17 @@ pub fn process_report(
                     .collect()
             });
             if known.insert(stub.id) {
-                ns.bunch_or_default(stub.target_bunch).scion_table.inter.push(InterScion {
-                    id: stub.id,
-                    source_node: report.from,
-                    source_bunch: stub.source_bunch,
-                    target_bunch: stub.target_bunch,
-                    target_addr: stub.target_addr,
-                    target_oid: stub.target_oid,
-                });
+                ns.bunch_or_default(stub.target_bunch)
+                    .scion_table
+                    .inter
+                    .push(InterScion {
+                        id: stub.id,
+                        source_node: report.from,
+                        source_bunch: stub.source_bunch,
+                        target_bunch: stub.target_bunch,
+                        target_addr: stub.target_addr,
+                        target_oid: stub.target_oid,
+                    });
                 out.scions_created += 1;
             }
         }
@@ -114,9 +124,9 @@ pub fn process_report(
     // Intra-bunch scions of this bunch whose stub holder is the reporter.
     if let Some(brs) = ns.bunch_mut(report.bunch) {
         let before = brs.scion_table.intra.len();
-        brs.scion_table.intra.retain(|s| {
-            s.stub_at != report.from || reported_intra.contains(&(s.oid, at))
-        });
+        brs.scion_table
+            .intra
+            .retain(|s| s.stub_at != report.from || reported_intra.contains(&(s.oid, at)));
         out.scions_removed += (before - brs.scion_table.intra.len()) as u64;
     }
     // Create (or re-key) intra scions the report asserts: after an
@@ -126,14 +136,14 @@ pub fn process_report(
         if stub.scion_at != at {
             continue;
         }
-        let created = ns
-            .bunch_or_default(stub.bunch)
-            .scion_table
-            .add_intra(crate::ssp::IntraScion {
-                oid: stub.oid,
-                bunch: stub.bunch,
-                stub_at: report.from,
-            });
+        let created =
+            ns.bunch_or_default(stub.bunch)
+                .scion_table
+                .add_intra(crate::ssp::IntraScion {
+                    oid: stub.oid,
+                    bunch: stub.bunch,
+                    stub_at: report.from,
+                });
         if created {
             out.scions_created += 1;
         }
@@ -147,7 +157,10 @@ pub fn process_report(
         .filter(|(oid, st)| {
             st.bunch == report.bunch
                 && st.entering.contains(&report.from)
-                && !report.exiting.iter().any(|&(o, tgt)| o == *oid && tgt == at)
+                && !report
+                    .exiting
+                    .iter()
+                    .any(|&(o, tgt)| o == *oid && tgt == at)
         })
         .map(|(oid, _)| oid)
         .collect();
@@ -178,7 +191,9 @@ mod tests {
 
     fn gc_with(n: usize) -> GcState {
         let server = Rc::new(RefCell::new(SegmentServer::new(64)));
-        server.borrow_mut().create_bunch(NodeId(0), Protection::default());
+        server
+            .borrow_mut()
+            .create_bunch(NodeId(0), Protection::default());
         GcState::new(n, server)
     }
 
@@ -195,7 +210,10 @@ mod tests {
 
     fn scion(id_seq: u64, src_node: u32, src_bunch: u32, tgt_bunch: u32) -> InterScion {
         InterScion {
-            id: SspId { node: NodeId(src_node), seq: id_seq },
+            id: SspId {
+                node: NodeId(src_node),
+                seq: id_seq,
+            },
             source_node: NodeId(src_node),
             source_bunch: BunchId(src_bunch),
             target_bunch: BunchId(tgt_bunch),
@@ -209,14 +227,26 @@ mod tests {
         let mut gc = gc_with(2);
         let mut engine = DsmEngine::new(2);
         let mut stats = NodeStats::new();
-        gc.node_mut(NodeId(1)).bunch_or_default(BunchId(2)).scion_table.add_inter(scion(
-            1, 0, 1, 2,
-        ));
-        let out =
-            process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report(0, 1, 1));
+        gc.node_mut(NodeId(1))
+            .bunch_or_default(BunchId(2))
+            .scion_table
+            .add_inter(scion(1, 0, 1, 2));
+        let out = process_report(
+            &mut gc,
+            &mut engine,
+            &mut stats,
+            NodeId(1),
+            &report(0, 1, 1),
+        );
         assert!(out.applied);
         assert_eq!(out.scions_removed, 1);
-        assert!(gc.node(NodeId(1)).bunch(BunchId(2)).unwrap().scion_table.inter.is_empty());
+        assert!(gc
+            .node(NodeId(1))
+            .bunch(BunchId(2))
+            .unwrap()
+            .scion_table
+            .inter
+            .is_empty());
         assert_eq!(stats.get(StatKind::ScionsCleaned), 1);
     }
 
@@ -226,7 +256,10 @@ mod tests {
         let mut engine = DsmEngine::new(2);
         let mut stats = NodeStats::new();
         let sc = scion(1, 0, 1, 2);
-        gc.node_mut(NodeId(1)).bunch_or_default(BunchId(2)).scion_table.add_inter(sc.clone());
+        gc.node_mut(NodeId(1))
+            .bunch_or_default(BunchId(2))
+            .scion_table
+            .add_inter(sc.clone());
         let mut rep = report(0, 1, 1);
         rep.inter_stubs.push(InterStub {
             id: sc.id,
@@ -240,7 +273,15 @@ mod tests {
         let out = process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &rep);
         assert_eq!(out.scions_removed, 0);
         assert_eq!(out.scions_created, 0, "already present");
-        assert_eq!(gc.node(NodeId(1)).bunch(BunchId(2)).unwrap().scion_table.inter.len(), 1);
+        assert_eq!(
+            gc.node(NodeId(1))
+                .bunch(BunchId(2))
+                .unwrap()
+                .scion_table
+                .inter
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -251,7 +292,10 @@ mod tests {
         // The scion never arrived, but the stub table reports it.
         let mut rep = report(0, 1, 1);
         rep.inter_stubs.push(InterStub {
-            id: SspId { node: NodeId(0), seq: 7 },
+            id: SspId {
+                node: NodeId(0),
+                seq: 7,
+            },
             source_bunch: BunchId(1),
             source_oid: Oid(3),
             target_bunch: BunchId(2),
@@ -261,7 +305,15 @@ mod tests {
         });
         let out = process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &rep);
         assert_eq!(out.scions_created, 1);
-        assert_eq!(gc.node(NodeId(1)).bunch(BunchId(2)).unwrap().scion_table.inter.len(), 1);
+        assert_eq!(
+            gc.node(NodeId(1))
+                .bunch(BunchId(2))
+                .unwrap()
+                .scion_table
+                .inter
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -269,13 +321,37 @@ mod tests {
         let mut gc = gc_with(2);
         let mut engine = DsmEngine::new(2);
         let mut stats = NodeStats::new();
-        let out1 = process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report(0, 1, 3));
+        let out1 = process_report(
+            &mut gc,
+            &mut engine,
+            &mut stats,
+            NodeId(1),
+            &report(0, 1, 3),
+        );
         assert!(out1.applied);
-        let out2 = process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report(0, 1, 3));
+        let out2 = process_report(
+            &mut gc,
+            &mut engine,
+            &mut stats,
+            NodeId(1),
+            &report(0, 1, 3),
+        );
         assert!(!out2.applied, "same epoch: duplicate");
-        let out3 = process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report(0, 1, 2));
+        let out3 = process_report(
+            &mut gc,
+            &mut engine,
+            &mut stats,
+            NodeId(1),
+            &report(0, 1, 2),
+        );
         assert!(!out3.applied, "older epoch: stale");
-        let out4 = process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report(0, 1, 4));
+        let out4 = process_report(
+            &mut gc,
+            &mut engine,
+            &mut stats,
+            NodeId(1),
+            &report(0, 1, 4),
+        );
         assert!(out4.applied);
     }
 
@@ -289,8 +365,19 @@ mod tests {
         t.scion_table.add_inter(scion(1, 0, 1, 2));
         t.scion_table.add_inter(scion(1, 1, 1, 2));
         // An empty report from node 0 must only prune node 0's scion.
-        process_report(&mut gc, &mut engine, &mut stats, NodeId(2), &report(0, 1, 1));
-        let remaining = &gc.node(NodeId(2)).bunch(BunchId(2)).unwrap().scion_table.inter;
+        process_report(
+            &mut gc,
+            &mut engine,
+            &mut stats,
+            NodeId(2),
+            &report(0, 1, 1),
+        );
+        let remaining = &gc
+            .node(NodeId(2))
+            .bunch(BunchId(2))
+            .unwrap()
+            .scion_table
+            .inter;
         assert_eq!(remaining.len(), 1);
         assert_eq!(remaining[0].source_node, NodeId(1));
     }
@@ -301,15 +388,32 @@ mod tests {
         let mut engine = DsmEngine::new(3);
         let mut stats = NodeStats::new();
         let t = gc.node_mut(NodeId(1)).bunch_or_default(BunchId(1));
-        t.scion_table.add_intra(IntraScion { oid: Oid(4), bunch: BunchId(1), stub_at: NodeId(0) });
-        t.scion_table.add_intra(IntraScion { oid: Oid(5), bunch: BunchId(1), stub_at: NodeId(0) });
+        t.scion_table.add_intra(IntraScion {
+            oid: Oid(4),
+            bunch: BunchId(1),
+            stub_at: NodeId(0),
+        });
+        t.scion_table.add_intra(IntraScion {
+            oid: Oid(5),
+            bunch: BunchId(1),
+            stub_at: NodeId(0),
+        });
         let mut rep = report(0, 1, 1);
         // Node 0 still holds the stub for O4 (pointing at our scion) but
         // dropped the one for O5.
-        rep.intra_stubs.push(IntraStub { oid: Oid(4), bunch: BunchId(1), scion_at: NodeId(1) });
+        rep.intra_stubs.push(IntraStub {
+            oid: Oid(4),
+            bunch: BunchId(1),
+            scion_at: NodeId(1),
+        });
         let out = process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &rep);
         assert_eq!(out.scions_removed, 1);
-        let intra = &gc.node(NodeId(1)).bunch(BunchId(1)).unwrap().scion_table.intra;
+        let intra = &gc
+            .node(NodeId(1))
+            .bunch(BunchId(1))
+            .unwrap()
+            .scion_table
+            .intra;
         assert_eq!(intra.len(), 1);
         assert_eq!(intra[0].oid, Oid(4));
     }
@@ -322,14 +426,28 @@ mod tests {
         engine.register_alloc(NodeId(1), Oid(7), BunchId(1));
         engine.add_entering(NodeId(1), Oid(7), NodeId(0));
         // Report from node 0 with no exiting entry for O7: entering removed.
-        let out = process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report(0, 1, 1));
+        let out = process_report(
+            &mut gc,
+            &mut engine,
+            &mut stats,
+            NodeId(1),
+            &report(0, 1, 1),
+        );
         assert_eq!(out.owner_ptrs_removed, 1);
-        assert!(engine.obj_state(NodeId(1), Oid(7)).unwrap().entering.is_empty());
+        assert!(engine
+            .obj_state(NodeId(1), Oid(7))
+            .unwrap()
+            .entering
+            .is_empty());
         // A later report asserting the pointer re-adds it.
         let mut rep = report(0, 1, 2);
         rep.exiting.push((Oid(7), NodeId(1)));
         process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &rep);
-        assert!(engine.obj_state(NodeId(1), Oid(7)).unwrap().entering.contains(&NodeId(0)));
+        assert!(engine
+            .obj_state(NodeId(1), Oid(7))
+            .unwrap()
+            .entering
+            .contains(&NodeId(0)));
     }
 
     #[test]

@@ -36,9 +36,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use bmx_addr::layout::HEADER_WORDS;
 use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
-use bmx_common::{
-    Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind,
-};
+use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind};
 use bmx_dsm::{DsmEngine, GcIntegration, Relocation};
 
 use crate::msg::ReachabilityReport;
@@ -149,7 +147,14 @@ pub fn collect(
         }
     }
     let mut core = TraceCore::new(group);
-    let mut ctx = Ctx { gc, engine, mem, stats, node, core: &mut core };
+    let mut ctx = Ctx {
+        gc,
+        engine,
+        mem,
+        stats,
+        node,
+        core: &mut core,
+    };
 
     let (strong_roots, intra_roots) = ctx.gather_roots();
     ctx.trace(strong_roots, true)?;
@@ -157,7 +162,11 @@ pub fn collect(
     ctx.update_references()?;
     ctx.sweep()?;
     let reports = ctx.regenerate_and_publish()?;
-    Ok(CollectOutcome { reports, dead: core.dead_oids, stats: core.out })
+    Ok(CollectOutcome {
+        reports,
+        dead: core.dead_oids,
+        stats: core.out,
+    })
 }
 
 impl Ctx<'_> {
@@ -166,7 +175,9 @@ impl Ctx<'_> {
     }
 
     fn in_group(&self, addr: Addr) -> Option<BunchId> {
-        self.gc.bunch_of(addr).filter(|b| self.core.group.contains(b))
+        self.gc
+            .bunch_of(addr)
+            .filter(|b| self.core.group.contains(b))
     }
 
     /// Roots per Section 4.1: mutator stacks, scions, entering ownerPtrs.
@@ -233,7 +244,9 @@ impl Ctx<'_> {
             // materialized (e.g. a scion for an object allocated remotely
             // after mapping). Treat as opaque: conservative, nothing to do
             // locally — the owner's replica keeps it alive there.
-            let Ok(view) = object::view(self.mem, addr) else { continue };
+            let Ok(view) = object::view(self.mem, addr) else {
+                continue;
+            };
             if view.is_forwarded() {
                 // Header-level forwarding the directory did not know about
                 // cannot normally happen (record_move maintains both), but
@@ -241,7 +254,9 @@ impl Ctx<'_> {
                 stack.push(view.forwarding);
                 continue;
             }
-            let Some(bunch) = self.in_group(addr) else { continue };
+            let Some(bunch) = self.in_group(addr) else {
+                continue;
+            };
             done += 1;
             let owned = self.engine.is_owner(self.node, view.oid);
             let final_addr = if owned {
@@ -249,7 +264,8 @@ impl Ctx<'_> {
                 self.core.out.copied += 1;
                 self.core.out.copied_words += HEADER_WORDS + view.size;
                 self.stats.bump(StatKind::ObjectsCopied);
-                self.stats.add(StatKind::WordsCopied, HEADER_WORDS + view.size);
+                self.stats
+                    .add(StatKind::WordsCopied, HEADER_WORDS + view.size);
                 dst
             } else {
                 self.core.out.scanned += 1;
@@ -259,7 +275,15 @@ impl Ctx<'_> {
             self.core.visited.insert(addr);
             self.core.visited.insert(final_addr);
             self.core.out.live += 1;
-            self.core.live.insert(final_addr, LiveObj { oid: view.oid, bunch, owned, strong });
+            self.core.live.insert(
+                final_addr,
+                LiveObj {
+                    oid: view.oid,
+                    bunch,
+                    owned,
+                    strong,
+                },
+            );
             for (_, t) in object::ref_fields(self.mem, final_addr)? {
                 if t.is_null() {
                     continue;
@@ -268,7 +292,10 @@ impl Ctx<'_> {
                 match self.gc.bunch_of(tr) {
                     Some(tb) if self.core.group.contains(&tb) => stack.push(tr),
                     Some(_) => {
-                        self.core.inter_refs.push(InterRef { source_oid: view.oid, target: tr });
+                        self.core.inter_refs.push(InterRef {
+                            source_oid: view.oid,
+                            target: tr,
+                        });
                     }
                     None => {}
                 }
@@ -293,8 +320,15 @@ impl Ctx<'_> {
         };
         object::install_object_at(self.mem, dst, &img)?;
         object::set_forwarding(self.mem, from, dst)?;
-        self.gc.node_mut(self.node).directory.record_move(img.oid, from, dst);
-        self.core.new_relocs.push(Relocation { oid: img.oid, from, to: dst });
+        self.gc
+            .node_mut(self.node)
+            .directory
+            .record_move(img.oid, from, dst);
+        self.core.new_relocs.push(Relocation {
+            oid: img.oid,
+            from,
+            to: dst,
+        });
         Ok(dst)
     }
 
@@ -340,7 +374,9 @@ impl Ctx<'_> {
             ns.set_root(id, r);
         }
         for &b in &self.core.group {
-            let Some(brs) = ns.bunches.get_mut(&b) else { continue };
+            let Some(brs) = ns.bunches.get_mut(&b) else {
+                continue;
+            };
             for s in &mut brs.scion_table.inter {
                 s.target_addr = ns.directory.resolve(s.target_addr);
             }
@@ -357,15 +393,13 @@ impl Ctx<'_> {
     /// this very run created, which hold only live copies.
     pub(crate) fn sweep(&mut self) -> Result<()> {
         for &b in &self.core.group.clone() {
-            let fresh: Vec<SegmentId> =
-                self.core.to_segs.get(&b).cloned().unwrap_or_default();
+            let fresh: Vec<SegmentId> = self.core.to_segs.get(&b).cloned().unwrap_or_default();
             let seg_ids: Vec<SegmentId> = self
                 .mem
                 .mapped_segments()
                 .into_iter()
                 .filter(|&sid| {
-                    self.mem.segment(sid).is_ok_and(|s| s.info.bunch == b)
-                        && !fresh.contains(&sid)
+                    self.mem.segment(sid).is_ok_and(|s| s.info.bunch == b) && !fresh.contains(&sid)
                 })
                 .collect();
             for seg_id in seg_ids {
@@ -409,7 +443,9 @@ impl Ctx<'_> {
 
     /// Builds the new stub tables and exiting lists, swaps spaces, and
     /// prepares the reports (Section 4.3).
-    pub(crate) fn regenerate_and_publish(&mut self) -> Result<Vec<(Vec<NodeId>, ReachabilityReport)>> {
+    pub(crate) fn regenerate_and_publish(
+        &mut self,
+    ) -> Result<Vec<(Vec<NodeId>, ReachabilityReport)>> {
         let mut reports = Vec::new();
         for &b in &self.core.group.clone() {
             let live_of_bunch: BTreeMap<Oid, (bool, bool)> = self
@@ -429,8 +465,7 @@ impl Ctx<'_> {
                 .filter(|s| {
                     live_of_bunch.contains_key(&s.source_oid)
                         && self.core.inter_refs.iter().any(|r| {
-                            r.source_oid == s.source_oid
-                                && self.resolve(s.target_addr) == r.target
+                            r.source_oid == s.source_oid && self.resolve(s.target_addr) == r.target
                         })
                 })
                 .map(|s| {
@@ -451,13 +486,14 @@ impl Ctx<'_> {
                 .iter()
                 .filter(|(_, &(owned, strong))| !owned && strong)
                 .filter_map(|(&oid, _)| {
-                    self.engine.obj_state(self.node, oid).map(|st| (oid, st.owner_hint))
+                    self.engine
+                        .obj_state(self.node, oid)
+                        .map(|st| (oid, st.owner_hint))
                 })
                 .collect();
             // Report destinations: replica holders of the bunch, scion sites
             // of the old and new stub tables, exiting-ptr targets.
-            let mut dests: BTreeSet<NodeId> =
-                self.gc.mapped_nodes(b).into_iter().collect();
+            let mut dests: BTreeSet<NodeId> = self.gc.mapped_nodes(b).into_iter().collect();
             dests.extend(old_inter.iter().map(|s| s.scion_at));
             dests.extend(new_inter.iter().map(|s| s.scion_at));
             dests.extend(old_intra.iter().map(|s| s.scion_at));

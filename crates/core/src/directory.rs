@@ -259,7 +259,11 @@ mod tests {
         d.record_move(Oid(1), Addr(0x100), Addr(0x200));
         d.drop_oid(Oid(1));
         assert_eq!(d.addr_of(Oid(1)), None);
-        assert_eq!(d.resolve(Addr(0x100)), Addr(0x200), "stale pointers still resolve");
+        assert_eq!(
+            d.resolve(Addr(0x100)),
+            Addr(0x200),
+            "stale pointers still resolve"
+        );
     }
 
     #[test]

@@ -31,9 +31,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use bmx_addr::layout::HEADER_WORDS;
 use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
-use bmx_common::{
-    Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind,
-};
+use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind};
 use bmx_dsm::{DsmEngine, Relocation};
 
 use crate::integration::apply_relocations_at;
@@ -78,7 +76,12 @@ pub fn start_reuse(
     for (owner, oids) in by_owner {
         msgs.push((
             owner,
-            GcMsg::CopyRequest { bunch, oids, avoid: segments.clone(), reply_to: node },
+            GcMsg::CopyRequest {
+                bunch,
+                oids,
+                avoid: segments.clone(),
+                reply_to: node,
+            },
         ));
         stats.bump(StatKind::BackgroundGcMessages);
     }
@@ -156,7 +159,11 @@ fn copy_out_locally(
     object::install_object_at(mem, dst, &img)?;
     object::set_forwarding(mem, from, dst)?;
     gc.node_mut(node).directory.record_move(img.oid, from, dst);
-    let r = Relocation { oid: img.oid, from, to: dst };
+    let r = Relocation {
+        oid: img.oid,
+        from,
+        to: dst,
+    };
     if let Some(brs) = gc.node_mut(node).bunch_mut(bunch) {
         brs.relocations.push(r);
     }
@@ -194,7 +201,10 @@ fn alloc_target_with_space(
         return Err(BmxError::OutOfMemory { bunch, words: need });
     }
     mem.map_segment(info);
-    gc.node_mut(node).bunch_or_default(bunch).alloc_segments.push(info.id);
+    gc.node_mut(node)
+        .bunch_or_default(bunch)
+        .alloc_segments
+        .push(info.id);
     Ok(info.id)
 }
 
@@ -230,7 +240,9 @@ pub fn handle_copy_request(
         }
         match engine.obj_state(at, oid) {
             Some(st) if st.is_owner => {
-                let Some(from) = gc.node(at).directory.addr_of(oid) else { continue };
+                let Some(from) = gc.node(at).directory.addr_of(oid) else {
+                    continue;
+                };
                 let r = copy_out_locally(gc, mem, stats, at, bunch, from, &local_doomed)?;
                 relocs.push(r);
             }
@@ -245,10 +257,25 @@ pub fn handle_copy_request(
         }
     }
     let mut msgs = Vec::new();
-    msgs.push((reply_to, GcMsg::CopyReply { bunch, relocations: relocs, from: at }));
+    msgs.push((
+        reply_to,
+        GcMsg::CopyReply {
+            bunch,
+            relocations: relocs,
+            from: at,
+        },
+    ));
     stats.bump(StatKind::BackgroundGcMessages);
     for (owner, oids) in forwards {
-        msgs.push((owner, GcMsg::CopyRequest { bunch, oids, avoid: avoid.to_vec(), reply_to }));
+        msgs.push((
+            owner,
+            GcMsg::CopyRequest {
+                bunch,
+                oids,
+                avoid: avoid.to_vec(),
+                reply_to,
+            },
+        ));
         stats.bump(StatKind::BackgroundGcMessages);
     }
     Ok(msgs)
@@ -270,7 +297,10 @@ pub fn handle_copy_reply(
     let copyout_done = {
         let brs = gc.node_mut(at).bunch_mut(bunch);
         match brs.and_then(|b| b.reuse.as_mut()) {
-            Some(ReuseState { phase: ReusePhase::CopyOut { awaiting_oids }, .. }) => {
+            Some(ReuseState {
+                phase: ReusePhase::CopyOut { awaiting_oids },
+                ..
+            }) => {
                 for r in relocations {
                     awaiting_oids.remove(&r.oid);
                 }
@@ -280,7 +310,13 @@ pub fn handle_copy_reply(
         }
     };
     if copyout_done {
-        msgs.extend(advance_to_retire(gc, &mut mems[at.0 as usize], stats, at, bunch)?);
+        msgs.extend(advance_to_retire(
+            gc,
+            &mut mems[at.0 as usize],
+            stats,
+            at,
+            bunch,
+        )?);
     }
     // Receiver in retire handling?
     let retire_done = {
@@ -296,7 +332,13 @@ pub fn handle_copy_reply(
         }
     };
     if retire_done {
-        msgs.extend(complete_retire(gc, &mut mems[at.0 as usize], stats, at, bunch)?);
+        msgs.extend(complete_retire(
+            gc,
+            &mut mems[at.0 as usize],
+            stats,
+            at,
+            bunch,
+        )?);
     }
     Ok(msgs)
 }
@@ -311,15 +353,21 @@ fn advance_to_retire(
     bunch: BunchId,
 ) -> Result<Vec<(NodeId, GcMsg)>> {
     let segments = {
-        let brs = gc.node(node).bunch(bunch).ok_or(BmxError::BunchUnmapped { node, bunch })?;
+        let brs = gc
+            .node(node)
+            .bunch(bunch)
+            .ok_or(BmxError::BunchUnmapped { node, bunch })?;
         match &brs.reuse {
             Some(r) => r.segments.clone(),
             None => return Ok(Vec::new()),
         }
     };
     let relocations = relocs_out_of(gc, mem, node, &segments);
-    let dests: Vec<NodeId> =
-        gc.mapped_nodes(bunch).into_iter().filter(|&d| d != node).collect();
+    let dests: Vec<NodeId> = gc
+        .mapped_nodes(bunch)
+        .into_iter()
+        .filter(|&d| d != node)
+        .collect();
     if dests.is_empty() {
         finish_local(gc, mem, stats, node, bunch)?;
         return Ok(Vec::new());
@@ -327,7 +375,9 @@ fn advance_to_retire(
     {
         let brs = gc.node_mut(node).bunch_mut(bunch).expect("checked");
         if let Some(r) = brs.reuse.as_mut() {
-            r.phase = ReusePhase::Retire { awaiting_acks: dests.iter().copied().collect() };
+            r.phase = ReusePhase::Retire {
+                awaiting_acks: dests.iter().copied().collect(),
+            };
         }
     }
     let mut msgs = Vec::new();
@@ -357,7 +407,9 @@ fn relocs_out_of(
     for &sid in segments {
         if let Ok(seg) = mem.segment(sid) {
             out.extend(
-                gc.node(node).directory.relocs_from_range(seg.info.base, seg.info.words),
+                gc.node(node)
+                    .directory
+                    .relocs_from_range(seg.info.base, seg.info.words),
             );
         }
     }
@@ -392,7 +444,12 @@ pub fn handle_retire(
     for (owner, oids) in by_owner {
         msgs.push((
             owner,
-            GcMsg::CopyRequest { bunch, oids, avoid: segments.to_vec(), reply_to: at },
+            GcMsg::CopyRequest {
+                bunch,
+                oids,
+                avoid: segments.to_vec(),
+                reply_to: at,
+            },
         ));
         stats.bump(StatKind::BackgroundGcMessages);
     }
@@ -436,7 +493,10 @@ pub fn handle_retire_ack(
     let done = {
         let brs = gc.node_mut(at).bunch_mut(bunch);
         match brs.and_then(|b| b.reuse.as_mut()) {
-            Some(ReuseState { phase: ReusePhase::Retire { awaiting_acks }, .. }) => {
+            Some(ReuseState {
+                phase: ReusePhase::Retire { awaiting_acks },
+                ..
+            }) => {
                 awaiting_acks.remove(&from);
                 awaiting_acks.is_empty()
             }
@@ -488,7 +548,11 @@ fn wipe_segments(
     let _ = bunch;
     let ranges: Vec<(Addr, u64)> = segments
         .iter()
-        .filter_map(|&s| mem.segment(s).ok().map(|seg| (seg.info.base, seg.info.words)))
+        .filter_map(|&s| {
+            mem.segment(s)
+                .ok()
+                .map(|seg| (seg.info.base, seg.info.words))
+        })
         .collect();
     let in_doomed = |a: Addr| ranges.iter().any(|&(b, w)| a.in_range(b, w));
     // No live object may remain: the protocol's phases guarantee it; check

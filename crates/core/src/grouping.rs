@@ -61,8 +61,7 @@ pub fn groups(gc: &GcState, node: NodeId, heuristic: Heuristic) -> Vec<Vec<Bunch
 /// components.
 fn ssp_components(gc: &GcState, node: NodeId, all: &[BunchId]) -> Vec<Vec<BunchId>> {
     // Union-find over the bunch ids.
-    let index: BTreeMap<BunchId, usize> =
-        all.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let index: BTreeMap<BunchId, usize> = all.iter().enumerate().map(|(i, &b)| (b, i)).collect();
     let mut parent: Vec<usize> = (0..all.len()).collect();
     fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
@@ -72,7 +71,9 @@ fn ssp_components(gc: &GcState, node: NodeId, all: &[BunchId]) -> Vec<Vec<BunchI
         i
     }
     let union = |parent: &mut Vec<usize>, a: BunchId, b: BunchId| {
-        let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) else { return };
+        let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) else {
+            return;
+        };
         let (ra, rb) = (find(parent, ia), find(parent, ib));
         if ra != rb {
             parent[ra] = rb;

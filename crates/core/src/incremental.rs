@@ -73,7 +73,14 @@ impl IncrementalBgc {
         }
         let mut core = TraceCore::new(group);
         let (strong_stack, intra_stack) = {
-            let ctx = Ctx { gc, engine, mem, stats, node, core: &mut core };
+            let ctx = Ctx {
+                gc,
+                engine,
+                mem,
+                stats,
+                node,
+                core: &mut core,
+            };
             ctx.gather_roots()
         };
         for &b in group {
@@ -101,11 +108,7 @@ impl IncrementalBgc {
 
     /// Moves the barrier's gray backlog into the strong work stack,
     /// upgrading the strength of anything previously found intra-only.
-    fn absorb_grayed(
-        &mut self,
-        gc: &mut GcState,
-        mem: &NodeMemory,
-    ) -> Result<()> {
+    fn absorb_grayed(&mut self, gc: &mut GcState, mem: &NodeMemory) -> Result<()> {
         let grayed = std::mem::take(&mut gc.node_mut(self.node).grayed);
         for g in grayed {
             self.upgrade_or_push(gc, mem, g)?;
@@ -150,18 +153,28 @@ impl IncrementalBgc {
         let mut remaining = budget.max(1);
         while remaining > 0 {
             if !self.strong_stack.is_empty() {
-                let mut ctx =
-                    Ctx { gc, engine, mem, stats, node: self.node, core: &mut self.core };
-                let done =
-                    ctx.trace_bounded(&mut self.strong_stack, true, Some(remaining))?;
+                let mut ctx = Ctx {
+                    gc,
+                    engine,
+                    mem,
+                    stats,
+                    node: self.node,
+                    core: &mut self.core,
+                };
+                let done = ctx.trace_bounded(&mut self.strong_stack, true, Some(remaining))?;
                 remaining = remaining.saturating_sub(done.max(1));
             } else if self.phase == Phase::Strong {
                 self.phase = Phase::Intra;
             } else if !self.intra_stack.is_empty() {
-                let mut ctx =
-                    Ctx { gc, engine, mem, stats, node: self.node, core: &mut self.core };
-                let done =
-                    ctx.trace_bounded(&mut self.intra_stack, false, Some(remaining))?;
+                let mut ctx = Ctx {
+                    gc,
+                    engine,
+                    mem,
+                    stats,
+                    node: self.node,
+                    core: &mut self.core,
+                };
+                let done = ctx.trace_bounded(&mut self.intra_stack, false, Some(remaining))?;
                 remaining = remaining.saturating_sub(done.max(1));
             } else {
                 break;
@@ -193,12 +206,26 @@ impl IncrementalBgc {
             if self.strong_stack.is_empty() && self.intra_stack.is_empty() {
                 break;
             }
-            let mut ctx = Ctx { gc, engine, mem, stats, node: self.node, core: &mut self.core };
+            let mut ctx = Ctx {
+                gc,
+                engine,
+                mem,
+                stats,
+                node: self.node,
+                core: &mut self.core,
+            };
             ctx.trace_bounded(&mut self.strong_stack, true, None)?;
             ctx.trace_bounded(&mut self.intra_stack, false, None)?;
         }
         let reports = {
-            let mut ctx = Ctx { gc, engine, mem, stats, node: self.node, core: &mut self.core };
+            let mut ctx = Ctx {
+                gc,
+                engine,
+                mem,
+                stats,
+                node: self.node,
+                core: &mut self.core,
+            };
             ctx.update_references()?;
             ctx.sweep()?;
             ctx.regenerate_and_publish()?

@@ -179,8 +179,16 @@ impl GcIntegration for GcState {
             self.node_mut(old_owner)
                 .bunch_or_default(bunch)
                 .scion_table
-                .add_intra(IntraScion { oid, bunch, stub_at: new_owner });
-            reqs.push(IntraSspCreate { oid, bunch, old_owner });
+                .add_intra(IntraScion {
+                    oid,
+                    bunch,
+                    stub_at: new_owner,
+                });
+            reqs.push(IntraSspCreate {
+                oid,
+                bunch,
+                old_owner,
+            });
         }
         // Chain compression: where the old owner holds only forwarding
         // links (intra stubs), the new owner's stub points *directly* at
@@ -192,7 +200,11 @@ impl GcIntegration for GcState {
         if !holds_inter {
             for site in intra_sites {
                 if site != new_owner {
-                    reqs.push(IntraSspCreate { oid, bunch, old_owner: site });
+                    reqs.push(IntraSspCreate {
+                        oid,
+                        bunch,
+                        old_owner: site,
+                    });
                 }
             }
         }
@@ -204,7 +216,11 @@ impl GcIntegration for GcState {
             self.node_mut(node)
                 .bunch_or_default(req.bunch)
                 .stub_table
-                .add_intra(IntraStub { oid: req.oid, bunch: req.bunch, scion_at: req.old_owner });
+                .add_intra(IntraStub {
+                    oid: req.oid,
+                    bunch: req.bunch,
+                    scion_at: req.old_owner,
+                });
         }
     }
 
@@ -227,7 +243,9 @@ mod tests {
 
     fn setup() -> (GcState, Vec<NodeMemory>, BunchId, bmx_addr::SegmentInfo) {
         let server = Rc::new(RefCell::new(SegmentServer::new(64)));
-        let bunch = server.borrow_mut().create_bunch(NodeId(0), Protection::default());
+        let bunch = server
+            .borrow_mut()
+            .create_bunch(NodeId(0), Protection::default());
         let seg = server.borrow_mut().alloc_segment(bunch).unwrap();
         let gc = GcState::new(2, server);
         let mut mems = vec![NodeMemory::new(NodeId(0)), NodeMemory::new(NodeId(1))];
@@ -249,7 +267,11 @@ mod tests {
         // A second segment plays the role of node 0's to-space.
         let to_seg = gc.server.borrow_mut().alloc_segment(bunch).unwrap();
         let to = to_seg.base;
-        let r = Relocation { oid: Oid(7), from: a, to };
+        let r = Relocation {
+            oid: Oid(7),
+            from: a,
+            to,
+        };
         apply_relocations_at(&mut gc, NodeId(1), &[r], &mut mems);
         // Node 1 mapped the to-space segment, copied the object, and left a
         // forwarding header.
@@ -269,13 +291,23 @@ mod tests {
     fn relocation_without_local_replica_just_updates_forwarding() {
         let (mut gc, mut mems, bunch, _seg) = setup();
         let to_seg = gc.server.borrow_mut().alloc_segment(bunch).unwrap();
-        let r = Relocation { oid: Oid(9), from: Addr(0x1_0000), to: to_seg.base };
+        let r = Relocation {
+            oid: Oid(9),
+            from: Addr(0x1_0000),
+            to: to_seg.base,
+        };
         apply_relocations_at(&mut gc, NodeId(1), &[r], &mut mems);
         // No local replica: the forwarding edge is recorded but no
         // current-address entry is invented and nothing is installed.
         assert_eq!(gc.node(NodeId(1)).directory.addr_of(Oid(9)), None);
-        assert_eq!(gc.node(NodeId(1)).directory.resolve(Addr(0x1_0000)), to_seg.base);
-        assert!(object::view(&mems[1], to_seg.base).is_err(), "nothing installed");
+        assert_eq!(
+            gc.node(NodeId(1)).directory.resolve(Addr(0x1_0000)),
+            to_seg.base
+        );
+        assert!(
+            object::view(&mems[1], to_seg.base).is_err(),
+            "nothing installed"
+        );
     }
 
     #[test]
@@ -284,19 +316,25 @@ mod tests {
         let a = seg.base;
         gc.note_local_addr(NodeId(0), Oid(1), a);
         // No stubs at node 0: no SSP needed.
-        assert!(gc.prepare_ownership_transfer(NodeId(0), NodeId(1), Oid(1)).is_empty());
+        assert!(gc
+            .prepare_ownership_transfer(NodeId(0), NodeId(1), Oid(1))
+            .is_empty());
         // Give node 0 an inter-bunch stub for O1.
-        gc.node_mut(NodeId(0)).bunch_or_default(bunch).stub_table.add_inter(
-            crate::ssp::InterStub {
-                id: crate::ssp::SspId { node: NodeId(0), seq: 1 },
+        gc.node_mut(NodeId(0))
+            .bunch_or_default(bunch)
+            .stub_table
+            .add_inter(crate::ssp::InterStub {
+                id: crate::ssp::SspId {
+                    node: NodeId(0),
+                    seq: 1,
+                },
                 source_bunch: bunch,
                 source_oid: Oid(1),
                 target_bunch: BunchId(99),
                 target_addr: Addr(0xFFFF_0000),
                 target_oid: None,
                 scion_at: NodeId(1),
-            },
-        );
+            });
         let reqs = gc.prepare_ownership_transfer(NodeId(0), NodeId(1), Oid(1));
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].old_owner, NodeId(0));
@@ -314,7 +352,11 @@ mod tests {
     #[test]
     fn piggyback_mode_buffers_and_drains() {
         let (mut gc, _mems, _bunch, _seg) = setup();
-        let r = Relocation { oid: Oid(1), from: Addr(8), to: Addr(16) };
+        let r = Relocation {
+            oid: Oid(1),
+            from: Addr(8),
+            to: Addr(16),
+        };
         gc.queue_forward(NodeId(0), &[NodeId(1), NodeId(0)], &[r]);
         // Self is skipped.
         assert_eq!(gc.drain_piggyback(NodeId(0), NodeId(1)), vec![r]);
@@ -325,7 +367,11 @@ mod tests {
     fn explicit_mode_uses_queue_not_piggyback() {
         let (mut gc, _mems, _bunch, _seg) = setup();
         gc.reloc_mode = RelocMode::Explicit;
-        let r = Relocation { oid: Oid(1), from: Addr(8), to: Addr(16) };
+        let r = Relocation {
+            oid: Oid(1),
+            from: Addr(8),
+            to: Addr(16),
+        };
         gc.queue_forward(NodeId(0), &[NodeId(1)], &[r]);
         assert!(gc.drain_piggyback(NodeId(0), NodeId(1)).is_empty());
         assert_eq!(gc.explicit_queue.len(), 1);

@@ -38,9 +38,9 @@ pub mod ssp;
 pub mod state;
 
 pub use collect::{collect, CollectStats};
+pub use directory::Directory;
 pub use grouping::Heuristic;
 pub use incremental::IncrementalBgc;
-pub use directory::Directory;
 pub use msg::{GcMsg, ReachabilityReport};
 pub use ssp::{InterScion, InterStub, IntraScion, IntraStub, ScionTable, SspId, StubTable};
 pub use state::{BunchReplicaGc, GcNodeState, GcState, RelocMode, SharedServer};

@@ -111,9 +111,11 @@ impl WireSize for GcMsg {
                     + 16 * r.exiting.len() as u64
             }
             GcMsg::AddressChange { relocations, .. } => 24 + 24 * relocations.len() as u64,
-            GcMsg::Retire { segments, relocations, .. } => {
-                24 + 8 * segments.len() as u64 + 24 * relocations.len() as u64
-            }
+            GcMsg::Retire {
+                segments,
+                relocations,
+                ..
+            } => 24 + 8 * segments.len() as u64 + 24 * relocations.len() as u64,
             GcMsg::RetireAck { .. } => 16,
             GcMsg::CopyRequest { oids, .. } => 24 + 8 * oids.len() as u64,
             GcMsg::CopyReply { relocations, .. } => 24 + 24 * relocations.len() as u64,
@@ -141,7 +143,11 @@ mod tests {
             bunch: BunchId(1),
             epoch: Epoch(1),
             inter_stubs: vec![],
-            intra_stubs: vec![IntraStub { oid: Oid(1), bunch: BunchId(1), scion_at: NodeId(2) }],
+            intra_stubs: vec![IntraStub {
+                oid: Oid(1),
+                bunch: BunchId(1),
+                scion_at: NodeId(2),
+            }],
             exiting: vec![(Oid(1), NodeId(2)), (Oid(2), NodeId(0))],
         });
         assert!(full.wire_size() > empty.wire_size());

@@ -121,7 +121,11 @@ impl StubTable {
     /// Adds an intra-bunch stub, deduplicating by `(oid, scion_at)`.
     /// Returns whether it was added.
     pub fn add_intra(&mut self, stub: IntraStub) -> bool {
-        if self.intra.iter().any(|s| s.oid == stub.oid && s.scion_at == stub.scion_at) {
+        if self
+            .intra
+            .iter()
+            .any(|s| s.oid == stub.oid && s.scion_at == stub.scion_at)
+        {
             return false;
         }
         self.intra.push(stub);
@@ -135,8 +139,7 @@ impl StubTable {
 
     /// Whether any stub (inter or intra) concerns `oid`.
     pub fn mentions(&self, oid: Oid) -> bool {
-        self.inter.iter().any(|s| s.source_oid == oid)
-            || self.intra.iter().any(|s| s.oid == oid)
+        self.inter.iter().any(|s| s.source_oid == oid) || self.intra.iter().any(|s| s.oid == oid)
     }
 
     /// Total entries.
@@ -173,7 +176,11 @@ impl ScionTable {
     /// Adds an intra-bunch scion, deduplicating by `(oid, stub_at)`.
     /// Returns whether it was added.
     pub fn add_intra(&mut self, scion: IntraScion) -> bool {
-        if self.intra.iter().any(|s| s.oid == scion.oid && s.stub_at == scion.stub_at) {
+        if self
+            .intra
+            .iter()
+            .any(|s| s.oid == scion.oid && s.stub_at == scion.stub_at)
+        {
             return false;
         }
         self.intra.push(scion);
@@ -197,7 +204,10 @@ mod tests {
 
     fn stub(seq: u64, src: u64, tgt_addr: u64) -> InterStub {
         InterStub {
-            id: SspId { node: NodeId(0), seq },
+            id: SspId {
+                node: NodeId(0),
+                seq,
+            },
             source_bunch: BunchId(1),
             source_oid: Oid(src),
             target_bunch: BunchId(2),
@@ -211,8 +221,14 @@ mod tests {
     fn inter_stub_dedupes_by_source_and_target() {
         let mut t = StubTable::default();
         assert!(t.add_inter(stub(1, 10, 0x100)));
-        assert!(!t.add_inter(stub(2, 10, 0x100)), "same ref, new id: duplicate");
-        assert!(t.add_inter(stub(3, 10, 0x200)), "same source, new target: distinct");
+        assert!(
+            !t.add_inter(stub(2, 10, 0x100)),
+            "same ref, new id: duplicate"
+        );
+        assert!(
+            t.add_inter(stub(3, 10, 0x200)),
+            "same source, new target: distinct"
+        );
         assert!(t.add_inter(stub(4, 11, 0x100)), "new source: distinct");
         assert_eq!(t.inter.len(), 3);
         assert_eq!(t.inter_for(Oid(10)).count(), 2);
@@ -232,10 +248,17 @@ mod tests {
     #[test]
     fn intra_stub_dedupe() {
         let mut t = StubTable::default();
-        let s = IntraStub { oid: Oid(1), bunch: BunchId(1), scion_at: NodeId(2) };
+        let s = IntraStub {
+            oid: Oid(1),
+            bunch: BunchId(1),
+            scion_at: NodeId(2),
+        };
         assert!(t.add_intra(s));
         assert!(!t.add_intra(s));
-        assert!(t.add_intra(IntraStub { scion_at: NodeId(3), ..s }));
+        assert!(t.add_intra(IntraStub {
+            scion_at: NodeId(3),
+            ..s
+        }));
         assert_eq!(t.len(), 2);
         assert!(t.mentions(Oid(1)));
         assert!(!t.mentions(Oid(9)));
@@ -245,7 +268,10 @@ mod tests {
     fn scion_table_dedupe() {
         let mut t = ScionTable::default();
         let sc = InterScion {
-            id: SspId { node: NodeId(0), seq: 1 },
+            id: SspId {
+                node: NodeId(0),
+                seq: 1,
+            },
             source_node: NodeId(0),
             source_bunch: BunchId(1),
             target_bunch: BunchId(2),
@@ -254,7 +280,11 @@ mod tests {
         };
         assert!(t.add_inter(sc.clone()));
         assert!(!t.add_inter(sc));
-        let ic = IntraScion { oid: Oid(1), bunch: BunchId(2), stub_at: NodeId(4) };
+        let ic = IntraScion {
+            oid: Oid(1),
+            bunch: BunchId(2),
+            stub_at: NodeId(4),
+        };
         assert!(t.add_intra(ic));
         assert!(!t.add_intra(ic));
         assert_eq!(t.len(), 2);

@@ -202,7 +202,9 @@ impl GcNodeState {
 
     /// State of the given bunch replica, created on demand.
     pub fn bunch_or_default(&mut self, bunch: BunchId) -> &mut BunchReplicaGc {
-        self.bunches.entry(bunch).or_insert_with(|| BunchReplicaGc::new(bunch, Vec::new()))
+        self.bunches
+            .entry(bunch)
+            .or_insert_with(|| BunchReplicaGc::new(bunch, Vec::new()))
     }
 
     /// Mints a fresh SSP sequence number.
@@ -257,7 +259,10 @@ impl GcState {
 
     /// Nodes that currently have `bunch` mapped.
     pub fn mapped_nodes(&self, bunch: BunchId) -> Vec<NodeId> {
-        self.mappings.get(&bunch).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.mappings
+            .get(&bunch)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// The bunch containing `addr`, from the shared server.
@@ -315,7 +320,9 @@ mod tests {
     #[test]
     fn bunch_of_consults_server() {
         let server = shared_server();
-        let b = server.borrow_mut().create_bunch(NodeId(0), Protection::default());
+        let b = server
+            .borrow_mut()
+            .create_bunch(NodeId(0), Protection::default());
         let seg = server.borrow_mut().alloc_segment(b).unwrap();
         let gc = GcState::new(1, server);
         assert_eq!(gc.bunch_of(seg.base), Some(b));
@@ -326,11 +333,13 @@ mod tests {
     fn bunch_or_default_creates_state() {
         let mut ns = GcNodeState::new(NodeId(1));
         assert!(ns.bunch(BunchId(5)).is_none());
-        ns.bunch_or_default(BunchId(5)).stub_table.add_intra(crate::ssp::IntraStub {
-            oid: Oid(1),
-            bunch: BunchId(5),
-            scion_at: NodeId(0),
-        });
+        ns.bunch_or_default(BunchId(5))
+            .stub_table
+            .add_intra(crate::ssp::IntraStub {
+                oid: Oid(1),
+                bunch: BunchId(5),
+                scion_at: NodeId(0),
+            });
         assert_eq!(ns.bunch(BunchId(5)).unwrap().stub_table.len(), 1);
     }
 }

@@ -19,9 +19,7 @@ use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKi
 
 use crate::integration::GcIntegration;
 use crate::msg::{DsmMsg, DsmPacket, Relocation};
-use crate::state::{
-    DsmNodeState, ObjState, PendingInval, PendingWrite, QueuedReq, ReqKind, Token,
-};
+use crate::state::{DsmNodeState, ObjState, PendingInval, PendingWrite, QueuedReq, ReqKind, Token};
 
 /// Mutable context the engine operates in: node memories, per-node counters,
 /// and the collector's integration hooks.
@@ -54,7 +52,9 @@ pub struct DsmEngine {
 impl DsmEngine {
     /// Creates an engine for `n` nodes.
     pub fn new(n: usize) -> Self {
-        DsmEngine { nodes: (0..n).map(|_| DsmNodeState::default()).collect() }
+        DsmEngine {
+            nodes: (0..n).map(|_| DsmNodeState::default()).collect(),
+        }
     }
 
     /// Number of nodes.
@@ -77,7 +77,9 @@ impl DsmEngine {
     /// Registers a freshly allocated object: `node` owns it and holds the
     /// write token.
     pub fn register_alloc(&mut self, node: NodeId, oid: Oid, bunch: BunchId) {
-        self.ns_mut(node).objects.insert(oid, ObjState::new_owner(bunch, node));
+        self.ns_mut(node)
+            .objects
+            .insert(oid, ObjState::new_owner(bunch, node));
     }
 
     /// Registers a replica created by mapping a bunch image from `source`:
@@ -100,7 +102,13 @@ impl DsmEngine {
         self.ns_mut(node)
             .objects
             .insert(oid, ObjState::new_replica(bunch, Token::None, owner_hint));
-        self.emit(sh, send, node, owner_hint, DsmMsg::RegisterReplica { oid, holder: node });
+        self.emit(
+            sh,
+            send,
+            node,
+            owner_hint,
+            DsmMsg::RegisterReplica { oid, holder: node },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -197,7 +205,10 @@ impl DsmEngine {
     ) -> Result<AcquireStart> {
         sh.stats[node.0 as usize].bump(StatKind::MutatorReadAcquires);
         let hint = {
-            let st = self.ns(node).get(oid).ok_or(BmxError::OwnerUnknown { oid })?;
+            let st = self
+                .ns(node)
+                .get(oid)
+                .ok_or(BmxError::OwnerUnknown { oid })?;
             if st.token != Token::None {
                 return Ok(AcquireStart::Satisfied);
             }
@@ -205,7 +216,16 @@ impl DsmEngine {
             st.owner_hint
         };
         self.ns_mut(node).waiting_for.insert(oid, ReqKind::Read);
-        self.emit(sh, send, node, hint, DsmMsg::ReadReq { oid, requester: node });
+        self.emit(
+            sh,
+            send,
+            node,
+            hint,
+            DsmMsg::ReadReq {
+                oid,
+                requester: node,
+            },
+        );
         Ok(AcquireStart::Requested)
     }
 
@@ -219,7 +239,10 @@ impl DsmEngine {
     ) -> Result<AcquireStart> {
         sh.stats[node.0 as usize].bump(StatKind::MutatorWriteAcquires);
         let (is_owner, token, hint) = {
-            let st = self.ns(node).get(oid).ok_or(BmxError::OwnerUnknown { oid })?;
+            let st = self
+                .ns(node)
+                .get(oid)
+                .ok_or(BmxError::OwnerUnknown { oid })?;
             (st.is_owner, st.token, st.owner_hint)
         };
         if token == Token::Write {
@@ -230,7 +253,16 @@ impl DsmEngine {
             // Owner promoting read -> write: invalidate readers locally.
             self.owner_start_write_transfer(node, oid, node, sh, send)?;
         } else {
-            self.emit(sh, send, node, hint, DsmMsg::WriteReq { oid, requester: node });
+            self.emit(
+                sh,
+                send,
+                node,
+                hint,
+                DsmMsg::WriteReq {
+                    oid,
+                    requester: node,
+                },
+            );
         }
         Ok(AcquireStart::Requested)
     }
@@ -269,7 +301,11 @@ impl DsmEngine {
         }
         // Serve deferred invalidations first: they strip the token, and the
         // queued requests will then be forwarded rather than granted.
-        let parents = self.ns_mut(node).deferred_invals.remove(&oid).unwrap_or_default();
+        let parents = self
+            .ns_mut(node)
+            .deferred_invals
+            .remove(&oid)
+            .unwrap_or_default();
         for parent in parents {
             self.handle_invalidate(node, oid, parent, sh, send)?;
         }
@@ -298,8 +334,7 @@ impl DsmEngine {
     ) {
         let piggyback = sh.gc.drain_piggyback(src, dst);
         sh.stats[src.0 as usize].bump(StatKind::DsmProtocolMessages);
-        sh.stats[src.0 as usize]
-            .add(StatKind::PiggybackedRelocations, piggyback.len() as u64);
+        sh.stats[src.0 as usize].add(StatKind::PiggybackedRelocations, piggyback.len() as u64);
         send(src, dst, DsmPacket { msg, piggyback });
     }
 
@@ -324,13 +359,32 @@ impl DsmEngine {
             DsmMsg::WriteReq { oid, requester } => {
                 self.handle_write_req(dst, oid, requester, sh, send)
             }
-            DsmMsg::ReadGrant { oid, bunch, addr, image, owner_hint, relocations } => {
-                self.handle_read_grant(dst, oid, bunch, addr, image, owner_hint, relocations, sh)
-            }
-            DsmMsg::WriteGrant { oid, bunch, addr, image, relocations, intra_ssp } => self
-                .handle_write_grant(
-                    src, dst, oid, bunch, addr, image, relocations, intra_ssp, sh,
-                ),
+            DsmMsg::ReadGrant {
+                oid,
+                bunch,
+                addr,
+                image,
+                owner_hint,
+                relocations,
+            } => self.handle_read_grant(dst, oid, bunch, addr, image, owner_hint, relocations, sh),
+            DsmMsg::WriteGrant {
+                oid,
+                bunch,
+                addr,
+                image,
+                relocations,
+                intra_ssp,
+            } => self.handle_write_grant(
+                src,
+                dst,
+                oid,
+                bunch,
+                addr,
+                image,
+                relocations,
+                intra_ssp,
+                sh,
+            ),
             DsmMsg::Invalidate { oid, parent } => {
                 self.handle_invalidate_arrival(dst, oid, parent, sh, send)
             }
@@ -391,7 +445,10 @@ impl DsmEngine {
                 .queued
                 .entry(oid)
                 .or_default()
-                .push(QueuedReq { requester, kind: ReqKind::Read });
+                .push(QueuedReq {
+                    requester,
+                    kind: ReqKind::Read,
+                });
             return Ok(());
         }
         if token == Token::None {
@@ -414,7 +471,16 @@ impl DsmEngine {
         };
         if !is_owner {
             // The owner must learn about the new replica holder.
-            self.emit(sh, send, at, hint, DsmMsg::RegisterReplica { oid, holder: requester });
+            self.emit(
+                sh,
+                send,
+                at,
+                hint,
+                DsmMsg::RegisterReplica {
+                    oid,
+                    holder: requester,
+                },
+            );
         }
         let addr = sh
             .gc
@@ -427,7 +493,14 @@ impl DsmEngine {
             send,
             at,
             requester,
-            DsmMsg::ReadGrant { oid, bunch, addr, image, owner_hint: owner_hint_for_grantee, relocations },
+            DsmMsg::ReadGrant {
+                oid,
+                bunch,
+                addr,
+                image,
+                owner_hint: owner_hint_for_grantee,
+                relocations,
+            },
         );
         Ok(())
     }
@@ -462,7 +535,10 @@ impl DsmEngine {
                 .queued
                 .entry(oid)
                 .or_default()
-                .push(QueuedReq { requester, kind: ReqKind::Write });
+                .push(QueuedReq {
+                    requester,
+                    kind: ReqKind::Write,
+                });
             return Ok(());
         }
         self.owner_start_write_transfer(at, oid, requester, sh, send)
@@ -489,10 +565,19 @@ impl DsmEngine {
         }
         self.ns_mut(owner).pending_write.insert(
             oid,
-            PendingWrite { requester, awaiting: targets.iter().copied().collect() },
+            PendingWrite {
+                requester,
+                awaiting: targets.iter().copied().collect(),
+            },
         );
         for t in targets {
-            self.emit(sh, send, owner, t, DsmMsg::Invalidate { oid, parent: owner });
+            self.emit(
+                sh,
+                send,
+                owner,
+                t,
+                DsmMsg::Invalidate { oid, parent: owner },
+            );
         }
         Ok(())
     }
@@ -507,7 +592,11 @@ impl DsmEngine {
     ) -> Result<()> {
         let locked = self.ns(at).get(oid).is_some_and(|s| s.locked);
         if locked {
-            self.ns_mut(at).deferred_invals.entry(oid).or_default().push(parent);
+            self.ns_mut(at)
+                .deferred_invals
+                .entry(oid)
+                .or_default()
+                .push(parent);
             return Ok(());
         }
         self.handle_invalidate(at, oid, parent, sh, send)
@@ -535,12 +624,21 @@ impl DsmEngine {
             None => Vec::new(),
         };
         if children.is_empty() {
-            self.emit(sh, send, at, parent, DsmMsg::InvalidateAck { oid, child: at });
+            self.emit(
+                sh,
+                send,
+                at,
+                parent,
+                DsmMsg::InvalidateAck { oid, child: at },
+            );
             return Ok(());
         }
         self.ns_mut(at).pending_inval.insert(
             oid,
-            PendingInval { parent, awaiting: children.iter().copied().collect() },
+            PendingInval {
+                parent,
+                awaiting: children.iter().copied().collect(),
+            },
         );
         for c in children {
             self.emit(sh, send, at, c, DsmMsg::Invalidate { oid, parent: at });
@@ -562,7 +660,13 @@ impl DsmEngine {
             if pi.awaiting.is_empty() {
                 let parent = pi.parent;
                 self.ns_mut(at).pending_inval.remove(&oid);
-                self.emit(sh, send, at, parent, DsmMsg::InvalidateAck { oid, child: at });
+                self.emit(
+                    sh,
+                    send,
+                    at,
+                    parent,
+                    DsmMsg::InvalidateAck { oid, child: at },
+                );
             }
             return Ok(());
         }
@@ -575,8 +679,12 @@ impl DsmEngine {
             pw.awaiting.is_empty()
         };
         if done {
-            let requester =
-                self.ns_mut(at).pending_write.remove(&oid).expect("present").requester;
+            let requester = self
+                .ns_mut(at)
+                .pending_write
+                .remove(&oid)
+                .expect("present")
+                .requester;
             self.complete_write_transfer(at, oid, requester, sh, send)?;
             // Requests queued behind the transfer can now be served (they
             // will be forwarded to the new owner).
@@ -632,7 +740,14 @@ impl DsmEngine {
             send,
             owner,
             requester,
-            DsmMsg::WriteGrant { oid, bunch, addr, image, relocations, intra_ssp },
+            DsmMsg::WriteGrant {
+                oid,
+                bunch,
+                addr,
+                image,
+                relocations,
+                intra_ssp,
+            },
         );
         Ok(())
     }
@@ -652,7 +767,11 @@ impl DsmEngine {
             (st.is_owner, st.owner_hint)
         };
         if is_owner {
-            self.ns_mut(at).get_mut(oid).expect("checked").entering.insert(holder);
+            self.ns_mut(at)
+                .get_mut(oid)
+                .expect("checked")
+                .entering
+                .insert(holder);
         } else {
             self.emit(sh, send, at, hint, DsmMsg::RegisterReplica { oid, holder });
         }
@@ -686,7 +805,8 @@ impl DsmEngine {
                 }
             }
             None => {
-                ns.objects.insert(oid, ObjState::new_replica(bunch, Token::Read, owner_hint));
+                ns.objects
+                    .insert(oid, ObjState::new_replica(bunch, Token::Read, owner_hint));
             }
         }
         ns.waiting_for.remove(&oid);
@@ -744,10 +864,7 @@ impl DsmEngine {
         image: &ObjectImage,
         sh: &mut DsmShared<'_>,
     ) -> Result<()> {
-        let local = sh
-            .gc
-            .local_addr(at, oid)
-            .unwrap_or(granter_addr);
+        let local = sh.gc.local_addr(at, oid).unwrap_or(granter_addr);
         let local = sh.gc.resolve_current(at, local);
         sh.gc.ensure_mapped(at, local, sh.mems);
         let mem = &mut sh.mems[at.0 as usize];

@@ -17,6 +17,7 @@ struct Harness {
     stats: Vec<NodeStats>,
     gc: NullGcIntegration,
     net: Network<DsmPacket>,
+    #[allow(dead_code)]
     server: SegmentServer,
     bunch: BunchId,
     seg: SegmentInfo,
@@ -61,8 +62,13 @@ impl Harness {
         self.gc.register_everywhere(count as u32, Oid(oid), addr);
         self.engine.register_alloc(n(0), Oid(oid), self.bunch);
         for i in 1..count as u32 {
-            let (engine, mems, stats, gc, net) =
-                (&mut self.engine, &mut self.mems, &mut self.stats, &mut self.gc, &mut self.net);
+            let (engine, mems, stats, gc, net) = (
+                &mut self.engine,
+                &mut self.mems,
+                &mut self.stats,
+                &mut self.gc,
+                &mut self.net,
+            );
             let mut sh = DsmShared { mems, stats, gc };
             let mut send = |src: NodeId, dst: NodeId, pkt: DsmPacket| {
                 net.send(src, dst, MsgClass::Dsm, pkt);
@@ -88,17 +94,25 @@ impl Harness {
                 let mut send = |src: NodeId, dst: NodeId, pkt: DsmPacket| {
                     net.send(src, dst, MsgClass::Dsm, pkt);
                 };
-                engine.handle(env.src, env.dst, env.payload, &mut sh, &mut send).unwrap();
+                engine
+                    .handle(env.src, env.dst, env.payload, &mut sh, &mut send)
+                    .unwrap();
             }
         }
     }
 
     fn start(&mut self, node: NodeId, oid: Oid, write: bool) -> AcquireStart {
-        let (engine, mems, stats, gc, net) =
-            (&mut self.engine, &mut self.mems, &mut self.stats, &mut self.gc, &mut self.net);
+        let (engine, mems, stats, gc, net) = (
+            &mut self.engine,
+            &mut self.mems,
+            &mut self.stats,
+            &mut self.gc,
+            &mut self.net,
+        );
         let mut sh = DsmShared { mems, stats, gc };
-        let mut send =
-            |src: NodeId, dst: NodeId, pkt: DsmPacket| { net.send(src, dst, MsgClass::Dsm, pkt); };
+        let mut send = |src: NodeId, dst: NodeId, pkt: DsmPacket| {
+            net.send(src, dst, MsgClass::Dsm, pkt);
+        };
         if write {
             engine.start_write(node, oid, &mut sh, &mut send).unwrap()
         } else {
@@ -118,16 +132,26 @@ impl Harness {
     fn acquire_write(&mut self, node: NodeId, oid: Oid) {
         self.start(node, oid, true);
         self.pump();
-        assert_eq!(self.engine.token(node, oid), Token::Write, "write acquire incomplete");
+        assert_eq!(
+            self.engine.token(node, oid),
+            Token::Write,
+            "write acquire incomplete"
+        );
         assert!(self.engine.is_owner(node, oid));
     }
 
     fn unlock(&mut self, node: NodeId, oid: Oid) {
-        let (engine, mems, stats, gc, net) =
-            (&mut self.engine, &mut self.mems, &mut self.stats, &mut self.gc, &mut self.net);
+        let (engine, mems, stats, gc, net) = (
+            &mut self.engine,
+            &mut self.mems,
+            &mut self.stats,
+            &mut self.gc,
+            &mut self.net,
+        );
         let mut sh = DsmShared { mems, stats, gc };
-        let mut send =
-            |src: NodeId, dst: NodeId, pkt: DsmPacket| { net.send(src, dst, MsgClass::Dsm, pkt); };
+        let mut send = |src: NodeId, dst: NodeId, pkt: DsmPacket| {
+            net.send(src, dst, MsgClass::Dsm, pkt);
+        };
         engine.unlock(node, oid, &mut sh, &mut send).unwrap();
         self.pump();
     }
@@ -180,9 +204,19 @@ fn read_token_obtainable_from_non_owner_holder() {
     h.acquire_read(n(2), Oid(1));
     assert_eq!(h.engine.token(n(2), Oid(1)), Token::Read);
     // Node 1 granted, so node 2 is in node 1's copy-set...
-    assert!(h.engine.obj_state(n(1), Oid(1)).unwrap().copy_set.contains(&n(2)));
+    assert!(h
+        .engine
+        .obj_state(n(1), Oid(1))
+        .unwrap()
+        .copy_set
+        .contains(&n(2)));
     // ...and the owner learned about the replica via RegisterReplica.
-    assert!(h.engine.obj_state(n(0), Oid(1)).unwrap().entering.contains(&n(2)));
+    assert!(h
+        .engine
+        .obj_state(n(0), Oid(1))
+        .unwrap()
+        .entering
+        .contains(&n(2)));
 }
 
 #[test]
@@ -201,8 +235,13 @@ fn write_acquire_invalidates_transitive_readers() {
     assert!(!h.engine.is_owner(n(0), Oid(1)));
     // Old owner's ownerPtr points at the new owner.
     assert_eq!(h.engine.obj_state(n(0), Oid(1)).unwrap().owner_hint, n(3));
-    let inval: u64 = (0..4).map(|i| h.stats[i].get(StatKind::Invalidations)).sum();
-    assert!(inval >= 3, "readers plus old owner invalidated, got {inval}");
+    let inval: u64 = (0..4)
+        .map(|i| h.stats[i].get(StatKind::Invalidations))
+        .sum();
+    assert!(
+        inval >= 3,
+        "readers plus old owner invalidated, got {inval}"
+    );
 }
 
 #[test]
@@ -286,7 +325,10 @@ fn exiting_and_entering_owner_ptr_tables() {
     h.acquire_read(n(2), Oid(1));
     let bunch = h.bunch;
     // Non-owners export exiting pointers toward the owner.
-    assert_eq!(h.engine.exiting_owner_ptrs(n(1), bunch), vec![(Oid(1), n(0)), (Oid(2), n(0))]);
+    assert_eq!(
+        h.engine.exiting_owner_ptrs(n(1), bunch),
+        vec![(Oid(1), n(0)), (Oid(2), n(0))]
+    );
     // The owner's entering table lists both replica holders for O1 (which
     // they acquired) and both mapped replicas for O2.
     let entering = h.engine.entering_owner_ptrs(n(0), bunch);

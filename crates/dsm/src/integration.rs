@@ -41,7 +41,12 @@ pub trait GcIntegration {
     /// object directly referenced from it, as far as they were relocated at
     /// `granter`. `mems` gives read access so the implementation can walk
     /// the object's pointer fields.
-    fn grant_relocations(&mut self, granter: NodeId, oid: Oid, mems: &[NodeMemory]) -> Vec<Relocation>;
+    fn grant_relocations(
+        &mut self,
+        granter: NodeId,
+        oid: Oid,
+        mems: &[NodeMemory],
+    ) -> Vec<Relocation>;
 
     /// Invariant 1 (receiver side): apply relocation records at `node`
     /// before the triggering acquire completes. Implementations update the
@@ -113,11 +118,22 @@ impl GcIntegration for NullGcIntegration {
         addr
     }
 
-    fn grant_relocations(&mut self, _granter: NodeId, _oid: Oid, _mems: &[NodeMemory]) -> Vec<Relocation> {
+    fn grant_relocations(
+        &mut self,
+        _granter: NodeId,
+        _oid: Oid,
+        _mems: &[NodeMemory],
+    ) -> Vec<Relocation> {
         Vec::new()
     }
 
-    fn apply_relocations(&mut self, _node: NodeId, _relocs: &[Relocation], _mems: &mut [NodeMemory]) {}
+    fn apply_relocations(
+        &mut self,
+        _node: NodeId,
+        _relocs: &[Relocation],
+        _mems: &mut [NodeMemory],
+    ) {
+    }
 
     fn queue_forward(&mut self, _node: NodeId, _copy_set: &[NodeId], _relocs: &[Relocation]) {}
 

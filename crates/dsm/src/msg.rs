@@ -152,13 +152,16 @@ impl WireSize for DsmPacket {
     fn wire_size(&self) -> u64 {
         let base = match &self.msg {
             DsmMsg::ReadReq { .. } | DsmMsg::WriteReq { .. } => 24,
-            DsmMsg::ReadGrant { image, relocations, .. } => {
-                40 + image.wire_size() + 24 * relocations.len() as u64
-            }
-            DsmMsg::WriteGrant { image, relocations, intra_ssp, .. } => {
-                40 + image.wire_size()
-                    + 24 * relocations.len() as u64
-                    + 24 * intra_ssp.len() as u64
+            DsmMsg::ReadGrant {
+                image, relocations, ..
+            } => 40 + image.wire_size() + 24 * relocations.len() as u64,
+            DsmMsg::WriteGrant {
+                image,
+                relocations,
+                intra_ssp,
+                ..
+            } => {
+                40 + image.wire_size() + 24 * relocations.len() as u64 + 24 * intra_ssp.len() as u64
             }
             DsmMsg::Invalidate { .. } | DsmMsg::InvalidateAck { .. } => 20,
             DsmMsg::RegisterReplica { .. } => 24,
@@ -177,20 +180,39 @@ mod tests {
     #[test]
     fn wire_size_grows_with_payload() {
         let small = DsmPacket {
-            msg: DsmMsg::ReadReq { oid: Oid(1), requester: NodeId(0) },
+            msg: DsmMsg::ReadReq {
+                oid: Oid(1),
+                requester: NodeId(0),
+            },
             piggyback: vec![],
         };
         let big = DsmPacket {
-            msg: DsmMsg::ReadReq { oid: Oid(1), requester: NodeId(0) },
-            piggyback: vec![Relocation { oid: Oid(2), from: Addr(8), to: Addr(16) }; 4],
+            msg: DsmMsg::ReadReq {
+                oid: Oid(1),
+                requester: NodeId(0),
+            },
+            piggyback: vec![
+                Relocation {
+                    oid: Oid(2),
+                    from: Addr(8),
+                    to: Addr(16)
+                };
+                4
+            ],
         };
         assert!(big.wire_size() > small.wire_size());
     }
 
     #[test]
     fn kinds_are_distinct() {
-        let a = DsmMsg::ReadReq { oid: Oid(1), requester: NodeId(0) };
-        let b = DsmMsg::WriteReq { oid: Oid(1), requester: NodeId(0) };
+        let a = DsmMsg::ReadReq {
+            oid: Oid(1),
+            requester: NodeId(0),
+        };
+        let b = DsmMsg::WriteReq {
+            oid: Oid(1),
+            requester: NodeId(0),
+        };
         assert_ne!(a.kind(), b.kind());
     }
 }

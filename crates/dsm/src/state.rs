@@ -175,8 +175,12 @@ mod tests {
     #[test]
     fn node_state_tracks_replicas() {
         let mut ns = DsmNodeState::default();
-        ns.objects.insert(Oid(1), ObjState::new_owner(BunchId(1), NodeId(0)));
-        ns.objects.insert(Oid(2), ObjState::new_replica(BunchId(1), Token::None, NodeId(1)));
+        ns.objects
+            .insert(Oid(1), ObjState::new_owner(BunchId(1), NodeId(0)));
+        ns.objects.insert(
+            Oid(2),
+            ObjState::new_replica(BunchId(1), Token::None, NodeId(1)),
+        );
         assert_eq!(ns.replicas().count(), 2);
         assert!(ns.get(Oid(1)).unwrap().is_owner);
         ns.drop_replica(Oid(1));

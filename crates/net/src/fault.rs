@@ -1,0 +1,460 @@
+//! Chaos-grade fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] describes every fault the network will inject over a run:
+//! per-link loss/duplication/latency-jitter, timed partitions that heal, and
+//! node crash/restart events. All randomness is drawn from the network's one
+//! seeded [`bmx_common::SplitMix64`] stream, so a chaos run is replayable from
+//! a single `u64` seed: same seed, same plan, same traffic ⇒ bit-identical
+//! fault schedule and counters.
+//!
+//! Fault semantics follow the paper's transport assumptions (Section 4.4):
+//!
+//! * **Loss and duplication apply only to loss-tolerant classes.**
+//!   [`MsgClass::Dsm`] traffic is assumed reliable by the consistency
+//!   protocol, so link faults never discard it. Duplication is further
+//!   restricted to the idempotent classes ([`MsgClass::is_idempotent`]) —
+//!   reachability tables are idempotent by the epoch check and
+//!   scion-messages by creation dedup, while the from-space reuse handshake
+//!   ([`MsgClass::GcBackground`]) counts acks and must not see duplicates.
+//! * **FIFO survives jitter.** Per-link latency jitter delays a message but
+//!   never reorders a channel: delivery times are clamped monotonically
+//!   against the channel's previously scheduled tail.
+//! * **Partitions and crashes hold reliable traffic and drop lossy
+//!   traffic.** A severed or crashed endpoint buffers `Dsm` messages until
+//!   the partition heals / the node restarts (modelling the reliable
+//!   transport's retransmission), while loss-tolerant GC traffic is simply
+//!   discarded — exactly the failure the cleaner's resend path must absorb.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use bmx_common::NodeId;
+
+use crate::network::MsgClass;
+
+/// A typed rejection of an invalid fault/network configuration.
+///
+/// The `Display` messages intentionally contain the phrases
+/// "assumed reliable" and "probability out of range" so panics routed
+/// through these errors keep the wording the design documents (and the
+/// original `assert!`s) used.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultConfigError {
+    /// A drop rate was configured for a class the protocol requires to be
+    /// delivered reliably.
+    ReliableClassDrop {
+        /// The offending class.
+        class: MsgClass,
+    },
+    /// A probability parameter fell outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which probability (e.g. `"drop"`, `"duplicate"`).
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A partition window or crash window is empty or inverted.
+    EmptyWindow {
+        /// Window start tick.
+        start: u64,
+        /// Window end tick (exclusive).
+        end: u64,
+    },
+    /// A partition side is empty, so the partition severs nothing.
+    EmptyPartitionSide,
+    /// A node appears on both sides of one partition.
+    NodeOnBothSides {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultConfigError::ReliableClassDrop { class } => {
+                write!(f, "{class:?} is assumed reliable by the DSM protocol")
+            }
+            FaultConfigError::ProbabilityOutOfRange { what, value } => {
+                write!(f, "{what} probability out of range: {value}")
+            }
+            FaultConfigError::EmptyWindow { start, end } => {
+                write!(f, "empty fault window [{start}, {end})")
+            }
+            FaultConfigError::EmptyPartitionSide => {
+                write!(f, "partition with an empty side severs nothing")
+            }
+            FaultConfigError::NodeOnBothSides { node } => {
+                write!(f, "{node:?} appears on both sides of a partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+impl MsgClass {
+    /// Whether the receiving handlers for this class are idempotent, making
+    /// duplication injection safe: reachability tables are deduplicated by
+    /// the cleaner's epoch check, scion/stub installs by identity.
+    pub fn is_idempotent(self) -> bool {
+        matches!(self, MsgClass::ScionMessage | MsgClass::StubTable)
+    }
+}
+
+/// Fault parameters of one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFault {
+    /// Probability of discarding a loss-tolerant message.
+    pub drop: f64,
+    /// Probability of delivering an idempotent-class message twice.
+    pub duplicate: f64,
+    /// Maximum extra delivery latency in ticks, drawn uniformly from
+    /// `0..=jitter`. FIFO is preserved by monotone clamping per channel.
+    pub jitter: u64,
+}
+
+impl LinkFault {
+    /// A link that only drops.
+    pub fn dropping(p: f64) -> Self {
+        LinkFault {
+            drop: p,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the probabilities.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        for (what, value) in [("drop", self.drop), ("duplicate", self.duplicate)] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(FaultConfigError::ProbabilityOutOfRange { what, value });
+            }
+        }
+        Ok(())
+    }
+
+    fn is_noop(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.jitter == 0
+    }
+}
+
+/// A timed two-sided network partition. Traffic between a node in `a` and a
+/// node in `b` is severed during `[start, end)` ticks; links within a side
+/// are unaffected. Partitions heal: at tick `end` held reliable traffic
+/// flows again.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: Vec<NodeId>,
+    /// The other side.
+    pub b: Vec<NodeId>,
+    /// First tick the cut is in force.
+    pub start: u64,
+    /// First tick after healing (exclusive end).
+    pub end: u64,
+}
+
+impl Partition {
+    /// Whether this partition severs the directed link `src -> dst` at `t`.
+    pub fn severs(&self, src: NodeId, dst: NodeId, t: u64) -> bool {
+        if !(self.start..self.end).contains(&t) {
+            return false;
+        }
+        (self.a.contains(&src) && self.b.contains(&dst))
+            || (self.b.contains(&src) && self.a.contains(&dst))
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        if self.start >= self.end {
+            return Err(FaultConfigError::EmptyWindow {
+                start: self.start,
+                end: self.end,
+            });
+        }
+        if self.a.is_empty() || self.b.is_empty() {
+            return Err(FaultConfigError::EmptyPartitionSide);
+        }
+        if let Some(&node) = self.a.iter().find(|n| self.b.contains(n)) {
+            return Err(FaultConfigError::NodeOnBothSides { node });
+        }
+        Ok(())
+    }
+}
+
+/// A node crash at tick `at` followed by a restart at tick `restart_at`.
+/// While crashed, the node neither sends nor receives: lossy traffic to or
+/// from it is discarded, reliable traffic addressed to it is held and
+/// delivered after the restart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Crash tick.
+    pub at: u64,
+    /// Restart tick (exclusive end of the outage).
+    pub restart_at: u64,
+}
+
+impl CrashEvent {
+    /// Whether `node` is down at `t` under this event.
+    pub fn down(&self, node: NodeId, t: u64) -> bool {
+        self.node == node && (self.at..self.restart_at).contains(&t)
+    }
+
+    fn validate(&self) -> Result<(), FaultConfigError> {
+        if self.at >= self.restart_at {
+            return Err(FaultConfigError::EmptyWindow {
+                start: self.at,
+                end: self.restart_at,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The complete fault schedule for one chaos run.
+///
+/// Built with the fluent helpers, validated once (by
+/// [`FaultPlan::validate`] or at network construction), then interpreted
+/// deterministically against the network's seeded RNG.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Fault applied to every link not listed in `links`.
+    pub default_link: LinkFault,
+    /// Per-directed-link overrides.
+    pub links: BTreeMap<(NodeId, NodeId), LinkFault>,
+    /// Timed partitions.
+    pub partitions: Vec<Partition>,
+    /// Crash/restart events.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything at all (fast path check).
+    pub fn is_quiet(&self) -> bool {
+        self.default_link.is_noop()
+            && self.links.is_empty()
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Sets the fault applied to every link without an override.
+    pub fn all_links(mut self, fault: LinkFault) -> Self {
+        self.default_link = fault;
+        self
+    }
+
+    /// Overrides the fault of the directed link `src -> dst`.
+    pub fn link(mut self, src: NodeId, dst: NodeId, fault: LinkFault) -> Self {
+        self.links.insert((src, dst), fault);
+        self
+    }
+
+    /// Adds a timed partition separating `a` from `b` during `[start, end)`.
+    pub fn partition(mut self, a: Vec<NodeId>, b: Vec<NodeId>, start: u64, end: u64) -> Self {
+        self.partitions.push(Partition { a, b, start, end });
+        self
+    }
+
+    /// Adds a crash of `node` during `[at, restart_at)`.
+    pub fn crash(mut self, node: NodeId, at: u64, restart_at: u64) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            at,
+            restart_at,
+        });
+        self
+    }
+
+    /// Validates every component of the plan.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        self.default_link.validate()?;
+        for fault in self.links.values() {
+            fault.validate()?;
+        }
+        for p in &self.partitions {
+            p.validate()?;
+        }
+        for c in &self.crashes {
+            c.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The fault in force on the directed link `src -> dst`.
+    pub fn link_fault(&self, src: NodeId, dst: NodeId) -> LinkFault {
+        self.links
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// If `src -> dst` is severed by a partition at `t`, the earliest tick
+    /// the link is whole again (the max `end` over the active partitions).
+    pub fn severed_until(&self, src: NodeId, dst: NodeId, t: u64) -> Option<u64> {
+        self.partitions
+            .iter()
+            .filter(|p| p.severs(src, dst, t))
+            .map(|p| p.end)
+            .max()
+    }
+
+    /// If `node` is crashed at `t`, the tick it restarts (max over
+    /// overlapping crash events).
+    pub fn crashed_until(&self, node: NodeId, t: u64) -> Option<u64> {
+        self.crashes
+            .iter()
+            .filter(|c| c.down(node, t))
+            .map(|c| c.restart_at)
+            .max()
+    }
+}
+
+/// Counters for every fault the network injected. All deterministic under a
+/// fixed seed, so two runs of the same plan can be compared field-for-field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Loss-tolerant messages discarded by per-link drop faults.
+    pub link_dropped: u64,
+    /// Extra copies enqueued by duplication faults.
+    pub duplicates_injected: u64,
+    /// Loss-tolerant messages discarded because a partition severed the link.
+    pub partition_dropped: u64,
+    /// Reliable messages held for delivery after a partition healed.
+    pub partition_held: u64,
+    /// Partitions that reached their heal tick.
+    pub partitions_healed: u64,
+    /// Messages discarded because an endpoint was crashed (lossy classes),
+    /// plus lossy in-flight messages purged at crash time.
+    pub crash_dropped: u64,
+    /// Reliable messages held for delivery after a node restart.
+    pub crash_held: u64,
+    /// Nodes that came back up.
+    pub restarts: u64,
+}
+
+/// A fault transition observed by [`crate::Network::tick`], reported so the
+/// layer above (the cluster) can account per-node recovery statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A partition reached its heal tick; `members` is both sides.
+    PartitionHealed {
+        /// Every node that was on either side of the cut.
+        members: Vec<NodeId>,
+    },
+    /// A node went down.
+    NodeCrashed {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node came back up; held reliable traffic is now deliverable.
+    NodeRestarted {
+        /// The restarted node.
+        node: NodeId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn plan_builder_round_trip() {
+        let plan = FaultPlan::none()
+            .all_links(LinkFault {
+                drop: 0.1,
+                duplicate: 0.0,
+                jitter: 2,
+            })
+            .link(n(0), n(1), LinkFault::dropping(0.5))
+            .partition(vec![n(0)], vec![n(1), n(2)], 10, 20)
+            .crash(n(2), 5, 8);
+        assert!(plan.validate().is_ok());
+        assert!(!plan.is_quiet());
+        assert_eq!(plan.link_fault(n(0), n(1)).drop, 0.5);
+        assert_eq!(
+            plan.link_fault(n(1), n(0)).drop,
+            0.1,
+            "override is directed"
+        );
+        assert_eq!(plan.severed_until(n(0), n(2), 10), Some(20));
+        assert_eq!(
+            plan.severed_until(n(0), n(2), 20),
+            None,
+            "heal tick is exclusive"
+        );
+        assert_eq!(
+            plan.severed_until(n(1), n(2), 15),
+            None,
+            "same side unaffected"
+        );
+        assert_eq!(plan.crashed_until(n(2), 5), Some(8));
+        assert_eq!(plan.crashed_until(n(2), 8), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        let plan = FaultPlan::none().all_links(LinkFault::dropping(1.5));
+        let err = plan.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            FaultConfigError::ProbabilityOutOfRange { what: "drop", .. }
+        ));
+        assert!(err.to_string().contains("probability out of range"));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_partition() {
+        let empty_side = FaultPlan::none().partition(vec![], vec![n(1)], 0, 5);
+        assert_eq!(
+            empty_side.validate(),
+            Err(FaultConfigError::EmptyPartitionSide)
+        );
+
+        let both_sides = FaultPlan::none().partition(vec![n(1)], vec![n(1), n(2)], 0, 5);
+        assert_eq!(
+            both_sides.validate(),
+            Err(FaultConfigError::NodeOnBothSides { node: n(1) })
+        );
+
+        let inverted = FaultPlan::none().partition(vec![n(0)], vec![n(1)], 7, 7);
+        assert_eq!(
+            inverted.validate(),
+            Err(FaultConfigError::EmptyWindow { start: 7, end: 7 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty_crash_window() {
+        let plan = FaultPlan::none().crash(n(0), 9, 3);
+        assert_eq!(
+            plan.validate(),
+            Err(FaultConfigError::EmptyWindow { start: 9, end: 3 })
+        );
+    }
+
+    #[test]
+    fn duplication_targets_only_idempotent_classes() {
+        assert!(MsgClass::StubTable.is_idempotent());
+        assert!(MsgClass::ScionMessage.is_idempotent());
+        assert!(!MsgClass::Dsm.is_idempotent());
+        assert!(!MsgClass::GcBackground.is_idempotent());
+    }
+
+    #[test]
+    fn error_messages_keep_design_wording() {
+        let reliable = FaultConfigError::ReliableClassDrop {
+            class: MsgClass::Dsm,
+        };
+        assert!(reliable.to_string().contains("assumed reliable"));
+    }
+}

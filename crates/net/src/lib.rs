@@ -43,8 +43,12 @@
 //! assert_eq!(net.class_stats(MsgClass::StubTable).dropped, 1);
 //! ```
 
+pub mod fault;
 pub mod network;
 pub mod piggyback;
 
-pub use network::{Envelope, MsgClass, Network, NetworkConfig, WireSize};
+pub use fault::{
+    CrashEvent, FaultConfigError, FaultEvent, FaultPlan, FaultStats, LinkFault, Partition,
+};
+pub use network::{ClassStats, Envelope, MsgClass, Network, NetworkConfig, WireSize};
 pub use piggyback::PiggybackBuffer;

@@ -4,6 +4,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use bmx_common::{MsgSeq, NodeId, SplitMix64};
 
+use crate::fault::{FaultConfigError, FaultEvent, FaultPlan, FaultStats};
+
 /// Classes of traffic, with distinct reliability and accounting.
 ///
 /// The experiment harness separates "messages the application would have paid
@@ -28,8 +30,12 @@ pub enum MsgClass {
 
 impl MsgClass {
     /// All classes, for iteration in reports.
-    pub const ALL: [MsgClass; 4] =
-        [MsgClass::Dsm, MsgClass::ScionMessage, MsgClass::StubTable, MsgClass::GcBackground];
+    pub const ALL: [MsgClass; 4] = [
+        MsgClass::Dsm,
+        MsgClass::ScionMessage,
+        MsgClass::StubTable,
+        MsgClass::GcBackground,
+    ];
 
     /// Whether the collector design *requires* this class to be delivered
     /// reliably. Only the DSM protocol itself does.
@@ -72,18 +78,37 @@ pub struct NetworkConfig {
     pub drop_rate: BTreeMap<MsgClass, f64>,
     /// RNG seed for drop injection.
     pub seed: u64,
+    /// Chaos fault schedule (per-link faults, partitions, crashes). Quiet by
+    /// default; see [`crate::fault`] for semantics.
+    pub fault: FaultPlan,
 }
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        NetworkConfig { latency: 1, drop_rate: BTreeMap::new(), seed: 0xB_A5E }
+        NetworkConfig {
+            latency: 1,
+            drop_rate: BTreeMap::new(),
+            seed: 0xB_A5E,
+            fault: FaultPlan::none(),
+        }
     }
 }
 
 impl NetworkConfig {
     /// A lossless network with the given latency.
     pub fn lossless(latency: u64) -> Self {
-        NetworkConfig { latency, ..Default::default() }
+        NetworkConfig {
+            latency,
+            ..Default::default()
+        }
+    }
+
+    /// Sets a drop probability for a loss-tolerant class, rejecting
+    /// configurations the design forbids with a typed error.
+    pub fn try_with_drop(mut self, class: MsgClass, p: f64) -> Result<Self, FaultConfigError> {
+        validate_drop(class, p)?;
+        self.drop_rate.insert(class, p);
+        Ok(self)
     }
 
     /// Sets a drop probability for a loss-tolerant class.
@@ -91,15 +116,48 @@ impl NetworkConfig {
     /// # Panics
     ///
     /// Panics if `class` requires reliability or `p` is not in `[0, 1]`.
-    pub fn with_drop(mut self, class: MsgClass, p: f64) -> Self {
-        assert!(
-            !class.requires_reliability(),
-            "{class:?} is assumed reliable by the DSM protocol"
-        );
-        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
-        self.drop_rate.insert(class, p);
-        self
+    /// Use [`NetworkConfig::try_with_drop`] to handle the rejection instead.
+    pub fn with_drop(self, class: MsgClass, p: f64) -> Self {
+        self.try_with_drop(class, p)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
+
+    /// Attaches a chaos fault schedule, rejecting invalid plans.
+    pub fn try_with_fault(mut self, fault: FaultPlan) -> Result<Self, FaultConfigError> {
+        fault.validate()?;
+        self.fault = fault;
+        Ok(self)
+    }
+
+    /// Attaches a chaos fault schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn with_fault(self, fault: FaultPlan) -> Self {
+        self.try_with_fault(fault).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validates the whole configuration (class drop rates + fault plan).
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        for (&class, &p) in &self.drop_rate {
+            validate_drop(class, p)?;
+        }
+        self.fault.validate()
+    }
+}
+
+fn validate_drop(class: MsgClass, p: f64) -> Result<(), FaultConfigError> {
+    if class.requires_reliability() {
+        return Err(FaultConfigError::ReliableClassDrop { class });
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(FaultConfigError::ProbabilityOutOfRange {
+            what: "drop",
+            value: p,
+        });
+    }
+    Ok(())
 }
 
 /// Per-class traffic counters.
@@ -109,6 +167,8 @@ pub struct ClassStats {
     pub sent: u64,
     /// Messages dropped by loss injection.
     pub dropped: u64,
+    /// Extra copies delivered by duplication faults (not counted in `sent`).
+    pub duplicated: u64,
     /// Payload bytes accepted for delivery.
     pub bytes: u64,
 }
@@ -134,13 +194,45 @@ pub struct Network<M> {
     /// Per-(src, dst) next sequence number.
     seqs: BTreeMap<(NodeId, NodeId), MsgSeq>,
     stats: BTreeMap<MsgClass, ClassStats>,
+    fault_stats: FaultStats,
+    /// Fault transitions since the last [`Network::drain_fault_events`].
+    events: Vec<FaultEvent>,
+    /// Per-partition "already healed" latch (index-aligned with the plan).
+    partition_healed: Vec<bool>,
+    /// Per-crash-event phase: 0 = pending, 1 = down, 2 = restarted.
+    crash_phase: Vec<u8>,
 }
 
-impl<M: WireSize> Network<M> {
+impl<M: WireSize + Clone> Network<M> {
     /// Creates an empty network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`NetworkConfig::validate`]; use
+    /// [`Network::try_new`] to handle the rejection instead.
     pub fn new(cfg: NetworkConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an empty network, rejecting an invalid configuration with a
+    /// typed error.
+    pub fn try_new(cfg: NetworkConfig) -> Result<Self, FaultConfigError> {
+        cfg.validate()?;
         let rng = SplitMix64::new(cfg.seed);
-        Network { cfg, now: 0, rng, channels: BTreeMap::new(), seqs: BTreeMap::new(), stats: BTreeMap::new() }
+        let partition_healed = vec![false; cfg.fault.partitions.len()];
+        let crash_phase = vec![0; cfg.fault.crashes.len()];
+        Ok(Network {
+            cfg,
+            now: 0,
+            rng,
+            channels: BTreeMap::new(),
+            seqs: BTreeMap::new(),
+            stats: BTreeMap::new(),
+            fault_stats: FaultStats::default(),
+            events: Vec::new(),
+            partition_healed,
+            crash_phase,
+        })
     }
 
     /// Current logical time.
@@ -152,24 +244,91 @@ impl<M: WireSize> Network<M> {
     ///
     /// Returns the sequence number the message was stamped with, whether or
     /// not loss injection subsequently discarded it (the sender cannot know).
+    ///
+    /// Fault handling, in draw order (so runs replay bit-exactly from the
+    /// seed): class-level loss, per-link loss, per-link duplication (only
+    /// for idempotent classes), per-link latency jitter, then outage
+    /// handling — a crashed endpoint or severing partition discards
+    /// loss-tolerant traffic and holds reliable traffic until the outage
+    /// ends. Per-channel FIFO is preserved throughout by clamping each
+    /// delivery time against the channel's scheduled tail.
     pub fn send(&mut self, src: NodeId, dst: NodeId, class: MsgClass, payload: M) -> MsgSeq {
         let seq = self.seqs.entry((src, dst)).or_default().bump();
-        let stats = self.stats.entry(class).or_default();
-        let dropped = match self.cfg.drop_rate.get(&class) {
+        let class_dropped = match self.cfg.drop_rate.get(&class) {
             Some(&p) => self.rng.chance(p),
             None => false,
         };
-        if dropped {
-            stats.dropped += 1;
+        if class_dropped {
+            self.stats.entry(class).or_default().dropped += 1;
             return seq;
         }
+        let fault = self.cfg.fault.link_fault(src, dst);
+        if !class.requires_reliability() && fault.drop > 0.0 && self.rng.chance(fault.drop) {
+            self.stats.entry(class).or_default().dropped += 1;
+            self.fault_stats.link_dropped += 1;
+            return seq;
+        }
+        let duplicate =
+            class.is_idempotent() && fault.duplicate > 0.0 && self.rng.chance(fault.duplicate);
+        let jitter = if fault.jitter > 0 {
+            self.rng.next_below(fault.jitter + 1)
+        } else {
+            0
+        };
+        let mut deliver_at = self.now + self.cfg.latency + jitter;
+
+        // Outages. A crash dominates a concurrent partition for accounting;
+        // a held reliable message waits out whichever outage ends last.
+        let crashed = self
+            .cfg
+            .fault
+            .crashed_until(src, self.now)
+            .max(self.cfg.fault.crashed_until(dst, self.now));
+        let severed = self.cfg.fault.severed_until(src, dst, self.now);
+        if crashed.is_some() || severed.is_some() {
+            if class.requires_reliability() {
+                if crashed.is_some() {
+                    self.fault_stats.crash_held += 1;
+                } else {
+                    self.fault_stats.partition_held += 1;
+                }
+                let outage_end = crashed.max(severed).expect("one outage checked");
+                deliver_at = deliver_at.max(outage_end + self.cfg.latency);
+            } else {
+                if crashed.is_some() {
+                    self.fault_stats.crash_dropped += 1;
+                } else {
+                    self.fault_stats.partition_dropped += 1;
+                }
+                self.stats.entry(class).or_default().dropped += 1;
+                return seq;
+            }
+        }
+
+        let stats = self.stats.entry(class).or_default();
         stats.sent += 1;
         stats.bytes += payload.wire_size();
-        let env = Envelope { src, dst, seq, class, payload };
-        self.channels
-            .entry((src, dst))
-            .or_default()
-            .push_back(InFlight { deliver_at: self.now + self.cfg.latency, env });
+        let queue = self.channels.entry((src, dst)).or_default();
+        if let Some(tail) = queue.back() {
+            // FIFO under jitter: never schedule before the channel's tail.
+            deliver_at = deliver_at.max(tail.deliver_at);
+        }
+        let env = Envelope {
+            src,
+            dst,
+            seq,
+            class,
+            payload,
+        };
+        if duplicate {
+            stats.duplicated += 1;
+            self.fault_stats.duplicates_injected += 1;
+            queue.push_back(InFlight {
+                deliver_at,
+                env: env.clone(),
+            });
+        }
+        queue.push_back(InFlight { deliver_at, env });
         seq
     }
 
@@ -177,7 +336,64 @@ impl<M: WireSize> Network<M> {
     /// deliverable, in deterministic (channel, FIFO) order.
     pub fn tick(&mut self) -> Vec<Envelope<M>> {
         self.now += 1;
+        self.apply_fault_transitions();
         self.drain_due()
+    }
+
+    /// Processes partition heals and crash/restart transitions due at `now`.
+    /// Crashing a node purges its lossy in-flight traffic and reschedules
+    /// reliable traffic to after the restart.
+    fn apply_fault_transitions(&mut self) {
+        let now = self.now;
+        for (i, p) in self.cfg.fault.partitions.iter().enumerate() {
+            if !self.partition_healed[i] && now >= p.end {
+                self.partition_healed[i] = true;
+                self.fault_stats.partitions_healed += 1;
+                let mut members = p.a.clone();
+                members.extend(p.b.iter().copied());
+                self.events.push(FaultEvent::PartitionHealed { members });
+            }
+        }
+        let mut purges: Vec<(NodeId, u64)> = Vec::new();
+        for (i, c) in self.cfg.fault.crashes.iter().enumerate() {
+            if self.crash_phase[i] == 0 && now >= c.at {
+                self.crash_phase[i] = 1;
+                self.events.push(FaultEvent::NodeCrashed { node: c.node });
+                purges.push((c.node, c.restart_at));
+            }
+            if self.crash_phase[i] == 1 && now >= c.restart_at {
+                self.crash_phase[i] = 2;
+                self.fault_stats.restarts += 1;
+                self.events.push(FaultEvent::NodeRestarted { node: c.node });
+            }
+        }
+        for (node, restart_at) in purges {
+            self.purge_in_flight_for(node, restart_at);
+        }
+    }
+
+    /// Applies a crash of `node` to in-flight traffic: lossy messages on any
+    /// link touching the node are discarded; reliable ones are pushed back to
+    /// land after `restart_at`, keeping each channel's FIFO order.
+    fn purge_in_flight_for(&mut self, node: NodeId, restart_at: u64) {
+        let latency = self.cfg.latency;
+        for (&(src, dst), queue) in self.channels.iter_mut() {
+            if src != node && dst != node {
+                continue;
+            }
+            let mut kept = VecDeque::with_capacity(queue.len());
+            let mut floor = 0;
+            while let Some(mut m) = queue.pop_front() {
+                if m.env.class.requires_reliability() {
+                    m.deliver_at = m.deliver_at.max(restart_at + latency).max(floor);
+                    floor = m.deliver_at;
+                    kept.push_back(m);
+                } else {
+                    self.fault_stats.crash_dropped += 1;
+                }
+            }
+            *queue = kept;
+        }
     }
 
     /// Returns messages already due without advancing time.
@@ -198,10 +414,7 @@ impl<M: WireSize> Network<M> {
     ///
     /// This is the main pump used by the cluster simulation: deliveries and
     /// their cascading replies run to quiescence deterministically.
-    pub fn run_to_quiescence(
-        &mut self,
-        mut handler: impl FnMut(&mut Self, Envelope<M>),
-    ) -> u64 {
+    pub fn run_to_quiescence(&mut self, mut handler: impl FnMut(&mut Self, Envelope<M>)) -> u64 {
         let start = self.now;
         while self.in_flight() > 0 {
             for env in self.tick() {
@@ -236,23 +449,49 @@ impl<M: WireSize> Network<M> {
         self.stats.clear();
     }
 
+    /// Changes the drop probability of a loss-tolerant class at runtime,
+    /// rejecting configurations the design forbids with a typed error.
+    pub fn try_set_drop(&mut self, class: MsgClass, p: f64) -> Result<(), FaultConfigError> {
+        validate_drop(class, p)?;
+        if p == 0.0 {
+            self.cfg.drop_rate.remove(&class);
+        } else {
+            self.cfg.drop_rate.insert(class, p);
+        }
+        Ok(())
+    }
+
     /// Changes the drop probability of a loss-tolerant class at runtime
     /// (e.g. to heal the network after a loss-injection phase).
     ///
     /// # Panics
     ///
     /// Panics if `class` requires reliability or `p` is out of `[0, 1]`.
+    /// Use [`Network::try_set_drop`] to handle the rejection instead.
     pub fn set_drop(&mut self, class: MsgClass, p: f64) {
-        assert!(
-            !class.requires_reliability(),
-            "{class:?} is assumed reliable by the DSM protocol"
-        );
-        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
-        if p == 0.0 {
-            self.cfg.drop_rate.remove(&class);
-        } else {
-            self.cfg.drop_rate.insert(class, p);
-        }
+        self.try_set_drop(class, p)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// The fault schedule in force.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.cfg.fault
+    }
+
+    /// Counters for every fault injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Takes the fault transitions (heals, crashes, restarts) observed since
+    /// the last call, in occurrence order.
+    pub fn drain_fault_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Whether `node` is currently crashed under the fault schedule.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.cfg.fault.crashed_until(node, self.now).is_some()
     }
 }
 
@@ -379,5 +618,216 @@ mod tests {
         net.send(n(0), n(1), MsgClass::Dsm, P(1));
         assert_eq!(net.drain_due().len(), 1);
         assert_eq!(net.now(), 0);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_fault_plan() {
+        let mut cfg = NetworkConfig::lossless(1);
+        cfg.fault = FaultPlan::none().all_links(crate::fault::LinkFault::dropping(2.0));
+        let err = Network::<P>::try_new(cfg).err().expect("must be rejected");
+        assert!(matches!(
+            err,
+            FaultConfigError::ProbabilityOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_reliable_class_drop() {
+        let mut cfg = NetworkConfig::lossless(1);
+        cfg.drop_rate.insert(MsgClass::Dsm, 0.1); // bypasses with_drop's check
+        let err = Network::<P>::try_new(cfg).err().expect("must be rejected");
+        assert_eq!(
+            err,
+            FaultConfigError::ReliableClassDrop {
+                class: MsgClass::Dsm
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability out of range")]
+    fn with_drop_panics_on_bad_probability() {
+        let _ = NetworkConfig::lossless(1).with_drop(MsgClass::StubTable, 1.5);
+    }
+
+    #[test]
+    fn link_drop_spares_reliable_traffic() {
+        let fault = FaultPlan::none().all_links(crate::fault::LinkFault::dropping(1.0));
+        let cfg = NetworkConfig::lossless(1).with_fault(fault);
+        let mut net: Network<P> = Network::new(cfg);
+        net.send(n(0), n(1), MsgClass::Dsm, P(1));
+        net.send(n(0), n(1), MsgClass::StubTable, P(2));
+        let got = net.tick();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].class, MsgClass::Dsm);
+        assert_eq!(net.fault_stats().link_dropped, 1);
+        assert_eq!(net.class_stats(MsgClass::StubTable).dropped, 1);
+    }
+
+    #[test]
+    fn duplication_hits_only_idempotent_classes() {
+        let fault = FaultPlan::none().all_links(crate::fault::LinkFault {
+            drop: 0.0,
+            duplicate: 1.0,
+            jitter: 0,
+        });
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1).with_fault(fault));
+        net.send(n(0), n(1), MsgClass::StubTable, P(1));
+        net.send(n(0), n(1), MsgClass::Dsm, P(2));
+        net.send(n(0), n(1), MsgClass::GcBackground, P(3));
+        let got = net.tick();
+        let vals: Vec<u64> = got.iter().map(|e| e.payload.0).collect();
+        assert_eq!(vals, vec![1, 1, 2, 3], "only the stub table is doubled");
+        assert_eq!(
+            got[0].seq, got[1].seq,
+            "the duplicate reuses the original seq"
+        );
+        assert_eq!(net.fault_stats().duplicates_injected, 1);
+        assert_eq!(net.class_stats(MsgClass::StubTable).duplicated, 1);
+        assert_eq!(net.class_stats(MsgClass::StubTable).sent, 1);
+    }
+
+    #[test]
+    fn jitter_preserves_per_channel_fifo() {
+        let fault = FaultPlan::none().all_links(crate::fault::LinkFault {
+            drop: 0.0,
+            duplicate: 0.0,
+            jitter: 7,
+        });
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1).with_fault(fault));
+        for i in 0..50 {
+            net.send(n(0), n(1), MsgClass::Dsm, P(i));
+        }
+        let mut vals = Vec::new();
+        while net.in_flight() > 0 {
+            vals.extend(net.tick().into_iter().map(|e| e.payload.0));
+        }
+        assert_eq!(
+            vals,
+            (0..50).collect::<Vec<_>>(),
+            "jitter must not reorder a channel"
+        );
+        assert!(net.now() > 1, "some message was actually delayed");
+    }
+
+    #[test]
+    fn partition_holds_reliable_and_drops_lossy() {
+        let fault = FaultPlan::none().partition(vec![n(0)], vec![n(1)], 0, 10);
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1).with_fault(fault));
+        net.send(n(0), n(1), MsgClass::Dsm, P(1));
+        net.send(n(0), n(1), MsgClass::StubTable, P(2));
+        net.send(n(1), n(0), MsgClass::Dsm, P(3)); // severed both ways
+        net.send(n(0), n(0), MsgClass::Dsm, P(4)); // same side: unaffected
+
+        let mut arrivals: Vec<(u64, u64)> = Vec::new();
+        while net.in_flight() > 0 {
+            let now_after = net.now() + 1;
+            arrivals.extend(net.tick().into_iter().map(|e| (now_after, e.payload.0)));
+        }
+        assert_eq!(
+            arrivals,
+            vec![(1, 4), (11, 1), (11, 3)],
+            "held until heal + latency"
+        );
+        let fs = net.fault_stats();
+        assert_eq!(fs.partition_held, 2);
+        assert_eq!(fs.partition_dropped, 1);
+        assert_eq!(fs.partitions_healed, 1);
+        let healed = net
+            .drain_fault_events()
+            .into_iter()
+            .filter(|e| matches!(e, FaultEvent::PartitionHealed { .. }))
+            .count();
+        assert_eq!(healed, 1);
+    }
+
+    #[test]
+    fn crash_purges_lossy_and_postpones_reliable_in_flight() {
+        let fault = FaultPlan::none().crash(n(1), 2, 20);
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(5).with_fault(fault));
+        // In flight before the crash: due at tick 5, but node 1 dies at 2.
+        net.send(n(0), n(1), MsgClass::Dsm, P(1));
+        net.send(n(0), n(1), MsgClass::GcBackground, P(2));
+        let mut arrivals: Vec<(u64, u64)> = Vec::new();
+        while net.in_flight() > 0 {
+            let now_after = net.now() + 1;
+            arrivals.extend(net.tick().into_iter().map(|e| (now_after, e.payload.0)));
+        }
+        assert_eq!(
+            arrivals,
+            vec![(25, 1)],
+            "reliable lands restart + latency; lossy purged"
+        );
+        let fs = net.fault_stats();
+        assert_eq!(fs.crash_dropped, 1);
+        assert_eq!(fs.restarts, 1);
+        let events = net.drain_fault_events();
+        assert!(events.contains(&FaultEvent::NodeCrashed { node: n(1) }));
+        assert!(events.contains(&FaultEvent::NodeRestarted { node: n(1) }));
+    }
+
+    #[test]
+    fn sends_while_crashed_are_held_or_dropped() {
+        let fault = FaultPlan::none().crash(n(1), 1, 6);
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1).with_fault(fault));
+        let _ = net.tick(); // advance into the outage window
+        assert!(net.is_down(n(1)));
+        net.send(n(0), n(1), MsgClass::Dsm, P(1));
+        net.send(n(1), n(0), MsgClass::StubTable, P(2)); // a crashed sender
+        assert_eq!(net.fault_stats().crash_held, 1);
+        assert_eq!(net.fault_stats().crash_dropped, 1);
+        let mut arrivals = Vec::new();
+        while net.in_flight() > 0 {
+            let now_after = net.now() + 1;
+            arrivals.extend(net.tick().into_iter().map(|e| (now_after, e.payload.0)));
+        }
+        assert_eq!(arrivals, vec![(7, 1)]);
+    }
+
+    #[test]
+    fn chaos_runs_replay_bit_exact_from_the_seed() {
+        let run = |seed: u64| {
+            let fault = FaultPlan::none()
+                .all_links(crate::fault::LinkFault {
+                    drop: 0.3,
+                    duplicate: 0.4,
+                    jitter: 3,
+                })
+                .partition(vec![n(0)], vec![n(1)], 4, 9)
+                .crash(n(2), 3, 12);
+            let mut cfg = NetworkConfig::lossless(1).with_fault(fault);
+            cfg.seed = seed;
+            let mut net: Network<P> = Network::new(cfg);
+            let mut trace = Vec::new();
+            for i in 0..60u64 {
+                let (s, d) = (n((i % 3) as u32), n(((i + 1) % 3) as u32));
+                let class = match i % 4 {
+                    0 => MsgClass::Dsm,
+                    1 => MsgClass::ScionMessage,
+                    2 => MsgClass::StubTable,
+                    _ => MsgClass::GcBackground,
+                };
+                net.send(s, d, class, P(i));
+                trace.extend(
+                    net.tick()
+                        .into_iter()
+                        .map(|e| (e.src, e.dst, e.seq, e.payload.0)),
+                );
+            }
+            while net.in_flight() > 0 {
+                trace.extend(
+                    net.tick()
+                        .into_iter()
+                        .map(|e| (e.src, e.dst, e.seq, e.payload.0)),
+                );
+            }
+            (trace, net.fault_stats())
+        };
+        let (trace_a, stats_a) = run(0xC4A05);
+        let (trace_b, stats_b) = run(0xC4A05);
+        assert_eq!(trace_a, trace_b, "same seed, same delivery trace");
+        assert_eq!(stats_a, stats_b, "same seed, same fault counters");
+        let (trace_c, _) = run(0xC4A06);
+        assert_ne!(trace_a, trace_c, "a different seed perturbs the run");
     }
 }

@@ -27,7 +27,9 @@ pub struct PiggybackBuffer<P> {
 
 impl<P> Default for PiggybackBuffer<P> {
     fn default() -> Self {
-        PiggybackBuffer { pending: BTreeMap::new() }
+        PiggybackBuffer {
+            pending: BTreeMap::new(),
+        }
     }
 }
 

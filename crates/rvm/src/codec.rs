@@ -91,7 +91,13 @@ impl Frame {
             return None;
         }
         *buf = &buf[total..];
-        Some(Frame { kind, tid, region, offset, data })
+        Some(Frame {
+            kind,
+            tid,
+            region,
+            offset,
+            data,
+        })
     }
 }
 
@@ -102,7 +108,13 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let f = Frame { kind: 2, tid: 7, region: 3, offset: 96, data: vec![1, 2, 3] };
+        let f = Frame {
+            kind: 2,
+            tid: 7,
+            region: 3,
+            offset: 96,
+            data: vec![1, 2, 3],
+        };
         let mut bytes = Vec::new();
         f.encode(&mut bytes);
         assert_eq!(bytes.len(), f.encoded_len());
@@ -114,7 +126,13 @@ mod tests {
 
     #[test]
     fn torn_tail_is_rejected_not_misread() {
-        let f = Frame { kind: 1, tid: 9, region: 1, offset: 0, data: vec![9; 100] };
+        let f = Frame {
+            kind: 1,
+            tid: 9,
+            region: 1,
+            offset: 0,
+            data: vec![9; 100],
+        };
         let mut bytes = Vec::new();
         f.encode(&mut bytes);
         for cut in 1..bytes.len() {
@@ -125,7 +143,13 @@ mod tests {
 
     #[test]
     fn corrupted_byte_fails_crc() {
-        let f = Frame { kind: 1, tid: 9, region: 1, offset: 8, data: vec![5; 16] };
+        let f = Frame {
+            kind: 1,
+            tid: 9,
+            region: 1,
+            offset: 8,
+            data: vec![5; 16],
+        };
         let mut bytes = Vec::new();
         f.encode(&mut bytes);
         for i in 4..bytes.len() - 8 {
@@ -139,7 +163,13 @@ mod tests {
     #[test]
     fn multiple_frames_in_sequence() {
         let frames: Vec<Frame> = (0..5)
-            .map(|i| Frame { kind: 2, tid: i, region: i, offset: i * 8, data: vec![i as u8; i as usize] })
+            .map(|i| Frame {
+                kind: 2,
+                tid: i,
+                region: i,
+                offset: i * 8,
+                data: vec![i as u8; i as usize],
+            })
             .collect();
         let mut bytes = Vec::new();
         for f in &frames {

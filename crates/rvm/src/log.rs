@@ -12,7 +12,12 @@ use crate::codec::Frame;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogRecord {
     /// New-value record: `data` replaces the bytes of `region` at `offset`.
-    SetRange { tid: u64, region: u64, offset: u64, data: Vec<u8> },
+    SetRange {
+        tid: u64,
+        region: u64,
+        offset: u64,
+        data: Vec<u8>,
+    },
     /// Transaction `tid` committed; its SetRange records take effect.
     Commit { tid: u64 },
 }
@@ -30,7 +35,12 @@ pub enum RecordKind {
 impl LogRecord {
     fn to_frame(&self) -> Frame {
         match self {
-            LogRecord::SetRange { tid, region, offset, data } => Frame {
+            LogRecord::SetRange {
+                tid,
+                region,
+                offset,
+                data,
+            } => Frame {
                 kind: RecordKind::SetRange as u8,
                 tid: *tid,
                 region: *region,
@@ -77,9 +87,16 @@ impl RedoLog {
             .append(true)
             .open(path)
             .map_err(|e| BmxError::Rvm(format!("open log {path:?}: {e}")))?;
-        let bytes_written =
-            file.metadata().map_err(|e| BmxError::Rvm(format!("stat log: {e}")))?.len();
-        Ok(RedoLog { path: path.to_owned(), file, bytes_written, records_written: 0 })
+        let bytes_written = file
+            .metadata()
+            .map_err(|e| BmxError::Rvm(format!("stat log: {e}")))?
+            .len();
+        Ok(RedoLog {
+            path: path.to_owned(),
+            file,
+            bytes_written,
+            records_written: 0,
+        })
     }
 
     /// Appends `records` as one contiguous write and flushes.
@@ -135,7 +152,9 @@ impl RedoLog {
             .truncate(true)
             .open(&self.path)
             .map_err(|e| BmxError::Rvm(format!("truncate log: {e}")))?;
-        self.file.sync_data().map_err(|e| BmxError::Rvm(format!("sync: {e}")))?;
+        self.file
+            .sync_data()
+            .map_err(|e| BmxError::Rvm(format!("sync: {e}")))?;
         self.bytes_written = 0;
         Ok(())
     }
@@ -171,7 +190,12 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let mut log = RedoLog::open(&path).unwrap();
         let recs = vec![
-            LogRecord::SetRange { tid: 1, region: 2, offset: 0, data: vec![1, 2, 3] },
+            LogRecord::SetRange {
+                tid: 1,
+                region: 2,
+                offset: 0,
+                data: vec![1, 2, 3],
+            },
             LogRecord::Commit { tid: 1 },
         ];
         log.append(&recs).unwrap();
@@ -225,6 +249,9 @@ mod tests {
             log.append(&[LogRecord::Commit { tid: 2 }]).unwrap();
         }
         let recs = RedoLog::read_all(&path).unwrap();
-        assert_eq!(recs, vec![LogRecord::Commit { tid: 1 }, LogRecord::Commit { tid: 2 }]);
+        assert_eq!(
+            recs,
+            vec![LogRecord::Commit { tid: 1 }, LogRecord::Commit { tid: 2 }]
+        );
     }
 }

@@ -59,7 +59,14 @@ impl Rvm {
     pub fn open(dir: &Path, opts: RvmOptions) -> Result<Rvm> {
         fs::create_dir_all(dir).map_err(|e| BmxError::Rvm(format!("mkdir {dir:?}: {e}")))?;
         let log = RedoLog::open(&dir.join("rvm.log"))?;
-        Ok(Rvm { dir: dir.to_owned(), log, regions: BTreeMap::new(), next_tid: 1, active: None, opts })
+        Ok(Rvm {
+            dir: dir.to_owned(),
+            log,
+            regions: BTreeMap::new(),
+            next_tid: 1,
+            active: None,
+            opts,
+        })
     }
 
     fn region_path(&self, id: RegionId) -> PathBuf {
@@ -99,7 +106,13 @@ impl Rvm {
             })
             .collect();
         for r in &records {
-            if let LogRecord::SetRange { tid, region, offset, data } = r {
+            if let LogRecord::SetRange {
+                tid,
+                region,
+                offset,
+                data,
+            } = r
+            {
                 if *region == id.0 && committed.contains(tid) {
                     let start = *offset as usize;
                     let end = start + data.len();
@@ -133,7 +146,11 @@ impl Rvm {
         }
         let tid = Tid(self.next_tid);
         self.next_tid += 1;
-        self.active = Some(ActiveTx { tid, undo: Vec::new(), redo: Vec::new() });
+        self.active = Some(ActiveTx {
+            tid,
+            undo: Vec::new(),
+            redo: Vec::new(),
+        });
         Ok(tid)
     }
 
@@ -143,7 +160,13 @@ impl Rvm {
     /// This fuses RVM's `set_range` (declaration) with the modification
     /// itself: the old bytes go to the undo buffer, the new bytes are applied
     /// in place and queued as a redo record.
-    pub fn set_range(&mut self, tid: Tid, region: RegionId, offset: u64, data: &[u8]) -> Result<()> {
+    pub fn set_range(
+        &mut self,
+        tid: Tid,
+        region: RegionId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<()> {
         let tx = self
             .active
             .as_mut()
@@ -160,7 +183,12 @@ impl Rvm {
             .ok_or_else(|| BmxError::Rvm(format!("write past end of region {region:?}")))?;
         tx.undo.push((region, offset, reg.mem[start..end].to_vec()));
         reg.mem[start..end].copy_from_slice(data);
-        tx.redo.push(LogRecord::SetRange { tid: tid.0, region: region.0, offset, data: data.to_vec() });
+        tx.redo.push(LogRecord::SetRange {
+            tid: tid.0,
+            region: region.0,
+            offset,
+            data: data.to_vec(),
+        });
         Ok(())
     }
 
@@ -191,7 +219,10 @@ impl Rvm {
             .filter(|t| t.tid == tid)
             .ok_or_else(|| BmxError::Rvm(format!("transaction {tid:?} is not active")))?;
         for (region, offset, old) in tx.undo.into_iter().rev() {
-            let reg = self.regions.get_mut(&region).expect("undo for unmapped region");
+            let reg = self
+                .regions
+                .get_mut(&region)
+                .expect("undo for unmapped region");
             let start = offset as usize;
             reg.mem[start..start + old.len()].copy_from_slice(&old);
         }
@@ -220,7 +251,9 @@ impl Rvm {
     /// already-applied log is idempotent).
     pub fn truncate(&mut self) -> Result<()> {
         if self.active.is_some() {
-            return Err(BmxError::Rvm("cannot truncate with an active transaction".into()));
+            return Err(BmxError::Rvm(
+                "cannot truncate with an active transaction".into(),
+            ));
         }
         for (id, reg) in &self.regions {
             let tmp = reg.path.with_extension("tmp");
@@ -340,15 +373,25 @@ mod tests {
     #[test]
     fn auto_truncate_kicks_in() {
         let dir = fresh_dir("auto-trunc");
-        let mut rvm =
-            Rvm::open(&dir, RvmOptions { auto_truncate_bytes: Some(64) }).unwrap();
+        let mut rvm = Rvm::open(
+            &dir,
+            RvmOptions {
+                auto_truncate_bytes: Some(64),
+            },
+        )
+        .unwrap();
         rvm.map(RegionId(1), 256).unwrap();
         for i in 0..4 {
             let t = rvm.begin().unwrap();
-            rvm.set_range(t, RegionId(1), i * 32, &[i as u8; 32]).unwrap();
+            rvm.set_range(t, RegionId(1), i * 32, &[i as u8; 32])
+                .unwrap();
             rvm.commit(t).unwrap();
         }
-        assert!(rvm.log_bytes() < 128, "log={} should have been truncated", rvm.log_bytes());
+        assert!(
+            rvm.log_bytes() < 128,
+            "log={} should have been truncated",
+            rvm.log_bytes()
+        );
     }
 
     #[test]

@@ -40,15 +40,12 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn fresh_dir(tag: u64) -> PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "bmx-rvm-model-{}-{tag}",
-        std::process::id()
-    ));
+    let d = std::env::temp_dir().join(format!("bmx-rvm-model-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&d);
     d
 }
 
-fn reopen(dir: &PathBuf) -> Rvm {
+fn reopen(dir: &std::path::Path) -> Rvm {
     let mut rvm = Rvm::open(dir, RvmOptions::default()).expect("open");
     rvm.map(REGION, LEN).expect("map");
     rvm
@@ -63,24 +60,24 @@ proptest! {
         tag in any::<u64>(),
     ) {
         let dir = fresh_dir(tag);
-        let mut model = vec![0u8; LEN];
+        let mut model = [0u8; LEN];
         let mut rvm = reopen(&dir);
         for step in steps {
             match step {
                 Step::Commit { offset, len, val } => {
                     let t = rvm.begin().expect("begin");
-                    rvm.set_range(t, REGION, offset as u64, &vec![val; len]).expect("write");
+                    rvm.set_range(t, REGION, offset as u64, &[val].repeat(len)).expect("write");
                     rvm.commit(t).expect("commit");
                     model[offset..offset + len].fill(val);
                 }
                 Step::Abort { offset, len, val } => {
                     let t = rvm.begin().expect("begin");
-                    rvm.set_range(t, REGION, offset as u64, &vec![val; len]).expect("write");
+                    rvm.set_range(t, REGION, offset as u64, &[val].repeat(len)).expect("write");
                     rvm.abort(t).expect("abort");
                 }
                 Step::CrashMid { offset, len, val } => {
                     let t = rvm.begin().expect("begin");
-                    rvm.set_range(t, REGION, offset as u64, &vec![val; len]).expect("write");
+                    rvm.set_range(t, REGION, offset as u64, &[val].repeat(len)).expect("write");
                     drop(rvm); // crash with the transaction open
                     rvm = reopen(&dir);
                 }

@@ -67,6 +67,46 @@ pub fn ownership_migration(
     Ok(out)
 }
 
+/// One round of the mixed chaos workload: registry churn at every listed
+/// `(node, bunch, registry)` site, one ownership-migration hop over
+/// `migrate`, a collection at the round-robin-chosen site, and a slice of
+/// background clock ([`Cluster::step`]) so fault transitions and the retry
+/// daemon run *between* mutator bursts.
+///
+/// Chaos soaks call this in a loop against a cluster whose network carries
+/// a fault plan: the mutator keeps creating garbage and bouncing tokens
+/// while links drop, duplicate, partition and crash under it. Everything is
+/// deterministic in `(round, seed)`.
+pub fn chaos_round(
+    cluster: &mut Cluster,
+    sites: &[(NodeId, BunchId, Addr)],
+    migrate: &[Addr],
+    round: usize,
+    seed: u64,
+) -> Result<ChurnOutcome> {
+    let mut out = ChurnOutcome::default();
+    for &(node, bunch, registry) in sites {
+        let o = register_churn(cluster, node, bunch, registry, 2)?;
+        out.allocated += o.allocated;
+        out.detached += o.detached;
+    }
+    if !migrate.is_empty() {
+        let o = ownership_migration(
+            cluster,
+            migrate,
+            1,
+            seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )?;
+        out.writes += o.writes;
+    }
+    if !sites.is_empty() {
+        let (node, bunch, _) = sites[round % sites.len()];
+        cluster.run_bgc(node, bunch)?;
+    }
+    cluster.step(20)?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -37,7 +37,9 @@ pub fn build_rings(
     count: usize,
     len: usize,
 ) -> Result<Vec<(Vec<BunchId>, Vec<Addr>)>> {
-    (0..count).map(|_| build_inter_bunch_ring(cluster, node, len)).collect()
+    (0..count)
+        .map(|_| build_inter_bunch_ring(cluster, node, len))
+        .collect()
 }
 
 #[cfg(test)]

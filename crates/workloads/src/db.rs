@@ -37,7 +37,11 @@ pub fn build_db(
     assert!(assemblies > 0 && parts_per_assembly > 0);
     // Module: one ref field per assembly.
     let module_refs: Vec<u64> = (0..assemblies as u64).collect();
-    let module = cluster.alloc(node, bunch, &ObjSpec::with_refs(assemblies as u64, &module_refs))?;
+    let module = cluster.alloc(
+        node,
+        bunch,
+        &ObjSpec::with_refs(assemblies as u64, &module_refs),
+    )?;
     let mut all_assemblies = Vec::new();
     let mut all_parts = Vec::new();
     for a in 0..assemblies {
@@ -64,7 +68,11 @@ pub fn build_db(
         all_assemblies.push(asm);
         all_parts.push(parts);
     }
-    Ok(DbGraph { module, assemblies: all_assemblies, parts: all_parts })
+    Ok(DbGraph {
+        module,
+        assemblies: all_assemblies,
+        parts: all_parts,
+    })
 }
 
 /// Checks the graph's structure at `node` (through local forwarding):
@@ -89,14 +97,24 @@ fn verify_db_with(
     let mut verified = 0;
     for (a, asm) in g.assemblies.iter().enumerate() {
         let got = cluster.read_ref(node, g.module, a as u64)?;
-        assert!(cluster.ptr_eq(node, got, *asm), "module slot {a} lost its assembly");
+        assert!(
+            cluster.ptr_eq(node, got, *asm),
+            "module slot {a} lost its assembly"
+        );
         let parts = &g.parts[a];
         for (p, part) in parts.iter().enumerate() {
             let got = cluster.read_ref(node, *asm, p as u64)?;
-            assert!(cluster.ptr_eq(node, got, *part), "assembly {a} slot {p} lost its part");
+            assert!(
+                cluster.ptr_eq(node, got, *part),
+                "assembly {a} slot {p} lost its part"
+            );
             if check_payloads {
                 let payload = cluster.read_data(node, *part, 1)?;
-                assert_eq!(payload, (a * parts.len() + p) as u64, "payload of part {a}/{p}");
+                assert_eq!(
+                    payload,
+                    (a * parts.len() + p) as u64,
+                    "payload of part {a}/{p}"
+                );
             }
             let ring = cluster.read_ref(node, *part, 0)?;
             assert!(

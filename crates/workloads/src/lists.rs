@@ -41,7 +41,10 @@ pub fn build_list(
         }
         cells.push(cell);
     }
-    Ok(ListHandle { head: cells[0], cells })
+    Ok(ListHandle {
+        head: cells[0],
+        cells,
+    })
 }
 
 /// Walks the list from `head` at `node`, returning the payloads in order.

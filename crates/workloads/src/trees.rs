@@ -105,7 +105,10 @@ mod tests {
         let s = c.run_bgc(n0, b).unwrap();
         assert_eq!(s.live, count);
         let root_now = c.root(n0, rid).unwrap();
-        assert_eq!(in_order(&c, n0, root_now).unwrap(), (0..count).collect::<Vec<_>>());
+        assert_eq!(
+            in_order(&c, n0, root_now).unwrap(),
+            (0..count).collect::<Vec<_>>()
+        );
     }
 
     #[test]

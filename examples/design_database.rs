@@ -38,7 +38,10 @@ fn main() -> Result<()> {
         cluster.write_data(alice, part, 1, rev + 1000)?;
         cluster.release(alice, part)?;
     }
-    println!("alice edited assembly 0 (owns its {} parts now)", graph.parts[0].len());
+    println!(
+        "alice edited assembly 0 (owns its {} parts now)",
+        graph.parts[0].len()
+    );
 
     // Bob reads assembly 1 concurrently — read tokens, no conflict.
     for &part in &graph.parts[1] {
@@ -60,10 +63,16 @@ fn main() -> Result<()> {
     // ownerPtrs keep the server from reclaiming it — exactly Section 4.2's
     // "scanning an old version results in a more conservative decision".
     let sa = cluster.run_bgc(alice, bunch)?;
-    println!("alice's BGC: copied {} (her checked-out parts), scanned {}", sa.copied, sa.scanned);
+    println!(
+        "alice's BGC: copied {} (her checked-out parts), scanned {}",
+        sa.copied, sa.scanned
+    );
     let ss = cluster.run_bgc(server, bunch)?;
     assert_eq!(ss.reclaimed, 0, "remote replicas still protect assembly 3");
-    println!("server's BGC while designers are stale: reclaimed {}", ss.reclaimed);
+    println!(
+        "server's BGC while designers are stale: reclaimed {}",
+        ss.reclaimed
+    );
 
     // The designers synchronize on the module and collect again; their
     // replicas of assembly 3 die, the reachability tables inform the
@@ -74,7 +83,10 @@ fn main() -> Result<()> {
         cluster.run_bgc(designer, bunch)?;
     }
     let ss = cluster.run_bgc(server, bunch)?;
-    println!("server's BGC after designers synced: reclaimed {}", ss.reclaimed);
+    println!(
+        "server's BGC after designers synced: reclaimed {}",
+        ss.reclaimed
+    );
     assert_eq!(ss.reclaimed, 7, "assembly 3 plus its six parts");
     cluster.assert_gc_acquired_no_tokens();
 
@@ -91,16 +103,16 @@ fn main() -> Result<()> {
     let dir = std::env::temp_dir().join("bmx-example-design-db");
     let _ = std::fs::remove_dir_all(&dir);
     {
-        let mut rvm = Rvm::open(&dir, RvmOptions::default())
-            .map_err(|e| BmxError::Rvm(e.to_string()))?;
+        let mut rvm =
+            Rvm::open(&dir, RvmOptions::default()).map_err(|e| BmxError::Rvm(e.to_string()))?;
         persist::checkpoint_bunch(&mut cluster, server, bunch, &mut rvm)?;
         println!("checkpointed {} bytes of log", rvm.log_bytes());
     } // <- crash: cluster state for the server node is rebuilt below
 
     let mut recovered = Cluster::new(ClusterConfig::with_nodes(1));
     let bunch2 = recovered.create_bunch(NodeId(0))?;
-    let mut rvm = Rvm::open(&dir, RvmOptions::default())
-        .map_err(|e| BmxError::Rvm(e.to_string()))?;
+    let mut rvm =
+        Rvm::open(&dir, RvmOptions::default()).map_err(|e| BmxError::Rvm(e.to_string()))?;
     let segs = persist::recover_bunch(&mut recovered, NodeId(0), bunch2, &mut rvm)?;
     println!("recovered {segs} segments after the crash");
     // The dropped assembly is still gone; the surviving graph is intact.

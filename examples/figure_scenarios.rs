@@ -38,7 +38,9 @@ fn main() -> Result<()> {
         "after O3->O5 at N2: {} inter-bunch stub at N2 (scion at {}), {} at N1",
         stubs.len(),
         stubs[0].scion_at,
-        c.gc.node(n1).bunch(b1).map_or(0, |b| b.stub_table.inter.len()),
+        c.gc.node(n1)
+            .bunch(b1)
+            .map_or(0, |b| b.stub_table.inter.len()),
     );
     c.acquire_write(n1, o3)?; // write token N2 -> N1
     c.release(n1, o3)?;
@@ -53,7 +55,10 @@ fn main() -> Result<()> {
     c.acquire_write(n2, o2)?; // O2's ownership moves to N2
     c.release(n2, o2)?;
     let s = c.run_bgc(n2, b1)?;
-    println!("BGC(B1)@N2: copied={} (O2), scanned={} (O1, O3)", s.copied, s.scanned);
+    println!(
+        "BGC(B1)@N2: copied={} (O2), scanned={} (O1, O3)",
+        s.copied, s.scanned
+    );
     let v = bmx_repro::addr::object::view(&c.mems[1], o2).unwrap();
     println!("O2 at N2: forwarding header {o2} -> {}", v.forwarding);
     println!(

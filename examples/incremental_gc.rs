@@ -73,6 +73,9 @@ fn main() -> Result<()> {
     let values = trees::in_order(&cluster, n0, root_now)?;
     assert_eq!(values.len(), count as usize);
     cluster.assert_gc_acquired_no_tokens();
-    println!("ok: {} nodes verified after the incremental cycle", values.len());
+    println!(
+        "ok: {} nodes verified after the incremental cycle",
+        values.len()
+    );
     Ok(())
 }

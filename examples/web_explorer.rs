@@ -20,7 +20,10 @@ fn main() -> Result<()> {
     let content = cluster.create_bunch(host)?;
     let pages = web::build_web(&mut cluster, host, content, 60, 0xC0FFEE)?;
     cluster.add_root(host, pages[0]);
-    println!("web built: {} pages reachable", web::reachable_pages(&cluster, host, pages[0])?);
+    println!(
+        "web built: {} pages reachable",
+        web::reachable_pages(&cluster, host, pages[0])?
+    );
 
     // A topic index in its own bunch points at a few pages (inter-bunch
     // references create stub-scion pairs automatically via the barrier).
@@ -30,7 +33,14 @@ fn main() -> Result<()> {
         cluster.write_ref(host, topic, slot as u64, p)?;
     }
     cluster.add_root(host, topic);
-    let stubs = cluster.gc.node(host).bunch(index).unwrap().stub_table.inter.len();
+    let stubs = cluster
+        .gc
+        .node(host)
+        .bunch(index)
+        .unwrap()
+        .stub_table
+        .inter
+        .len();
     println!("topic index created {stubs} inter-bunch SSPs");
 
     // The crawler maps the content bunch and browses with read tokens.
@@ -69,7 +79,10 @@ fn main() -> Result<()> {
     // at the host) reclaims the ring and keeps all live pages.
     let before = web::reachable_pages(&cluster, host, pages[0])?;
     let s = cluster.run_ggc(host)?;
-    println!("GGC at the host: reclaimed {} objects (the dead ring)", s.reclaimed);
+    println!(
+        "GGC at the host: reclaimed {} objects (the dead ring)",
+        s.reclaimed
+    );
     assert_eq!(s.reclaimed, ring_objs.len() as u64);
     let after = web::reachable_pages(&cluster, host, pages[0])?;
     assert_eq!(before, after, "live pages survive the group collection");

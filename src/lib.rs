@@ -29,10 +29,10 @@ pub use bmx_workloads as workloads;
 
 /// A convenient prelude for examples and tests.
 pub mod prelude {
-    pub use bmx::{Cluster, ClusterConfig, ObjSpec};
+    pub use bmx::{Cluster, ClusterConfig, ObjSpec, RetryPolicy};
+    pub use bmx_addr::Protection;
     pub use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result, StatKind};
     pub use bmx_dsm::Token;
-    pub use bmx_addr::Protection;
     pub use bmx_gc::RelocMode;
-    pub use bmx_net::{MsgClass, NetworkConfig};
+    pub use bmx_net::{FaultPlan, FaultStats, LinkFault, MsgClass, NetworkConfig};
 }

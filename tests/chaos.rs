@@ -1,0 +1,250 @@
+//! Chaos suite: the full fault schedule against a live, churning cluster.
+//!
+//! Each run drives a 3-node cluster — per-link loss, message duplication,
+//! latency jitter, a timed partition that heals, and a node crash/restart —
+//! while the mutator churns garbage, migrates ownership, and collects. The
+//! run is completely determined by one `u64` seed: the same seed replays
+//! the identical fault schedule, delivery trace, and counters, which is how
+//! a failing nightly seed is reproduced locally (`CHAOS_SEEDS=0x...`).
+//!
+//! The acceptance gate is the paper's safety claim under its weakest
+//! transport assumptions (Section 6.1): whatever the network does to
+//! loss-tolerant GC traffic, no reachable object is ever reclaimed. The
+//! liveness half (garbage eventually collected) is recovered by the
+//! automatic retry daemon once the network heals.
+
+use bmx::audit;
+use bmx_net::FaultStats;
+use bmx_repro::prelude::*;
+use bmx_repro::workloads::{churn, lists};
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// Fault windows (ticks). Setup must finish before `PARTITION_START`; the
+/// run drives rounds until past `CRASH_END`, then settles.
+const PARTITION_START: u64 = 900;
+const PARTITION_END: u64 = 1200;
+const CRASH_START: u64 = 1600;
+const CRASH_END: u64 = 1800;
+const RUN_UNTIL: u64 = 2200;
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::none()
+        .all_links(LinkFault {
+            drop: 0.12,
+            duplicate: 0.25,
+            jitter: 3,
+        })
+        .partition(vec![n(0)], vec![n(1), n(2)], PARTITION_START, PARTITION_END)
+        .crash(n(2), CRASH_START, CRASH_END)
+}
+
+/// Everything a run produces that must replay identically from the seed.
+#[derive(Debug, PartialEq)]
+struct ChaosSummary {
+    counters: Vec<Vec<u64>>,
+    fault: FaultStats,
+    per_class: Vec<(MsgClass, u64, u64, u64)>,
+    rounds: usize,
+}
+
+fn run_chaos(seed: u64) -> ChaosSummary {
+    let mut net = NetworkConfig::lossless(1).with_fault(chaos_plan());
+    net.seed = seed;
+    let cfg = ClusterConfig {
+        nodes: 3,
+        net,
+        retry: Some(RetryPolicy {
+            initial_interval: 4,
+            backoff: 2,
+            max_interval: 32,
+            budget: 6,
+        }),
+        ..Default::default()
+    };
+    let mut c = Cluster::new(cfg);
+    let (n0, n1, n2) = (n(0), n(1), n(2));
+
+    // One home bunch per node with a rooted churn registry, plus a shared
+    // bunch mapped everywhere holding the long-lived structures: a list, an
+    // anchor with a payload, and the migration tokens' objects.
+    let mut sites = Vec::new();
+    for &node in &[n0, n1, n2] {
+        let b = c.create_bunch(node).unwrap();
+        let reg = c.alloc(node, b, &ObjSpec::with_refs(1, &[0])).unwrap();
+        c.add_root(node, reg);
+        sites.push((node, b, reg));
+    }
+    let shared = c.create_bunch(n0).unwrap();
+    let list = lists::build_list(&mut c, n0, shared, 6, 0).unwrap();
+    c.add_root(n0, list.head);
+    let anchor = c.alloc(n0, shared, &ObjSpec::data(1)).unwrap();
+    c.write_data(n0, anchor, 0, 4242).unwrap();
+    let bridge = c.alloc(n0, shared, &ObjSpec::with_refs(1, &[0])).unwrap();
+    c.add_root(n0, bridge);
+    c.write_ref(n0, bridge, 0, anchor).unwrap();
+    let migrate: Vec<Addr> = (0..3)
+        .map(|_| {
+            let o = c.alloc(n0, shared, &ObjSpec::with_refs(2, &[0])).unwrap();
+            c.add_root(n0, o);
+            o
+        })
+        .collect();
+    c.map_bunch(n1, shared, n0).unwrap();
+    c.map_bunch(n2, shared, n0).unwrap();
+    let expected_live: Vec<(NodeId, Addr)> = sites
+        .iter()
+        .map(|&(node, _, reg)| (node, reg))
+        .chain([(n0, list.head), (n0, anchor), (n0, bridge)])
+        .chain(migrate.iter().map(|&o| (n0, o)))
+        .collect();
+    assert!(
+        c.net.now() < PARTITION_START,
+        "setup ran past the partition window (now = {})",
+        c.net.now()
+    );
+
+    // Drive churn + migration + collections through every fault window. The
+    // shared bunch is collected at its root holder (n0): during the
+    // partition and the crash its reachability reports to the replicas are
+    // dropped, which is exactly what the retry daemon must recover.
+    let mut rounds = 0;
+    while c.net.now() < RUN_UNTIL {
+        churn::chaos_round(&mut c, &sites, &migrate, rounds, seed).unwrap();
+        c.run_bgc(n0, shared).unwrap();
+        rounds += 1;
+    }
+    // Let the retry daemon finish recovering lost reports.
+    c.settle(5_000).unwrap();
+    assert_eq!(c.retries_pending(), 0, "every report delivered or given up");
+
+    // The gate: zero premature reclamation, full structural consistency.
+    audit::assert_no_premature_reclamation(&c, &expected_live);
+    c.assert_gc_acquired_no_tokens();
+    assert_eq!(
+        lists::read_payloads(&c, n0, list.head).unwrap().len(),
+        6,
+        "list intact"
+    );
+    assert_eq!(
+        c.read_data(n0, anchor, 0).unwrap(),
+        4242,
+        "anchor payload intact"
+    );
+
+    ChaosSummary {
+        counters: (0..3)
+            .map(|i| StatKind::ALL.iter().map(|&k| c.stats[i].get(k)).collect())
+            .collect(),
+        fault: c.net.fault_stats(),
+        per_class: MsgClass::ALL
+            .iter()
+            .map(|&cl| {
+                let s = c.net.class_stats(cl);
+                (cl, s.sent, s.dropped, s.duplicated)
+            })
+            .collect(),
+        rounds,
+    }
+}
+
+/// The headline chaos run: every fault kind fires, the cluster recovers,
+/// nothing live is reclaimed, and the new counters prove each mechanism
+/// actually engaged.
+#[test]
+fn chaos_run_survives_every_fault_kind() {
+    let summary = run_chaos(0xC4A0_5EED);
+    let fs = summary.fault;
+    assert_eq!(fs.partitions_healed, 1, "the partition healed");
+    assert_eq!(fs.restarts, 1, "the crashed node restarted");
+    assert!(fs.link_dropped > 0, "link loss engaged");
+    assert!(fs.duplicates_injected > 0, "duplication engaged");
+    assert!(
+        fs.partition_dropped + fs.partition_held > 0,
+        "traffic crossed the partition window"
+    );
+    let total = |k: StatKind| -> u64 {
+        let idx = StatKind::ALL
+            .iter()
+            .position(|&x| x as usize == k as usize)
+            .unwrap();
+        summary.counters.iter().map(|c| c[idx]).sum()
+    };
+    assert!(
+        total(StatKind::RetryResends) > 0,
+        "the retry daemon resent reports"
+    );
+    assert!(
+        total(StatKind::DuplicateDeliveries) > 0,
+        "duplicates were delivered and counted"
+    );
+    assert_eq!(
+        total(StatKind::PartitionsHealed),
+        3,
+        "all three nodes saw the heal"
+    );
+    assert_eq!(total(StatKind::NodeRestarts), 1, "node 2 restarted once");
+}
+
+/// Bit-exact replay: one seed, two runs, identical counters everywhere; a
+/// different seed perturbs the run.
+#[test]
+fn chaos_runs_replay_identically_from_the_seed() {
+    let a = run_chaos(0x0D15_EA5E);
+    let b = run_chaos(0x0D15_EA5E);
+    assert_eq!(a, b, "same seed must reproduce identical counters");
+    let c = run_chaos(0x0D15_EA5F);
+    assert_ne!(
+        a.per_class, c.per_class,
+        "a different seed takes a different trace"
+    );
+}
+
+/// Seed sweep, used by the nightly chaos job: `CHAOS_SEEDS` (comma-separated,
+/// `0x`-prefixed hex or decimal) overrides the default set. A failing seed is
+/// written — with the fault plan — to `target/chaos/` as a replay artifact.
+#[test]
+fn chaos_seed_sweep() {
+    let seeds: Vec<u64> = match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                let t = t.trim();
+                match t.strip_prefix("0x") {
+                    Some(h) => u64::from_str_radix(h, 16).expect("hex seed"),
+                    None => t.parse().expect("decimal seed"),
+                }
+            })
+            .collect(),
+        Err(_) => vec![1, 2],
+    };
+    let mut failures = Vec::new();
+    for seed in seeds {
+        let outcome = std::panic::catch_unwind(|| run_chaos(seed));
+        if let Err(panic) = outcome {
+            let msg = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".into());
+            let dir = std::path::Path::new("target/chaos");
+            let _ = std::fs::create_dir_all(dir);
+            let artifact = dir.join(format!("failing-seed-{seed:#x}.txt"));
+            let _ = std::fs::write(
+                &artifact,
+                format!(
+                    "chaos seed: {seed:#x}\nreplay: CHAOS_SEEDS={seed:#x} cargo test \
+                     --test chaos chaos_seed_sweep\nfault plan: {:#?}\npanic: {msg}\n",
+                    chaos_plan()
+                ),
+            );
+            failures.push((seed, msg));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "chaos seeds failed (replay artifacts in target/chaos/): {failures:?}"
+    );
+}

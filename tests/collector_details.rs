@@ -33,7 +33,11 @@ fn scanning_stale_replicas_is_conservative() {
     c.acquire_write(n0, h).unwrap();
     c.write_ref(n0, h, 0, Addr::NULL).unwrap();
     c.release(n0, h).unwrap();
-    assert_eq!(c.token_at(n1, h).unwrap(), Token::None, "stale = inconsistent copy");
+    assert_eq!(
+        c.token_at(n1, h).unwrap(),
+        Token::None,
+        "stale = inconsistent copy"
+    );
 
     // Node 1 collects on its stale view: T survives there (conservative).
     let s1 = c.run_bgc(n1, b).unwrap();
@@ -51,7 +55,10 @@ fn scanning_stale_replicas_is_conservative() {
     assert_eq!(s1.reclaimed, 1, "conservatism ends at the next sync point");
     // ...and the owner finally reclaims T.
     let s0 = c.run_bgc(n0, b).unwrap();
-    assert_eq!(s0.reclaimed, 1, "T dies at the owner after the shield drops");
+    assert_eq!(
+        s0.reclaimed, 1,
+        "T dies at the owner after the shield drops"
+    );
     c.assert_gc_acquired_no_tokens();
 }
 

@@ -35,7 +35,14 @@ fn acyclic_distributed_garbage_is_collected() {
     // B2 collection reclaims the target.
     c.write_ref(n1, src, 0, Addr::NULL).unwrap();
     c.run_bgc(n1, b1).unwrap();
-    assert!(c.gc.node(n2).bunch(b2).unwrap().scion_table.inter.is_empty());
+    assert!(c
+        .gc
+        .node(n2)
+        .bunch(b2)
+        .unwrap()
+        .scion_table
+        .inter
+        .is_empty());
     let s = c.run_bgc(n2, b2).unwrap();
     assert_eq!(s.reclaimed, 1);
     c.assert_gc_acquired_no_tokens();
@@ -97,7 +104,8 @@ fn replicated_bunch_collections_interleave_with_mutation() {
         let cell = list.cells[(round as usize) % 12];
         let writer = n((round % 3) as u32);
         c.acquire_write(writer, cell).unwrap();
-        c.write_data(writer, cell, lists::PAYLOAD, 1000 + round).unwrap();
+        c.write_data(writer, cell, lists::PAYLOAD, 1000 + round)
+            .unwrap();
         c.release(writer, cell).unwrap();
     }
 
@@ -178,14 +186,20 @@ fn from_space_reuse_protocol_reclaims_segments() {
         let seg = c.mems[0].segment(sid).unwrap();
         assert_eq!(seg.object_map.count_ones(), 0, "segment wiped");
         assert_eq!(seg.alloc_cursor, 0);
-        assert!(brs.alloc_segments.contains(&sid), "segment back in the pool");
+        assert!(
+            brs.alloc_segments.contains(&sid),
+            "segment back in the pool"
+        );
     }
     // The list is still fully intact on both nodes. At N1 the old head
     // address was retired with the wiped segment, so the walk starts from
     // the (BGC-updated) root — stale raw addresses are exactly what the
     // reuse protocol is allowed to invalidate.
     let head_n1 = c.root(n1, head_root).unwrap();
-    assert_ne!(head_n1, list.head, "the root was rewritten to the to-space copy");
+    assert_ne!(
+        head_n1, list.head,
+        "the root was rewritten to the to-space copy"
+    );
     assert_eq!(lists::read_payloads(&c, n1, head_n1).unwrap().len(), 8);
     // N2's replica of the retired segment was wiped by the retire round, so
     // its walk likewise starts from its rewritten root.
@@ -215,13 +229,17 @@ fn reuse_copies_out_objects_owned_since_the_collection() {
     c.release(n2, o).unwrap();
     c.add_root(n1, o);
     c.run_bgc(n1, b).unwrap(); // O stays in N1's from-space (N2 owns it)
-    // Now N1 re-acquires ownership; O sits in pending from-space but is
-    // locally owned.
+                               // Now N1 re-acquires ownership; O sits in pending from-space but is
+                               // locally owned.
     c.acquire_write(n1, o).unwrap();
     c.release(n1, o).unwrap();
     let done = c.reuse_from_space(n1, b).unwrap();
     assert!(done);
-    assert_eq!(c.read_data(n1, o, 0).unwrap(), 42, "copied out locally, data intact");
+    assert_eq!(
+        c.read_data(n1, o, 0).unwrap(),
+        42,
+        "copied out locally, data intact"
+    );
 }
 
 /// Bunches are collected independently: a BGC of one bunch leaves another
@@ -240,5 +258,8 @@ fn bunch_collections_are_independent() {
     let s = c.run_bgc(n1, b1).unwrap();
     assert_eq!(s.live, 5, "only B1's objects considered");
     assert_eq!(c.gc.node(n1).bunch(b2).unwrap().epoch, epoch_b2_before);
-    assert_eq!(lists::read_payloads(&c, n1, l2.head).unwrap(), (100..105).collect::<Vec<_>>());
+    assert_eq!(
+        lists::read_payloads(&c, n1, l2.head).unwrap(),
+        (100..105).collect::<Vec<_>>()
+    );
 }

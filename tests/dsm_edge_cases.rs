@@ -42,13 +42,21 @@ fn deep_read_grant_tree_invalidates_fully() {
         c.release(n(i), o).unwrap();
     }
     for i in 0..N {
-        assert_ne!(c.token_at(n(i), o).unwrap(), Token::None, "reader {i} holds a token");
+        assert_ne!(
+            c.token_at(n(i), o).unwrap(),
+            Token::None,
+            "reader {i} holds a token"
+        );
     }
     // One write acquire at the last node invalidates everyone else.
     c.acquire_write(n(N - 1), o).unwrap();
     c.release(n(N - 1), o).unwrap();
     for i in 0..N - 1 {
-        assert_eq!(c.token_at(n(i), o).unwrap(), Token::None, "reader {i} invalidated");
+        assert_eq!(
+            c.token_at(n(i), o).unwrap(),
+            Token::None,
+            "reader {i} invalidated"
+        );
     }
     assert_eq!(c.token_at(n(N - 1), o).unwrap(), Token::Write);
 }
@@ -83,8 +91,14 @@ fn competing_writers_queue_behind_critical_sections() {
     c.write_data(n0, o, 1, 10).unwrap();
     // Remote writers request while it is held: they must block (the
     // deterministic driver surfaces that as WouldBlock).
-    assert!(matches!(c.acquire_write(n1, o), Err(BmxError::WouldBlock { .. })));
-    assert!(matches!(c.acquire_write(n2, o), Err(BmxError::WouldBlock { .. })));
+    assert!(matches!(
+        c.acquire_write(n1, o),
+        Err(BmxError::WouldBlock { .. })
+    ));
+    assert!(matches!(
+        c.acquire_write(n2, o),
+        Err(BmxError::WouldBlock { .. })
+    ));
     // Release: the queued transfer proceeds (first requester wins).
     c.release(n0, o).unwrap();
     let t1 = c.token_at(n1, o).unwrap();
@@ -95,7 +109,9 @@ fn competing_writers_queue_behind_critical_sections() {
     );
     // The winner mutates and the value propagates.
     let winner = if t1 == Token::Write { n1 } else { n2 };
-    c.engine.lock(winner, c.oid_at_local(winner, o).unwrap()).unwrap();
+    c.engine
+        .lock(winner, c.oid_at_local(winner, o).unwrap())
+        .unwrap();
     c.write_data(winner, o, 1, 99).unwrap();
     c.release(winner, o).unwrap();
     c.acquire_read(n0, o).unwrap();
@@ -131,8 +147,7 @@ fn collections_preserve_every_token_state() {
     c.release(n0, o).unwrap();
     c.acquire_read(n1, o).unwrap();
     c.release(n1, o).unwrap();
-    let snapshot: Vec<Token> =
-        (0..3).map(|i| c.token_at(n(i), o).unwrap()).collect();
+    let snapshot: Vec<Token> = (0..3).map(|i| c.token_at(n(i), o).unwrap()).collect();
     for i in 0..3 {
         c.run_bgc(n(i), b).unwrap();
     }

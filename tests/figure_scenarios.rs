@@ -43,7 +43,11 @@ fn figure1_stub_and_scion_tables() {
     assert_eq!(stubs_n2.inter.len(), 1, "one stub for O3->O5");
     assert_eq!(stubs_n2.inter[0].target_bunch, b2);
     // ...and none at N1, despite N1 caching O3 too (Section 3.1).
-    assert!(c.gc.node(n1).bunch(b1).is_none_or(|b| b.stub_table.inter.is_empty()));
+    assert!(c
+        .gc
+        .node(n1)
+        .bunch(b1)
+        .is_none_or(|b| b.stub_table.inter.is_empty()));
     // The scion-message created the matching scion at N3.
     let scions_n3 = &c.gc.node(n3).bunch(b2).unwrap().scion_table;
     assert_eq!(scions_n3.inter.len(), 1);
@@ -120,20 +124,30 @@ fn figure2_bgc_copies_only_locally_owned() {
     );
 
     // N1 has not been informed: its replica still uses the old address.
-    assert_eq!(bmx_repro::addr::object::read_ref_field(&c.mems[0], o1, 0).unwrap(), o2);
-    assert!(!bmx_repro::addr::object::view(&c.mems[0], o2).unwrap().is_forwarded());
+    assert_eq!(
+        bmx_repro::addr::object::read_ref_field(&c.mems[0], o1, 0).unwrap(),
+        o2
+    );
+    assert!(!bmx_repro::addr::object::view(&c.mems[0], o2)
+        .unwrap()
+        .is_forwarded());
 
     // Both mutators keep working correctly despite the divergence
     // (Section 4.2): the data is consistent on each node's current copy.
     assert_eq!(c.read_data(n1, o2, 0).unwrap(), 777);
     assert_eq!(c.read_data(n2, o2, 0).unwrap(), 777);
-    assert!(c.ptr_eq(n2, o2, o2_new), "the pointer-comparison operation sees through forwarding");
+    assert!(
+        c.ptr_eq(n2, o2, o2_new),
+        "the pointer-comparison operation sees through forwarding"
+    );
 
     // A synchronization point (N1 acquires O2) carries the relocation
     // lazily — piggy-backed, with no extra messages beyond the protocol's.
     c.acquire_read(n1, o2).unwrap();
     c.release(n1, o2).unwrap();
-    assert!(bmx_repro::addr::object::view(&c.mems[0], o2).unwrap().is_forwarded());
+    assert!(bmx_repro::addr::object::view(&c.mems[0], o2)
+        .unwrap()
+        .is_forwarded());
     assert_eq!(c.read_data(n1, o2, 0).unwrap(), 777);
     assert_eq!(c.total_stat(StatKind::ExplicitRelocationMessages), 0);
     let extra_gc_msgs = c.net.class_stats(MsgClass::GcBackground).sent
@@ -191,7 +205,11 @@ fn figure3_write_acquire_cases() {
             bmx_repro::addr::object::read_ref_field(&c.mems[1], o1_new_at_n1, 0).unwrap(),
             o2_new
         );
-        assert_eq!(c.read_data(n2, o2, 0).unwrap(), 5, "old address still works via forwarding");
+        assert_eq!(
+            c.read_data(n2, o2, 0).unwrap(),
+            5,
+            "old address still works via forwarding"
+        );
     }
     // Case (d): the *requester* copied the referent before the acquire.
     {
@@ -273,7 +291,10 @@ fn figure4_intra_ssp_cascade_deletion() {
     assert_eq!(s.reclaimed, 0, "O1 must survive at N3 (intra scion)");
     let entering_n2 = &c.engine.obj_state(n2, oid1).unwrap().entering;
     assert!(entering_n2.contains(&n1), "N1 still enters N2");
-    assert!(!entering_n2.contains(&n3), "N3's ownerPtr was omitted and cleaned");
+    assert!(
+        !entering_n2.contains(&n3),
+        "N3's ownerPtr was omitted and cleaned"
+    );
 
     // Step C: BGC at N2 — O1 alive via N1's entering pointer; the intra
     // stub to N3 is retained.
@@ -293,14 +314,28 @@ fn figure4_intra_ssp_cascade_deletion() {
     // deletes the intra-bunch scion.
     let s = c.run_bgc(n2, b1).unwrap();
     assert_eq!(s.reclaimed, 1, "O1 dies at N2");
-    assert!(c.gc.node(n3).bunch(b1).unwrap().scion_table.intra.is_empty());
+    assert!(c
+        .gc
+        .node(n3)
+        .bunch(b1)
+        .unwrap()
+        .scion_table
+        .intra
+        .is_empty());
 
     // Step F: BGC at N3 — O1 dies on its last node; its inter-bunch stub is
     // dropped and the local cleaner prunes X's scion.
     let s = c.run_bgc(n3, b1).unwrap();
     assert_eq!(s.reclaimed, 1, "O1 dies at N3");
     assert!(c.gc.node(n3).bunch(b1).unwrap().stub_table.inter.is_empty());
-    assert!(c.gc.node(n3).bunch(b2).unwrap().scion_table.inter.is_empty());
+    assert!(c
+        .gc
+        .node(n3)
+        .bunch(b2)
+        .unwrap()
+        .scion_table
+        .inter
+        .is_empty());
 
     // Step G: BGC of B2 at N3 — the inter-bunch target X is finally
     // reclaimed too.

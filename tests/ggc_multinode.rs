@@ -114,7 +114,10 @@ fn split_ownership_cycle_needs_consolidation() {
         reclaimed += c.run_ggc(n1).unwrap().reclaimed;
         reclaimed += c.run_ggc(n0).unwrap().reclaimed;
     }
-    assert_eq!(reclaimed, 4, "cycle reclaimed on both nodes after consolidation");
+    assert_eq!(
+        reclaimed, 4,
+        "cycle reclaimed on both nodes after consolidation"
+    );
     assert!(c.oid_at_local(n0, o1).is_err());
     assert!(c.oid_at_local(n1, o2).is_err());
     c.assert_gc_acquired_no_tokens();

@@ -74,7 +74,10 @@ fn graying_barrier_prevents_lost_objects() {
     assert_eq!(stats.reclaimed, 0, "nothing was garbage");
     // `hidden` survived and moved with everyone else.
     assert_eq!(c.read_data(n0, hidden, 0).unwrap(), 424242);
-    assert_eq!(c.read_ref(n0, h, 0).unwrap(), c.gc.node(n0).directory.resolve(hidden));
+    assert_eq!(
+        c.read_ref(n0, h, 0).unwrap(),
+        c.gc.node(n0).directory.resolve(hidden)
+    );
 }
 
 /// Mutation *between* increments: payload writes land on whichever copy is
@@ -95,8 +98,11 @@ fn mutation_interleaves_with_increments() {
         // Interleaved mutator work: bump payloads and append a new cell.
         let cell = list.cells[(round as usize) % 20];
         c.write_data(n0, cell, lists::PAYLOAD, 500 + round).unwrap();
-        let fresh = c.alloc(n0, b, &ObjSpec::with_refs(2, &[lists::NEXT])).unwrap();
-        c.write_data(n0, fresh, lists::PAYLOAD, 9000 + round).unwrap();
+        let fresh = c
+            .alloc(n0, b, &ObjSpec::with_refs(2, &[lists::NEXT]))
+            .unwrap();
+        c.write_data(n0, fresh, lists::PAYLOAD, 9000 + round)
+            .unwrap();
         // Splice it at the head side: tail of the new cell = old second.
         let second = c.read_ref(n0, list.cells[0], lists::NEXT).unwrap();
         c.write_ref(n0, fresh, lists::NEXT, second).unwrap();
@@ -137,7 +143,11 @@ fn root_updates_gray_their_targets() {
     c.set_root(n0, root, second);
     while !c.incremental_step(n0, 2).unwrap() {}
     c.incremental_flip(n0).unwrap();
-    assert_eq!(c.read_data(n0, second, 0).unwrap(), 77, "second must survive");
+    assert_eq!(
+        c.read_data(n0, second, 0).unwrap(),
+        77,
+        "second must survive"
+    );
 }
 
 /// Monolithic collection is refused while an incremental one is active,
@@ -150,8 +160,14 @@ fn concurrent_collections_are_refused() {
     let o = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
     c.add_root(n0, o);
     c.start_incremental(n0, &[b]).unwrap();
-    assert!(matches!(c.run_bgc(n0, b), Err(BmxError::CollectorBusy { .. })));
-    assert!(matches!(c.start_incremental(n0, &[b]), Err(BmxError::CollectorBusy { .. })));
+    assert!(matches!(
+        c.run_bgc(n0, b),
+        Err(BmxError::CollectorBusy { .. })
+    ));
+    assert!(matches!(
+        c.start_incremental(n0, &[b]),
+        Err(BmxError::CollectorBusy { .. })
+    ));
     while !c.incremental_step(n0, 8).unwrap() {}
     c.incremental_flip(n0).unwrap();
     // After the flip, a normal collection works again.

@@ -58,7 +58,11 @@ fn relocations_fan_out_through_copy_sets() {
     c.acquire_write(n1, carrier).unwrap();
     c.release(n1, carrier).unwrap();
     // The grant n0 -> n1 piggy-backed o's relocation; n1 applied it.
-    assert_eq!(c.gc.node(n1).directory.resolve(o), o_new, "n1 learned the move");
+    assert_eq!(
+        c.gc.node(n1).directory.resolve(o),
+        o_new,
+        "n1 learned the move"
+    );
 
     // Invariant 2: n1 must forward the record to its copy-set for o. If n2
     // is in n1's copy-set, the next n1 -> n2 message carries it; otherwise
@@ -67,7 +71,10 @@ fn relocations_fan_out_through_copy_sets() {
     // explicit relocation messages anywhere.
     let in_n1_copyset = {
         let oid = c.oid_at_local(n0, o).unwrap();
-        c.engine.obj_state(n1, oid).map(|s| s.copy_set.contains(&n2)).unwrap_or(false)
+        c.engine
+            .obj_state(n1, oid)
+            .map(|s| s.copy_set.contains(&n2))
+            .unwrap_or(false)
     };
     // Trigger an n1 -> n2 protocol message: n2 takes the carrier from n1.
     c.acquire_write(n2, carrier).unwrap();

@@ -39,7 +39,10 @@ fn lost_tables_are_recovered_by_resend() {
     // network eats.
     c.write_ref(n1, src, 1, Addr::NULL).unwrap();
     c.run_bgc(n1, b1).unwrap();
-    assert!(c.net.class_stats(MsgClass::StubTable).dropped > 0, "tables were lost");
+    assert!(
+        c.net.class_stats(MsgClass::StubTable).dropped > 0,
+        "tables were lost"
+    );
 
     // Liveness deferred: the stale scion still protects `drop_me`...
     let s = c.run_bgc(n2, b2).unwrap();
@@ -52,7 +55,11 @@ fn lost_tables_are_recovered_by_resend() {
     c.resend_report(n1, b1, &[n2]).unwrap();
     let s = c.run_bgc(n2, b2).unwrap();
     assert_eq!(s.reclaimed, 1, "garbage collected after recovery");
-    assert_eq!(c.read_data(n2, keep, 0).unwrap(), 0, "live object untouched");
+    assert_eq!(
+        c.read_data(n2, keep, 0).unwrap(),
+        0,
+        "live object untouched"
+    );
     c.assert_gc_acquired_no_tokens();
 }
 
@@ -114,9 +121,16 @@ fn sustained_loss_never_reclaims_live_objects() {
         let head = c.gc.node(n1).directory.resolve(list.head);
         let payloads = lists::read_payloads(&c, n1, head).unwrap();
         assert_eq!(payloads.len(), 6, "round {round}: list intact");
-        assert_eq!(c.read_data(n2, anchor, 0).unwrap(), 4242, "round {round}: anchor intact");
+        assert_eq!(
+            c.read_data(n2, anchor, 0).unwrap(),
+            4242,
+            "round {round}: anchor intact"
+        );
     }
-    assert!(c.net.class_stats(MsgClass::StubTable).dropped > 0, "loss actually happened");
+    assert!(
+        c.net.class_stats(MsgClass::StubTable).dropped > 0,
+        "loss actually happened"
+    );
     c.assert_gc_acquired_no_tokens();
 }
 
@@ -138,7 +152,12 @@ fn lost_scion_message_recovered_by_table() {
     c.add_root(n1, src);
     c.write_ref(n1, src, 0, tgt).unwrap();
     // The scion-message was eaten.
-    assert_eq!(c.gc.node(n2).bunch(b2).map_or(0, |b| b.scion_table.inter.len()), 0);
+    assert_eq!(
+        c.gc.node(n2)
+            .bunch(b2)
+            .map_or(0, |b| b.scion_table.inter.len()),
+        0
+    );
     // N1's next collection reports the stub; the cleaner recreates the
     // missing scion at N2.
     c.run_bgc(n1, b1).unwrap();
@@ -170,4 +189,141 @@ fn scion_message_loss_window_is_the_known_race() {
     // The target's BGC runs inside the window: the object is unprotected.
     let s = c.run_bgc(n2, b2).unwrap();
     assert_eq!(s.reclaimed, 1, "the race window is real (and documented)");
+}
+
+/// Duplication idempotency properties. The chaos plane duplicates messages
+/// on the classes [`MsgClass::is_idempotent`] admits — cleaner reports
+/// (stub-tables) and the relocation records that ride them — so these
+/// properties pin the contract that makes that safe: delivering the same
+/// payload N times must be observationally identical to delivering it once.
+mod duplication_properties {
+    use super::*;
+    use bmx_repro::dsm::Relocation;
+    use bmx_repro::gc::integration;
+    use proptest::prelude::*;
+
+    /// Outcome of a report-delivery scenario, compared across duplication
+    /// factors: scion population at the target, objects reclaimed there,
+    /// and every live target's payload.
+    #[derive(Debug, PartialEq)]
+    struct ReportOutcome {
+        scions: usize,
+        reclaimed: u64,
+        payloads: Vec<u64>,
+    }
+
+    /// Cross-bunch graph: `live` rooted references and `dead` detached ones
+    /// from node 0's bunch into node 1's; the same epoch's report is
+    /// delivered `deliveries` times before the target collects.
+    fn run_report_scenario(live: usize, dead: usize, deliveries: usize) -> ReportOutcome {
+        let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+        let (n1, n2) = (n(0), n(1));
+        let b1 = c.create_bunch(n1).unwrap();
+        let b2 = c.create_bunch(n2).unwrap();
+        let mut targets = Vec::new();
+        for i in 0..(live + dead) {
+            let src = c.alloc(n1, b1, &ObjSpec::with_refs(1, &[0])).unwrap();
+            let tgt = c.alloc(n2, b2, &ObjSpec::data(1)).unwrap();
+            c.write_data(n2, tgt, 0, 1000 + i as u64).unwrap();
+            c.add_root(n1, src);
+            c.write_ref(n1, src, 0, tgt).unwrap();
+            if i >= live {
+                c.write_ref(n1, src, 0, Addr::NULL).unwrap();
+            } else {
+                targets.push(tgt);
+            }
+        }
+        c.run_bgc(n1, b1).unwrap();
+        for _ in 1..deliveries {
+            c.resend_report(n1, b1, &[n2]).unwrap();
+        }
+        let s = c.run_bgc(n2, b2).unwrap();
+        ReportOutcome {
+            scions: c
+                .gc
+                .node(n2)
+                .bunch(b2)
+                .map_or(0, |b| b.scion_table.inter.len()),
+            reclaimed: s.reclaimed,
+            payloads: targets
+                .iter()
+                .map(|&t| c.read_data(n2, t, 0).unwrap())
+                .collect(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Cleaner reports: N deliveries of one epoch's table ≡ one
+        /// delivery — same scions, same reclamation, same survivors.
+        #[test]
+        fn reports_are_idempotent_under_n_fold_duplication(
+            live in 1usize..5,
+            dead in 0usize..5,
+            dups in 2usize..8,
+        ) {
+            let once = run_report_scenario(live, dead, 1);
+            prop_assert_eq!(once.reclaimed, dead as u64);
+            let many = run_report_scenario(live, dead, dups);
+            prop_assert_eq!(once, many);
+        }
+
+        /// Location updates: re-applying one relocation batch N times at a
+        /// replica leaves the directory, the forwarding chain, and every
+        /// payload exactly as one application does.
+        #[test]
+        fn relocations_are_idempotent_under_n_fold_duplication(
+            objs in 1usize..6,
+            garbage in 1usize..8,
+            dups in 2usize..8,
+        ) {
+            let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+            let (n1, n2) = (n(0), n(1));
+            let b = c.create_bunch(n1).unwrap();
+            let mut tracked = Vec::new();
+            for i in 0..objs {
+                // Garbage padding in front forces the survivors to move.
+                for _ in 0..garbage {
+                    c.alloc(n1, b, &ObjSpec::data(2)).unwrap();
+                }
+                let o = c.alloc(n1, b, &ObjSpec::data(1)).unwrap();
+                c.write_data(n1, o, 0, 2000 + i as u64).unwrap();
+                c.add_root(n1, o);
+                tracked.push(o);
+            }
+            c.map_bunch(n2, b, n1).unwrap();
+            let oids: Vec<_> =
+                tracked.iter().map(|&o| c.oid_at_local(n1, o).unwrap()).collect();
+            c.run_bgc(n1, b).unwrap();
+            let batch: Vec<Relocation> = tracked
+                .iter()
+                .zip(&oids)
+                .filter_map(|(&old, &oid)| {
+                    let to = c.gc.node(n1).directory.resolve(old);
+                    (to != old).then_some(Relocation { oid, from: old, to })
+                })
+                .collect();
+            prop_assert!(!batch.is_empty(), "the collection moved something");
+
+            let snapshot = |c: &Cluster| -> Vec<(Addr, u64)> {
+                tracked
+                    .iter()
+                    .map(|&old| {
+                        let cur = c.gc.node(n2).directory.resolve(old);
+                        (cur, c.read_data(n2, old, 0).unwrap())
+                    })
+                    .collect()
+            };
+            integration::apply_relocations_at(&mut c.gc, n2, &batch, &mut c.mems);
+            let once = snapshot(&c);
+            for _ in 1..dups {
+                integration::apply_relocations_at(&mut c.gc, n2, &batch, &mut c.mems);
+            }
+            prop_assert_eq!(once, snapshot(&c));
+            for (i, &old) in tracked.iter().enumerate() {
+                prop_assert_eq!(c.read_data(n2, old, 0).unwrap(), 2000 + i as u64);
+            }
+        }
+    }
 }

@@ -47,10 +47,26 @@ fn two_hop_chain_protects_the_stub_site() {
     // building an A->B->C forwarding chain (which, with bounces, could
     // weld uncollectable cross-node SSP cycles). Node 1 retains its own
     // stub->0 while its replica lives.
-    assert_eq!(c.gc.node(n(1)).bunch(b1).unwrap().stub_table.intra[0].scion_at, n(0));
-    assert!(c.gc.node(n(1)).bunch(b1).unwrap().scion_table.intra.is_empty());
-    assert_eq!(c.gc.node(n(2)).bunch(b1).unwrap().stub_table.intra[0].scion_at, n(0));
-    assert_eq!(c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra[0].stub_at, n(1));
+    assert_eq!(
+        c.gc.node(n(1)).bunch(b1).unwrap().stub_table.intra[0].scion_at,
+        n(0)
+    );
+    assert!(c
+        .gc
+        .node(n(1))
+        .bunch(b1)
+        .unwrap()
+        .scion_table
+        .intra
+        .is_empty());
+    assert_eq!(
+        c.gc.node(n(2)).bunch(b1).unwrap().stub_table.intra[0].scion_at,
+        n(0)
+    );
+    assert_eq!(
+        c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra[0].stub_at,
+        n(1)
+    );
 
     // Collections at every node, twice over. The stub site (node 0, held
     // by node 2's direct stub through its intra scion) and the owner
@@ -101,7 +117,10 @@ fn chain_unwinds_after_death() {
             total_reclaimed += c.run_bgc(n(i), b1).unwrap().reclaimed;
         }
     }
-    assert_eq!(total_reclaimed, 3, "O's replica reclaimed on all three nodes");
+    assert_eq!(
+        total_reclaimed, 3,
+        "O's replica reclaimed on all three nodes"
+    );
     let s = c.run_bgc(n(0), b2).unwrap();
     assert_eq!(s.reclaimed, 1, "X falls once the chain is gone");
     let oid_x = c.oid_at_local(n(0), x).err();
@@ -127,7 +146,10 @@ fn bouncing_ownership_does_not_grow_tables() {
     assert!(stubs_1 <= 1, "node 1 intra stubs bounded: {stubs_1}");
     let scions_0 = c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra.len();
     let scions_1 = c.gc.node(n(1)).bunch(b1).unwrap().scion_table.intra.len();
-    assert!(scions_0 <= 1 && scions_1 <= 1, "scions bounded: {scions_0}/{scions_1}");
+    assert!(
+        scions_0 <= 1 && scions_1 <= 1,
+        "scions bounded: {scions_0}/{scions_1}"
+    );
 }
 
 /// A reader on a third node (hint still pointing at the original owner)

@@ -85,7 +85,8 @@ fn checkpoints_are_atomic_versions() {
         let mut rvm = Rvm::open(&dir, RvmOptions::default()).unwrap();
         persist::checkpoint_bunch(&mut c, n0, b, &mut rvm).unwrap();
         // Mutate and checkpoint again.
-        c.write_data(n0, list.cells[2], lists::PAYLOAD, 777).unwrap();
+        c.write_data(n0, list.cells[2], lists::PAYLOAD, 777)
+            .unwrap();
         persist::checkpoint_bunch(&mut c, n0, b, &mut rvm).unwrap();
         (b, list.cells[2])
     };
@@ -121,7 +122,8 @@ fn torn_log_tail_recovers_previous_checkpoint() {
             .append(true)
             .open(dir.join("rvm.log"))
             .unwrap();
-        f.write_all(&[0x52, 0x56, 0x4D, 0x31, 0x01, 0x00, 0x00]).unwrap();
+        f.write_all(&[0x52, 0x56, 0x4D, 0x31, 0x01, 0x00, 0x00])
+            .unwrap();
     }
     let mut c = Cluster::new(ClusterConfig::with_nodes(1));
     let b2 = c.create_bunch(n0).unwrap();
@@ -153,6 +155,9 @@ fn checkpoint_after_collection_round_trips_forwarding() {
     persist::recover_bunch(&mut c, n0, b2, &mut rvm).unwrap();
     // The OLD head address still works: recovery rebuilt the forwarding
     // knowledge from the persisted headers.
-    assert_eq!(lists::read_payloads(&c, n0, old_head).unwrap(), payloads_expected);
+    assert_eq!(
+        lists::read_payloads(&c, n0, old_head).unwrap(),
+        payloads_expected
+    );
     let _ = b;
 }

@@ -22,7 +22,11 @@ const FIELDS: u64 = 2;
 enum Op {
     /// `objs[src].field = objs[dst]` (or null), performed at node 0 under a
     /// write token.
-    Link { src: usize, field: u64, dst: Option<usize> },
+    Link {
+        src: usize,
+        field: u64,
+        dst: Option<usize>,
+    },
     /// Registry slot `slot` points at `objs[dst]` (or null).
     Root { slot: u64, dst: Option<usize> },
     /// Node 1 takes ownership of `objs[i]`.
@@ -51,7 +55,10 @@ struct Model {
 
 impl Model {
     fn new() -> Model {
-        Model { fields: vec![[None; FIELDS as usize]; POOL], roots: [None; 4] }
+        Model {
+            fields: vec![[None; FIELDS as usize]; POOL],
+            roots: [None; 4],
+        }
     }
 
     fn reachable(&self) -> BTreeSet<usize> {

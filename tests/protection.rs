@@ -12,7 +12,11 @@ fn n(i: u32) -> NodeId {
 fn read_only_bunch_rejects_mutator_writes() {
     let mut c = Cluster::new(ClusterConfig::with_nodes(1));
     let n0 = n(0);
-    let prot = Protection { read: true, write: false, execute: false };
+    let prot = Protection {
+        read: true,
+        write: false,
+        execute: false,
+    };
     let b = c.create_bunch_with(n0, prot).unwrap();
     let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
     // Reads are fine.
@@ -32,7 +36,11 @@ fn read_only_bunch_rejects_mutator_writes() {
 fn unreadable_bunch_rejects_mutator_reads() {
     let mut c = Cluster::new(ClusterConfig::with_nodes(1));
     let n0 = n(0);
-    let prot = Protection { read: false, write: true, execute: false };
+    let prot = Protection {
+        read: false,
+        write: true,
+        execute: false,
+    };
     let b = c.create_bunch_with(n0, prot).unwrap();
     let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
     c.write_data(n0, o, 1, 9).unwrap();
@@ -51,13 +59,20 @@ fn unreadable_bunch_rejects_mutator_reads() {
 fn collector_ignores_protection() {
     let mut c = Cluster::new(ClusterConfig::with_nodes(1));
     let n0 = n(0);
-    let prot = Protection { read: true, write: false, execute: false };
+    let prot = Protection {
+        read: true,
+        write: false,
+        execute: false,
+    };
     let b = c.create_bunch_with(n0, prot).unwrap();
     let o = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
     c.add_root(n0, o);
     let _garbage = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
     let s = c.run_bgc(n0, b).unwrap();
-    assert_eq!(s.copied, 1, "the collector copied (wrote) despite read-only protection");
+    assert_eq!(
+        s.copied, 1,
+        "the collector copied (wrote) despite read-only protection"
+    );
     assert_eq!(s.reclaimed, 1);
     assert_eq!(c.read_data(n0, o, 0).unwrap(), 0);
 }
@@ -69,7 +84,11 @@ fn collector_ignores_protection() {
 fn protection_applies_on_every_node() {
     let mut c = Cluster::new(ClusterConfig::with_nodes(2));
     let n0 = n(0);
-    let prot = Protection { read: true, write: false, execute: false };
+    let prot = Protection {
+        read: true,
+        write: false,
+        execute: false,
+    };
     let b = c.create_bunch_with(n0, prot).unwrap();
     let o = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
     c.map_bunch(n(1), b, n0).unwrap();

@@ -47,7 +47,9 @@ fn run_soak(seed: u64) -> SoakOutcome {
 
     let mut rng = seed;
     let mut next = move || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         rng >> 33
     };
     for round in 0..ROUNDS {
@@ -67,7 +69,11 @@ fn run_soak(seed: u64) -> SoakOutcome {
             c.alloc(hub, *b, &ObjSpec::data(3)).unwrap(); // garbage
         }
         // A reader walks the list from a replica that has it mapped.
-        let reader = if next() % 2 == 0 { hub } else { n((next() % NODES as u64) as u32) };
+        let reader = if next() % 2 == 0 {
+            hub
+        } else {
+            n((next() % NODES as u64) as u32)
+        };
         if c.gc.node(reader).bunches.contains_key(b) {
             for &cell in &list.cells {
                 c.acquire_read(reader, cell).unwrap();

@@ -75,7 +75,11 @@ fn concurrent_increments_with_collections() {
     for t in threads {
         t.join().expect("thread");
     }
-    assert!(failures.lock().is_empty(), "failures: {:?}", failures.lock());
+    assert!(
+        failures.lock().is_empty(),
+        "failures: {:?}",
+        failures.lock()
+    );
 
     let total = handle.with(move |c| {
         c.acquire_read(n0, counter).unwrap();

@@ -1,0 +1,82 @@
+//! Offline shim for `bytes`: the `Buf`/`BufMut` integer accessors this
+//! workspace uses, with the upstream's big-endian byte order and
+//! advance-on-read semantics for `&[u8]`.
+
+/// Sequential big-endian reads that consume the buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads the next byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads the next big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Reads the next big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_be_bytes(head.try_into().expect("8 bytes"))
+    }
+}
+
+/// Sequential big-endian appends.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_big_endian_and_advances() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u32(0x1234_5678);
+        out.put_u64(0x0102_0304_0506_0708);
+        assert_eq!(out[1..5], [0x12, 0x34, 0x56, 0x78]);
+        let mut r = out.as_slice();
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32(), 0x1234_5678);
+        assert_eq!(r.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(r.remaining(), 0);
+    }
+}

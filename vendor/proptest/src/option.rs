@@ -1,0 +1,46 @@
+//! `option::of` — strategies over `Option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Some` of the inner strategy most of the time, `None` otherwise
+/// (upstream's default Some-weight).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy {
+        inner,
+        some_probability: 0.8,
+    }
+}
+
+/// The strategy returned by [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_probability: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.chance(self.some_probability) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed(3);
+        let s = of(0u32..10);
+        let draws: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().any(Option::is_none));
+    }
+}

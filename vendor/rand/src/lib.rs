@@ -1,0 +1,133 @@
+//! Offline shim for `rand` 0.8: the `Rng`/`SeedableRng`/`StdRng` subset this
+//! workspace uses. The backing generator is SplitMix64 — deterministic,
+//! seedable, and statistically adequate for workload shaping (nothing here is
+//! cryptographic, exactly as with the real `StdRng` contract).
+
+/// Raw 64-bit generator, the base of every [`Rng`] method.
+pub trait RngCore {
+    /// Returns the next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A type constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling conveniences over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a uniform value from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0, 1]");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A half-open range a uniform sample can be drawn from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Debiased multiply-shift draw in [0, span).
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((self.start as i128) + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The default seedable generator (SplitMix64-backed in this shim).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let s = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_calibration() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "hits={hits}");
+    }
+}
