@@ -71,6 +71,21 @@ fn bench_cleaner(c: &mut Criterion) {
                 criterion::BatchSize::LargeInput,
             )
         });
+        // Same path with a discard-sink recorder installed: the cleaner's
+        // trace emission must stay in the noise (tracing is aggregate
+        // count events, not per-scion records).
+        group.bench_with_input(BenchmarkId::new("process_report_traced", n), &n, |b, &n| {
+            bmx_trace::install(Box::new(bmx_trace::DiscardSink));
+            b.iter_batched(
+                || fixture(n),
+                |(mut gc, mut engine, report)| {
+                    let mut stats = NodeStats::new();
+                    cleaner::process_report(&mut gc, &mut engine, &mut stats, NodeId(1), &report)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+            bmx_trace::disable();
+        });
         // Duplicate processing (the idempotent fast path for re-sends).
         group.bench_with_input(BenchmarkId::new("duplicate_report", n), &n, |b, &n| {
             b.iter_batched(

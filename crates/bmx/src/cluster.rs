@@ -11,6 +11,7 @@ use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKi
 use bmx_dsm::{DsmEngine, DsmPacket, DsmShared, Token};
 use bmx_gc::{barrier, cleaner, collect, fromspace, CollectStats, GcMsg, GcState, RelocMode};
 use bmx_net::{Envelope, FaultEvent, MsgClass, Network, NetworkConfig};
+use bmx_trace::{self as trace, TraceEvent};
 
 use crate::msg::ClusterMsg;
 use crate::retry::{AckOutcome, RetryDaemon, RetryPolicy};
@@ -230,6 +231,13 @@ impl Cluster {
             for d in r.dests {
                 self.stats[r.node.0 as usize].bump(StatKind::StubTableMessages);
                 self.stats[r.node.0 as usize].bump(StatKind::RetryResends);
+                trace::emit(
+                    r.node,
+                    TraceEvent::ReportRetry {
+                        bunch: r.bunch,
+                        dest: d,
+                    },
+                );
                 self.send_gc(r.node, d, GcMsg::Report(report.clone()));
             }
         }
@@ -478,6 +486,13 @@ impl Cluster {
                 ));
             }
         }
+        // Mapping is a synchronous copy from `from` — no message carries a
+        // Lamport stamp across it, so merge the source's clock by hand or
+        // the address-update events below would appear to precede the
+        // relocations they depend on.
+        if trace::enabled() {
+            trace::observe(node, trace::clock(from));
+        }
         for (oid, addr, fwd) in &found {
             let dir = &mut self.gc.node_mut(node).directory;
             if fwd.is_null() {
@@ -485,9 +500,19 @@ impl Cluster {
             } else {
                 // The image carries a forwarding header: the replica's
                 // current copy is at the (resolved) forwarding target.
-                dir.record_move(*oid, *addr, *fwd);
+                let fresh = dir.record_move(*oid, *addr, *fwd);
                 let cur = dir.resolve(*fwd);
                 dir.set_addr(*oid, cur);
+                if fresh {
+                    trace::emit(
+                        node,
+                        TraceEvent::AddrUpdate {
+                            oid: *oid,
+                            from: *addr,
+                            to: *fwd,
+                        },
+                    );
+                }
             }
         }
         // Bunch-level GC state mirrors the source's space structure.

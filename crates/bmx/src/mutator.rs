@@ -9,6 +9,7 @@ use bmx_addr::object;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result, StatKind};
 use bmx_dsm::{AcquireStart, DsmPacket, DsmShared, Token};
 use bmx_net::MsgClass;
+use bmx_trace::{self as trace, TraceEvent};
 
 use crate::cluster::Cluster;
 use crate::msg::ClusterMsg;
@@ -122,6 +123,19 @@ impl Cluster {
     /// Barriered pointer store: `(*obj).field = target`.
     pub fn write_ref(&mut self, node: NodeId, obj: Addr, field: u64, target: Addr) -> Result<()> {
         self.check_protection(obj, true)?;
+        if trace::enabled() {
+            // The barrier resolves internally; re-resolve here only when a
+            // recorder wants the (requested, resolved) pair.
+            let cur = self.gc.node(node).directory.resolve(obj);
+            trace::emit(
+                node,
+                TraceEvent::MutatorAccess {
+                    requested: obj,
+                    resolved: cur,
+                    write: true,
+                },
+            );
+        }
         let out = {
             let Cluster {
                 gc, mems, stats, ..
@@ -147,6 +161,14 @@ impl Cluster {
     pub fn write_data(&mut self, node: NodeId, obj: Addr, field: u64, value: u64) -> Result<()> {
         self.check_protection(obj, true)?;
         let cur = self.gc.node(node).directory.resolve(obj);
+        trace::emit(
+            node,
+            TraceEvent::MutatorAccess {
+                requested: obj,
+                resolved: cur,
+                write: true,
+            },
+        );
         object::write_data_field(&mut self.mems[node.0 as usize], cur, field, value)
     }
 
@@ -154,6 +176,14 @@ impl Cluster {
     pub fn read_data(&self, node: NodeId, obj: Addr, field: u64) -> Result<u64> {
         self.check_protection(obj, false)?;
         let cur = self.gc.node(node).directory.resolve(obj);
+        trace::emit(
+            node,
+            TraceEvent::MutatorAccess {
+                requested: obj,
+                resolved: cur,
+                write: false,
+            },
+        );
         object::read_field(&self.mems[node.0 as usize], cur, field)
     }
 
@@ -161,6 +191,14 @@ impl Cluster {
     pub fn read_ref(&self, node: NodeId, obj: Addr, field: u64) -> Result<Addr> {
         self.check_protection(obj, false)?;
         let cur = self.gc.node(node).directory.resolve(obj);
+        trace::emit(
+            node,
+            TraceEvent::MutatorAccess {
+                requested: obj,
+                resolved: cur,
+                write: false,
+            },
+        );
         object::read_ref_field(&self.mems[node.0 as usize], cur, field)
     }
 

@@ -12,6 +12,7 @@
 use bmx_addr::object;
 use bmx_addr::NodeMemory;
 use bmx_common::{Addr, NodeId, NodeStats, Result, StatKind};
+use bmx_trace::{self as trace, SspKind, TraceEvent};
 
 use crate::msg::GcMsg;
 use crate::ssp::{InterScion, InterStub, SspId};
@@ -86,6 +87,14 @@ pub fn write_ref(
         // The reference was already described by an existing SSP.
         return Ok(None);
     }
+    trace::emit(
+        node,
+        TraceEvent::SspCreate {
+            kind: SspKind::InterStub,
+            oid: Some(source_oid),
+            peer: scion_at,
+        },
+    );
     let scion = InterScion {
         id,
         source_node: node,
@@ -99,6 +108,14 @@ pub fn write_ref(
             .bunch_or_default(tgt_bunch)
             .scion_table
             .add_inter(scion);
+        trace::emit(
+            node,
+            TraceEvent::SspCreate {
+                kind: SspKind::InterScion,
+                oid: target_oid,
+                peer: node,
+            },
+        );
         Ok(None)
     } else {
         stats.bump(StatKind::ScionMessages);
@@ -108,10 +125,19 @@ pub fn write_ref(
 
 /// Installs a scion received in a scion-message.
 pub fn install_scion(gc: &mut GcState, at: NodeId, scion: InterScion) {
-    gc.node_mut(at)
+    let event = TraceEvent::SspCreate {
+        kind: SspKind::InterScion,
+        oid: scion.target_oid,
+        peer: scion.source_node,
+    };
+    if gc
+        .node_mut(at)
         .bunch_or_default(scion.target_bunch)
         .scion_table
-        .add_inter(scion);
+        .add_inter(scion)
+    {
+        trace::emit(at, event);
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 
 use bmx_common::{NodeId, NodeStats, StatKind};
 use bmx_dsm::DsmEngine;
+use bmx_trace::{self as trace, TraceEvent};
 
 use crate::msg::ReachabilityReport;
 use crate::ssp::InterScion;
@@ -62,6 +63,17 @@ pub fn process_report(
         ns.cleaner_epochs.insert(key, report.epoch);
     }
     out.applied = true;
+    // The apply event precedes every retirement below, which is exactly
+    // the ordering the trace query asserts: no retirement without a prior
+    // covering epoch.
+    trace::emit(
+        at,
+        TraceEvent::ReportApply {
+            source: report.from,
+            bunch: report.bunch,
+            epoch: report.epoch,
+        },
+    );
 
     // Index the report once: the cleaner must stay linear even for large
     // tables (it runs on every collection's publication).
@@ -176,6 +188,29 @@ pub fn process_report(
 
     stats.add(StatKind::ScionsCleaned, out.scions_removed);
     stats.add(StatKind::OwnerPtrsCleaned, out.owner_ptrs_removed);
+    // Aggregate counts keep the cleaner allocation-free under tracing.
+    if out.scions_removed > 0 {
+        trace::emit(
+            at,
+            TraceEvent::ScionRetired {
+                source: report.from,
+                bunch: report.bunch,
+                epoch: report.epoch,
+                count: out.scions_removed,
+            },
+        );
+    }
+    if out.owner_ptrs_removed > 0 {
+        trace::emit(
+            at,
+            TraceEvent::OwnerPtrRetired {
+                source: report.from,
+                bunch: report.bunch,
+                epoch: report.epoch,
+                count: out.owner_ptrs_removed,
+            },
+        );
+    }
     out
 }
 

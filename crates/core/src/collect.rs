@@ -38,6 +38,7 @@ use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind};
 use bmx_dsm::{DsmEngine, GcIntegration, Relocation};
+use bmx_trace::{self as trace, GcPhase, SspKind, TraceEvent};
 
 use crate::msg::ReachabilityReport;
 use crate::ssp::InterStub;
@@ -156,11 +157,17 @@ pub fn collect(
         core: &mut core,
     };
 
+    let lead = group[0];
+    ctx.phase(lead, GcPhase::Roots);
     let (strong_roots, intra_roots) = ctx.gather_roots();
+    ctx.phase(lead, GcPhase::Trace);
     ctx.trace(strong_roots, true)?;
     ctx.trace(intra_roots, false)?;
+    ctx.phase(lead, GcPhase::Update);
     ctx.update_references()?;
+    ctx.phase(lead, GcPhase::Sweep);
     ctx.sweep()?;
+    ctx.phase(lead, GcPhase::Publish);
     let reports = ctx.regenerate_and_publish()?;
     Ok(CollectOutcome {
         reports,
@@ -170,6 +177,10 @@ pub fn collect(
 }
 
 impl Ctx<'_> {
+    pub(crate) fn phase(&self, bunch: BunchId, phase: GcPhase) {
+        trace::emit(self.node, TraceEvent::BgcPhase { bunch, phase });
+    }
+
     fn resolve(&self, addr: Addr) -> Addr {
         self.gc.node(self.node).directory.resolve(addr)
     }
@@ -324,6 +335,14 @@ impl Ctx<'_> {
             .node_mut(self.node)
             .directory
             .record_move(img.oid, from, dst);
+        trace::emit(
+            self.node,
+            TraceEvent::Relocate {
+                oid: img.oid,
+                from,
+                to: dst,
+            },
+        );
         self.core.new_relocs.push(Relocation {
             oid: img.oid,
             from,
@@ -520,6 +539,29 @@ impl Ctx<'_> {
                 brs.relocations.extend(bunch_relocs);
                 brs.epoch.bump()
             };
+            if trace::enabled() {
+                let inter_cut = (old_inter.len() - new_inter.len()) as u64;
+                if inter_cut > 0 {
+                    trace::emit(
+                        self.node,
+                        TraceEvent::SspCut {
+                            kind: SspKind::InterStub,
+                            count: inter_cut,
+                        },
+                    );
+                }
+                let intra_cut = (old_intra.len() - new_intra.len()) as u64;
+                if intra_cut > 0 {
+                    trace::emit(
+                        self.node,
+                        TraceEvent::SspCut {
+                            kind: SspKind::IntraStub,
+                            count: intra_cut,
+                        },
+                    );
+                }
+                trace::emit(self.node, TraceEvent::ReportPublish { bunch: b, epoch });
+            }
             reports.push((
                 dests,
                 ReachabilityReport {

@@ -33,6 +33,7 @@ use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind};
 use bmx_dsm::{DsmEngine, Relocation};
+use bmx_trace::{self as trace, ReuseStep, TraceEvent};
 
 use crate::integration::apply_relocations_at;
 use crate::msg::GcMsg;
@@ -64,6 +65,13 @@ pub fn start_reuse(
     if segments.is_empty() {
         return Ok(Vec::new());
     }
+    trace::emit(
+        node,
+        TraceEvent::Reuse {
+            bunch,
+            step: ReuseStep::Start,
+        },
+    );
     let (by_owner, awaiting_oids) =
         evacuate_locally_and_group(gc, engine, mem, stats, node, bunch, &segments)?;
 
@@ -71,6 +79,13 @@ pub fn start_reuse(
         segments: segments.clone(),
         phase: ReusePhase::CopyOut { awaiting_oids },
     });
+    trace::emit(
+        node,
+        TraceEvent::Reuse {
+            bunch,
+            step: ReuseStep::CopyOut,
+        },
+    );
 
     let mut msgs = Vec::new();
     for (owner, oids) in by_owner {
@@ -380,6 +395,13 @@ fn advance_to_retire(
             };
         }
     }
+    trace::emit(
+        node,
+        TraceEvent::Reuse {
+            bunch,
+            step: ReuseStep::Retire,
+        },
+    );
     let mut msgs = Vec::new();
     for d in dests {
         stats.bump(StatKind::ExplicitRelocationMessages);
@@ -498,6 +520,13 @@ pub fn handle_retire_ack(
                 ..
             }) => {
                 awaiting_acks.remove(&from);
+                trace::emit(
+                    at,
+                    TraceEvent::Reuse {
+                        bunch,
+                        step: ReuseStep::Ack,
+                    },
+                );
                 awaiting_acks.is_empty()
             }
             _ => false,
@@ -532,6 +561,13 @@ fn finish_local(
         })
     });
     brs.alloc_segments.extend(reuse.segments.iter().copied());
+    trace::emit(
+        node,
+        TraceEvent::Reuse {
+            bunch,
+            step: ReuseStep::Done,
+        },
+    );
     Ok(())
 }
 

@@ -226,6 +226,7 @@ impl IncrementalBgc {
                 node: self.node,
                 core: &mut self.core,
             };
+            ctx.phase(self.group[0], bmx_trace::GcPhase::Flip);
             ctx.update_references()?;
             ctx.sweep()?;
             ctx.regenerate_and_publish()?

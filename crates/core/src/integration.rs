@@ -10,6 +10,7 @@ use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
 use bmx_common::{Addr, NodeId, Oid};
 use bmx_dsm::{GcIntegration, IntraSspCreate, Relocation};
+use bmx_trace::{self as trace, SspKind, TraceEvent};
 
 use crate::ssp::{IntraScion, IntraStub};
 use crate::state::{GcState, RelocMode};
@@ -40,6 +41,18 @@ pub fn apply_relocations_at(
         if !gc.node_mut(node).directory.record_move(r.oid, r.from, r.to) {
             continue; // already known
         }
+        // A fresh record: this node just learned the object moved. The
+        // event happens-after the collector's `Relocate` because the
+        // record rode a message from (a node causally after) the
+        // relocating node.
+        trace::emit(
+            node,
+            TraceEvent::AddrUpdate {
+                oid: r.oid,
+                from: r.from,
+                to: r.to,
+            },
+        );
         // Copy the local replica to its new current address, if one sits at
         // the vacated spot and has not already been moved. Records can
         // arrive out of order across source nodes, so the copy target is
@@ -176,14 +189,25 @@ impl GcIntegration for GcState {
         if holds_inter {
             // Old-owner side of invariant 3: the scion exists before the
             // grant message leaves; the new owner's stub will point here.
-            self.node_mut(old_owner)
+            if self
+                .node_mut(old_owner)
                 .bunch_or_default(bunch)
                 .scion_table
                 .add_intra(IntraScion {
                     oid,
                     bunch,
                     stub_at: new_owner,
-                });
+                })
+            {
+                trace::emit(
+                    old_owner,
+                    TraceEvent::SspCreate {
+                        kind: SspKind::IntraScion,
+                        oid: Some(oid),
+                        peer: new_owner,
+                    },
+                );
+            }
             reqs.push(IntraSspCreate {
                 oid,
                 bunch,
@@ -213,14 +237,25 @@ impl GcIntegration for GcState {
 
     fn apply_intra_ssp(&mut self, node: NodeId, reqs: &[IntraSspCreate]) {
         for req in reqs {
-            self.node_mut(node)
+            if self
+                .node_mut(node)
                 .bunch_or_default(req.bunch)
                 .stub_table
                 .add_intra(IntraStub {
                     oid: req.oid,
                     bunch: req.bunch,
                     scion_at: req.old_owner,
-                });
+                })
+            {
+                trace::emit(
+                    node,
+                    TraceEvent::SspCreate {
+                        kind: SspKind::IntraStub,
+                        oid: Some(req.oid),
+                        peer: req.old_owner,
+                    },
+                );
+            }
         }
     }
 

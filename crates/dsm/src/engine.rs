@@ -16,6 +16,7 @@
 use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKind};
+use bmx_trace::{self as trace, AccessMode, TraceEvent};
 
 use crate::integration::GcIntegration;
 use crate::msg::{DsmMsg, DsmPacket, Relocation};
@@ -172,7 +173,11 @@ impl DsmEngine {
     /// Drops the replica record at `node` (the local BGC reclaimed the
     /// object). Returns the dropped state.
     pub fn drop_replica(&mut self, node: NodeId, oid: Oid) -> Option<ObjState> {
-        self.ns_mut(node).drop_replica(oid)
+        let dropped = self.ns_mut(node).drop_replica(oid);
+        if dropped.is_some() {
+            trace::emit(node, TraceEvent::ReplicaDrop { oid });
+        }
+        dropped
     }
 
     /// Removes `from` from the entering-ownerPtr set of `oid` at `node`
@@ -210,11 +215,25 @@ impl DsmEngine {
                 .get(oid)
                 .ok_or(BmxError::OwnerUnknown { oid })?;
             if st.token != Token::None {
+                trace::emit(
+                    node,
+                    TraceEvent::AcquireStart {
+                        oid,
+                        mode: AccessMode::Read,
+                    },
+                );
                 return Ok(AcquireStart::Satisfied);
             }
             debug_assert!(!st.is_owner, "owner must hold a token");
             st.owner_hint
         };
+        trace::emit(
+            node,
+            TraceEvent::AcquireStart {
+                oid,
+                mode: AccessMode::Read,
+            },
+        );
         self.ns_mut(node).waiting_for.insert(oid, ReqKind::Read);
         self.emit(
             sh,
@@ -245,6 +264,13 @@ impl DsmEngine {
                 .ok_or(BmxError::OwnerUnknown { oid })?;
             (st.is_owner, st.token, st.owner_hint)
         };
+        trace::emit(
+            node,
+            TraceEvent::AcquireStart {
+                oid,
+                mode: AccessMode::Write,
+            },
+        );
         if token == Token::Write {
             return Ok(AcquireStart::Satisfied);
         }
@@ -299,6 +325,7 @@ impl DsmEngine {
                 .ok_or(BmxError::NoToken { node, oid })?;
             st.locked = false;
         }
+        trace::emit(node, TraceEvent::TokenRelease { oid });
         // Serve deferred invalidations first: they strip the token, and the
         // queued requests will then be forwarded rather than granted.
         let parents = self
@@ -488,6 +515,14 @@ impl DsmEngine {
             .ok_or_else(|| BmxError::Protocol(format!("granter {at} has no address for {oid}")))?;
         let image = ObjectImage::capture(&sh.mems[at.0 as usize], addr)?;
         let relocations = sh.gc.grant_relocations(at, oid, sh.mems);
+        trace::emit(
+            at,
+            TraceEvent::TokenGrant {
+                oid,
+                to: requester,
+                mode: AccessMode::Read,
+            },
+        );
         self.emit(
             sh,
             send,
@@ -615,6 +650,7 @@ impl DsmEngine {
                 if st.token != Token::None {
                     st.token = Token::None;
                     sh.stats[at.0 as usize].bump(StatKind::Invalidations);
+                    trace::emit(at, TraceEvent::TokenInvalidated { oid, by: parent });
                 }
                 let c = st.copy_set.iter().copied().collect();
                 st.copy_set.clear();
@@ -735,6 +771,14 @@ impl DsmEngine {
             st.entering.remove(&requester);
             st.bunch
         };
+        trace::emit(
+            owner,
+            TraceEvent::TokenGrant {
+                oid,
+                to: requester,
+                mode: AccessMode::Write,
+            },
+        );
         self.emit(
             sh,
             send,
@@ -772,6 +816,7 @@ impl DsmEngine {
                 .expect("checked")
                 .entering
                 .insert(holder);
+            trace::emit(at, TraceEvent::ReplicaRegister { oid, holder });
         } else {
             self.emit(sh, send, at, hint, DsmMsg::RegisterReplica { oid, holder });
         }
@@ -810,6 +855,13 @@ impl DsmEngine {
             }
         }
         ns.waiting_for.remove(&oid);
+        trace::emit(
+            at,
+            TraceEvent::AcquireComplete {
+                oid,
+                mode: AccessMode::Read,
+            },
+        );
         Ok(())
     }
 
@@ -846,6 +898,14 @@ impl DsmEngine {
             }
         }
         ns.waiting_for.remove(&oid);
+        trace::emit(at, TraceEvent::OwnershipMigrate { oid, from: src });
+        trace::emit(
+            at,
+            TraceEvent::AcquireComplete {
+                oid,
+                mode: AccessMode::Write,
+            },
+        );
         Ok(())
     }
 

@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bmx_common::{MsgSeq, NodeId, SplitMix64};
+use bmx_trace as trace;
 
 use crate::fault::{FaultConfigError, FaultEvent, FaultPlan, FaultStats};
 
@@ -42,6 +43,17 @@ impl MsgClass {
     pub fn requires_reliability(self) -> bool {
         matches!(self, MsgClass::Dsm)
     }
+
+    /// The trace-event lane mirroring this class (`bmx-trace` cannot name
+    /// `MsgClass` without a dependency cycle).
+    pub fn lane(self) -> trace::MsgLane {
+        match self {
+            MsgClass::Dsm => trace::MsgLane::Dsm,
+            MsgClass::ScionMessage => trace::MsgLane::ScionMessage,
+            MsgClass::StubTable => trace::MsgLane::StubTable,
+            MsgClass::GcBackground => trace::MsgLane::GcBackground,
+        }
+    }
 }
 
 /// Sizing hook so the network can account bytes without knowing payload types.
@@ -61,6 +73,11 @@ pub struct Envelope<M> {
     pub seq: MsgSeq,
     /// Traffic class (reliability + accounting).
     pub class: MsgClass,
+    /// The sender's Lamport clock stamp, piggy-backed for the tracing
+    /// layer (0 when tracing is disabled). Carries no protocol meaning:
+    /// nothing in the simulation reads it, so traced and untraced runs
+    /// are bit-identical.
+    pub lamport: u64,
     /// The payload.
     pub payload: M,
 }
@@ -254,18 +271,25 @@ impl<M: WireSize + Clone> Network<M> {
     /// delivery time against the channel's scheduled tail.
     pub fn send(&mut self, src: NodeId, dst: NodeId, class: MsgClass, payload: M) -> MsgSeq {
         let seq = self.seqs.entry((src, dst)).or_default().bump();
+        let drop_event = trace::TraceEvent::MsgDrop {
+            dst,
+            seq: seq.0,
+            lane: class.lane(),
+        };
         let class_dropped = match self.cfg.drop_rate.get(&class) {
             Some(&p) => self.rng.chance(p),
             None => false,
         };
         if class_dropped {
             self.stats.entry(class).or_default().dropped += 1;
+            trace::emit(src, drop_event);
             return seq;
         }
         let fault = self.cfg.fault.link_fault(src, dst);
         if !class.requires_reliability() && fault.drop > 0.0 && self.rng.chance(fault.drop) {
             self.stats.entry(class).or_default().dropped += 1;
             self.fault_stats.link_dropped += 1;
+            trace::emit(src, drop_event);
             return seq;
         }
         let duplicate =
@@ -301,6 +325,7 @@ impl<M: WireSize + Clone> Network<M> {
                     self.fault_stats.partition_dropped += 1;
                 }
                 self.stats.entry(class).or_default().dropped += 1;
+                trace::emit(src, drop_event);
                 return seq;
             }
         }
@@ -313,11 +338,22 @@ impl<M: WireSize + Clone> Network<M> {
             // FIFO under jitter: never schedule before the channel's tail.
             deliver_at = deliver_at.max(tail.deliver_at);
         }
+        // The send event's Lamport stamp rides on the envelope; a fault
+        // duplicate clones it, which is right — one send, two arrivals.
+        let lamport = trace::emit(
+            src,
+            trace::TraceEvent::MsgSend {
+                dst,
+                seq: seq.0,
+                lane: class.lane(),
+            },
+        );
         let env = Envelope {
             src,
             dst,
             seq,
             class,
+            lamport,
             payload,
         };
         if duplicate {
@@ -336,6 +372,7 @@ impl<M: WireSize + Clone> Network<M> {
     /// deliverable, in deterministic (channel, FIFO) order.
     pub fn tick(&mut self) -> Vec<Envelope<M>> {
         self.now += 1;
+        trace::set_now(self.now);
         self.apply_fault_transitions();
         self.drain_due()
     }
@@ -351,6 +388,16 @@ impl<M: WireSize + Clone> Network<M> {
                 self.fault_stats.partitions_healed += 1;
                 let mut members = p.a.clone();
                 members.extend(p.b.iter().copied());
+                if trace::enabled() {
+                    for &m in &members {
+                        trace::emit(
+                            m,
+                            trace::TraceEvent::Fault {
+                                kind: trace::FaultKind::PartitionHeal,
+                            },
+                        );
+                    }
+                }
                 self.events.push(FaultEvent::PartitionHealed { members });
             }
         }
@@ -358,12 +405,24 @@ impl<M: WireSize + Clone> Network<M> {
         for (i, c) in self.cfg.fault.crashes.iter().enumerate() {
             if self.crash_phase[i] == 0 && now >= c.at {
                 self.crash_phase[i] = 1;
+                trace::emit(
+                    c.node,
+                    trace::TraceEvent::Fault {
+                        kind: trace::FaultKind::Crash,
+                    },
+                );
                 self.events.push(FaultEvent::NodeCrashed { node: c.node });
                 purges.push((c.node, c.restart_at));
             }
             if self.crash_phase[i] == 1 && now >= c.restart_at {
                 self.crash_phase[i] = 2;
                 self.fault_stats.restarts += 1;
+                trace::emit(
+                    c.node,
+                    trace::TraceEvent::Fault {
+                        kind: trace::FaultKind::Restart,
+                    },
+                );
                 self.events.push(FaultEvent::NodeRestarted { node: c.node });
             }
         }
@@ -402,7 +461,22 @@ impl<M: WireSize + Clone> Network<M> {
         let mut out = Vec::new();
         for queue in self.channels.values_mut() {
             while queue.front().is_some_and(|m| m.deliver_at <= now) {
-                out.push(queue.pop_front().expect("front checked").env);
+                let env = queue.pop_front().expect("front checked").env;
+                if trace::enabled() {
+                    // Merge the piggy-backed sender clock first so the
+                    // delivery event is stamped after the send.
+                    trace::observe(env.dst, env.lamport);
+                    trace::emit(
+                        env.dst,
+                        trace::TraceEvent::MsgDeliver {
+                            src: env.src,
+                            seq: env.seq.0,
+                            lane: env.class.lane(),
+                            sent_lamport: env.lamport,
+                        },
+                    );
+                }
+                out.push(env);
             }
         }
         out

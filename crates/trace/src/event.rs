@@ -1,0 +1,479 @@
+//! The typed event vocabulary.
+//!
+//! Every variant is allocation-free (fixed, `Copy` fields only) so that
+//! constructing an event costs a handful of register moves — cheap enough to
+//! build unconditionally at the instrumentation sites and let
+//! [`crate::emit`] throw it away when tracing is disabled.
+
+use core::fmt;
+
+use bmx_common::{Addr, BunchId, Epoch, NodeId, Oid};
+
+/// Read or write side of a token operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessMode {
+    /// Read token.
+    Read,
+    /// Write token.
+    Write,
+}
+
+/// Which half of which stub–scion pair kind an SSP event concerns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SspKind {
+    /// Inter-bunch stub (source side).
+    InterStub,
+    /// Inter-bunch scion (target side).
+    InterScion,
+    /// Intra-bunch stub (held by the new owner after a transfer).
+    IntraStub,
+    /// Intra-bunch scion (left at the old owner / stub site).
+    IntraScion,
+}
+
+/// Phase of a (possibly incremental) bunch/group collection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GcPhase {
+    /// Root gathering (mutator stacks, scions, entering ownerPtrs).
+    Roots,
+    /// Tracing/copying/scanning from the roots.
+    Trace,
+    /// Local reference update through forwarding knowledge.
+    Update,
+    /// Sweep of dead local replicas.
+    Sweep,
+    /// Table regeneration, space swap, and report publication.
+    Publish,
+    /// The incremental collector's only mutator-visible pause.
+    Flip,
+}
+
+/// Step of the from-space reuse protocol (paper, Section 4.5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReuseStep {
+    /// Initiator started the protocol.
+    Start,
+    /// Initiator is waiting for owners to copy live objects out.
+    CopyOut,
+    /// Retire round: waiting for replica-holder acks.
+    Retire,
+    /// A replica holder acknowledged the retirement.
+    Ack,
+    /// Segments reclaimed; protocol finished.
+    Done,
+}
+
+/// Traffic class of a network event (mirror of `bmx_net::MsgClass`, which
+/// this crate cannot name without a dependency cycle).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MsgLane {
+    /// Consistency-protocol traffic.
+    Dsm,
+    /// Scion-messages.
+    ScionMessage,
+    /// Idempotent reachability tables.
+    StubTable,
+    /// Explicit relocation / background GC traffic.
+    GcBackground,
+}
+
+/// Fault-plane transition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The node went down.
+    Crash,
+    /// The node came back.
+    Restart,
+    /// A partition containing the node healed.
+    PartitionHeal,
+}
+
+/// One causally-stamped thing that happened.
+///
+/// Events are attributed to the node whose clock stamped them; cross-node
+/// fields (`dst`, `to`, `holder`, …) identify the peer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    // ---------------- network plane ----------------
+    /// A message was accepted for delivery; its piggy-backed Lamport stamp
+    /// is this event's own.
+    MsgSend {
+        /// Receiver.
+        dst: NodeId,
+        /// Per-channel FIFO sequence number.
+        seq: u64,
+        /// Traffic class.
+        lane: MsgLane,
+    },
+    /// A message was discarded by loss injection or an outage.
+    MsgDrop {
+        /// Intended receiver.
+        dst: NodeId,
+        /// Per-channel FIFO sequence number.
+        seq: u64,
+        /// Traffic class.
+        lane: MsgLane,
+    },
+    /// A message became deliverable at its receiver; `sent_lamport` is the
+    /// sender's piggy-backed clock, merged into the receiver's before this
+    /// event was stamped (so this event happens-after the send).
+    MsgDeliver {
+        /// Sender.
+        src: NodeId,
+        /// Per-channel FIFO sequence number.
+        seq: u64,
+        /// Traffic class.
+        lane: MsgLane,
+        /// The Lamport stamp the message carried.
+        sent_lamport: u64,
+    },
+    /// A fault-plane transition concerning this node.
+    Fault {
+        /// What happened.
+        kind: FaultKind,
+    },
+
+    // ---------------- DSM plane ----------------
+    /// A mutator acquire began at this node.
+    AcquireStart {
+        /// Object.
+        oid: Oid,
+        /// Read or write.
+        mode: AccessMode,
+    },
+    /// A remote grant completed an acquire at this node (local/satisfied
+    /// acquires emit only [`TraceEvent::AcquireStart`]).
+    AcquireComplete {
+        /// Object.
+        oid: Oid,
+        /// Read or write.
+        mode: AccessMode,
+    },
+    /// This node granted a token to `to`.
+    TokenGrant {
+        /// Object.
+        oid: Oid,
+        /// Grantee.
+        to: NodeId,
+        /// Read or write.
+        mode: AccessMode,
+    },
+    /// The mutator released its token bracket.
+    TokenRelease {
+        /// Object.
+        oid: Oid,
+    },
+    /// An invalidation stripped this node's token.
+    TokenInvalidated {
+        /// Object.
+        oid: Oid,
+        /// The parent that sent the invalidation.
+        by: NodeId,
+    },
+    /// This node became the owner (write-grant arrival): ownership migrated
+    /// here from `from`.
+    OwnershipMigrate {
+        /// Object.
+        oid: Oid,
+        /// Previous owner.
+        from: NodeId,
+    },
+    /// The owner learned that `holder` holds a replica.
+    ReplicaRegister {
+        /// Object.
+        oid: Oid,
+        /// The replica holder.
+        holder: NodeId,
+    },
+    /// The local replica record was dropped (BGC reclaimed the copy).
+    ReplicaDrop {
+        /// Object.
+        oid: Oid,
+    },
+
+    // ---------------- collector plane ----------------
+    /// A collection at this node entered `phase` for `bunch`.
+    BgcPhase {
+        /// First bunch of the collected group.
+        bunch: BunchId,
+        /// The phase entered.
+        phase: GcPhase,
+    },
+    /// The collector copied a locally owned object to to-space.
+    Relocate {
+        /// Object.
+        oid: Oid,
+        /// From-space address.
+        from: Addr,
+        /// To-space address.
+        to: Addr,
+    },
+    /// A relocation record was applied at this node (lazy address update:
+    /// piggy-backed, grant-carried, or image-carried forwarding).
+    AddrUpdate {
+        /// Object.
+        oid: Oid,
+        /// Old address.
+        from: Addr,
+        /// New address.
+        to: Addr,
+    },
+    /// Half of a stub–scion pair was created at this node.
+    SspCreate {
+        /// Which half of which pair kind.
+        kind: SspKind,
+        /// The object, where the kind has one (intra pairs; inter stubs).
+        oid: Option<Oid>,
+        /// The peer node holding (or destined to hold) the other half.
+        peer: NodeId,
+    },
+    /// Stubs were cut at this node (collection dropped them with their
+    /// source objects).
+    SspCut {
+        /// Which pair kind.
+        kind: SspKind,
+        /// How many.
+        count: u64,
+    },
+    /// A collection at this node published the reachability report of
+    /// `bunch` for `epoch`.
+    ReportPublish {
+        /// The collected bunch.
+        bunch: BunchId,
+        /// The new epoch.
+        epoch: Epoch,
+    },
+    /// The cleaner applied the report from `(source, bunch, epoch)` at this
+    /// node (duplicates and stale retransmissions emit nothing).
+    ReportApply {
+        /// Reporting node.
+        source: NodeId,
+        /// Reported bunch.
+        bunch: BunchId,
+        /// Report epoch.
+        epoch: Epoch,
+    },
+    /// The cleaner retired scions the `(source, bunch, epoch)` report no
+    /// longer justifies.
+    ScionRetired {
+        /// Reporting node.
+        source: NodeId,
+        /// Reported bunch.
+        bunch: BunchId,
+        /// Covering epoch.
+        epoch: Epoch,
+        /// Scions removed.
+        count: u64,
+    },
+    /// The cleaner retired entering ownerPtrs the report no longer
+    /// justifies.
+    OwnerPtrRetired {
+        /// Reporting node.
+        source: NodeId,
+        /// Reported bunch.
+        bunch: BunchId,
+        /// Covering epoch.
+        epoch: Epoch,
+        /// Entering ownerPtrs removed.
+        count: u64,
+    },
+    /// The retry daemon re-sent a reachability report.
+    ReportRetry {
+        /// The bunch whose report was re-sent.
+        bunch: BunchId,
+        /// The destination of the re-send.
+        dest: NodeId,
+    },
+    /// A from-space reuse protocol step at this node.
+    Reuse {
+        /// The bunch being reclaimed.
+        bunch: BunchId,
+        /// The step.
+        step: ReuseStep,
+    },
+
+    // ---------------- mutator plane ----------------
+    /// A mutator data/pointer access at this node; `resolved` differs from
+    /// `requested` when the access went through forwarding knowledge.
+    MutatorAccess {
+        /// The address the application held.
+        requested: Addr,
+        /// The current address actually accessed.
+        resolved: Addr,
+        /// Store (`true`) or load.
+        write: bool,
+    },
+}
+
+impl TraceEvent {
+    /// A coarse subsystem label, used as the Chrome-trace thread id so each
+    /// node's events split into per-subsystem tracks.
+    pub fn subsystem(&self) -> &'static str {
+        use TraceEvent::*;
+        match self {
+            MsgSend { .. } | MsgDrop { .. } | MsgDeliver { .. } => "net",
+            Fault { .. } => "fault",
+            AcquireStart { .. }
+            | AcquireComplete { .. }
+            | TokenGrant { .. }
+            | TokenRelease { .. }
+            | TokenInvalidated { .. }
+            | OwnershipMigrate { .. }
+            | ReplicaRegister { .. }
+            | ReplicaDrop { .. } => "dsm",
+            BgcPhase { .. }
+            | Relocate { .. }
+            | AddrUpdate { .. }
+            | SspCreate { .. }
+            | SspCut { .. }
+            | ReportPublish { .. }
+            | Reuse { .. } => "gc",
+            ReportApply { .. }
+            | ScionRetired { .. }
+            | OwnerPtrRetired { .. }
+            | ReportRetry { .. } => "cleaner",
+            MutatorAccess { .. } => "mutator",
+        }
+    }
+
+    /// A short name for timelines and Chrome-trace event labels.
+    pub fn name(&self) -> &'static str {
+        use TraceEvent::*;
+        match self {
+            MsgSend { .. } => "MsgSend",
+            MsgDrop { .. } => "MsgDrop",
+            MsgDeliver { .. } => "MsgDeliver",
+            Fault { .. } => "Fault",
+            AcquireStart { .. } => "AcquireStart",
+            AcquireComplete { .. } => "AcquireComplete",
+            TokenGrant { .. } => "TokenGrant",
+            TokenRelease { .. } => "TokenRelease",
+            TokenInvalidated { .. } => "TokenInvalidated",
+            OwnershipMigrate { .. } => "OwnershipMigrate",
+            ReplicaRegister { .. } => "ReplicaRegister",
+            ReplicaDrop { .. } => "ReplicaDrop",
+            BgcPhase { .. } => "BgcPhase",
+            Relocate { .. } => "Relocate",
+            AddrUpdate { .. } => "AddrUpdate",
+            SspCreate { .. } => "SspCreate",
+            SspCut { .. } => "SspCut",
+            ReportPublish { .. } => "ReportPublish",
+            ReportApply { .. } => "ReportApply",
+            ScionRetired { .. } => "ScionRetired",
+            OwnerPtrRetired { .. } => "OwnerPtrRetired",
+            ReportRetry { .. } => "ReportRetry",
+            Reuse { .. } => "Reuse",
+            MutatorAccess { .. } => "MutatorAccess",
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TraceEvent::*;
+        match self {
+            MsgSend { dst, seq, lane } => write!(f, "MsgSend -> {dst} seq={seq} {lane:?}"),
+            MsgDrop { dst, seq, lane } => write!(f, "MsgDrop -> {dst} seq={seq} {lane:?}"),
+            MsgDeliver {
+                src,
+                seq,
+                lane,
+                sent_lamport,
+            } => write!(
+                f,
+                "MsgDeliver <- {src} seq={seq} {lane:?} L(send)={sent_lamport}"
+            ),
+            Fault { kind } => write!(f, "Fault {kind:?}"),
+            AcquireStart { oid, mode } => write!(f, "AcquireStart {oid} {mode:?}"),
+            AcquireComplete { oid, mode } => write!(f, "AcquireComplete {oid} {mode:?}"),
+            TokenGrant { oid, to, mode } => write!(f, "TokenGrant {oid} -> {to} {mode:?}"),
+            TokenRelease { oid } => write!(f, "TokenRelease {oid}"),
+            TokenInvalidated { oid, by } => write!(f, "TokenInvalidated {oid} by {by}"),
+            OwnershipMigrate { oid, from } => write!(f, "OwnershipMigrate {oid} from {from}"),
+            ReplicaRegister { oid, holder } => write!(f, "ReplicaRegister {oid} holder {holder}"),
+            ReplicaDrop { oid } => write!(f, "ReplicaDrop {oid}"),
+            BgcPhase { bunch, phase } => write!(f, "BgcPhase {bunch} {phase:?}"),
+            Relocate { oid, from, to } => write!(f, "Relocate {oid} {from} -> {to}"),
+            AddrUpdate { oid, from, to } => write!(f, "AddrUpdate {oid} {from} -> {to}"),
+            SspCreate { kind, oid, peer } => match oid {
+                Some(oid) => write!(f, "SspCreate {kind:?} {oid} peer {peer}"),
+                None => write!(f, "SspCreate {kind:?} peer {peer}"),
+            },
+            SspCut { kind, count } => write!(f, "SspCut {kind:?} x{count}"),
+            ReportPublish { bunch, epoch } => {
+                write!(f, "ReportPublish {bunch} epoch={}", epoch.0)
+            }
+            ReportApply {
+                source,
+                bunch,
+                epoch,
+            } => write!(f, "ReportApply from {source} {bunch} epoch={}", epoch.0),
+            ScionRetired {
+                source,
+                bunch,
+                epoch,
+                count,
+            } => write!(
+                f,
+                "ScionRetired x{count} (from {source} {bunch} epoch={})",
+                epoch.0
+            ),
+            OwnerPtrRetired {
+                source,
+                bunch,
+                epoch,
+                count,
+            } => write!(
+                f,
+                "OwnerPtrRetired x{count} (from {source} {bunch} epoch={})",
+                epoch.0
+            ),
+            ReportRetry { bunch, dest } => write!(f, "ReportRetry {bunch} -> {dest}"),
+            Reuse { bunch, step } => write!(f, "Reuse {bunch} {step:?}"),
+            MutatorAccess {
+                requested,
+                resolved,
+                write,
+            } => {
+                let op = if *write { "store" } else { "load" };
+                if requested == resolved {
+                    write!(f, "MutatorAccess {op} {requested}")
+                } else {
+                    write!(f, "MutatorAccess {op} {requested} (moved to {resolved})")
+                }
+            }
+        }
+    }
+}
+
+/// One captured event with its causal stamp.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceRecord {
+    /// The node whose clock stamped the event.
+    pub node: NodeId,
+    /// Simulated network tick at emission time.
+    pub tick: u64,
+    /// The node's Lamport clock value for this event. Strictly increasing
+    /// per node; merged with the piggy-backed sender clock at delivery, so
+    /// `a` happens-before `b` implies `a.lamport < b.lamport`.
+    pub lamport: u64,
+    /// Emission order on the capturing thread (a tie-breaker for stable
+    /// merges; not causally meaningful across nodes).
+    pub seq: u64,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={:<6} L={:<6} {:<3} [{:<7}] {}",
+            self.tick,
+            self.lamport,
+            self.node.to_string(),
+            self.event.subsystem(),
+            self.event
+        )
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`addr`] — the single-address-space memory substrate;
 //! * [`net`] — the deterministic simulated network;
 //! * [`rvm`] — recoverable virtual memory;
+//! * [`trace`] — causal event tracing: flight recorder, Chrome-trace
+//!   export, trace-backed invariant checking;
 //! * [`baselines`] — the comparison systems the paper argues against;
 //! * [`workloads`] — synthetic object-graph generators.
 //!
@@ -25,6 +27,7 @@ pub use bmx_dsm as dsm;
 pub use bmx_gc as gc;
 pub use bmx_net as net;
 pub use bmx_rvm as rvm;
+pub use bmx_trace as trace;
 pub use bmx_workloads as workloads;
 
 /// A convenient prelude for examples and tests.

@@ -16,11 +16,16 @@
 use bmx::audit;
 use bmx_net::FaultStats;
 use bmx_repro::prelude::*;
+use bmx_repro::trace;
 use bmx_repro::workloads::{churn, lists};
 
 fn n(i: u32) -> NodeId {
     NodeId(i)
 }
+
+/// Flight-recorder depth per run: enough to hold the last few rounds of a
+/// failing run without growing with run length.
+const FLIGHT_RECORDER_CAP: usize = 8_192;
 
 /// Fault windows (ticks). Setup must finish before `PARTITION_START`; the
 /// run drives rounds until past `CRASH_END`, then settles.
@@ -51,6 +56,12 @@ struct ChaosSummary {
 }
 
 fn run_chaos(seed: u64) -> ChaosSummary {
+    // Always-on flight recorder: bounded, so it never grows with the run;
+    // on a panic the sweep below dumps its tail next to the replay seed.
+    // Tracing is observational only — the replay test in this file compares
+    // summaries produced with the recorder installed both times, and the
+    // traced-vs-untraced identity is pinned by `tests/trace_invariants.rs`.
+    trace::install_ring(FLIGHT_RECORDER_CAP);
     let mut net = NetworkConfig::lossless(1).with_fault(chaos_plan());
     net.seed = seed;
     let cfg = ClusterConfig {
@@ -134,7 +145,7 @@ fn run_chaos(seed: u64) -> ChaosSummary {
         "anchor payload intact"
     );
 
-    ChaosSummary {
+    let summary = ChaosSummary {
         counters: (0..3)
             .map(|i| StatKind::ALL.iter().map(|&k| c.stats[i].get(k)).collect())
             .collect(),
@@ -147,7 +158,36 @@ fn run_chaos(seed: u64) -> ChaosSummary {
             })
             .collect(),
         rounds,
+    };
+    trace::disable();
+    summary
+}
+
+/// Writes the flight recorder's tail to `target/chaos/`: one
+/// human-readable dump per node plus a merged Chrome trace for
+/// chrome://tracing / Perfetto. Called only on a failing seed, while the
+/// recorder from the panicked run is still installed.
+fn dump_flight_recorders(seed: u64) -> Vec<std::path::PathBuf> {
+    let records = trace::take();
+    trace::disable();
+    let dir = std::path::Path::new("target/chaos");
+    let _ = std::fs::create_dir_all(dir);
+    let mut written = Vec::new();
+    for node in [n(0), n(1), n(2)] {
+        let lines: Vec<String> = trace::query::node_order(&records, node)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let path = dir.join(format!("failing-seed-{seed:#x}-node{}.trace.txt", node.0));
+        if std::fs::write(&path, lines.join("\n") + "\n").is_ok() {
+            written.push(path);
+        }
     }
+    let json = dir.join(format!("failing-seed-{seed:#x}.trace.json"));
+    if std::fs::write(&json, trace::chrome::export(&records)).is_ok() {
+        written.push(json);
+    }
+    written
 }
 
 /// The headline chaos run: every fault kind fires, the cluster recovers,
@@ -229,6 +269,14 @@ fn chaos_seed_sweep() {
                 .cloned()
                 .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
                 .unwrap_or_else(|| "non-string panic".into());
+            // The panicked run's flight recorder is still installed: dump
+            // its tail (per-node timelines + merged Chrome trace) next to
+            // the replay seed.
+            let dumps = dump_flight_recorders(seed);
+            let dump_list: Vec<String> = dumps
+                .iter()
+                .map(|p| p.to_string_lossy().into_owned())
+                .collect();
             let dir = std::path::Path::new("target/chaos");
             let _ = std::fs::create_dir_all(dir);
             let artifact = dir.join(format!("failing-seed-{seed:#x}.txt"));
@@ -236,8 +284,10 @@ fn chaos_seed_sweep() {
                 &artifact,
                 format!(
                     "chaos seed: {seed:#x}\nreplay: CHAOS_SEEDS={seed:#x} cargo test \
-                     --test chaos chaos_seed_sweep\nfault plan: {:#?}\npanic: {msg}\n",
-                    chaos_plan()
+                     --test chaos chaos_seed_sweep\nfault plan: {:#?}\npanic: {msg}\n\
+                     flight recorders: {}\n",
+                    chaos_plan(),
+                    dump_list.join(", "),
                 ),
             );
             failures.push((seed, msg));

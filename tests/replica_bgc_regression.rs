@@ -1,0 +1,114 @@
+//! Reproduction of the ROADMAP open item "Replica-site collection under
+//! migration" — kept `#[ignore]`d until the copy/re-register path is
+//! fixed; the chaos suite meanwhile keeps shared-bunch collection at the
+//! root holder.
+//!
+//! The failing shape: a shared bunch replicated on three nodes, ownership
+//! of its objects migrating between the non-root replicas, with `run_bgc`
+//! of the bunch *rotating across the replica nodes* (not the root
+//! holder). After a collection at a replica drops a dead local replica
+//! legitimately, a later re-acquire at that node trips a stale to-space
+//! address (`NotAnObject`). The network is lossless — this is a seed-era
+//! limitation of the copy/re-register path, not of the fault plane.
+//!
+//! The run captures a flight recorder; on the expected failure the tail
+//! is dumped to `target/chaos/replica-bgc-regression-*` (per-node
+//! timelines + merged Chrome trace) so the causal order leading into the
+//! bad re-acquire can be read directly.
+//!
+//! Run with: `cargo test --test replica_bgc_regression -- --ignored`
+
+use bmx_repro::prelude::*;
+use bmx_repro::trace;
+use bmx_repro::workloads::{churn, lists};
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+fn dump_flight_recorders(tag: &str) {
+    let records = trace::take();
+    trace::disable();
+    let dir = std::path::Path::new("target/chaos");
+    let _ = std::fs::create_dir_all(dir);
+    for node in [n(0), n(1), n(2)] {
+        let lines: Vec<String> = trace::query::node_order(&records, node)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let _ = std::fs::write(
+            dir.join(format!("{tag}-node{}.trace.txt", node.0)),
+            lines.join("\n") + "\n",
+        );
+    }
+    let _ = std::fs::write(
+        dir.join(format!("{tag}.trace.json")),
+        trace::chrome::export(&records),
+    );
+}
+
+#[test]
+#[ignore = "ROADMAP open item: replica-site collection under migration trips NotAnObject on re-acquire"]
+fn rotating_replica_bgc_under_migration_survives_reacquire() {
+    trace::install_ring(16_384);
+    // The chaos workload on a LOSSLESS network: the rotation alone is what
+    // trips the open item, not the fault plane.
+    let cfg = ClusterConfig::with_nodes(3);
+    let mut c = Cluster::new(cfg);
+    let (n0, n1, n2) = (n(0), n(1), n(2));
+
+    let mut sites = Vec::new();
+    for &node in &[n0, n1, n2] {
+        let b = c.create_bunch(node).unwrap();
+        let reg = c.alloc(node, b, &ObjSpec::with_refs(1, &[0])).unwrap();
+        c.add_root(node, reg);
+        sites.push((node, b, reg));
+    }
+    let shared = c.create_bunch(n0).unwrap();
+    let list = lists::build_list(&mut c, n0, shared, 6, 0).unwrap();
+    c.add_root(n0, list.head);
+    // A churn registry IN the shared bunch: the root holder keeps creating
+    // garbage in the very bunch the replicas collect.
+    let shared_reg = c.alloc(n0, shared, &ObjSpec::with_refs(1, &[0])).unwrap();
+    c.add_root(n0, shared_reg);
+    let migrate: Vec<Addr> = (0..3)
+        .map(|_| {
+            let o = c.alloc(n0, shared, &ObjSpec::with_refs(2, &[0])).unwrap();
+            c.add_root(n0, o);
+            o
+        })
+        .collect();
+    c.map_bunch(n1, shared, n0).unwrap();
+    c.map_bunch(n2, shared, n0).unwrap();
+
+    let mut run = move || -> Result<()> {
+        for round in 0..25usize {
+            churn::chaos_round(&mut c, &sites, &migrate, round, 0xBAD_5EED)?;
+            churn::register_churn(&mut c, n0, shared, shared_reg, 2)?;
+            // Collect the shared bunch at a NON-ROOT replica node — the
+            // rotation the chaos suite avoids — and retire its from-space
+            // there. The reuse step is what turns a legitimately dropped
+            // replica's stale address into a landmine.
+            let collector = if round % 2 == 0 { n1 } else { n2 };
+            c.run_bgc(collector, shared)?;
+            c.reuse_from_space(collector, shared)?;
+            // Re-acquire everywhere: the open item trips NotAnObject here.
+            for &o in &migrate {
+                for &site in &[n0, n1, n2] {
+                    c.acquire_write(site, o)?;
+                    c.release(site, o)?;
+                }
+            }
+        }
+        assert_eq!(lists::read_payloads(&c, n0, list.head)?.len(), 6);
+        Ok(())
+    };
+    if let Err(e) = run() {
+        dump_flight_recorders("replica-bgc-regression");
+        panic!(
+            "replica-site collection under migration failed (flight \
+             recorder dumped to target/chaos/replica-bgc-regression-*): {e}"
+        );
+    }
+    trace::disable();
+}

@@ -1,0 +1,153 @@
+//! Trace-backed invariant checking against live cluster runs.
+//!
+//! The queries in `bmx_trace::query` encode the paper's temporal safety
+//! claims (scion retirement only after a covering reachability epoch,
+//! address re-alignment before mutator access to a relocated object, the
+//! Section-5 acquire invariants). Here they run against the event stream
+//! of a real migration-plus-collection scenario — not hand-built records —
+//! so a regression in the protocol ordering, or in the instrumentation's
+//! placement, turns a green query red.
+//!
+//! This file also pins two tier-1 properties of the tracing subsystem
+//! itself: a traced run is bit-identical to an untraced run with the same
+//! seed (tracing is observational only), and the Chrome exporter produces
+//! JSON that a trace viewer will accept.
+
+use bmx_repro::prelude::*;
+use bmx_repro::trace::{self, TraceEvent};
+use bmx_repro::workloads::lists;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// A three-node run exercising every traced subsystem: a shared bunch
+/// replicated everywhere, ownership migration away from the root holder,
+/// a copying collection at the root (relocations piggy-back outward), and
+/// post-collection accesses at the replicas (lazy address update on
+/// acquire). Returns a digest of everything that must be seed-determined.
+fn migration_scenario(seed: u64) -> Vec<u64> {
+    let mut net = NetworkConfig::lossless(1);
+    net.seed = seed;
+    let cfg = ClusterConfig {
+        nodes: 3,
+        net,
+        ..Default::default()
+    };
+    let mut c = Cluster::new(cfg);
+    let (n0, n1, n2) = (n(0), n(1), n(2));
+
+    let shared = c.create_bunch(n0).unwrap();
+    let list = lists::build_list(&mut c, n0, shared, 4, 0).unwrap();
+    c.add_root(n0, list.head);
+    let objs: Vec<Addr> = (0..3)
+        .map(|_| {
+            let o = c.alloc(n0, shared, &ObjSpec::with_refs(2, &[0])).unwrap();
+            c.add_root(n0, o);
+            o
+        })
+        .collect();
+    c.map_bunch(n1, shared, n0).unwrap();
+    c.map_bunch(n2, shared, n0).unwrap();
+
+    // Migrate ownership of each object to a replica and mutate there.
+    for (i, &o) in objs.iter().enumerate() {
+        let site = if i % 2 == 0 { n1 } else { n2 };
+        c.acquire_write(site, o).unwrap();
+        c.write_data(site, o, 1, 100 + i as u64).unwrap();
+        c.release(site, o).unwrap();
+    }
+    // Collect at the root holder: survivors relocate, and the relocation
+    // records ride outward on subsequent protocol traffic.
+    c.run_bgc(n0, shared).unwrap();
+    // Post-collection accesses from every node re-align addresses lazily.
+    for (i, &o) in objs.iter().enumerate() {
+        for &site in &[n2, n0, n1] {
+            c.acquire_read(site, o).unwrap();
+            assert_eq!(c.read_data(site, o, 1).unwrap(), 100 + i as u64);
+            c.release(site, o).unwrap();
+        }
+    }
+    // A second collection plus a re-read keeps the cleaner and the
+    // retirement path in the trace.
+    c.run_bgc(n0, shared).unwrap();
+    assert_eq!(lists::read_payloads(&c, n0, list.head).unwrap().len(), 4);
+
+    let mut digest: Vec<u64> = Vec::new();
+    for i in 0..3 {
+        for k in StatKind::ALL {
+            digest.push(c.stats[i].get(k));
+        }
+    }
+    for cl in MsgClass::ALL {
+        let s = c.net.class_stats(cl);
+        digest.extend([s.sent, s.dropped, s.duplicated]);
+    }
+    digest.push(c.net.now());
+    digest
+}
+
+/// The three temporal invariants hold on the event stream of a real
+/// migration-and-collection run, and the stream actually contains the
+/// events the queries reason about (an empty trace would be vacuously
+/// green).
+#[test]
+fn invariant_queries_hold_on_a_real_run() {
+    trace::install_vec();
+    migration_scenario(7);
+    let records = trace::take();
+    trace::disable();
+    assert!(
+        records.len() > 100,
+        "expected a substantial trace, got {} records",
+        records.len()
+    );
+    let has = |pred: &dyn Fn(&TraceEvent) -> bool| records.iter().any(|r| pred(&r.event));
+    assert!(has(&|e| matches!(e, TraceEvent::TokenGrant { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::AcquireComplete { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::OwnershipMigrate { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::Relocate { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::AddrUpdate { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::ReportPublish { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::ReportApply { .. })));
+    assert!(has(&|e| matches!(e, TraceEvent::BgcPhase { .. })));
+
+    let scion = trace::query::scion_retirement_violations(&records);
+    assert!(scion.is_empty(), "scion retirement violations: {scion:?}");
+    let addr = trace::query::address_update_violations(&records);
+    assert!(addr.is_empty(), "address update violations: {addr:?}");
+    let acq = trace::query::acquire_invariant_violations(&records);
+    assert!(acq.is_empty(), "acquire invariant violations: {acq:?}");
+}
+
+/// Tier-1 smoke: the same seed produces the same run whether or not a
+/// recorder is installed — tracing reads the simulation, never steers it.
+#[test]
+fn traced_run_is_bit_identical_to_untraced() {
+    trace::disable();
+    let untraced = migration_scenario(42);
+    trace::install_ring(4096);
+    let traced = migration_scenario(42);
+    let records = trace::take();
+    trace::disable();
+    assert!(!records.is_empty(), "the traced run actually recorded");
+    assert_eq!(
+        untraced, traced,
+        "tracing perturbed a counter, message, or the clock"
+    );
+}
+
+/// The Chrome exporter output for a real run survives a strict JSON parse
+/// and carries well-formed trace_event entries.
+#[test]
+fn chrome_export_of_a_real_run_validates() {
+    trace::install_vec();
+    migration_scenario(3);
+    let records = trace::take();
+    trace::disable();
+    let json = trace::chrome::export(&records);
+    let events = trace::chrome::validate(&json).expect("well-formed Chrome trace");
+    assert_eq!(events, records.len(), "one instant event per record");
+    let timeline = trace::query::human_timeline(&records);
+    assert_eq!(timeline.lines().count(), records.len());
+}
