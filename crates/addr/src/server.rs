@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use bmx_common::{Addr, BmxError, BunchId, NodeId, Result, SegmentId};
+use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result, SegmentId};
 
 /// Unix-style protection attributes of a bunch (paper, Section 2.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -79,6 +79,13 @@ pub struct SegmentServer {
     /// Sorted by base address for address→segment resolution.
     by_base: BTreeMap<u64, SegmentId>,
     bunches: BTreeMap<BunchId, BunchInfo>,
+    /// Address-keyed routing for *retired* ranges: `from -> (oid, to)` for
+    /// every relocation whose from-space was reclaimed by the reuse
+    /// protocol. Nodes drop their forwarding knowledge when a range is
+    /// wiped (Section 4.5); a mutator still holding a pre-collection
+    /// pointer resolves it here (the stand-in for the original system's
+    /// address-keyed routing, like the header fetch in `oid_at`).
+    retired: BTreeMap<Addr, (Oid, Addr)>,
 }
 
 /// Lowest address ever handed out; keeps `Addr::NULL` and a guard band
@@ -101,6 +108,7 @@ impl SegmentServer {
             segments: BTreeMap::new(),
             by_base: BTreeMap::new(),
             bunches: BTreeMap::new(),
+            retired: BTreeMap::new(),
         }
     }
 
@@ -230,6 +238,47 @@ impl SegmentServer {
     /// Resolves an address to the bunch whose segment contains it, if any.
     pub fn bunch_of(&self, addr: Addr) -> Option<BunchId> {
         self.segment_of(addr).map(|s| s.bunch)
+    }
+
+    /// Registers the relocation set of a retiring range (called by every
+    /// reuse participant just before it wipes its replica). Later
+    /// registrations win per from-address: they carry newer knowledge.
+    pub fn note_retired(&mut self, relocs: impl IntoIterator<Item = (Oid, Addr, Addr)>) {
+        for (oid, from, to) in relocs {
+            if from != to {
+                self.retired.insert(from, (oid, to));
+            }
+        }
+    }
+
+    /// Drops retired-range routing whose from-address lies in
+    /// `[start, start + len_words)` — called when the (reused) range is
+    /// about to be evacuated *again*: its residents are now a younger
+    /// generation, and a stale pointer into a re-allocated address is
+    /// genuinely ambiguous (exactly as in any system that reuses address
+    /// space).
+    pub fn forget_retired_range(&mut self, start: Addr, len_words: u64) {
+        self.retired
+            .retain(|from, _| !from.in_range(start, len_words));
+    }
+
+    /// Follows retired-range routing from `addr` to the youngest known
+    /// `(oid, address)` — chains span multiple generations of reuse when
+    /// a to-space was itself later retired. Returns `None` for an address
+    /// no retirement ever recorded.
+    pub fn resolve_retired(&self, addr: Addr) -> Option<(Oid, Addr)> {
+        let mut cur = addr;
+        let mut found = None;
+        for _ in 0..64 {
+            match self.retired.get(&cur) {
+                Some(&(oid, to)) if to != addr => {
+                    found = Some((oid, to));
+                    cur = to;
+                }
+                _ => break,
+            }
+        }
+        found
     }
 }
 

@@ -53,6 +53,8 @@ fn main() {
     if want("e9") {
         let rows = e9_recovery::run(&[(2, 4), (4, 8), (8, 16), (16, 16)]);
         print!("{}", e9_recovery::table(&rows).render());
+        let rows = e9_recovery::run_rejoin(&[(2, 4), (4, 8), (8, 16)]);
+        print!("{}", e9_recovery::rejoin_table(&rows).render());
     }
     if want("e10") {
         let rows = e10_fromspace::run(&[0.0, 0.25, 0.5, 0.75, 1.0]);

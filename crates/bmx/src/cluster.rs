@@ -2,18 +2,22 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::rc::Rc;
 
 use bmx_addr::object;
 use bmx_addr::server::Protection;
 use bmx_addr::{NodeMemory, SegmentServer};
-use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKind};
+use bmx_common::{Addr, BmxError, BunchId, Epoch, NodeId, NodeStats, Oid, Result, StatKind};
 use bmx_dsm::{DsmEngine, DsmPacket, DsmShared, Token};
 use bmx_gc::{barrier, cleaner, collect, fromspace, CollectStats, GcMsg, GcState, RelocMode};
 use bmx_net::{Envelope, FaultEvent, MsgClass, Network, NetworkConfig};
+use bmx_rvm::{Rvm, RvmOptions};
 use bmx_trace::{self as trace, TraceEvent};
 
 use crate::msg::ClusterMsg;
+use crate::persist::{self, NodeMeta};
+use crate::recovery::{Assignment, ObjView, OrphanView, Recovery, RecoveryOutcome, RejoinMsg};
 use crate::retry::{AckOutcome, RetryDaemon, RetryPolicy};
 
 /// Construction parameters for a simulated cluster.
@@ -30,6 +34,33 @@ pub struct ClusterConfig {
     /// Automatic report-retry daemon, driven by [`Cluster::step`]. `None`
     /// restores the seed behaviour (manual [`Cluster::resend_report`] only).
     pub retry: Option<RetryPolicy>,
+    /// RVM-backed persistence. When set, every BGC is followed by a
+    /// background checkpoint of the collected bunches and an amnesia
+    /// restart runs the full recovery pipeline against the store. `None`
+    /// keeps the cluster purely volatile (the seed behaviour).
+    pub persist: Option<PersistConfig>,
+}
+
+/// Where (and how aggressively) the cluster persists through RVM.
+#[derive(Clone, Debug)]
+pub struct PersistConfig {
+    /// Directory holding one RVM store per node (`<dir>/node<N>`).
+    pub dir: PathBuf,
+    /// RVM log-truncation scheduling: after a post-BGC checkpoint, truncate
+    /// the node's redo log once it exceeds this many bytes (the log has
+    /// just been fully applied, so truncation is safe and bounds replay
+    /// time). `None` lets the log grow for the whole run.
+    pub truncate_log_bytes: Option<u64>,
+}
+
+impl PersistConfig {
+    /// Persistence under `dir` with the default truncation bound (1 MiB).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            truncate_log_bytes: Some(1 << 20),
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -40,6 +71,7 @@ impl Default for ClusterConfig {
             net: NetworkConfig::lossless(1),
             reloc_mode: RelocMode::Piggyback,
             retry: Some(RetryPolicy::default()),
+            persist: None,
         }
     }
 }
@@ -77,6 +109,18 @@ pub struct Cluster {
     /// duplicate-delivery accounting (duplicates are delivered anyway — the
     /// loss-tolerant handlers are idempotent).
     last_seq: BTreeMap<(NodeId, NodeId), u64>,
+    /// Persistence configuration (`None` = purely volatile cluster).
+    persist: Option<PersistConfig>,
+    /// Lazily opened per-node RVM stores.
+    rvms: Vec<Option<Rvm>>,
+    /// In-progress crash-amnesia recoveries, one slot per node.
+    recoveries: Vec<Option<Recovery>>,
+    /// Rejoin epochs consumed per node (strictly increasing across
+    /// restarts, and restored from the persisted manifest so even a
+    /// crash-of-the-recovery cannot reuse one).
+    rejoin_epochs: Vec<u64>,
+    /// Every completed recovery, for the E9 experiment and the chaos suite.
+    pub recovery_log: Vec<RecoveryOutcome>,
 }
 
 impl Cluster {
@@ -97,6 +141,11 @@ impl Cluster {
             incrementals: (0..cfg.nodes).map(|_| None).collect(),
             retry: cfg.retry.map(RetryDaemon::new),
             last_seq: BTreeMap::new(),
+            persist: cfg.persist,
+            rvms: (0..cfg.nodes).map(|_| None).collect(),
+            recoveries: (0..cfg.nodes).map(|_| None).collect(),
+            rejoin_epochs: vec![0; cfg.nodes as usize],
+            recovery_log: Vec::new(),
         }
     }
 
@@ -138,7 +187,7 @@ impl Cluster {
             for env in due {
                 self.dispatch(env)?;
             }
-            self.note_fault_events();
+            self.note_fault_events()?;
         }
         Ok(())
     }
@@ -154,7 +203,7 @@ impl Cluster {
             for env in due {
                 self.dispatch(env)?;
             }
-            self.note_fault_events();
+            self.note_fault_events()?;
             self.poll_retries()?;
         }
         Ok(())
@@ -184,9 +233,12 @@ impl Cluster {
     }
 
     /// Turns fault transitions observed by the network into per-node
-    /// counters, and pulls retry timers forward for restarted nodes.
-    fn note_fault_events(&mut self) {
+    /// counters, pulls retry timers forward for restarted nodes, wipes the
+    /// volatile state of amnesia-crashed nodes, and launches the recovery
+    /// pipeline when they restart.
+    fn note_fault_events(&mut self) -> Result<()> {
         let now = self.net.now();
+        let mut recovering = Vec::new();
         for ev in self.net.drain_fault_events() {
             match ev {
                 FaultEvent::PartitionHealed { members } => {
@@ -196,17 +248,480 @@ impl Cluster {
                         }
                     }
                 }
-                FaultEvent::NodeCrashed { .. } => {}
-                FaultEvent::NodeRestarted { node } => {
+                FaultEvent::NodeCrashed { node, amnesia } => {
+                    if amnesia {
+                        self.amnesia_wipe(node);
+                    }
+                }
+                FaultEvent::NodeRestarted { node, amnesia } => {
                     if let Some(s) = self.stats.get_mut(node.0 as usize) {
                         s.bump(StatKind::NodeRestarts);
                     }
                     if let Some(d) = &mut self.retry {
                         d.hasten(node, now);
                     }
+                    if amnesia {
+                        recovering.push(node);
+                    }
                 }
             }
         }
+        for node in recovering {
+            self.begin_recovery(node)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-amnesia recovery.
+    // ------------------------------------------------------------------
+
+    /// Discards every piece of `node`'s volatile state at the instant of an
+    /// amnesia crash: memory image, object directory, scion/stub tables and
+    /// cleaner epochs, DSM token/ownership caches, incremental-collection
+    /// state, retry timers, and duplicate-tracking sequence numbers. The
+    /// network itself drops the node's reliable in-flight traffic
+    /// ([`bmx_net::FaultStats::amnesia_dropped`]). Per-node counters
+    /// survive on purpose — they model the experimenter's instrumentation,
+    /// not node state, and `NodeStats::since` requires monotonicity.
+    fn amnesia_wipe(&mut self, node: NodeId) {
+        let n = node.0 as usize;
+        self.mems[n] = NodeMemory::new(node);
+        self.gc.nodes[n] = bmx_gc::GcNodeState::new(node);
+        self.engine.amnesia_reset(node);
+        self.incrementals[n] = None;
+        self.recoveries[n] = None;
+        if let Some(d) = &mut self.retry {
+            d.forget_origin(node);
+        }
+        self.last_seq.retain(|&(s, d), _| s != node && d != node);
+        // The node no longer maps anything; recovery (or a fresh map_bunch)
+        // re-registers the mappings it regains.
+        for nodes in self.gc.mappings.values_mut() {
+            nodes.remove(&node);
+        }
+        self.stats[n].bump(StatKind::AmnesiaWipes);
+    }
+
+    /// Opens (lazily) the node's RVM store under the configured directory.
+    fn open_rvm(&mut self, node: NodeId) -> Result<()> {
+        let n = node.0 as usize;
+        if self.rvms[n].is_some() {
+            return Ok(());
+        }
+        let Some(cfg) = &self.persist else {
+            return Ok(());
+        };
+        let dir = cfg.dir.join(format!("node{}", node.0));
+        self.rvms[n] = Some(Rvm::open(&dir, RvmOptions::default())?);
+        Ok(())
+    }
+
+    /// Whether `node` is mid crash-amnesia recovery (restarted, rejoin
+    /// handshake not yet complete). While true, its mutator operations fail
+    /// and non-idempotent traffic addressed to it is dropped.
+    pub fn in_recovery(&self, node: NodeId) -> bool {
+        self.recoveries[node.0 as usize].is_some()
+    }
+
+    /// Launches the recovery pipeline of an amnesia-restarted node:
+    /// stage 1 (RVM replay) synchronously, then stage 2 (the epoch-based
+    /// rejoin handshake, [`crate::recovery`]) by broadcasting the
+    /// `Request`. Stage 3 (scion/stub regeneration) happens in
+    /// [`Cluster::finish_recovery`] when the last `Reply` arrives. With no
+    /// reachable peer the node claims everything it recovered and
+    /// completes immediately (the single-node scenario of experiment E9).
+    fn begin_recovery(&mut self, node: NodeId) -> Result<()> {
+        let n = node.0 as usize;
+        self.rejoin_epochs[n] += 1;
+        let started_at = self.net.now();
+        let replay_start = std::time::Instant::now();
+        let mut recovered: Vec<(Oid, BunchId)> = Vec::new();
+        if self.persist.is_some() {
+            self.open_rvm(node)?;
+            if let Some(mut rvm) = self.rvms[n].take() {
+                let replay = persist::recover_node_meta(node, &mut rvm).and_then(|meta| {
+                    let Some(meta) = meta else { return Ok(()) };
+                    self.next_oid[n] = self.next_oid[n].max(meta.next_oid);
+                    self.rejoin_epochs[n] = self.rejoin_epochs[n].max(meta.rejoin_epoch + 1);
+                    for &bunch in &meta.bunches {
+                        let (_, oids) = persist::recover_bunch_live(self, node, bunch, &mut rvm)?;
+                        recovered.extend(oids.into_iter().map(|o| (o, bunch)));
+                    }
+                    // Roots go back only after the objects they name exist.
+                    for addr in meta.roots {
+                        self.gc.node_mut(node).add_root(addr);
+                    }
+                    Ok(())
+                });
+                self.rvms[n] = Some(rvm);
+                replay?;
+            }
+        }
+        let epoch = self.rejoin_epochs[n];
+        let replay_micros = replay_start.elapsed().as_micros() as u64;
+        trace::emit(node, TraceEvent::RecoveryBegin { epoch });
+        let peers: BTreeSet<NodeId> = (0..self.nodes())
+            .map(NodeId)
+            .filter(|&p| p != node && !self.net.is_down(p))
+            .collect();
+        if peers.is_empty() {
+            for &(oid, bunch) in &recovered {
+                self.engine.rejoin_claim_owner(node, oid, bunch, &[], &[]);
+            }
+            trace::emit(node, TraceEvent::RecoveryComplete { epoch });
+            self.stats[n].bump(StatKind::RecoveriesCompleted);
+            self.recovery_log.push(RecoveryOutcome {
+                node,
+                epoch,
+                restart_tick: started_at,
+                complete_tick: self.net.now(),
+                replay_micros,
+                objects_recovered: recovered.len(),
+                orphans_adopted: 0,
+                reports_applied: 0,
+            });
+            return Ok(());
+        }
+        for &p in &peers {
+            self.stats[n].bump(StatKind::MessagesSent);
+            self.net.send(
+                node,
+                p,
+                MsgClass::Dsm,
+                ClusterMsg::Rejoin(RejoinMsg::Request {
+                    epoch,
+                    recovered: recovered.clone(),
+                }),
+            );
+        }
+        self.recoveries[n] = Some(Recovery {
+            epoch,
+            recovered,
+            awaiting: peers,
+            started_at,
+            replay_micros,
+            views: BTreeMap::new(),
+            orphans: BTreeMap::new(),
+            epoch_floor: BTreeMap::new(),
+            reports: Vec::new(),
+        });
+        Ok(())
+    }
+
+    fn dispatch_rejoin(&mut self, src: NodeId, dst: NodeId, msg: RejoinMsg) -> Result<()> {
+        match msg {
+            RejoinMsg::Request { epoch, recovered } => {
+                self.handle_rejoin_request(src, dst, epoch, recovered)
+            }
+            RejoinMsg::Reply {
+                epoch,
+                from,
+                views,
+                orphans,
+                epochs,
+                reports,
+            } => self.handle_rejoin_reply(dst, epoch, from, views, orphans, epochs, reports),
+            RejoinMsg::Assign { assignments, .. } => {
+                for a in assignments {
+                    if a.owner == dst {
+                        self.engine
+                            .rejoin_adopt_owner(dst, a.oid, &a.replicas, &a.readers);
+                    } else {
+                        self.engine.set_owner_hint(dst, a.oid, a.owner);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// A surviving peer answers a rejoin `Request` from `src`: purge every
+    /// piece of protocol state that waits on the crashed incarnation, then
+    /// reply with views, orphans, epoch floors, and fresh reports.
+    fn handle_rejoin_request(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        epoch: u64,
+        recovered: Vec<(Oid, BunchId)>,
+    ) -> Result<()> {
+        {
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.purge_peer(dst, src, &mut sh, &mut send)?;
+        }
+        let recovered_set: BTreeSet<Oid> = recovered.iter().map(|&(o, _)| o).collect();
+        let views: Vec<ObjView> = recovered
+            .iter()
+            .map(|&(oid, _)| match self.engine.obj_state(dst, oid) {
+                Some(st) => ObjView {
+                    oid,
+                    holds_replica: true,
+                    is_owner: st.is_owner,
+                    has_token: st.token != Token::None,
+                    owner_hint: st.owner_hint,
+                },
+                None => ObjView {
+                    oid,
+                    holds_replica: false,
+                    is_owner: false,
+                    has_token: false,
+                    owner_hint: dst,
+                },
+            })
+            .collect();
+        let orphans: Vec<OrphanView> = self
+            .engine
+            .replicas(dst)
+            .into_iter()
+            .filter(|(oid, st)| {
+                !st.is_owner && st.owner_hint == src && !recovered_set.contains(oid)
+            })
+            .map(|(oid, st)| OrphanView {
+                oid,
+                bunch: st.bunch,
+                has_token: st.token != Token::None,
+            })
+            .collect();
+        let epochs: Vec<(BunchId, u64)> = self
+            .gc
+            .node(dst)
+            .cleaner_epochs
+            .iter()
+            .filter(|((from, _), _)| *from == src)
+            .map(|((_, b), e)| (*b, e.0))
+            .collect();
+        let bunches: Vec<BunchId> = self.gc.node(dst).bunches.keys().copied().collect();
+        let mut reports = Vec::new();
+        for b in bunches {
+            if let Ok(r) = self.build_report(dst, b) {
+                reports.push(r);
+            }
+        }
+        self.stats[dst.0 as usize].bump(StatKind::MessagesSent);
+        self.net.send(
+            dst,
+            src,
+            MsgClass::Dsm,
+            ClusterMsg::Rejoin(RejoinMsg::Reply {
+                epoch,
+                from: dst,
+                views,
+                orphans,
+                epochs,
+                reports,
+            }),
+        );
+        Ok(())
+    }
+
+    /// The recovering node accumulates a peer's `Reply`; the last one
+    /// triggers [`Cluster::finish_recovery`].
+    #[allow(clippy::too_many_arguments)]
+    fn handle_rejoin_reply(
+        &mut self,
+        dst: NodeId,
+        epoch: u64,
+        from: NodeId,
+        views: Vec<ObjView>,
+        orphans: Vec<OrphanView>,
+        epochs: Vec<(BunchId, u64)>,
+        reports: Vec<bmx_gc::ReachabilityReport>,
+    ) -> Result<()> {
+        let n = dst.0 as usize;
+        let complete = {
+            let Some(rec) = self.recoveries[n].as_mut() else {
+                return Ok(()); // A stale reply from an earlier epoch.
+            };
+            if rec.epoch != epoch {
+                return Ok(());
+            }
+            for v in views {
+                rec.views.entry(v.oid).or_default().push((from, v));
+            }
+            for o in orphans {
+                rec.orphans
+                    .entry(o.oid)
+                    .or_insert((o.bunch, Vec::new()))
+                    .1
+                    .push((from, o.has_token));
+            }
+            for (b, e) in epochs {
+                let f = rec.epoch_floor.entry(b).or_insert(0);
+                *f = (*f).max(e);
+            }
+            rec.reports.extend(reports);
+            rec.awaiting.remove(&from);
+            rec.awaiting.is_empty()
+        };
+        if complete {
+            self.finish_recovery(dst)?;
+        }
+        Ok(())
+    }
+
+    /// Stages 2 (conclusion) and 3 of the pipeline, run when the last peer
+    /// `Reply` arrives: reconcile ownership without moving any token a
+    /// survivor holds, re-home orphans, regenerate scions from the
+    /// collected reports, and resume collection epochs above the
+    /// cluster-wide floor.
+    fn finish_recovery(&mut self, node: NodeId) -> Result<()> {
+        let n = node.0 as usize;
+        let Some(rec) = self.recoveries[n].take() else {
+            return Ok(());
+        };
+        let mut assignments: Vec<Assignment> = Vec::new();
+        let no_views: Vec<(NodeId, ObjView)> = Vec::new();
+        for &(oid, bunch) in &rec.recovered {
+            let views = rec.views.get(&oid).unwrap_or(&no_views);
+            if let Some(&(owner, _)) = views.iter().find(|(_, v)| v.is_owner) {
+                // A survivor owns the object (it took the token over before
+                // the crash): the recovered image is just a stale replica.
+                // Demotion cannot violate the Section-5 acquire invariants —
+                // no token moves, and the next acquire synchronizes.
+                let Cluster {
+                    engine,
+                    gc,
+                    mems,
+                    stats,
+                    net,
+                    ..
+                } = self;
+                let mut sh = DsmShared { mems, stats, gc };
+                let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                    net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+                };
+                engine.register_mapped_replica(node, oid, bunch, owner, &mut sh, &mut send);
+            } else {
+                let holders: Vec<NodeId> = views
+                    .iter()
+                    .filter(|(_, v)| v.holds_replica)
+                    .map(|&(p, _)| p)
+                    .collect();
+                let readers: Vec<NodeId> = views
+                    .iter()
+                    .filter(|(_, v)| v.holds_replica && v.has_token)
+                    .map(|&(p, _)| p)
+                    .collect();
+                self.engine
+                    .rejoin_claim_owner(node, oid, bunch, &holders, &readers);
+                assignments.push(Assignment {
+                    oid,
+                    bunch,
+                    owner: node,
+                    replicas: holders,
+                    readers,
+                });
+            }
+        }
+        // Orphans: the authoritative copy died with the crash; re-home each
+        // to a surviving holder, preferring one whose token makes its copy
+        // current, then the lowest id for determinism.
+        let mut orphans_adopted = 0usize;
+        for (&oid, (bunch, holders)) in &rec.orphans {
+            let assignee = holders
+                .iter()
+                .filter(|&&(_, tok)| tok)
+                .map(|&(p, _)| p)
+                .min()
+                .or_else(|| holders.iter().map(|&(p, _)| p).min());
+            let Some(owner) = assignee else { continue };
+            assignments.push(Assignment {
+                oid,
+                bunch: *bunch,
+                owner,
+                replicas: holders
+                    .iter()
+                    .map(|&(p, _)| p)
+                    .filter(|&p| p != owner)
+                    .collect(),
+                readers: holders
+                    .iter()
+                    .filter(|&&(_, tok)| tok)
+                    .map(|&(p, _)| p)
+                    .filter(|&p| p != owner)
+                    .collect(),
+            });
+            orphans_adopted += 1;
+            self.stats[n].bump(StatKind::RejoinOrphansAdopted);
+        }
+        if !assignments.is_empty() {
+            for p in (0..self.nodes()).map(NodeId) {
+                if p == node || self.net.is_down(p) {
+                    continue;
+                }
+                self.stats[n].bump(StatKind::MessagesSent);
+                self.net.send(
+                    node,
+                    p,
+                    MsgClass::Dsm,
+                    ClusterMsg::Rejoin(RejoinMsg::Assign {
+                        epoch: rec.epoch,
+                        assignments: assignments.clone(),
+                    }),
+                );
+            }
+        }
+        // Stage 3: scion/stub regeneration through the ordinary idempotent
+        // cleaner — the wiped node has no cleaner epochs, so every report
+        // applies fresh and recreates the scions sited here.
+        let mut reports_applied = 0usize;
+        for report in &rec.reports {
+            let outcome = cleaner::process_report(
+                &mut self.gc,
+                &mut self.engine,
+                &mut self.stats[n],
+                node,
+                report,
+            );
+            if outcome.applied {
+                reports_applied += 1;
+            }
+        }
+        // Epoch rule: resume each bunch's collection epoch at the maximum
+        // any surviving peer had applied from this node, so the next report
+        // published here is strictly newer than anything pre-crash (the
+        // peers' `>=` staleness gate would silently discard it otherwise).
+        for (&bunch, &floor) in &rec.epoch_floor {
+            if !self.gc.node(node).bunches.contains_key(&bunch) {
+                continue;
+            }
+            let brs = self.gc.node_mut(node).bunch_or_default(bunch);
+            if brs.epoch.0 < floor {
+                brs.epoch = Epoch(floor);
+            }
+            trace::emit(
+                node,
+                TraceEvent::RejoinEpoch {
+                    bunch,
+                    epoch: Epoch(floor),
+                },
+            );
+        }
+        trace::emit(node, TraceEvent::RecoveryComplete { epoch: rec.epoch });
+        self.stats[n].bump(StatKind::RecoveriesCompleted);
+        self.recovery_log.push(RecoveryOutcome {
+            node,
+            epoch: rec.epoch,
+            restart_tick: rec.started_at,
+            complete_tick: self.net.now(),
+            replay_micros: rec.replay_micros,
+            objects_recovered: rec.recovered.len(),
+            orphans_adopted,
+            reports_applied,
+        });
+        Ok(())
     }
 
     /// Fires every retry due now: rebuilds the bunch's *current* report
@@ -253,9 +768,23 @@ impl Cluster {
         } else {
             *last = env.seq.0;
         }
+        // A node mid-recovery has no protocol state to serve from. Rejoin
+        // traffic always lands; reports and scion-creates are idempotent
+        // and exactly what regeneration wants; everything else is dropped
+        // as if lost — senders recover the way they recover from loss
+        // (re-sent acquires, the retry daemon, lazy relocation).
+        if self.recoveries[env.dst.0 as usize].is_some() {
+            match &env.payload {
+                ClusterMsg::Rejoin(_)
+                | ClusterMsg::Gc(GcMsg::Report(_))
+                | ClusterMsg::Gc(GcMsg::ScionCreate { .. }) => {}
+                _ => return Ok(()),
+            }
+        }
         match env.payload {
             ClusterMsg::Dsm(pkt) => self.dispatch_dsm(env.src, env.dst, pkt),
             ClusterMsg::Gc(msg) => self.dispatch_gc(env.src, env.dst, msg),
+            ClusterMsg::Rejoin(msg) => self.dispatch_rejoin(env.src, env.dst, msg),
         }
     }
 
@@ -338,10 +867,15 @@ impl Cluster {
             }
             GcMsg::RetireAck { bunch, from } => {
                 let Cluster {
-                    gc, mems, stats, ..
+                    engine,
+                    gc,
+                    mems,
+                    stats,
+                    ..
                 } = self;
                 fromspace::handle_retire_ack(
                     gc,
+                    engine,
                     &mut mems[dst.0 as usize],
                     &mut stats[dst.0 as usize],
                     dst,
@@ -391,10 +925,15 @@ impl Cluster {
             } => {
                 let msgs = {
                     let Cluster {
-                        gc, mems, stats, ..
+                        engine,
+                        gc,
+                        mems,
+                        stats,
+                        ..
                     } = self;
                     fromspace::handle_copy_reply(
                         gc,
+                        engine,
                         mems,
                         &mut stats[dst.0 as usize],
                         dst,
@@ -601,6 +1140,13 @@ impl Cluster {
 
     /// Runs a collection over an explicit group of bunches at `node`.
     pub fn run_collection(&mut self, node: NodeId, group: &[BunchId]) -> Result<CollectStats> {
+        // A node mid-recovery defers collection: its scion tables are still
+        // regenerating, so tracing now could miss remote justifications —
+        // i.e. premature reclamation. The caller's next attempt (after the
+        // handshake completes) collects normally.
+        if self.recoveries[node.0 as usize].is_some() {
+            return Ok(CollectStats::default());
+        }
         if let Some(&b) = group
             .iter()
             .find(|b| self.gc.node(node).active_groups.contains(b))
@@ -645,7 +1191,55 @@ impl Cluster {
         }
         self.flush_explicit_relocations();
         self.pump()?;
+        self.checkpoint_after_collection(node, group)?;
         Ok(outcome.stats)
+    }
+
+    /// Periodic background checkpointing: after each BGC the collected
+    /// bunches (now compact) are written to the node's RVM store together
+    /// with the recovery manifest, and the redo log is truncated once it
+    /// outgrows the configured bound (it has just been fully applied, so
+    /// truncation cannot lose a committed state).
+    fn checkpoint_after_collection(&mut self, node: NodeId, group: &[BunchId]) -> Result<()> {
+        let n = node.0 as usize;
+        if self.persist.is_none() || self.recoveries[n].is_some() {
+            return Ok(());
+        }
+        self.open_rvm(node)?;
+        let Some(mut rvm) = self.rvms[n].take() else {
+            return Ok(());
+        };
+        let res = (|| -> Result<()> {
+            // The manifest accumulates every bunch ever checkpointed here.
+            let prev = persist::recover_node_meta(node, &mut rvm)?.unwrap_or_default();
+            let mut bunches: BTreeSet<BunchId> = prev.bunches.iter().copied().collect();
+            let mut wrote = false;
+            for &bunch in group {
+                // An unmapped (e.g. fully reused) bunch is not
+                // checkpointable; skip it rather than fail the collection.
+                if persist::checkpoint_bunch(self, node, bunch, &mut rvm).is_ok() {
+                    bunches.insert(bunch);
+                    wrote = true;
+                }
+            }
+            if wrote {
+                let meta = NodeMeta {
+                    next_oid: self.next_oid[n],
+                    rejoin_epoch: self.rejoin_epochs[n],
+                    roots: self.gc.node(node).roots.values().copied().collect(),
+                    bunches: bunches.into_iter().collect(),
+                };
+                persist::checkpoint_node_meta(self, node, &mut rvm, &meta)?;
+            }
+            if let Some(bound) = self.persist.as_ref().and_then(|p| p.truncate_log_bytes) {
+                if rvm.log_bytes() > bound {
+                    rvm.truncate()?;
+                }
+            }
+            Ok(())
+        })();
+        self.rvms[n] = Some(rvm);
+        res
     }
 
     /// Registers a freshly published report with the retry daemon.
@@ -933,7 +1527,7 @@ impl Cluster {
     /// Local-only address-to-OID resolution (header read through local
     /// forwarding).
     pub fn oid_at_local(&self, node: NodeId, addr: Addr) -> Result<Oid> {
-        let cur = self.gc.node(node).directory.resolve(addr);
+        let cur = self.mutator_resolve(node, addr);
         Ok(object::view(&self.mems[node.0 as usize], cur)?.oid)
     }
 }

@@ -51,11 +51,13 @@ pub mod cluster;
 pub mod msg;
 pub mod mutator;
 pub mod persist;
+pub mod recovery;
 pub mod retry;
 pub mod threaded;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, PersistConfig};
 pub use msg::ClusterMsg;
 pub use mutator::ObjSpec;
+pub use recovery::RecoveryOutcome;
 pub use retry::{RetryDaemon, RetryPolicy};
 pub use threaded::{ClusterActor, ClusterHandle};

@@ -4,6 +4,8 @@ use bmx_dsm::DsmPacket;
 use bmx_gc::GcMsg;
 use bmx_net::WireSize;
 
+use crate::recovery::RejoinMsg;
+
 /// Everything that travels on the simulated network.
 #[derive(Clone, Debug)]
 pub enum ClusterMsg {
@@ -11,6 +13,9 @@ pub enum ClusterMsg {
     Dsm(DsmPacket),
     /// Collector-to-collector traffic.
     Gc(GcMsg),
+    /// Crash-recovery rejoin handshake (reliable, like consistency
+    /// traffic — see [`crate::recovery`]).
+    Rejoin(RejoinMsg),
 }
 
 impl WireSize for ClusterMsg {
@@ -18,6 +23,7 @@ impl WireSize for ClusterMsg {
         match self {
             ClusterMsg::Dsm(p) => p.wire_size(),
             ClusterMsg::Gc(m) => m.wire_size(),
+            ClusterMsg::Rejoin(m) => m.wire_size(),
         }
     }
 }

@@ -120,9 +120,32 @@ impl Cluster {
     // Field access (through local forwarding).
     // ------------------------------------------------------------------
 
+    /// Resolves `addr` to the current local copy for a mutator access:
+    /// local forwarding first; if that dead-ends at an address holding no
+    /// object (the range was wiped for from-space reuse and the edges
+    /// dropped with it, Section 4.5), the segment server's retired-range
+    /// routing supplies the object identity and the node's own replica of
+    /// it is preferred.
+    pub(crate) fn mutator_resolve(&self, node: NodeId, addr: Addr) -> Addr {
+        let cur = self.gc.node(node).directory.resolve(addr);
+        if object::view(&self.mems[node.0 as usize], cur).is_ok() {
+            return cur;
+        }
+        let Some((oid, to)) = self.server.borrow().resolve_retired(addr) else {
+            return cur;
+        };
+        match self.gc.node(node).directory.addr_of(oid) {
+            Some(a) if object::view(&self.mems[node.0 as usize], a).is_ok_and(|v| v.oid == oid) => {
+                a
+            }
+            _ => self.gc.node(node).directory.resolve(to),
+        }
+    }
+
     /// Barriered pointer store: `(*obj).field = target`.
     pub fn write_ref(&mut self, node: NodeId, obj: Addr, field: u64, target: Addr) -> Result<()> {
         self.check_protection(obj, true)?;
+        let obj = self.mutator_resolve(node, obj);
         if trace::enabled() {
             // The barrier resolves internally; re-resolve here only when a
             // recorder wants the (requested, resolved) pair.
@@ -160,7 +183,7 @@ impl Cluster {
     /// Non-pointer store: `(*obj).field = value`.
     pub fn write_data(&mut self, node: NodeId, obj: Addr, field: u64, value: u64) -> Result<()> {
         self.check_protection(obj, true)?;
-        let cur = self.gc.node(node).directory.resolve(obj);
+        let cur = self.mutator_resolve(node, obj);
         trace::emit(
             node,
             TraceEvent::MutatorAccess {
@@ -175,7 +198,7 @@ impl Cluster {
     /// Non-pointer load.
     pub fn read_data(&self, node: NodeId, obj: Addr, field: u64) -> Result<u64> {
         self.check_protection(obj, false)?;
-        let cur = self.gc.node(node).directory.resolve(obj);
+        let cur = self.mutator_resolve(node, obj);
         trace::emit(
             node,
             TraceEvent::MutatorAccess {
@@ -190,7 +213,7 @@ impl Cluster {
     /// Pointer load.
     pub fn read_ref(&self, node: NodeId, obj: Addr, field: u64) -> Result<Addr> {
         self.check_protection(obj, false)?;
-        let cur = self.gc.node(node).directory.resolve(obj);
+        let cur = self.mutator_resolve(node, obj);
         trace::emit(
             node,
             TraceEvent::MutatorAccess {
@@ -217,7 +240,10 @@ impl Cluster {
     /// Fast path: the local header. If the object's data never reached this
     /// node, the header is fetched from the bunch creator — a stand-in for
     /// the address-keyed routing of the original system (see DESIGN.md), and
-    /// accounted as one protocol round-trip.
+    /// accounted as one protocol round-trip. If the creator's replica lost
+    /// the trail too — every copy of the forwarding knowledge dies when a
+    /// from-space range is wiped for reuse (Section 4.5) — the segment
+    /// server's retired-range routing resolves the stale pointer.
     pub fn oid_at(&mut self, node: NodeId, addr: Addr) -> Result<Oid> {
         if let Ok(oid) = self.oid_at_local(node, addr) {
             return Ok(oid);
@@ -228,12 +254,45 @@ impl Cluster {
             .bunch_of(addr)
             .ok_or(BmxError::Unmapped { node, addr })?;
         let creator = self.server.borrow().bunch(bunch)?.creator;
-        let oid = self.oid_at_local(creator, addr)?;
+        let (oid, retired_to) = match self.oid_at_local(creator, addr) {
+            Ok(oid) => (oid, None),
+            Err(err) => {
+                let Some((oid, cur)) = self.server.borrow().resolve_retired(addr) else {
+                    return Err(err);
+                };
+                // Prefer an address some replica demonstrably populated:
+                // this node's own copy first, then the creator's; the
+                // routing target is only a last resort (the data lands
+                // there at grant time).
+                let local = self.gc.node(node).directory.addr_of(oid).filter(|&a| {
+                    object::view(&self.mems[node.0 as usize], a).is_ok_and(|v| v.oid == oid)
+                });
+                let at_creator = self.gc.node(creator).directory.addr_of(oid).filter(|&a| {
+                    object::view(&self.mems[creator.0 as usize], a).is_ok_and(|v| v.oid == oid)
+                });
+                (oid, Some((local, local.or(at_creator).unwrap_or(cur))))
+            }
+        };
         self.stats[node.0 as usize].add(StatKind::MessagesSent, 2);
         self.stats[node.0 as usize].add(StatKind::DsmProtocolMessages, 2);
-        // The node now knows where this object lives locally (same address
-        // until relocations say otherwise) and who to ask for tokens.
-        self.gc.node_mut(node).directory.set_addr(oid, addr);
+        match retired_to {
+            // The node now knows where this object lives locally (same
+            // address until relocations say otherwise) and who to ask for
+            // tokens.
+            None => self.gc.node_mut(node).directory.set_addr(oid, addr),
+            Some((local, cur)) => {
+                // Teach the local directory the retired address, so later
+                // brackets (release, field access) resolve without routing.
+                let dir = &mut self.gc.node_mut(node).directory;
+                if !dir.is_forwarded_from(addr) {
+                    dir.record_move(oid, addr, cur);
+                }
+                if local.is_none() {
+                    let cur = dir.resolve(cur);
+                    dir.set_addr(oid, cur);
+                }
+            }
+        }
         if self.engine.obj_state(node, oid).is_none() {
             let Cluster {
                 engine,

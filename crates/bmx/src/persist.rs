@@ -123,6 +123,121 @@ fn decode_meta(bytes: &[u8]) -> Vec<(SegmentId, Addr, u64)> {
 /// Maximum segments a bunch's checkpoint metadata region can describe.
 const META_CAP: usize = 1024;
 
+// ---------------------------------------------------------------------
+// Node metadata (crash-amnesia recovery manifest).
+// ---------------------------------------------------------------------
+
+/// Region id carrying a node's recovery manifest. Offset by `1 << 32` from
+/// the top of the id space so it can never collide with a bunch's meta
+/// region (`u64::MAX - bunch`) or a segment region (small ids counting up).
+fn node_meta_region(node: NodeId) -> RegionId {
+    RegionId(u64::MAX - (1u64 << 32) - node.0 as u64)
+}
+
+/// First word of a written node-meta region (an all-zero region means the
+/// node never checkpointed).
+const NODE_META_MAGIC: u64 = 0x424D_585F_4E4F_4445; // "BMX_NODE"
+/// Maximum mutator roots the manifest can carry.
+const NODE_META_ROOTS_CAP: usize = 4096;
+/// Maximum checkpointed bunches the manifest can list.
+const NODE_META_BUNCH_CAP: usize = 1024;
+
+fn node_meta_bytes() -> usize {
+    8 * (5 + NODE_META_ROOTS_CAP + NODE_META_BUNCH_CAP)
+}
+
+/// Everything a node needs besides the bunch images to come back: the OID
+/// mint cursor (so post-restart allocations cannot collide with surviving
+/// pre-crash objects), the rejoin epoch, the mutator roots, and the list of
+/// checkpointed bunches to replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// The node's OID mint counter at checkpoint time.
+    pub next_oid: u64,
+    /// Rejoin epochs completed before the checkpoint (restart resumes
+    /// strictly above this).
+    pub rejoin_epoch: u64,
+    /// The node's mutator roots (re-registered after replay).
+    pub roots: Vec<Addr>,
+    /// Every bunch with a checkpoint in this store.
+    pub bunches: Vec<BunchId>,
+}
+
+fn encode_node_meta(meta: &NodeMeta) -> Vec<u8> {
+    let roots = &meta.roots[..meta.roots.len().min(NODE_META_ROOTS_CAP)];
+    let bunches = &meta.bunches[..meta.bunches.len().min(NODE_META_BUNCH_CAP)];
+    let mut out = Vec::with_capacity(8 * (5 + roots.len() + bunches.len()));
+    out.extend_from_slice(&NODE_META_MAGIC.to_le_bytes());
+    out.extend_from_slice(&meta.next_oid.to_le_bytes());
+    out.extend_from_slice(&meta.rejoin_epoch.to_le_bytes());
+    out.extend_from_slice(&(roots.len() as u64).to_le_bytes());
+    for r in roots {
+        out.extend_from_slice(&r.0.to_le_bytes());
+    }
+    out.extend_from_slice(&(bunches.len() as u64).to_le_bytes());
+    for b in bunches {
+        out.extend_from_slice(&(b.0 as u64).to_le_bytes());
+    }
+    out
+}
+
+fn decode_node_meta(bytes: &[u8]) -> Option<NodeMeta> {
+    if bytes.len() < 40 {
+        return None;
+    }
+    let rd = |i: usize| u64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+    if rd(0) != NODE_META_MAGIC {
+        return None;
+    }
+    let mut meta = NodeMeta {
+        next_oid: rd(1),
+        rejoin_epoch: rd(2),
+        ..NodeMeta::default()
+    };
+    let root_count = rd(3) as usize;
+    if bytes.len() < 8 * (5 + root_count) {
+        return None;
+    }
+    for i in 0..root_count {
+        meta.roots.push(Addr(rd(4 + i)));
+    }
+    let bunch_count = rd(4 + root_count) as usize;
+    if bytes.len() < 8 * (5 + root_count + bunch_count) {
+        return None;
+    }
+    for i in 0..bunch_count {
+        meta.bunches.push(BunchId(rd(5 + root_count + i) as u32));
+    }
+    Some(meta)
+}
+
+/// Writes the node's recovery manifest as one recoverable transaction.
+/// Called after every post-BGC bunch checkpoint so the manifest always
+/// names the freshest checkpointed set.
+pub fn checkpoint_node_meta(
+    cluster: &mut Cluster,
+    node: NodeId,
+    rvm: &mut Rvm,
+    meta: &NodeMeta,
+) -> Result<()> {
+    rvm.map(node_meta_region(node), node_meta_bytes())?;
+    let bytes = encode_node_meta(meta);
+    let tid = rvm.begin()?;
+    rvm.set_range(tid, node_meta_region(node), 0, &bytes)?;
+    rvm.commit(tid)?;
+    cluster.stats[node.0 as usize].bump(StatKind::RvmLogRecords);
+    cluster.stats[node.0 as usize].add(StatKind::RvmBytesLogged, bytes.len() as u64);
+    Ok(())
+}
+
+/// Reads the node's recovery manifest back; `None` when the node never
+/// checkpointed (an all-zero or missing region).
+pub fn recover_node_meta(node: NodeId, rvm: &mut Rvm) -> Result<Option<NodeMeta>> {
+    rvm.map(node_meta_region(node), node_meta_bytes())?;
+    let bytes = rvm.read(node_meta_region(node), 0, node_meta_bytes())?;
+    Ok(decode_node_meta(bytes))
+}
+
 /// Writes every locally mapped segment of `bunch` at `node` into `rvm`,
 /// together with the bunch's segment table, as one recoverable transaction.
 /// Returns the segment ids checkpointed.
@@ -200,6 +315,31 @@ pub fn recover_bunch(
     bunch: BunchId,
     rvm: &mut Rvm,
 ) -> Result<usize> {
+    recover_bunch_inner(cluster, node, bunch, rvm, true).map(|(segs, _)| segs)
+}
+
+/// [`recover_bunch`] minus the node-local ownership claim: reinstalls the
+/// images and directory but registers *nothing* with the DSM. Returns the
+/// recovered segment count and the non-forwarded objects found, so the
+/// epoch-based rejoin handshake can reconcile ownership with the surviving
+/// peers instead of unilaterally claiming it (which would mint a second
+/// owner whenever a survivor took the token over before the crash).
+pub fn recover_bunch_live(
+    cluster: &mut Cluster,
+    node: NodeId,
+    bunch: BunchId,
+    rvm: &mut Rvm,
+) -> Result<(usize, Vec<bmx_common::Oid>)> {
+    recover_bunch_inner(cluster, node, bunch, rvm, false)
+}
+
+fn recover_bunch_inner(
+    cluster: &mut Cluster,
+    node: NodeId,
+    bunch: BunchId,
+    rvm: &mut Rvm,
+    claim_ownership: bool,
+) -> Result<(usize, Vec<bmx_common::Oid>)> {
     // Re-adopt the checkpointed segment layout into the (possibly fresh)
     // segment server before touching the images.
     rvm.map(meta_region(bunch), 8 * (1 + 3 * META_CAP))?;
@@ -234,7 +374,7 @@ pub fn recover_bunch(
         recovered += 1;
     }
     if recovered == 0 {
-        return Ok(0);
+        return Ok((0, Vec::new()));
     }
     cluster.gc.note_mapping(bunch, node);
     let brs = cluster.gc.node_mut(node).bunch_or_default(bunch);
@@ -271,18 +411,23 @@ pub fn recover_bunch(
             ));
         }
     }
+    let mut live = Vec::new();
     for (oid, addr, fwd) in found {
         let dir = &mut cluster.gc.node_mut(node).directory;
         if fwd.is_null() {
             dir.set_addr(oid, addr);
-            cluster.engine.register_alloc(node, oid, bunch);
+            if claim_ownership {
+                cluster.engine.register_alloc(node, oid, bunch);
+            } else {
+                live.push(oid);
+            }
         } else {
             dir.record_move(oid, addr, fwd);
             let cur = dir.resolve(fwd);
             dir.set_addr(oid, cur);
         }
     }
-    Ok(recovered)
+    Ok((recovered, live))
 }
 
 #[cfg(test)]

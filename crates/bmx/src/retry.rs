@@ -188,13 +188,29 @@ impl RetryDaemon {
 
     /// Pulls every entry with `node` among its pending destinations forward
     /// to fire at `now` — called when a node restarts, so recovery does not
-    /// wait out a backed-off interval.
+    /// wait out a backed-off interval. The entry's backoff and latency
+    /// baseline *reset* rather than inherit pre-crash state: the interval
+    /// returns to the policy's initial value, the attempt budget restarts,
+    /// and recovery latency is measured from the restart, not from a
+    /// publication that predates the crash.
     pub fn hasten(&mut self, node: NodeId, now: u64) {
         for entry in self.entries.values_mut() {
             if entry.pending.contains(&node) {
                 entry.next_at = now;
+                entry.interval = self.policy.initial_interval;
+                entry.first_sent = now;
+                entry.attempts = 0;
             }
         }
+    }
+
+    /// Drops every report tracked *by* `node` — an amnesia crash wiped the
+    /// daemon's tables on that node, so the restarted instance must not
+    /// inherit pre-crash timers or latency baselines. The first collection
+    /// after recovery tracks a fresh report, which supersedes anything
+    /// forgotten here (reports are idempotent).
+    pub fn forget_origin(&mut self, node: NodeId) {
+        self.entries.retain(|&(origin, _), _| origin != node);
     }
 
     /// Number of reports still awaiting full delivery.
@@ -317,6 +333,55 @@ mod tests {
         assert!(d.due(10).0.is_empty(), "not due yet");
         d.hasten(n(1), 10);
         assert_eq!(d.due(10).0.len(), 1, "restart pulls the resend forward");
+    }
+
+    #[test]
+    fn hasten_resets_backoff_and_latency_baseline() {
+        let policy = RetryPolicy {
+            initial_interval: 4,
+            backoff: 2,
+            max_interval: 64,
+            budget: 8,
+        };
+        let mut d = RetryDaemon::new(policy);
+        d.track(n(0), B, Epoch(1), &[n(1)], 0);
+        // Back the entry off twice (intervals 4 -> 8 -> 16).
+        assert_eq!(d.due(4).0.len(), 1);
+        assert_eq!(d.due(12).0.len(), 1);
+        // The destination restarts at tick 100: the timer fires now and the
+        // backoff restarts at the initial interval.
+        d.hasten(n(1), 100);
+        assert_eq!(d.due(100).0.len(), 1, "fires at the restart tick");
+        assert!(d.due(107).0.is_empty(), "backoff restarted from initial");
+        assert_eq!(d.due(108).0.len(), 1, "4*2=8 after reset, not 16*2=32");
+        // Latency is measured from the restart, not the pre-crash
+        // publication at tick 0.
+        assert_eq!(
+            d.ack(n(0), B, Epoch(1), n(1), 110),
+            AckOutcome::Complete {
+                recovery_latency: Some(10)
+            }
+        );
+    }
+
+    #[test]
+    fn forget_origin_drops_only_that_nodes_reports() {
+        let mut d = RetryDaemon::new(RetryPolicy::default());
+        d.track(n(0), B, Epoch(1), &[n(1)], 0);
+        d.track(n(2), BunchId(9), Epoch(1), &[n(1)], 0);
+        assert_eq!(d.pending(), 2);
+        d.forget_origin(n(0));
+        assert_eq!(d.pending(), 1);
+        assert_eq!(
+            d.ack(n(0), B, Epoch(1), n(1), 1),
+            AckOutcome::Unknown,
+            "the amnesiac node's entry is gone"
+        );
+        assert_eq!(d.ack(n(2), BunchId(9), Epoch(1), n(1), 1), {
+            AckOutcome::Complete {
+                recovery_latency: None,
+            }
+        });
     }
 
     #[test]

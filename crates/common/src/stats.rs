@@ -85,11 +85,20 @@ pub enum StatKind {
     /// Reports the retry daemon gave up on (budget exhausted; the next
     /// collection's report supersedes them).
     RetryBudgetExhausted,
+    /// Volatile-state wipes performed at an amnesia crash (memory image,
+    /// directory, DSM caches, cleaner tables, retry timers all discarded).
+    AmnesiaWipes,
+    /// Crash-recovery pipelines run to completion (RVM replay + rejoin
+    /// handshake + scion regeneration).
+    RecoveriesCompleted,
+    /// Objects whose ownership was orphaned by an amnesia crash and
+    /// reassigned to a surviving replica holder during the rejoin handshake.
+    RejoinOrphansAdopted,
 }
 
 impl StatKind {
     /// All counter kinds, for iteration in reports.
-    pub const ALL: [StatKind; 32] = [
+    pub const ALL: [StatKind; 35] = [
         StatKind::MessagesSent,
         StatKind::MessagesDropped,
         StatKind::BytesSent,
@@ -122,6 +131,9 @@ impl StatKind {
         StatKind::NodeRestarts,
         StatKind::RecoveryLatencyTicks,
         StatKind::RetryBudgetExhausted,
+        StatKind::AmnesiaWipes,
+        StatKind::RecoveriesCompleted,
+        StatKind::RejoinOrphansAdopted,
     ];
 
     const COUNT: usize = Self::ALL.len();

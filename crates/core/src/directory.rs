@@ -93,16 +93,23 @@ impl Directory {
     }
 
     /// Records a move of `oid` from `from` to `to` and indexes the
-    /// relocation record. Returns `false` if the edge was already known
-    /// (idempotent re-application).
+    /// relocation record. Returns `false` if an edge from `from` was
+    /// already known (idempotent re-application).
     ///
     /// The OID's current-address entry advances only when the move extends
     /// *this* replica's chain (`addr_of == from`). Relocation records from
     /// different source nodes may arrive in any relative order; an edge
     /// further down the chain (or for a replica this node does not track)
     /// must not teleport `addr_of` away from the local copy.
+    ///
+    /// A *conflicting* edge — same `from`, different `to` — is refused,
+    /// not overwritten. Collections at different replica sites legitimately
+    /// move the same object to different addresses (Section 4.2); the
+    /// first edge this node recorded is the one its own copy (or knowledge)
+    /// followed, and replacing it would dead-end local resolution mid-chain
+    /// at an address this replica never populated.
     pub fn record_move(&mut self, oid: Oid, from: Addr, to: Addr) -> bool {
-        if self.forwarded.get(&from) == Some(&to) {
+        if self.forwarded.contains_key(&from) {
             return false;
         }
         assert_ne!(from, to, "degenerate relocation for {oid}");
@@ -228,6 +235,21 @@ mod tests {
         d.record_move(Oid(5), Addr(0xF00), Addr(0x1000)); // the missing link
         assert_eq!(d.addr_of(Oid(5)), Some(Addr(0x2000)), "chain resolved");
         assert_eq!(d.resolve(Addr(0xF00)), Addr(0x2000));
+    }
+
+    #[test]
+    fn divergent_relocation_does_not_clobber_the_local_chain() {
+        // This node's copy went 0x100 -> 0x200 (its own collection, or the
+        // first record it applied). Another replica site later moves *its*
+        // copy of the same object 0x100 -> 0x900; applying that record must
+        // not redirect local resolution to an address this replica never
+        // populated.
+        let mut d = Directory::new();
+        d.set_addr(Oid(3), Addr(0x100));
+        assert!(d.record_move(Oid(3), Addr(0x100), Addr(0x200)));
+        assert!(!d.record_move(Oid(3), Addr(0x100), Addr(0x900)), "refused");
+        assert_eq!(d.resolve(Addr(0x100)), Addr(0x200));
+        assert_eq!(d.addr_of(Oid(3)), Some(Addr(0x200)));
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub fn start_reuse(
         stats.bump(StatKind::BackgroundGcMessages);
     }
     if msgs.is_empty() {
-        msgs.extend(advance_to_retire(gc, mem, stats, node, bunch)?);
+        msgs.extend(advance_to_retire(gc, engine, mem, stats, node, bunch)?);
     }
     Ok(msgs)
 }
@@ -131,6 +131,18 @@ fn evacuate_locally_and_group(
         for addr in object::objects_in(mem.segment(seg_id)?) {
             let v = object::view(mem, addr)?;
             if v.is_forwarded() {
+                continue;
+            }
+            // Only the node's *current* copy is live here: bytes at any
+            // other address are a ghost of an older generation (a replica
+            // the DSM re-installed elsewhere since) and get cleared by the
+            // wipe — copying them out would resurrect stale state.
+            let is_current = {
+                let dir = &gc.node(node).directory;
+                let a0 = dir.addr_of(v.oid);
+                a0 == Some(addr) || a0.map(|a| dir.resolve(a)) == Some(addr)
+            };
+            if !is_current {
                 continue;
             }
             match engine.obj_state(node, v.oid) {
@@ -248,10 +260,24 @@ pub fn handle_copy_request(
         .map(|b| b.pending_from.clone())
         .unwrap_or_default();
     local_doomed.extend_from_slice(avoid);
+    let doomed_ranges: Vec<(Addr, u64)> = {
+        let srv = gc.server.borrow();
+        local_doomed
+            .iter()
+            .filter_map(|&s| srv.segment(s).ok().map(|i| (i.base, i.words)))
+            .collect()
+    };
     for &oid in oids {
         if let Some(r) = gc.node(at).directory.reloc_of(oid) {
-            relocs.push(r);
-            continue;
+            // An indexed relocation whose chain dead-ends inside the very
+            // ranges being retired (it may predate a later move *into*
+            // them) cannot settle the requester; fall through to a fresh
+            // copy-out instead.
+            let dest = gc.node(at).directory.resolve(r.to);
+            if !doomed_ranges.iter().any(|&(b, w)| dest.in_range(b, w)) {
+                relocs.push(r);
+                continue;
+            }
         }
         match engine.obj_state(at, oid) {
             Some(st) if st.is_owner => {
@@ -300,6 +326,7 @@ pub fn handle_copy_request(
 /// whichever protocol (initiator reuse or receiver retire) was waiting.
 pub fn handle_copy_reply(
     gc: &mut GcState,
+    engine: &DsmEngine,
     mems: &mut [NodeMemory],
     stats: &mut NodeStats,
     at: NodeId,
@@ -327,6 +354,7 @@ pub fn handle_copy_reply(
     if copyout_done {
         msgs.extend(advance_to_retire(
             gc,
+            engine,
             &mut mems[at.0 as usize],
             stats,
             at,
@@ -349,6 +377,7 @@ pub fn handle_copy_reply(
     if retire_done {
         msgs.extend(complete_retire(
             gc,
+            engine,
             &mut mems[at.0 as usize],
             stats,
             at,
@@ -362,6 +391,7 @@ pub fn handle_copy_reply(
 /// every other replica holder (or finish immediately if there are none).
 fn advance_to_retire(
     gc: &mut GcState,
+    engine: &DsmEngine,
     mem: &mut NodeMemory,
     stats: &mut NodeStats,
     node: NodeId,
@@ -384,7 +414,7 @@ fn advance_to_retire(
         .filter(|&d| d != node)
         .collect();
     if dests.is_empty() {
-        finish_local(gc, mem, stats, node, bunch)?;
+        finish_local(gc, engine, mem, stats, node, bunch)?;
         return Ok(Vec::new());
     }
     {
@@ -476,7 +506,7 @@ pub fn handle_retire(
         stats.bump(StatKind::BackgroundGcMessages);
     }
     if msgs.is_empty() {
-        msgs.extend(complete_retire(gc, mem, stats, at, bunch)?);
+        msgs.extend(complete_retire(gc, engine, mem, stats, at, bunch)?);
     }
     Ok(msgs)
 }
@@ -485,6 +515,7 @@ pub fn handle_retire(
 /// ranges and acknowledges to the initiator.
 fn complete_retire(
     gc: &mut GcState,
+    engine: &DsmEngine,
     mem: &mut NodeMemory,
     stats: &mut NodeStats,
     at: NodeId,
@@ -493,7 +524,7 @@ fn complete_retire(
     let Some(rt) = gc.node_mut(at).bunch_or_default(bunch).retire.take() else {
         return Ok(Vec::new());
     };
-    wipe_segments(gc, mem, stats, at, bunch, &rt.segments)?;
+    wipe_segments(gc, engine, mem, stats, at, bunch, &rt.segments)?;
     // The initiator claims the segments; they leave this node's pools.
     if let Some(brs) = gc.node_mut(at).bunch_mut(bunch) {
         brs.pending_from.retain(|s| !rt.segments.contains(s));
@@ -506,6 +537,7 @@ fn complete_retire(
 /// Handles a `RetireAck` at the initiator; finishes once all are in.
 pub fn handle_retire_ack(
     gc: &mut GcState,
+    engine: &DsmEngine,
     mem: &mut NodeMemory,
     stats: &mut NodeStats,
     at: NodeId,
@@ -533,7 +565,7 @@ pub fn handle_retire_ack(
         }
     };
     if done {
-        finish_local(gc, mem, stats, at, bunch)?;
+        finish_local(gc, engine, mem, stats, at, bunch)?;
     }
     Ok(())
 }
@@ -542,6 +574,7 @@ pub fn handle_retire_ack(
 /// the allocation pool.
 fn finish_local(
     gc: &mut GcState,
+    engine: &DsmEngine,
     mem: &mut NodeMemory,
     stats: &mut NodeStats,
     node: NodeId,
@@ -550,7 +583,7 @@ fn finish_local(
     let Some(reuse) = gc.node_mut(node).bunch_or_default(bunch).reuse.take() else {
         return Ok(());
     };
-    wipe_segments(gc, mem, stats, node, bunch, &reuse.segments)?;
+    wipe_segments(gc, engine, mem, stats, node, bunch, &reuse.segments)?;
     let brs = gc.node_mut(node).bunch_mut(bunch).expect("mapped");
     brs.pending_from.retain(|s| !reuse.segments.contains(s));
     brs.relocations.retain(|r| {
@@ -575,13 +608,13 @@ fn finish_local(
 /// the segment replicas, and forgets the forwarding knowledge.
 fn wipe_segments(
     gc: &mut GcState,
+    engine: &DsmEngine,
     mem: &mut NodeMemory,
     stats: &mut NodeStats,
     at: NodeId,
     bunch: BunchId,
     segments: &[SegmentId],
 ) -> Result<()> {
-    let _ = bunch;
     let ranges: Vec<(Addr, u64)> = segments
         .iter()
         .filter_map(|&s| {
@@ -591,19 +624,33 @@ fn wipe_segments(
         })
         .collect();
     let in_doomed = |a: Addr| ranges.iter().any(|&(b, w)| a.in_range(b, w));
-    // No live object may remain: the protocol's phases guarantee it; check
-    // loudly rather than silently corrupting.
+    // Final local settle. Per-node divergence (Section 4.2) means the
+    // retire round's relocation gossip cannot always settle *this*
+    // replica's copy: its local address may match no advertised edge, or
+    // the only chain it knows may dead-end inside the very ranges being
+    // retired (the knowledge past that hop was dropped by an earlier
+    // reuse). The node itself is the sole authority on where its copy
+    // lives, so any still-current tracked resident is copied out locally
+    // here. Residents the DSM no longer tracks, or whose current copy is
+    // established elsewhere, are ghosts — bytes a collection dropped as
+    // locally dead (`drop_replica`) or a superseded install — and are
+    // exactly what the wipe exists to clear.
     for &sid in segments {
         if !mem.has_segment(sid) {
             continue;
         }
         for addr in object::objects_in(mem.segment(sid)?) {
             let v = object::view(mem, addr)?;
-            if !v.is_forwarded() {
-                return Err(BmxError::Protocol(format!(
-                    "retiring segment {sid} with live resident {addr} ({})",
-                    v.oid
-                )));
+            if v.is_forwarded() {
+                continue;
+            }
+            let is_current = {
+                let dir = &gc.node(at).directory;
+                let a0 = dir.addr_of(v.oid);
+                a0 == Some(addr) || a0.map(|a| dir.resolve(a)) == Some(addr)
+            };
+            if is_current && engine.obj_state(at, v.oid).is_some() {
+                copy_out_locally(gc, mem, stats, at, bunch, addr, segments)?;
             }
         }
     }
@@ -655,6 +702,16 @@ fn wipe_segments(
                 brs.scion_table.inter[i].target_addr = a;
             }
         }
+    }
+    // Hand the forwarding knowledge this node is about to drop to the
+    // segment server's retired-range routing: a mutator anywhere that still
+    // holds a pre-collection pointer (a register-resident root, in the
+    // paper's terms) resolves it there once every replica has wiped.
+    {
+        let relocs = relocs_out_of(gc, mem, at, segments);
+        gc.server
+            .borrow_mut()
+            .note_retired(relocs.into_iter().map(|r| (r.oid, r.from, r.to)));
     }
     // Zero the replicas and drop the forwarding knowledge.
     let mut freed = 0;

@@ -38,6 +38,15 @@ pub fn apply_relocations_at(
                 None => continue, // unknown address: drop the record
             }
         }
+        // Whether `r.from` is this node's *current* address for the object
+        // — decided before the record advances it. Bytes at any other
+        // address are a ghost of an older generation; carrying those along
+        // the chain would resurrect stale state over the live copy.
+        let was_current = {
+            let dir = &gc.node(node).directory;
+            let a0 = dir.addr_of(r.oid);
+            a0 == Some(r.from) || a0.map(|a| dir.resolve(a)) == Some(r.from)
+        };
         if !gc.node_mut(node).directory.record_move(r.oid, r.from, r.to) {
             continue; // already known
         }
@@ -57,10 +66,11 @@ pub fn apply_relocations_at(
         // the vacated spot and has not already been moved. Records can
         // arrive out of order across source nodes, so the copy target is
         // the *resolved* end of the chain, not necessarily `r.to`.
-        let movable = object::view(mem, r.from)
-            .ok()
-            .filter(|v| v.oid == r.oid && !v.is_forwarded())
-            .is_some();
+        let movable = was_current
+            && object::view(mem, r.from)
+                .ok()
+                .filter(|v| v.oid == r.oid && !v.is_forwarded())
+                .is_some();
         if movable {
             let dest = gc.node(node).directory.resolve(r.to);
             if !mem.is_mapped(dest) {
@@ -99,7 +109,18 @@ impl GcIntegration for GcState {
     }
 
     fn resolve_current(&self, node: NodeId, addr: Addr) -> Addr {
-        self.node(node).directory.resolve(addr)
+        let cur = self.node(node).directory.resolve(addr);
+        if cur == addr {
+            // No local knowledge. If the address lies in a range the reuse
+            // protocol reclaimed (every node dropped its edges), the server's
+            // retired-range routing still knows where the contents went —
+            // without it, a stale address in an in-flight grant would make
+            // the receiver install the replica into re-pooled space.
+            if let Some((_, to)) = self.server.borrow().resolve_retired(addr) {
+                return self.node(node).directory.resolve(to);
+            }
+        }
+        cur
     }
 
     fn grant_relocations(

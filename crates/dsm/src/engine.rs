@@ -197,6 +197,208 @@ impl DsmEngine {
     }
 
     // ------------------------------------------------------------------
+    // Crash-amnesia recovery.
+    // ------------------------------------------------------------------
+
+    /// Discards every piece of volatile protocol state at `node` — the
+    /// object directory, token/ownership caches, queued requests, pending
+    /// transfers and invalidations. This models the power-failure half of
+    /// an amnesia crash; the rejoin handshake rebuilds the state from the
+    /// RVM store and the surviving peers.
+    pub fn amnesia_reset(&mut self, node: NodeId) {
+        self.nodes[node.0 as usize] = DsmNodeState::default();
+    }
+
+    /// Reconciles a surviving node `at` with the fact that `gone` crashed
+    /// with amnesia: every in-flight message to or from `gone` was dropped
+    /// and `gone` has forgotten it ever sent anything, so bookkeeping that
+    /// waits on `gone` would wait forever. Queued requests from `gone` are
+    /// dropped, invalidation rounds stop awaiting its ack, and a write
+    /// transfer it requested is converted into a self-promotion at the
+    /// owner (the owner regains exclusivity; `gone` re-requests after
+    /// rejoin if it still cares).
+    ///
+    /// Entering ownerPtrs that name `gone` are deliberately *kept*: they
+    /// are reclamation roots, and dropping them early could let a
+    /// collection reclaim an object the restarted node still reaches. The
+    /// fresh reachability reports requested during rejoin retire them
+    /// through the normal idempotent cleaner path instead.
+    pub fn purge_peer(
+        &mut self,
+        at: NodeId,
+        gone: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let ns = self.ns_mut(at);
+        // Requests queued by the crashed node: it forgot asking.
+        for q in ns.queued.values_mut() {
+            q.retain(|r| r.requester != gone);
+        }
+        ns.queued.retain(|_, q| !q.is_empty());
+        // Deferred invalidations whose parent died: the ack would go
+        // nowhere, and the parent's transfer died with it.
+        for parents in ns.deferred_invals.values_mut() {
+            parents.retain(|&p| p != gone);
+        }
+        ns.deferred_invals.retain(|_, p| !p.is_empty());
+        // Replica bookkeeping: `gone`'s copies are forgotten, and acquires
+        // routed along an ownerPtr naming `gone` were dropped mid-flight —
+        // clear the wait so the mutator's retry re-sends after rejoin.
+        let mut stale_waits = Vec::new();
+        for (&oid, st) in ns.objects.iter_mut() {
+            st.copy_set.remove(&gone);
+            if !st.is_owner && st.owner_hint == gone {
+                stale_waits.push(oid);
+            }
+        }
+        for oid in stale_waits {
+            ns.waiting_for.remove(&oid);
+        }
+        // Transitive invalidation rounds awaiting the crashed node.
+        let mut inval_done = Vec::new();
+        for (&oid, pi) in ns.pending_inval.iter_mut() {
+            pi.awaiting.remove(&gone);
+            if pi.awaiting.is_empty() {
+                inval_done.push((oid, pi.parent));
+            }
+        }
+        for (oid, _) in &inval_done {
+            ns.pending_inval.remove(oid);
+        }
+        // Write transfers: stop awaiting `gone`'s ack; a transfer *to*
+        // `gone` becomes a self-promotion at the owner.
+        let mut xfer_done = Vec::new();
+        for (&oid, pw) in ns.pending_write.iter_mut() {
+            if pw.requester == gone {
+                pw.requester = at;
+            }
+            pw.awaiting.remove(&gone);
+            if pw.awaiting.is_empty() {
+                xfer_done.push(oid);
+            }
+        }
+        for (oid, parent) in inval_done {
+            if parent != gone {
+                self.emit(
+                    sh,
+                    send,
+                    at,
+                    parent,
+                    DsmMsg::InvalidateAck { oid, child: at },
+                );
+            }
+        }
+        for oid in xfer_done {
+            let requester = self
+                .ns_mut(at)
+                .pending_write
+                .remove(&oid)
+                .expect("present")
+                .requester;
+            self.complete_write_transfer(at, oid, requester, sh, send)?;
+            let queued = self.ns_mut(at).queued.remove(&oid).unwrap_or_default();
+            for q in queued {
+                match q.kind {
+                    ReqKind::Read => self.handle_read_req(at, oid, q.requester, sh, send)?,
+                    ReqKind::Write => self.handle_write_req(at, oid, q.requester, sh, send)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// At a recovered node: installs `oid` as an inconsistent replica whose
+    /// ownerPtr names the surviving `owner`. Used when the rejoin handshake
+    /// finds a peer that (still) owns an object recovered from the RVM
+    /// store — the recovered image may be stale, so the node re-enters the
+    /// copy-set without any token and re-acquires on next use.
+    pub fn rejoin_install_replica(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        bunch: BunchId,
+        owner: NodeId,
+    ) {
+        self.ns_mut(node)
+            .objects
+            .insert(oid, ObjState::new_replica(bunch, Token::None, owner));
+    }
+
+    /// At a recovered node: claims ownership of a recovered `oid` because
+    /// no surviving peer owns it. `replicas` are the peers that still hold
+    /// copies (they become entering ownerPtrs); `readers` the subset that
+    /// reported a read token (they stay valid, so the claimant takes only a
+    /// read token when any exist — writes go through the normal
+    /// invalidation path).
+    pub fn rejoin_claim_owner(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        bunch: BunchId,
+        replicas: &[NodeId],
+        readers: &[NodeId],
+    ) {
+        let mut st = ObjState::new_owner(bunch, node);
+        if readers.iter().any(|&r| r != node) {
+            st.token = Token::Read;
+        }
+        for &h in replicas {
+            if h != node {
+                st.entering.insert(h);
+            }
+        }
+        for &r in readers {
+            if r != node {
+                st.copy_set.insert(r);
+            }
+        }
+        self.ns_mut(node).objects.insert(oid, st);
+    }
+
+    /// At a surviving node: adopts ownership of an object orphaned by an
+    /// amnesia crash (the crashed owner did not checkpoint it, so its
+    /// authoritative copy is gone). The adopter's replica — possibly stale
+    /// — becomes the authoritative one; this is the bounded data loss the
+    /// crash-amnesia model allows. The token is promoted only to `Read` so
+    /// other surviving readers stay valid.
+    pub fn rejoin_adopt_owner(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        replicas: &[NodeId],
+        readers: &[NodeId],
+    ) {
+        if let Some(st) = self.ns_mut(node).get_mut(oid) {
+            st.is_owner = true;
+            st.owner_hint = node;
+            if st.token == Token::None {
+                st.token = Token::Read;
+            }
+            for &h in replicas {
+                if h != node {
+                    st.entering.insert(h);
+                }
+            }
+            for &r in readers {
+                if r != node {
+                    st.copy_set.insert(r);
+                }
+            }
+        }
+    }
+
+    /// Repoints a surviving replica's ownerPtr after a rejoin assignment
+    /// re-homed the object (no-op at the owner itself).
+    pub fn set_owner_hint(&mut self, node: NodeId, oid: Oid, owner: NodeId) {
+        if let Some(st) = self.ns_mut(node).get_mut(oid) {
+            if !st.is_owner {
+                st.owner_hint = owner;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Mutator operations.
     // ------------------------------------------------------------------
 

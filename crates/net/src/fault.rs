@@ -182,9 +182,21 @@ impl Partition {
 }
 
 /// A node crash at tick `at` followed by a restart at tick `restart_at`.
-/// While crashed, the node neither sends nor receives: lossy traffic to or
-/// from it is discarded, reliable traffic addressed to it is held and
-/// delivered after the restart.
+///
+/// In the default (fail-buffered) mode the node neither sends nor receives
+/// while crashed: lossy traffic to or from it is discarded, reliable traffic
+/// addressed to it is held and delivered after the restart, and the node
+/// keeps its volatile state — modelling a transient stall behind a reliable
+/// transport.
+///
+/// With [`CrashEvent::amnesia`] set the crash is a real power failure: the
+/// node loses every byte of volatile state, so there is nothing for a
+/// reliable transport to retransmit *to* and no send buffer to drain *from*.
+/// All in-flight traffic touching the node — reliable classes included — is
+/// dropped at crash time, and traffic addressed to or from it during the
+/// outage is dropped rather than held. The layer above is expected to wipe
+/// the node's state on [`FaultEvent::NodeCrashed`] and run a recovery
+/// pipeline on [`FaultEvent::NodeRestarted`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CrashEvent {
     /// The crashing node.
@@ -193,6 +205,9 @@ pub struct CrashEvent {
     pub at: u64,
     /// Restart tick (exclusive end of the outage).
     pub restart_at: u64,
+    /// Whether the crash discards volatile state and in-flight reliable
+    /// traffic (power failure) instead of buffering (transient stall).
+    pub amnesia: bool,
 }
 
 impl CrashEvent {
@@ -261,12 +276,25 @@ impl FaultPlan {
         self
     }
 
-    /// Adds a crash of `node` during `[at, restart_at)`.
+    /// Adds a fail-buffered crash of `node` during `[at, restart_at)`.
     pub fn crash(mut self, node: NodeId, at: u64, restart_at: u64) -> Self {
         self.crashes.push(CrashEvent {
             node,
             at,
             restart_at,
+            amnesia: false,
+        });
+        self
+    }
+
+    /// Adds an amnesia crash of `node` during `[at, restart_at)`: volatile
+    /// state is lost and in-flight reliable traffic is dropped, not held.
+    pub fn crash_amnesia(mut self, node: NodeId, at: u64, restart_at: u64) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            at,
+            restart_at,
+            amnesia: true,
         });
         self
     }
@@ -313,6 +341,13 @@ impl FaultPlan {
             .map(|c| c.restart_at)
             .max()
     }
+
+    /// Whether any crash event covering `node` at `t` is an amnesia crash.
+    /// Amnesia dominates: if a buffered and an amnesia outage overlap, the
+    /// volatile state is gone either way.
+    pub fn amnesia_at(&self, node: NodeId, t: u64) -> bool {
+        self.crashes.iter().any(|c| c.amnesia && c.down(node, t))
+    }
 }
 
 /// Counters for every fault the network injected. All deterministic under a
@@ -334,6 +369,9 @@ pub struct FaultStats {
     pub crash_dropped: u64,
     /// Reliable messages held for delivery after a node restart.
     pub crash_held: u64,
+    /// Reliable messages dropped — not held — because the crashed endpoint
+    /// was in an amnesia outage (in-flight purges included).
+    pub amnesia_dropped: u64,
     /// Nodes that came back up.
     pub restarts: u64,
 }
@@ -351,11 +389,17 @@ pub enum FaultEvent {
     NodeCrashed {
         /// The crashed node.
         node: NodeId,
+        /// Whether the crash discards volatile state (the layer above must
+        /// wipe the node) instead of merely stalling it.
+        amnesia: bool,
     },
     /// A node came back up; held reliable traffic is now deliverable.
     NodeRestarted {
         /// The restarted node.
         node: NodeId,
+        /// Whether the outage was an amnesia crash — the node restarts
+        /// empty and must run the recovery pipeline before serving.
+        amnesia: bool,
     },
 }
 
@@ -431,6 +475,32 @@ mod tests {
             inverted.validate(),
             Err(FaultConfigError::EmptyWindow { start: 7, end: 7 })
         );
+    }
+
+    #[test]
+    fn amnesia_crash_is_flagged_and_queryable() {
+        let plan = FaultPlan::none()
+            .crash(n(1), 5, 8)
+            .crash_amnesia(n(2), 10, 20);
+        assert!(plan.validate().is_ok());
+        assert!(!plan.amnesia_at(n(1), 6), "buffered crash is not amnesia");
+        assert!(plan.amnesia_at(n(2), 10));
+        assert!(plan.amnesia_at(n(2), 19));
+        assert!(!plan.amnesia_at(n(2), 20), "restart tick is exclusive");
+        assert_eq!(plan.crashed_until(n(2), 12), Some(20));
+    }
+
+    #[test]
+    fn overlapping_amnesia_dominates_buffered_crash() {
+        let plan = FaultPlan::none()
+            .crash(n(0), 0, 30)
+            .crash_amnesia(n(0), 10, 20);
+        assert!(!plan.amnesia_at(n(0), 5));
+        assert!(
+            plan.amnesia_at(n(0), 15),
+            "amnesia window wins inside overlap"
+        );
+        assert!(!plan.amnesia_at(n(0), 25));
     }
 
     #[test]

@@ -311,6 +311,18 @@ impl<M: WireSize + Clone> Network<M> {
         let severed = self.cfg.fault.severed_until(src, dst, self.now);
         if crashed.is_some() || severed.is_some() {
             if class.requires_reliability() {
+                // An amnesia crash drops reliable traffic instead of holding
+                // it: the crashed endpoint has no state for a retransmission
+                // protocol to resume against.
+                if crashed.is_some()
+                    && (self.cfg.fault.amnesia_at(src, self.now)
+                        || self.cfg.fault.amnesia_at(dst, self.now))
+                {
+                    self.fault_stats.amnesia_dropped += 1;
+                    self.stats.entry(class).or_default().dropped += 1;
+                    trace::emit(src, drop_event);
+                    return seq;
+                }
                 if crashed.is_some() {
                     self.fault_stats.crash_held += 1;
                 } else {
@@ -401,7 +413,7 @@ impl<M: WireSize + Clone> Network<M> {
                 self.events.push(FaultEvent::PartitionHealed { members });
             }
         }
-        let mut purges: Vec<(NodeId, u64)> = Vec::new();
+        let mut purges: Vec<(NodeId, u64, bool)> = Vec::new();
         for (i, c) in self.cfg.fault.crashes.iter().enumerate() {
             if self.crash_phase[i] == 0 && now >= c.at {
                 self.crash_phase[i] = 1;
@@ -411,8 +423,11 @@ impl<M: WireSize + Clone> Network<M> {
                         kind: trace::FaultKind::Crash,
                     },
                 );
-                self.events.push(FaultEvent::NodeCrashed { node: c.node });
-                purges.push((c.node, c.restart_at));
+                self.events.push(FaultEvent::NodeCrashed {
+                    node: c.node,
+                    amnesia: c.amnesia,
+                });
+                purges.push((c.node, c.restart_at, c.amnesia));
             }
             if self.crash_phase[i] == 1 && now >= c.restart_at {
                 self.crash_phase[i] = 2;
@@ -423,21 +438,37 @@ impl<M: WireSize + Clone> Network<M> {
                         kind: trace::FaultKind::Restart,
                     },
                 );
-                self.events.push(FaultEvent::NodeRestarted { node: c.node });
+                self.events.push(FaultEvent::NodeRestarted {
+                    node: c.node,
+                    amnesia: c.amnesia,
+                });
             }
         }
-        for (node, restart_at) in purges {
-            self.purge_in_flight_for(node, restart_at);
+        for (node, restart_at, amnesia) in purges {
+            self.purge_in_flight_for(node, restart_at, amnesia);
         }
     }
 
     /// Applies a crash of `node` to in-flight traffic: lossy messages on any
     /// link touching the node are discarded; reliable ones are pushed back to
-    /// land after `restart_at`, keeping each channel's FIFO order.
-    fn purge_in_flight_for(&mut self, node: NodeId, restart_at: u64) {
+    /// land after `restart_at`, keeping each channel's FIFO order. An amnesia
+    /// crash discards *everything* touching the node — the send buffers died
+    /// with the sender, and the receiver that would have acknowledged the
+    /// retransmission no longer exists.
+    fn purge_in_flight_for(&mut self, node: NodeId, restart_at: u64, amnesia: bool) {
         let latency = self.cfg.latency;
         for (&(src, dst), queue) in self.channels.iter_mut() {
             if src != node && dst != node {
+                continue;
+            }
+            if amnesia {
+                for m in queue.drain(..) {
+                    if m.env.class.requires_reliability() {
+                        self.fault_stats.amnesia_dropped += 1;
+                    } else {
+                        self.fault_stats.crash_dropped += 1;
+                    }
+                }
                 continue;
             }
             let mut kept = VecDeque::with_capacity(queue.len());
@@ -836,8 +867,70 @@ mod tests {
         assert_eq!(fs.crash_dropped, 1);
         assert_eq!(fs.restarts, 1);
         let events = net.drain_fault_events();
-        assert!(events.contains(&FaultEvent::NodeCrashed { node: n(1) }));
-        assert!(events.contains(&FaultEvent::NodeRestarted { node: n(1) }));
+        assert!(events.contains(&FaultEvent::NodeCrashed {
+            node: n(1),
+            amnesia: false
+        }));
+        assert!(events.contains(&FaultEvent::NodeRestarted {
+            node: n(1),
+            amnesia: false
+        }));
+    }
+
+    #[test]
+    fn amnesia_crash_drops_reliable_in_flight() {
+        let fault = FaultPlan::none().crash_amnesia(n(1), 2, 20);
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(5).with_fault(fault));
+        // In flight before the crash: due at tick 5, but node 1 dies at 2
+        // with amnesia — nothing survives, reliable or not.
+        net.send(n(0), n(1), MsgClass::Dsm, P(1));
+        net.send(n(0), n(1), MsgClass::GcBackground, P(2));
+        net.send(n(1), n(0), MsgClass::Dsm, P(3)); // from the dying sender
+        let mut arrivals: Vec<(u64, u64)> = Vec::new();
+        while net.in_flight() > 0 {
+            let now_after = net.now() + 1;
+            arrivals.extend(net.tick().into_iter().map(|e| (now_after, e.payload.0)));
+        }
+        assert!(arrivals.is_empty(), "amnesia drops everything in flight");
+        let fs = net.fault_stats();
+        assert_eq!(fs.amnesia_dropped, 2, "both reliable messages dropped");
+        assert_eq!(fs.crash_dropped, 1, "the lossy message dropped");
+        assert_eq!(fs.crash_held, 0, "nothing is buffered");
+        // Drain the remaining outage so both transitions are observed.
+        while net.now() < 20 {
+            let _ = net.tick();
+        }
+        let events = net.drain_fault_events();
+        assert!(events.contains(&FaultEvent::NodeCrashed {
+            node: n(1),
+            amnesia: true
+        }));
+        assert!(events.contains(&FaultEvent::NodeRestarted {
+            node: n(1),
+            amnesia: true
+        }));
+    }
+
+    #[test]
+    fn sends_during_amnesia_outage_are_dropped_not_held() {
+        let fault = FaultPlan::none().crash_amnesia(n(1), 1, 6);
+        let mut net: Network<P> = Network::new(NetworkConfig::lossless(1).with_fault(fault));
+        let _ = net.tick(); // advance into the outage window
+        assert!(net.is_down(n(1)));
+        net.send(n(0), n(1), MsgClass::Dsm, P(1));
+        net.send(n(1), n(0), MsgClass::StubTable, P(2));
+        assert_eq!(net.fault_stats().amnesia_dropped, 1);
+        assert_eq!(net.fault_stats().crash_dropped, 1);
+        assert_eq!(net.fault_stats().crash_held, 0);
+        assert_eq!(net.in_flight(), 0, "nothing buffered for the restart");
+        // After the restart traffic flows normally again.
+        while net.now() < 6 {
+            let _ = net.tick();
+        }
+        net.send(n(0), n(1), MsgClass::Dsm, P(9));
+        let got = net.tick();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, P(9));
     }
 
     #[test]

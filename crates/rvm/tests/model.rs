@@ -51,6 +51,93 @@ fn reopen(dir: &std::path::Path) -> Rvm {
     rvm
 }
 
+/// Torn-write sweep: a crash at *every byte offset* of a commit's log
+/// append must recover to exactly the pre-transaction state — never a
+/// half-applied transaction.
+///
+/// A commit appends all of its SetRange frames plus the Commit frame in one
+/// contiguous write. On disk that write can tear at any byte boundary, so
+/// the test replays the crash at each one: the log is rewritten as every
+/// strict prefix of the append, the store is reopened, and the recovered
+/// image must equal the old state byte for byte. Only the complete append
+/// (the commit marker intact) may surface the new state. A second sweep
+/// flips each byte of the full append in place — a torn sector rather than
+/// a short write — with the same all-or-nothing requirement, which is what
+/// pins the per-frame checksum: a transaction whose SetRange frames are all
+/// intact but whose Commit frame is corrupt must still recover to the old
+/// state.
+#[test]
+fn crash_at_every_byte_of_a_log_append_never_half_applies() {
+    let dir = fresh_dir(0xF00D_CAFE);
+    let log_path = dir.join("rvm.log");
+
+    // Baseline state A, pushed into the data files so the log holds only
+    // the transaction under test.
+    let mut rvm = reopen(&dir);
+    let t = rvm.begin().expect("begin");
+    rvm.set_range(t, REGION, 0, &[0xAA; LEN]).expect("write");
+    rvm.commit(t).expect("commit");
+    rvm.truncate().expect("truncate");
+    let state_a = [0xAAu8; LEN];
+    assert_eq!(rvm.read(REGION, 0, LEN).expect("read"), &state_a[..]);
+
+    // State B: one transaction of several SetRange spans — a crash landing
+    // between its frames is exactly the half-application hazard.
+    let t = rvm.begin().expect("begin");
+    rvm.set_range(t, REGION, 0, &[0xB1; 16]).expect("write");
+    rvm.set_range(t, REGION, 48, &[0xB2; 32]).expect("write");
+    rvm.set_range(t, REGION, 100, &[0xB3; 20]).expect("write");
+    rvm.commit(t).expect("commit");
+    let mut state_b = state_a;
+    state_b[0..16].fill(0xB1);
+    state_b[48..80].fill(0xB2);
+    state_b[100..120].fill(0xB3);
+    assert_eq!(rvm.read(REGION, 0, LEN).expect("read"), &state_b[..]);
+    drop(rvm);
+
+    let full = std::fs::read(&log_path).expect("read log bytes");
+    assert!(full.len() > 16, "append produced a multi-frame log");
+
+    // Crash as a short write: every strict prefix recovers state A; the
+    // complete append recovers state B.
+    for cut in 0..=full.len() {
+        std::fs::write(&log_path, &full[..cut]).expect("write prefix");
+        let rvm = reopen(&dir);
+        let got = rvm.read(REGION, 0, LEN).expect("read");
+        let want: &[u8] = if cut == full.len() {
+            &state_b
+        } else {
+            &state_a
+        };
+        assert_eq!(
+            got,
+            want,
+            "crash after {cut}/{} append bytes surfaced a state that is \
+             neither old nor new",
+            full.len()
+        );
+    }
+
+    // Crash as a torn sector: flipping any single byte of the append must
+    // also recover state A — the checksum rejects the frame and with it the
+    // commit marker.
+    for i in 0..full.len() {
+        let mut torn = full.clone();
+        torn[i] ^= 0xFF;
+        std::fs::write(&log_path, &torn).expect("write torn");
+        let rvm = reopen(&dir);
+        let got = rvm.read(REGION, 0, LEN).expect("read");
+        assert_eq!(
+            got,
+            &state_a[..],
+            "byte {i} of the append corrupted in place surfaced a \
+             half-applied transaction"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
 

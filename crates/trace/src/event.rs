@@ -292,6 +292,30 @@ pub enum TraceEvent {
         step: ReuseStep,
     },
 
+    // ---------------- recovery plane ----------------
+    /// This node began its crash-amnesia recovery pipeline (RVM replay has
+    /// finished; the rejoin handshake is about to start). `epoch` is the
+    /// rejoin epoch the node will stamp on its handshake traffic.
+    RecoveryBegin {
+        /// The rejoin epoch of this recovery.
+        epoch: u64,
+    },
+    /// This node finished recovery: RVM replay, the rejoin handshake, and
+    /// scion/stub regeneration all completed.
+    RecoveryComplete {
+        /// The rejoin epoch of this recovery.
+        epoch: u64,
+    },
+    /// During rejoin the node resumed `bunch`'s collection-epoch counter
+    /// at `epoch` (the max any surviving peer had applied), so every
+    /// post-restart report is strictly newer than anything pre-crash.
+    RejoinEpoch {
+        /// The bunch whose epoch counter was resumed.
+        bunch: BunchId,
+        /// The resumed (floor) epoch.
+        epoch: Epoch,
+    },
+
     // ---------------- mutator plane ----------------
     /// A mutator data/pointer access at this node; `resolved` differs from
     /// `requested` when the access went through forwarding knowledge.
@@ -332,6 +356,7 @@ impl TraceEvent {
             | ScionRetired { .. }
             | OwnerPtrRetired { .. }
             | ReportRetry { .. } => "cleaner",
+            RecoveryBegin { .. } | RecoveryComplete { .. } | RejoinEpoch { .. } => "recovery",
             MutatorAccess { .. } => "mutator",
         }
     }
@@ -363,6 +388,9 @@ impl TraceEvent {
             OwnerPtrRetired { .. } => "OwnerPtrRetired",
             ReportRetry { .. } => "ReportRetry",
             Reuse { .. } => "Reuse",
+            RecoveryBegin { .. } => "RecoveryBegin",
+            RecoveryComplete { .. } => "RecoveryComplete",
+            RejoinEpoch { .. } => "RejoinEpoch",
             MutatorAccess { .. } => "MutatorAccess",
         }
     }
@@ -430,6 +458,11 @@ impl fmt::Display for TraceEvent {
             ),
             ReportRetry { bunch, dest } => write!(f, "ReportRetry {bunch} -> {dest}"),
             Reuse { bunch, step } => write!(f, "Reuse {bunch} {step:?}"),
+            RecoveryBegin { epoch } => write!(f, "RecoveryBegin rejoin-epoch={epoch}"),
+            RecoveryComplete { epoch } => write!(f, "RecoveryComplete rejoin-epoch={epoch}"),
+            RejoinEpoch { bunch, epoch } => {
+                write!(f, "RejoinEpoch {bunch} resumed-at={}", epoch.0)
+            }
             MutatorAccess {
                 requested,
                 resolved,

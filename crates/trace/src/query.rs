@@ -211,6 +211,73 @@ pub fn acquire_invariant_violations(records: &[TraceRecord]) -> Vec<TraceRecord>
     bad
 }
 
+/// **Post-crash epoch monotonicity** (crash-amnesia recovery rule): once a
+/// node `X` begins recovery from an amnesia crash (`RecoveryBegin` at `X`),
+/// every later scion/ownerPtr retirement justified by one of `X`'s reports
+/// must carry an epoch *strictly greater* than the highest epoch any node
+/// had applied from `X` for that bunch before the recovery. The rejoin
+/// handshake resumes `X`'s per-bunch epoch counters at the surviving
+/// cluster-wide maximum, so a retirement under a pre-crash epoch after a
+/// restart means a stale (possibly amnesia-forgotten) report was replayed
+/// as if fresh — exactly the confusion the idempotent cleaner design is
+/// supposed to rule out. Returns the offending retirement records.
+///
+/// The pass walks the merged happens-before order once: it tracks, per
+/// `(source, bunch)`, the maximum epoch seen in any `ReportApply`,
+/// `ScionRetired`, or `OwnerPtrRetired`; at each `RecoveryBegin` at `X` it
+/// freezes that maximum as `X`'s floor; any subsequent retirement with
+/// source `X` at an epoch `<=` the floor is flagged. A second recovery at
+/// the same node re-freezes the floor at the then-current maximum.
+pub fn post_crash_epoch_violations(records: &[TraceRecord]) -> Vec<TraceRecord> {
+    use std::collections::BTreeMap;
+    let mut max_epoch: BTreeMap<(NodeId, bmx_common::BunchId), u64> = BTreeMap::new();
+    let mut floors: BTreeMap<(NodeId, bmx_common::BunchId), u64> = BTreeMap::new();
+    let mut bad = Vec::new();
+    for rec in merged_order(records) {
+        match rec.event {
+            TraceEvent::ReportApply {
+                source,
+                bunch,
+                epoch,
+            } => {
+                let slot = max_epoch.entry((source, bunch)).or_insert(0);
+                *slot = (*slot).max(epoch.0);
+            }
+            TraceEvent::ScionRetired {
+                source,
+                bunch,
+                epoch,
+                ..
+            }
+            | TraceEvent::OwnerPtrRetired {
+                source,
+                bunch,
+                epoch,
+                ..
+            } => {
+                if let Some(&floor) = floors.get(&(source, bunch)) {
+                    if epoch.0 <= floor {
+                        bad.push(rec);
+                    }
+                }
+                let slot = max_epoch.entry((source, bunch)).or_insert(0);
+                *slot = (*slot).max(epoch.0);
+            }
+            TraceEvent::RecoveryBegin { .. } => {
+                // Freeze this node's floors at the epochs the cluster had
+                // already applied from it, for every bunch it ever reported.
+                for (&(source, bunch), &m) in max_epoch.iter() {
+                    if source == rec.node {
+                        floors.insert((source, bunch), m);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    bad
+}
+
 fn nodes_of(records: &[TraceRecord]) -> Vec<NodeId> {
     let mut nodes: Vec<NodeId> = records.iter().map(|r| r.node).collect();
     nodes.sort_by_key(|n| n.0);
@@ -404,6 +471,67 @@ mod tests {
         assert!(acquire_invariant_violations(&ordered).is_empty());
         let dangling = vec![r(1, 1, 1, stub), r(0, 2, 2, scion)];
         assert_eq!(acquire_invariant_violations(&dangling).len(), 1);
+    }
+
+    #[test]
+    fn post_crash_epoch_query_flags_pre_crash_epoch_retirement() {
+        let apply = |epoch: u64| TraceEvent::ReportApply {
+            source: NodeId(2),
+            bunch: BunchId(1),
+            epoch: Epoch(epoch),
+        };
+        let retire = |epoch: u64| TraceEvent::ScionRetired {
+            source: NodeId(2),
+            bunch: BunchId(1),
+            epoch: Epoch(epoch),
+            count: 1,
+        };
+        // Pre-crash: the cluster applied node 2's epoch-3 report. After node
+        // 2's amnesia recovery, retirements under its reports must be > 3.
+        let good = vec![
+            r(0, 1, 1, apply(3)),
+            r(0, 2, 2, retire(3)),
+            r(2, 3, 3, TraceEvent::RecoveryBegin { epoch: 1 }),
+            r(0, 4, 4, apply(4)),
+            r(0, 5, 5, retire(4)),
+        ];
+        assert!(post_crash_epoch_violations(&good).is_empty());
+        let bad = vec![
+            r(0, 1, 1, apply(3)),
+            r(2, 2, 2, TraceEvent::RecoveryBegin { epoch: 1 }),
+            r(0, 3, 3, retire(3)),
+        ];
+        assert_eq!(
+            post_crash_epoch_violations(&bad).len(),
+            1,
+            "a retirement at the pre-crash epoch after RecoveryBegin is stale"
+        );
+        // Another source's retirements are unaffected by node 2's crash.
+        let other = vec![
+            r(
+                0,
+                1,
+                1,
+                TraceEvent::ReportApply {
+                    source: NodeId(1),
+                    bunch: BunchId(1),
+                    epoch: Epoch(3),
+                },
+            ),
+            r(2, 2, 2, TraceEvent::RecoveryBegin { epoch: 1 }),
+            r(
+                0,
+                3,
+                3,
+                TraceEvent::ScionRetired {
+                    source: NodeId(1),
+                    bunch: BunchId(1),
+                    epoch: Epoch(3),
+                    count: 1,
+                },
+            ),
+        ];
+        assert!(post_crash_epoch_violations(&other).is_empty());
     }
 
     #[test]

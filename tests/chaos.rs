@@ -118,13 +118,21 @@ fn run_chaos(seed: u64) -> ChaosSummary {
     );
 
     // Drive churn + migration + collections through every fault window. The
-    // shared bunch is collected at its root holder (n0): during the
-    // partition and the crash its reachability reports to the replicas are
-    // dropped, which is exactly what the retry daemon must recover.
+    // shared bunch's collector rotates across the replica nodes — replica-
+    // site collection under migration is supported since the copy/
+    // re-register fixes pinned by `tests/replica_bgc_regression.rs` — so
+    // during the partition and the crash the reachability reports of
+    // whichever side collects are dropped, which is exactly what the retry
+    // daemon must recover. Only the crash window avoids n2 as collector:
+    // a crashed node cannot initiate a collection.
     let mut rounds = 0;
     while c.net.now() < RUN_UNTIL {
         churn::chaos_round(&mut c, &sites, &migrate, rounds, seed).unwrap();
-        c.run_bgc(n0, shared).unwrap();
+        let mut collector = [n0, n1, n2][rounds % 3];
+        if collector == n2 && (CRASH_START..CRASH_END).contains(&c.net.now()) {
+            collector = n0;
+        }
+        c.run_bgc(collector, shared).unwrap();
         rounds += 1;
     }
     // Let the retry daemon finish recovering lost reports.

@@ -1,22 +1,30 @@
-//! Reproduction of the ROADMAP open item "Replica-site collection under
-//! migration" — kept `#[ignore]`d until the copy/re-register path is
-//! fixed; the chaos suite meanwhile keeps shared-bunch collection at the
-//! root holder.
+//! Regression test for the (former) ROADMAP open item "Replica-site
+//! collection under migration".
 //!
-//! The failing shape: a shared bunch replicated on three nodes, ownership
-//! of its objects migrating between the non-root replicas, with `run_bgc`
-//! of the bunch *rotating across the replica nodes* (not the root
-//! holder). After a collection at a replica drops a dead local replica
-//! legitimately, a later re-acquire at that node trips a stale to-space
-//! address (`NotAnObject`). The network is lossless — this is a seed-era
-//! limitation of the copy/re-register path, not of the fault plane.
+//! The shape that used to fail: a shared bunch replicated on three nodes,
+//! ownership of its objects migrating between the non-root replicas, with
+//! `run_bgc` of the bunch *rotating across the replica nodes* (not the
+//! root holder) and `reuse_from_space` retiring each collection's
+//! from-space. Re-acquiring by a pre-collection address then tripped
+//! `NotAnObject` on a lossless network.
 //!
-//! The run captures a flight recorder; on the expected failure the tail
-//! is dumped to `target/chaos/replica-bgc-regression-*` (per-node
-//! timelines + merged Chrome trace) so the causal order leading into the
-//! bad re-acquire can be read directly.
+//! The fixes this pins down:
+//! - `Directory::record_move` refuses divergent edges (same `from`,
+//!   different `to`) instead of clobbering the local chain;
+//! - the segment server's retired-range routing preserves forwarding
+//!   knowledge past `forget_range`, so stale application-held addresses
+//!   stay resolvable after every replica wiped;
+//! - `handle_copy_request` does not settle a retire round with an indexed
+//!   relocation that dead-ends inside the retiring ranges;
+//! - relocation gossip only carries a node's *current* copy (ghosts of
+//!   older generations are left for the wipe);
+//! - the wipe performs a final local settle (copy-out) of any remaining
+//!   current resident, because per-node address divergence (Section 4.2)
+//!   means remote relocation gossip alone cannot settle every replica.
 //!
-//! Run with: `cargo test --test replica_bgc_regression -- --ignored`
+//! The run keeps a flight recorder; on failure the tail is dumped to
+//! `target/chaos/replica-bgc-regression-*` (per-node timelines + merged
+//! Chrome trace) so the causal order can be read directly.
 
 use bmx_repro::prelude::*;
 use bmx_repro::trace;
@@ -48,7 +56,6 @@ fn dump_flight_recorders(tag: &str) {
 }
 
 #[test]
-#[ignore = "ROADMAP open item: replica-site collection under migration trips NotAnObject on re-acquire"]
 fn rotating_replica_bgc_under_migration_survives_reacquire() {
     trace::install_ring(16_384);
     // The chaos workload on a LOSSLESS network: the rotation alone is what

@@ -14,8 +14,8 @@
 //! JSON that a trace viewer will accept.
 
 use bmx_repro::prelude::*;
-use bmx_repro::trace::{self, TraceEvent};
-use bmx_repro::workloads::lists;
+use bmx_repro::trace::{self, TraceEvent, TraceRecord};
+use bmx_repro::workloads::{churn, lists};
 
 fn n(i: u32) -> NodeId {
     NodeId(i)
@@ -118,6 +118,216 @@ fn invariant_queries_hold_on_a_real_run() {
     assert!(addr.is_empty(), "address update violations: {addr:?}");
     let acq = trace::query::acquire_invariant_violations(&records);
     assert!(acq.is_empty(), "acquire invariant violations: {acq:?}");
+}
+
+/// A run through an amnesia crash on an otherwise lossless network: the
+/// victim loses its volatile state mid-workload, replays its RVM
+/// checkpoint, and rejoins under a fresh epoch. Returns the victim so the
+/// caller can anchor its assertions.
+fn recovery_scenario(seed: u64) -> NodeId {
+    const CRASH_START: u64 = 900;
+    const CRASH_END: u64 = 1100;
+    const RUN_UNTIL: u64 = 1500;
+    let victim = n(2);
+
+    let dir = std::env::temp_dir().join(format!(
+        "bmx-trace-recovery-{seed:#x}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut net = NetworkConfig::lossless(1).with_fault(FaultPlan::none().crash_amnesia(
+        victim,
+        CRASH_START,
+        CRASH_END,
+    ));
+    net.seed = seed;
+    let cfg = ClusterConfig {
+        nodes: 3,
+        net,
+        retry: Some(RetryPolicy {
+            initial_interval: 4,
+            backoff: 2,
+            max_interval: 32,
+            budget: 6,
+        }),
+        persist: Some(PersistConfig {
+            dir: dir.clone(),
+            truncate_log_bytes: None,
+        }),
+        ..Default::default()
+    };
+    let mut c = Cluster::new(cfg);
+    let (n0, n1, n2) = (n(0), n(1), n(2));
+
+    let mut sites = Vec::new();
+    for &node in &[n0, n1, n2] {
+        let b = c.create_bunch(node).unwrap();
+        let reg = c.alloc(node, b, &ObjSpec::with_refs(1, &[0])).unwrap();
+        c.add_root(node, reg);
+        sites.push((node, b, reg));
+    }
+    let shared = c.create_bunch(n0).unwrap();
+    let migrate: Vec<Addr> = (0..3)
+        .map(|_| {
+            let o = c.alloc(n0, shared, &ObjSpec::with_refs(2, &[0])).unwrap();
+            c.add_root(n0, o);
+            o
+        })
+        .collect();
+    c.map_bunch(n1, shared, n0).unwrap();
+    c.map_bunch(n2, shared, n0).unwrap();
+    assert!(c.net.now() < CRASH_START, "setup ran into the crash window");
+
+    let mut round = 0usize;
+    while c.net.now() < RUN_UNTIL {
+        let up: Vec<NodeId> = (0..c.nodes())
+            .map(NodeId)
+            .filter(|&p| !c.net.is_down(p) && !c.in_recovery(p))
+            .collect();
+        for &(node, bunch, registry) in &sites {
+            // A home bunch exists at its node only while checkpointed state
+            // covers it — skip churn (not an error) until recovery re-adds it.
+            if up.contains(&node) && c.gc.node(node).bunches.contains_key(&bunch) {
+                churn::register_churn(&mut c, node, bunch, registry, 2).unwrap();
+            }
+        }
+        for (i, &obj) in migrate.iter().enumerate() {
+            let site = up[(round + i) % up.len()];
+            match c.acquire_write(site, obj) {
+                Ok(()) => {
+                    let v = c.read_data(site, obj, 1).unwrap();
+                    c.write_data(site, obj, 1, v + 1).unwrap();
+                    c.release(site, obj).unwrap();
+                }
+                Err(BmxError::WouldBlock { .. }) | Err(BmxError::OwnerUnknown { .. }) => {}
+                Err(e) => panic!("migration hop failed: {e}"),
+            }
+        }
+        // Collections rotate over the home bunches and the shared bunch at
+        // every site: the home-bunch passes keep each node's checkpoint
+        // fresh (what the victim replays from RVM), and the shared-bunch
+        // passes make the victim publish reports pre-crash — the epoch
+        // floor the survivors hand back at rejoin.
+        let mut targets: Vec<(NodeId, BunchId)> = sites
+            .iter()
+            .map(|&(node, bunch, _)| (node, bunch))
+            .collect();
+        for &(node, _, _) in &sites {
+            targets.push((node, shared));
+        }
+        let (cnode, cbunch) = targets[round % targets.len()];
+        if up.contains(&cnode) && c.gc.node(cnode).bunches.contains_key(&cbunch) {
+            c.run_bgc(cnode, cbunch).unwrap();
+        }
+        c.step(20).unwrap();
+        round += 1;
+    }
+    c.settle(5_000).unwrap();
+    assert!(!c.in_recovery(victim), "the rejoin handshake completed");
+    assert_eq!(
+        c.recovery_log.iter().filter(|r| r.node == victim).count(),
+        1,
+        "exactly one recovery at the victim"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    victim
+}
+
+/// The recovery plane traces coherently on a real amnesia-crash run: the
+/// three events appear in pipeline order at the victim with one consistent
+/// rejoin epoch, the post-crash epoch rule holds on the live stream, and —
+/// the teeth check — a stale retirement spliced into that same stream is
+/// flagged by the checker.
+#[test]
+fn recovery_events_and_post_crash_epoch_rule_on_a_real_run() {
+    trace::install_vec();
+    let victim = recovery_scenario(11);
+    let records = trace::take();
+    trace::disable();
+
+    // The victim's own timeline: RecoveryBegin, then every RejoinEpoch,
+    // then RecoveryComplete, all under the same rejoin epoch.
+    let mine: Vec<&TraceRecord> = records.iter().filter(|r| r.node == victim).collect();
+    let begin = mine
+        .iter()
+        .position(|r| matches!(r.event, TraceEvent::RecoveryBegin { .. }))
+        .expect("RecoveryBegin traced at the victim");
+    let complete = mine
+        .iter()
+        .position(|r| matches!(r.event, TraceEvent::RecoveryComplete { .. }))
+        .expect("RecoveryComplete traced at the victim");
+    assert!(begin < complete, "recovery completes after it begins");
+    let begin_epoch = match mine[begin].event {
+        TraceEvent::RecoveryBegin { epoch } => epoch,
+        _ => unreachable!(),
+    };
+    let complete_epoch = match mine[complete].event {
+        TraceEvent::RecoveryComplete { epoch } => epoch,
+        _ => unreachable!(),
+    };
+    assert_eq!(begin_epoch, complete_epoch, "one rejoin epoch end to end");
+    let rejoins: Vec<usize> = mine
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.event, TraceEvent::RejoinEpoch { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        !rejoins.is_empty(),
+        "the survivors handed back at least one per-bunch epoch floor"
+    );
+    for i in rejoins {
+        assert!(
+            begin < i && i < complete,
+            "RejoinEpoch sits inside the recovery window (begin={begin}, \
+             rejoin={i}, complete={complete})"
+        );
+    }
+
+    // The live stream satisfies the post-crash epoch rule…
+    let post = trace::query::post_crash_epoch_violations(&records);
+    assert!(post.is_empty(), "post-crash epoch violations: {post:?}");
+
+    // …and the checker is not vacuously green: replaying a pre-crash report
+    // epoch as a retirement after the recovery must be flagged. The floor
+    // the checker freezes is the max epoch applied from the victim before
+    // RecoveryBegin, so any such epoch is by construction stale.
+    let begin_lamport = mine[begin].lamport;
+    let stale = records
+        .iter()
+        .filter(|r| r.lamport < begin_lamport)
+        .find_map(|r| match r.event {
+            TraceEvent::ReportApply {
+                source,
+                bunch,
+                epoch,
+            } if source == victim => Some((bunch, epoch)),
+            _ => None,
+        });
+    let (bunch, epoch) = stale.expect(
+        "a pre-crash report from the victim was applied somewhere \
+         (otherwise the scenario never fed the checker a floor)",
+    );
+    let last = records.iter().map(|r| (r.lamport, r.seq)).max().unwrap();
+    let mut tampered = records.clone();
+    tampered.push(TraceRecord {
+        node: n(0),
+        tick: last.0 + 1,
+        lamport: last.0 + 1,
+        seq: last.1 + 1,
+        event: TraceEvent::ScionRetired {
+            source: victim,
+            bunch,
+            epoch,
+            count: 1,
+        },
+    });
+    let flagged = trace::query::post_crash_epoch_violations(&tampered);
+    assert_eq!(
+        flagged.len(),
+        1,
+        "a stale post-recovery retirement must be flagged"
+    );
 }
 
 /// Tier-1 smoke: the same seed produces the same run whether or not a
