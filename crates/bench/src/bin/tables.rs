@@ -1,67 +1,119 @@
 //! Regenerates every evaluation table (experiments E1–E10).
 //!
 //! Usage: `cargo run --release -p bmx-bench --bin tables [e1 e2 ...]`
-//! (no arguments = all experiments). The output of a full run is recorded
-//! in EXPERIMENTS.md.
+//! (no arguments = all experiments). A full run rewrites both
+//! `tables_output.txt` (human-readable) and `BENCH_tables.json`
+//! (machine-readable) in the repository root; a partial run only prints.
+//!
+//! Set `BMX_METRICS=1` to run with the metrics plane installed: the run
+//! then also dumps a metrics snapshot to `target/bench_metrics.json` and
+//! a Prometheus rendering to `target/bench_metrics.prom`. The E4 pause
+//! tables are the overhead canary — they must reproduce within noise
+//! whether or not metrics are enabled (see DESIGN.md §9).
 
 use bmx_bench::experiments::*;
+use bmx_bench::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let metered = std::env::var("BMX_METRICS").is_ok_and(|v| v == "1");
+    if metered {
+        bmx_metrics::install();
+    }
+
+    let mut tables: Vec<Table> = Vec::new();
 
     if want("e1") {
         let rows = e1_replication::run(&[1, 2, 4, 8, 16]);
-        print!("{}", e1_replication::table(&rows).render());
+        tables.push(e1_replication::table(&rows));
     }
     if want("e2") {
         let mut rows = Vec::new();
         for readers in [1, 2, 4, 8] {
             rows.extend(e2_interference::run(readers));
         }
-        print!("{}", e2_interference::table(&rows).render());
+        tables.push(e2_interference::table(&rows));
     }
     if want("e3") {
         let mut rows = Vec::new();
         for synced in [10, 50, 100] {
             rows.extend(e3_piggyback::run(synced));
         }
-        print!("{}", e3_piggyback::table(&rows).render());
+        tables.push(e3_piggyback::table(&rows));
     }
     if want("e4") {
         let rows = e4_pause::run(&[1, 2, 4, 8, 16, 32]);
-        print!("{}", e4_pause::table(&rows).render());
+        tables.push(e4_pause::table(&rows));
         let rows = e4_pause::run_flip(&[100, 400, 1600]);
-        print!("{}", e4_pause::flip_table(&rows).render());
+        tables.push(e4_pause::flip_table(&rows));
     }
     if want("e5") {
         let rows = e5_message_loss::run(&[0.0, 0.1, 0.3, 0.5]);
-        print!("{}", e5_message_loss::table(&rows).render());
+        tables.push(e5_message_loss::table(&rows));
     }
     if want("e6") {
         let rows = e6_ssp_ablation::run(&[0, 1, 2, 4, 8]);
-        print!("{}", e6_ssp_ablation::table(&rows).render());
+        tables.push(e6_ssp_ablation::table(&rows));
     }
     if want("e7") {
         let rows = e7_cycles::run(&[2, 4, 8, 16, 32]);
-        print!("{}", e7_cycles::table(&rows).render());
+        tables.push(e7_cycles::table(&rows));
     }
     if want("e8") {
         let rows = e8_barrier::run();
-        print!("{}", e8_barrier::table(&rows).render());
+        tables.push(e8_barrier::table(&rows));
     }
     if want("e9") {
         let rows = e9_recovery::run(&[(2, 4), (4, 8), (8, 16), (16, 16)]);
-        print!("{}", e9_recovery::table(&rows).render());
+        tables.push(e9_recovery::table(&rows));
         let rows = e9_recovery::run_rejoin(&[(2, 4), (4, 8), (8, 16)]);
-        print!("{}", e9_recovery::rejoin_table(&rows).render());
+        tables.push(e9_recovery::rejoin_table(&rows));
     }
     if want("e10") {
         let rows = e10_fromspace::run(&[0.0, 0.25, 0.5, 0.75, 1.0]);
-        print!("{}", e10_fromspace::table(&rows).render());
+        tables.push(e10_fromspace::table(&rows));
     }
     if want("e11") {
         let rows = e11_consistency::run();
-        print!("{}", e11_consistency::table(&rows).render());
+        tables.push(e11_consistency::table(&rows));
+    }
+
+    let mut text = String::new();
+    for t in &tables {
+        text.push_str(&t.render());
+    }
+    print!("{text}");
+
+    // A full run refreshes the committed artifacts; a subset run would
+    // silently drop the other experiments' tables, so it only prints.
+    if args.is_empty() {
+        let json = format!(
+            "{{\n  \"tables\": [\n  {}\n  ]\n}}\n",
+            tables
+                .iter()
+                .map(Table::to_json)
+                .collect::<Vec<_>>()
+                .join(",\n  ")
+        );
+        std::fs::write("tables_output.txt", &text).expect("write tables_output.txt");
+        std::fs::write("BENCH_tables.json", &json).expect("write BENCH_tables.json");
+    }
+
+    if metered {
+        let snap = bmx_metrics::snapshot();
+        std::fs::create_dir_all("target").ok();
+        std::fs::write(
+            "target/bench_metrics.json",
+            bmx_metrics::json::to_json(&snap),
+        )
+        .expect("write bench metrics snapshot");
+        if let Some(reg) = bmx_metrics::registry() {
+            std::fs::write(
+                "target/bench_metrics.prom",
+                bmx_metrics::prometheus::render(&reg),
+            )
+            .expect("write bench metrics exposition");
+        }
     }
 }

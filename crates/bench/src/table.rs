@@ -23,6 +23,55 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the table as a JSON object `{"title", "headers", "rows"}` —
+    /// the machine-readable twin of [`Table::render`], consumed by
+    /// `BENCH_tables.json`.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        let list = |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(", ");
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| format!("      [{}]", list(r)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n    \"title\": {},\n    \"headers\": [{}],\n    \"rows\": [\n{}\n    ]\n  }}",
+            esc(&self.title),
+            list(&self.headers),
+            rows
+        )
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
@@ -73,5 +122,15 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let mut t = Table::new("q\"uote", &["a", "b"]);
+        t.row(vec!["1".into(), "x\\y".into()]);
+        let j = t.to_json();
+        assert!(j.contains(r#""title": "q\"uote""#));
+        assert!(j.contains(r#""x\\y""#));
+        assert!(j.contains(r#""headers": ["a", "b"]"#));
     }
 }

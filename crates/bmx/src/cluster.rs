@@ -11,6 +11,7 @@ use bmx_addr::{NodeMemory, SegmentServer};
 use bmx_common::{Addr, BmxError, BunchId, Epoch, NodeId, NodeStats, Oid, Result, StatKind};
 use bmx_dsm::{DsmEngine, DsmPacket, DsmShared, Token};
 use bmx_gc::{barrier, cleaner, collect, fromspace, CollectStats, GcMsg, GcState, RelocMode};
+use bmx_metrics::{self as metrics, Ctr, Gge, Hst, LinkCtr};
 use bmx_net::{Envelope, FaultEvent, MsgClass, Network, NetworkConfig};
 use bmx_rvm::{Rvm, RvmOptions};
 use bmx_trace::{self as trace, TraceEvent};
@@ -130,7 +131,7 @@ impl Cluster {
             Rc::new(RefCell::new(SegmentServer::new(cfg.segment_words)));
         let mut gc = GcState::new(cfg.nodes as usize, Rc::clone(&server));
         gc.reloc_mode = cfg.reloc_mode;
-        Cluster {
+        let cluster = Cluster {
             server,
             engine: DsmEngine::new(cfg.nodes as usize),
             gc,
@@ -146,6 +147,22 @@ impl Cluster {
             recoveries: (0..cfg.nodes).map(|_| None).collect(),
             rejoin_epochs: vec![0; cfg.nodes as usize],
             recovery_log: Vec::new(),
+        };
+        cluster.bind_metrics();
+        cluster
+    }
+
+    /// Binds every node's live simulation-counter cells to the installed
+    /// metrics registry (the single-counting-mechanism rule: snapshots and
+    /// Prometheus dumps read the very cells the cluster bumps). Run at
+    /// construction; call again if a registry is installed afterwards.
+    /// No-op while metrics are disabled.
+    pub fn bind_metrics(&self) {
+        if !metrics::enabled() {
+            return;
+        }
+        for (i, s) in self.stats.iter().enumerate() {
+            metrics::bind_stats(NodeId(i as u32), s.handle());
         }
     }
 
@@ -360,6 +377,7 @@ impl Cluster {
         }
         let epoch = self.rejoin_epochs[n];
         let replay_micros = replay_start.elapsed().as_micros() as u64;
+        metrics::add(node, Ctr::RecoveryReplayMicros, replay_micros);
         trace::emit(node, TraceEvent::RecoveryBegin { epoch });
         let peers: BTreeSet<NodeId> = (0..self.nodes())
             .map(NodeId)
@@ -371,6 +389,7 @@ impl Cluster {
             }
             trace::emit(node, TraceEvent::RecoveryComplete { epoch });
             self.stats[n].bump(StatKind::RecoveriesCompleted);
+            metrics::add(node, Ctr::RecoveryTotalMicros, replay_micros);
             self.recovery_log.push(RecoveryOutcome {
                 node,
                 epoch,
@@ -581,6 +600,7 @@ impl Cluster {
         let Some(rec) = self.recoveries[n].take() else {
             return Ok(());
         };
+        let finish_start = metrics::enabled().then(std::time::Instant::now);
         let mut assignments: Vec<Assignment> = Vec::new();
         let no_views: Vec<(NodeId, ObjView)> = Vec::new();
         for &(oid, bunch) in &rec.recovered {
@@ -711,6 +731,13 @@ impl Cluster {
         }
         trace::emit(node, TraceEvent::RecoveryComplete { epoch: rec.epoch });
         self.stats[n].bump(StatKind::RecoveriesCompleted);
+        if let Some(start) = finish_start {
+            metrics::add(
+                node,
+                Ctr::RecoveryTotalMicros,
+                rec.replay_micros + start.elapsed().as_micros() as u64,
+            );
+        }
         self.recovery_log.push(RecoveryOutcome {
             node,
             epoch: rec.epoch,
@@ -753,7 +780,19 @@ impl Cluster {
                         dest: d,
                     },
                 );
+                metrics::link(r.node, d, LinkCtr::Retry, 1);
                 self.send_gc(r.node, d, GcMsg::Report(report.clone()));
+            }
+        }
+        if metrics::enabled() {
+            if let Some(d) = &self.retry {
+                for i in 0..self.nodes() {
+                    metrics::gauge_set(
+                        NodeId(i),
+                        Gge::RetryQueueDepth,
+                        d.pending_for(NodeId(i)) as u64,
+                    );
+                }
             }
         }
         Ok(())
@@ -1261,10 +1300,14 @@ impl Cluster {
         let now = self.net.now();
         let Some(d) = &mut self.retry else { return };
         if let AckOutcome::Complete {
-            recovery_latency: Some(lat),
+            recovery_latency,
+            lag,
         } = d.ack(report.from, report.bunch, report.epoch, dst, now)
         {
-            self.stats[report.from.0 as usize].add(StatKind::RecoveryLatencyTicks, lat);
+            metrics::observe(report.from, Hst::ReportRetireLagTicks, lag);
+            if let Some(lat) = recovery_latency {
+                self.stats[report.from.0 as usize].add(StatKind::RecoveryLatencyTicks, lat);
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 use bmx_addr::object;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result, StatKind};
 use bmx_dsm::{AcquireStart, DsmPacket, DsmShared, Token};
+use bmx_metrics::{self as metrics, Ctr, Hst};
 use bmx_net::MsgClass;
 use bmx_trace::{self as trace, TraceEvent};
 
@@ -127,13 +128,15 @@ impl Cluster {
     /// routing supplies the object identity and the node's own replica of
     /// it is preferred.
     pub(crate) fn mutator_resolve(&self, node: NodeId, addr: Addr) -> Addr {
-        let cur = self.gc.node(node).directory.resolve(addr);
+        let (cur, hops) = self.gc.node(node).directory.resolve_hops(addr);
+        metrics::observe(node, Hst::ForwardingChainLen, hops as u64);
         if object::view(&self.mems[node.0 as usize], cur).is_ok() {
             return cur;
         }
         let Some((oid, to)) = self.server.borrow().resolve_retired(addr) else {
             return cur;
         };
+        metrics::bump(node, Ctr::RetiredRouteHits);
         match self.gc.node(node).directory.addr_of(oid) {
             Some(a) if object::view(&self.mems[node.0 as usize], a).is_ok_and(|v| v.oid == oid) => {
                 a
@@ -260,6 +263,7 @@ impl Cluster {
                 let Some((oid, cur)) = self.server.borrow().resolve_retired(addr) else {
                     return Err(err);
                 };
+                metrics::bump(node, Ctr::RetiredRouteHits);
                 // Prefer an address some replica demonstrably populated:
                 // this node's own copy first, then the creator's; the
                 // routing target is only a last resort (the data lands
@@ -321,6 +325,7 @@ impl Cluster {
     /// critical section.
     pub fn acquire_read(&mut self, node: NodeId, addr: Addr) -> Result<()> {
         let oid = self.oid_at(node, addr)?;
+        let t0 = self.net.now();
         let started = {
             let Cluster {
                 engine,
@@ -341,6 +346,7 @@ impl Cluster {
             if self.engine.token(node, oid) == Token::None {
                 return Err(BmxError::WouldBlock { oid });
             }
+            metrics::observe(node, Hst::AcquireReadTicks, self.net.now() - t0);
         }
         self.engine.lock(node, oid)
     }
@@ -349,6 +355,7 @@ impl Cluster {
     /// critical section.
     pub fn acquire_write(&mut self, node: NodeId, addr: Addr) -> Result<()> {
         let oid = self.oid_at(node, addr)?;
+        let t0 = self.net.now();
         let started = {
             let Cluster {
                 engine,
@@ -369,6 +376,7 @@ impl Cluster {
             if self.engine.token(node, oid) != Token::Write {
                 return Err(BmxError::WouldBlock { oid });
             }
+            metrics::observe(node, Hst::AcquireWriteTicks, self.net.now() - t0);
         }
         self.engine.lock(node, oid)
     }

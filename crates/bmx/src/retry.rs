@@ -80,6 +80,9 @@ pub enum AckOutcome {
     Complete {
         /// `Some(ticks)` iff at least one resend was needed.
         recovery_latency: Option<u64>,
+        /// Ticks from (re-)publication to the last destination's
+        /// application — the report's retire lag, resends or not.
+        lag: u64,
     },
     /// No tracked report matched.
     Unknown,
@@ -154,8 +157,12 @@ impl RetryDaemon {
             return AckOutcome::Partial;
         }
         let entry = self.entries.remove(&(node, bunch)).expect("present above");
-        let recovery_latency = (entry.attempts > 0).then(|| now - entry.first_sent);
-        AckOutcome::Complete { recovery_latency }
+        let lag = now.saturating_sub(entry.first_sent);
+        let recovery_latency = (entry.attempts > 0).then_some(lag);
+        AckOutcome::Complete {
+            recovery_latency,
+            lag,
+        }
     }
 
     /// Collects the resends due at `now`, advancing each entry's backoff.
@@ -217,6 +224,12 @@ impl RetryDaemon {
     pub fn pending(&self) -> usize {
         self.entries.len()
     }
+
+    /// Number of reports originated by `node` still awaiting delivery —
+    /// the per-node queue depth the retry-storm watchdog watches.
+    pub fn pending_for(&self, node: NodeId) -> usize {
+        self.entries.keys().filter(|&&(o, _)| o == node).count()
+    }
 }
 
 #[cfg(test)]
@@ -237,7 +250,8 @@ mod tests {
         assert_eq!(
             d.ack(n(0), B, Epoch(1), n(2), 12),
             AckOutcome::Complete {
-                recovery_latency: None
+                recovery_latency: None,
+                lag: 2
             },
             "no resend happened, so no recovery latency"
         );
@@ -299,7 +313,8 @@ mod tests {
         assert_eq!(
             d.ack(n(0), B, Epoch(3), n(1), 106),
             AckOutcome::Complete {
-                recovery_latency: Some(6)
+                recovery_latency: Some(6),
+                lag: 6
             }
         );
     }
@@ -318,7 +333,8 @@ mod tests {
         assert_eq!(
             d.ack(n(0), B, Epoch(2), n(2), 8),
             AckOutcome::Complete {
-                recovery_latency: None
+                recovery_latency: None,
+                lag: 3
             }
         );
     }
@@ -359,7 +375,8 @@ mod tests {
         assert_eq!(
             d.ack(n(0), B, Epoch(1), n(1), 110),
             AckOutcome::Complete {
-                recovery_latency: Some(10)
+                recovery_latency: Some(10),
+                lag: 10
             }
         );
     }
@@ -380,6 +397,7 @@ mod tests {
         assert_eq!(d.ack(n(2), BunchId(9), Epoch(1), n(1), 1), {
             AckOutcome::Complete {
                 recovery_latency: None,
+                lag: 1,
             }
         });
     }

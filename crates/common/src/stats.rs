@@ -5,8 +5,19 @@
 //! invalidated, pause durations. Every substrate increments the counters
 //! defined here, and the experiment harness in `bmx-bench` reads them back to
 //! regenerate the evaluation tables.
+//!
+//! Storage is a shared block of relaxed atomics ([`NodeStats`] is a thin
+//! shim over it): the cluster's counters and the `bmx-metrics` registry
+//! observe the *same* cells, so there is exactly one counting mechanism.
+//! [`NodeStats::clone`] deliberately produces a **detached** value copy —
+//! the `let base = stats.clone(); …; stats.since(&base)` baseline pattern
+//! used throughout the experiments keeps its value semantics — while
+//! [`NodeStats::handle`] yields a live alias for exposition layers that
+//! want to watch the counters move.
 
 use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Everything the experiments count, per node.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -157,16 +168,42 @@ impl Counter {
     }
 }
 
+/// The shared cell block behind a [`NodeStats`]. All accesses are relaxed:
+/// the cells carry no synchronization duties, they are observational only.
+struct StatCells {
+    cells: [AtomicU64; StatKind::COUNT],
+}
+
+impl StatCells {
+    fn zeroed() -> Self {
+        StatCells {
+            cells: core::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
 /// The full counter set of one node.
-#[derive(Clone)]
 pub struct NodeStats {
-    counters: [Counter; StatKind::COUNT],
+    cells: Arc<StatCells>,
+}
+
+impl Clone for NodeStats {
+    /// A **detached** value copy: the clone stops tracking the original.
+    /// This is what the pervasive `let base = stats.clone()` baseline
+    /// pattern relies on; use [`NodeStats::handle`] for a live alias.
+    fn clone(&self) -> Self {
+        let out = NodeStats::new();
+        for (i, c) in self.cells.cells.iter().enumerate() {
+            out.cells.cells[i].store(c.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        out
+    }
 }
 
 impl Default for NodeStats {
     fn default() -> Self {
         NodeStats {
-            counters: [Counter::default(); StatKind::COUNT],
+            cells: Arc::new(StatCells::zeroed()),
         }
     }
 }
@@ -177,51 +214,68 @@ impl NodeStats {
         Self::default()
     }
 
+    /// A live alias sharing this counter set's cells: bumps through either
+    /// are visible to both. Exposition layers (the metrics registry, the
+    /// `bmx_top` dashboard) bind to handles so they read the cluster's real
+    /// counters rather than a stale copy.
+    pub fn handle(&self) -> NodeStats {
+        NodeStats {
+            cells: Arc::clone(&self.cells),
+        }
+    }
+
+    /// Whether `other` observes the same underlying cells as `self`.
+    pub fn is_same_cells(&self, other: &NodeStats) -> bool {
+        Arc::ptr_eq(&self.cells, &other.cells)
+    }
+
     /// Adds `n` to the counter of the given kind.
     #[inline]
     pub fn add(&mut self, kind: StatKind, n: u64) {
-        self.counters[kind as usize].add(n);
+        self.cells.cells[kind as usize].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Increments the counter of the given kind by one.
     #[inline]
     pub fn bump(&mut self, kind: StatKind) {
-        self.counters[kind as usize].bump();
+        self.cells.cells[kind as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Reads a counter.
     #[inline]
     pub fn get(&self, kind: StatKind) -> u64 {
-        self.counters[kind as usize].0
+        self.cells.cells[kind as usize].load(Ordering::Relaxed)
     }
 
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
-        self.counters = [Counter::default(); StatKind::COUNT];
+        for c in &self.cells.cells {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 
-    /// Returns the element-wise sum of `self` and `other`.
+    /// Returns the element-wise sum of `self` and `other` (detached).
     pub fn merged(&self, other: &NodeStats) -> NodeStats {
-        let mut out = self.clone();
-        for (dst, src) in out.counters.iter_mut().zip(other.counters.iter()) {
-            dst.add(src.0);
+        let out = self.clone();
+        for (i, src) in other.cells.cells.iter().enumerate() {
+            out.cells.cells[i].fetch_add(src.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         out
     }
 
-    /// Returns the element-wise difference `self - baseline`.
+    /// Returns the element-wise difference `self - baseline` (detached).
     ///
     /// # Panics
     ///
     /// Panics if any counter in `baseline` exceeds the one in `self`
     /// (counters are monotonic, so this indicates misuse).
     pub fn since(&self, baseline: &NodeStats) -> NodeStats {
-        let mut out = NodeStats::new();
+        let out = NodeStats::new();
         for (i, kind) in StatKind::ALL.iter().enumerate() {
-            let now = self.counters[i].0;
-            let then = baseline.counters[i].0;
+            let now = self.cells.cells[i].load(Ordering::Relaxed);
+            let then = baseline.cells.cells[i].load(Ordering::Relaxed);
             assert!(now >= then, "counter {kind:?} went backwards");
-            out.counters[i] = Counter(now - then);
+            out.cells.cells[i].store(now - then, Ordering::Relaxed);
         }
         out
     }
@@ -298,6 +352,24 @@ mod tests {
         s.bump(StatKind::ScionMessages);
         let v: Vec<_> = s.nonzero().collect();
         assert_eq!(v, vec![(StatKind::ScionMessages, 1)]);
+    }
+
+    #[test]
+    fn clone_detaches_but_handle_aliases() {
+        let mut live = NodeStats::new();
+        live.bump(StatKind::MessagesSent);
+        let snapshot = live.clone();
+        let mut alias = live.handle();
+        assert!(live.is_same_cells(&alias));
+        assert!(!live.is_same_cells(&snapshot));
+        alias.add(StatKind::MessagesSent, 9);
+        assert_eq!(live.get(StatKind::MessagesSent), 10, "alias writes through");
+        assert_eq!(
+            snapshot.get(StatKind::MessagesSent),
+            1,
+            "the clone stays a point-in-time copy"
+        );
+        assert_eq!(live.since(&snapshot).get(StatKind::MessagesSent), 9);
     }
 
     #[test]

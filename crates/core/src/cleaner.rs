@@ -188,6 +188,7 @@ pub fn process_report(
 
     stats.add(StatKind::ScionsCleaned, out.scions_removed);
     stats.add(StatKind::OwnerPtrsCleaned, out.owner_ptrs_removed);
+    crate::collect::refresh_node_gauges(gc, at);
     // Aggregate counts keep the cleaner allocation-free under tracing.
     if out.scions_removed > 0 {
         trace::emit(

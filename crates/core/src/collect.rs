@@ -36,8 +36,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use bmx_addr::layout::HEADER_WORDS;
 use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
+use bmx_common::WORD_BYTES;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind};
 use bmx_dsm::{DsmEngine, GcIntegration, Relocation};
+use bmx_metrics::{self as metrics, Ctr, Gge, Hst};
 use bmx_trace::{self as trace, GcPhase, SspKind, TraceEvent};
 
 use crate::msg::ReachabilityReport;
@@ -102,6 +104,9 @@ pub(crate) struct TraceCore {
     pub(crate) new_relocs: Vec<Relocation>,
     pub(crate) dead_oids: Vec<Oid>,
     pub(crate) out: CollectStats,
+    /// Live words per bunch (headers included), for the per-bunch
+    /// live-bytes metric. Maintained only while metrics are enabled.
+    pub(crate) live_words_by_bunch: BTreeMap<BunchId, u64>,
 }
 
 impl TraceCore {
@@ -116,8 +121,70 @@ impl TraceCore {
             new_relocs: Vec::new(),
             dead_oids: Vec::new(),
             out: CollectStats::default(),
+            live_words_by_bunch: BTreeMap::new(),
         }
     }
+}
+
+/// Stopwatch for the per-phase / whole-pause metrics. Inert (no clock
+/// reads at all) when metrics are disabled; the readings feed only the
+/// metrics plane, never the simulation, so determinism is untouched.
+pub(crate) struct PhaseClock {
+    start: Option<std::time::Instant>,
+    last: Option<std::time::Instant>,
+}
+
+impl PhaseClock {
+    pub(crate) fn start() -> PhaseClock {
+        let now = metrics::enabled().then(std::time::Instant::now);
+        PhaseClock {
+            start: now,
+            last: now,
+        }
+    }
+
+    /// Credits the time since the previous lap to `ctr`.
+    pub(crate) fn lap(&mut self, node: NodeId, ctr: Ctr) {
+        if let Some(prev) = self.last {
+            let now = std::time::Instant::now();
+            metrics::add(node, ctr, now.duration_since(prev).as_micros() as u64);
+            self.last = Some(now);
+        }
+    }
+
+    /// Records the whole elapsed span as one collection pause.
+    pub(crate) fn finish(self, node: NodeId) {
+        if let Some(start) = self.start {
+            metrics::observe(
+                node,
+                Hst::BgcPauseMicros,
+                start.elapsed().as_micros() as u64,
+            );
+            metrics::bump(node, Ctr::BgcCollections);
+        }
+    }
+}
+
+/// Re-derives `node`'s drain-watched gauges (from-space retention, scion
+/// and stub table sizes) from the GC state. Called after every event that
+/// can move them: a collection's publish, a reuse-protocol drain, a
+/// cleaner cut. No-op when metrics are disabled.
+pub fn refresh_node_gauges(gc: &GcState, node: NodeId) {
+    if !metrics::enabled() {
+        return;
+    }
+    let seg_words = gc.server.borrow().segment_words();
+    let mut from_words = 0u64;
+    let mut scions = 0u64;
+    let mut stubs = 0u64;
+    for brs in gc.node(node).bunches.values() {
+        from_words += brs.pending_from.len() as u64 * seg_words;
+        scions += (brs.scion_table.inter.len() + brs.scion_table.intra.len()) as u64;
+        stubs += (brs.stub_table.inter.len() + brs.stub_table.intra.len()) as u64;
+    }
+    metrics::gauge_set(node, Gge::FromSpaceRetainedWords, from_words);
+    metrics::gauge_set(node, Gge::ScionTableSize, scions);
+    metrics::gauge_set(node, Gge::StubTableSize, stubs);
 }
 
 pub(crate) struct Ctx<'a> {
@@ -158,17 +225,25 @@ pub fn collect(
     };
 
     let lead = group[0];
+    let mut clock = PhaseClock::start();
     ctx.phase(lead, GcPhase::Roots);
     let (strong_roots, intra_roots) = ctx.gather_roots();
+    clock.lap(node, Ctr::BgcRootsMicros);
     ctx.phase(lead, GcPhase::Trace);
     ctx.trace(strong_roots, true)?;
     ctx.trace(intra_roots, false)?;
+    clock.lap(node, Ctr::BgcTraceMicros);
     ctx.phase(lead, GcPhase::Update);
     ctx.update_references()?;
+    clock.lap(node, Ctr::BgcUpdateMicros);
     ctx.phase(lead, GcPhase::Sweep);
     ctx.sweep()?;
+    clock.lap(node, Ctr::BgcSweepMicros);
     ctx.phase(lead, GcPhase::Publish);
     let reports = ctx.regenerate_and_publish()?;
+    clock.lap(node, Ctr::BgcPublishMicros);
+    clock.finish(node);
+    refresh_node_gauges(gc, node);
     Ok(CollectOutcome {
         reports,
         dead: core.dead_oids,
@@ -286,6 +361,10 @@ impl Ctx<'_> {
             self.core.visited.insert(addr);
             self.core.visited.insert(final_addr);
             self.core.out.live += 1;
+            if metrics::enabled() {
+                *self.core.live_words_by_bunch.entry(bunch).or_default() +=
+                    HEADER_WORDS + view.size;
+            }
             self.core.live.insert(
                 final_addr,
                 LiveObj {
@@ -561,6 +640,10 @@ impl Ctx<'_> {
                     );
                 }
                 trace::emit(self.node, TraceEvent::ReportPublish { bunch: b, epoch });
+            }
+            if metrics::enabled() {
+                let words = self.core.live_words_by_bunch.get(&b).copied().unwrap_or(0);
+                metrics::set_bunch_live_bytes(self.node, b.0 as u64, words * WORD_BYTES);
             }
             reports.push((
                 dests,

@@ -76,6 +76,13 @@ impl Directory {
     /// Chains (an object moved again in a later collection) are followed to
     /// the end; an address with no edge resolves to itself.
     pub fn resolve(&self, addr: Addr) -> Addr {
+        self.resolve_hops(addr).0
+    }
+
+    /// [`resolve`](Directory::resolve), also returning the number of
+    /// forwarding edges followed (the metrics plane histograms chain
+    /// lengths to show relocation debt building up).
+    pub fn resolve_hops(&self, addr: Addr) -> (Addr, u32) {
         let mut cur = addr;
         let mut hops = 0;
         while let Some(&next) = self.forwarded.get(&cur) {
@@ -83,7 +90,7 @@ impl Directory {
             hops += 1;
             assert!(hops < 64, "forwarding cycle at {addr}");
         }
-        cur
+        (cur, hops)
     }
 
     /// The paper's pointer-comparison operation: do `a` and `b` denote the

@@ -530,6 +530,7 @@ fn complete_retire(
         brs.pending_from.retain(|s| !rt.segments.contains(s));
         brs.alloc_segments.retain(|s| !rt.segments.contains(s));
     }
+    crate::collect::refresh_node_gauges(gc, at);
     stats.bump(StatKind::BackgroundGcMessages);
     Ok(vec![(rt.requester, GcMsg::RetireAck { bunch, from: at })])
 }
@@ -594,6 +595,7 @@ fn finish_local(
         })
     });
     brs.alloc_segments.extend(reuse.segments.iter().copied());
+    crate::collect::refresh_node_gauges(gc, node);
     trace::emit(
         node,
         TraceEvent::Reuse {

@@ -37,7 +37,7 @@ pub mod msg;
 pub mod ssp;
 pub mod state;
 
-pub use collect::{collect, CollectStats};
+pub use collect::{collect, refresh_node_gauges, CollectStats};
 pub use directory::Directory;
 pub use grouping::Heuristic;
 pub use incremental::IncrementalBgc;

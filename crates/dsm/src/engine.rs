@@ -16,6 +16,7 @@
 use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKind};
+use bmx_metrics::{self as metrics, Hst};
 use bmx_trace::{self as trace, AccessMode, TraceEvent};
 
 use crate::integration::GcIntegration;
@@ -716,6 +717,7 @@ impl DsmEngine {
             .local_addr(at, oid)
             .ok_or_else(|| BmxError::Protocol(format!("granter {at} has no address for {oid}")))?;
         let image = ObjectImage::capture(&sh.mems[at.0 as usize], addr)?;
+        metrics::observe(at, Hst::GrantImageWords, image.data.len() as u64);
         let relocations = sh.gc.grant_relocations(at, oid, sh.mems);
         trace::emit(
             at,
@@ -797,6 +799,7 @@ impl DsmEngine {
             st.copy_set.clear();
             t
         };
+        metrics::observe(owner, Hst::InvalidationFanout, targets.len() as u64);
         if targets.is_empty() {
             return self.complete_write_transfer(owner, oid, requester, sh, send);
         }
@@ -962,6 +965,7 @@ impl DsmEngine {
             .local_addr(owner, oid)
             .ok_or_else(|| BmxError::Protocol(format!("owner {owner} has no address for {oid}")))?;
         let image = ObjectImage::capture(&sh.mems[owner.0 as usize], addr)?;
+        metrics::observe(owner, Hst::GrantImageWords, image.data.len() as u64);
         let bunch = {
             let st = self.ns_mut(owner).get_mut(oid).expect("owner state exists");
             if st.token != Token::None {

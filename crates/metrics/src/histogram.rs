@@ -1,0 +1,140 @@
+//! Fixed-bucket histograms on relaxed atomics.
+//!
+//! Buckets are powers of two: observation `v` lands in the first bucket
+//! whose upper bound `2^i` satisfies `v <= 2^i`, with one overflow bucket
+//! past [`Histogram::MAX_BOUND`]. Power-of-two bounds cover the dynamic
+//! range of every latency/size signal in the repro (ticks, microseconds,
+//! words, fan-out counts) with a handful of cells and no configuration,
+//! which keeps observation allocation-free and the layout identical
+//! across all histograms — one `[AtomicU64; 18]` block plus sum and
+//! count, cheap enough to embed per metric per node.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of bounded buckets (upper bounds `2^0 ..= 2^16`).
+pub const BUCKETS: usize = 17;
+
+/// A fixed-bucket histogram. All operations are relaxed atomics: the
+/// cells are observational only and carry no synchronization duties.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    /// `buckets[i]` counts observations with `v <= 2^i`; the slot past
+    /// the last bound counts the overflow.
+    buckets: [AtomicU64; BUCKETS + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// The largest bounded bucket's upper bound (`2^16`).
+    pub const MAX_BOUND: u64 = 1 << (BUCKETS - 1);
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The index of the bucket `v` falls into.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            return 0;
+        }
+        if v > Self::MAX_BOUND {
+            return BUCKETS;
+        }
+        // Smallest i with v <= 2^i, i.e. ceil(log2(v)).
+        (64 - (v - 1).leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i`, or `None` for the
+    /// overflow bucket.
+    pub fn bound(i: usize) -> Option<u64> {
+        (i < BUCKETS).then(|| 1u64 << i)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count in bucket `i` (not cumulative).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative counts per bound (Prometheus `le` semantics), ending
+    /// with the overflow bucket (`+Inf`, equal to [`Histogram::count`]).
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0;
+        (0..=BUCKETS)
+            .map(|i| {
+                acc += self.bucket(i);
+                (Self::bound(i), acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_powers_of_two() {
+        // v <= 2^i lands at index i; the boundary value itself stays in
+        // the lower bucket, one past it moves up.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(1025), 11);
+        assert_eq!(Histogram::bucket_index(Histogram::MAX_BOUND), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(Histogram::MAX_BOUND + 1), BUCKETS);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS);
+    }
+
+    #[test]
+    fn observe_accumulates_sum_count_and_cells() {
+        let h = Histogram::new();
+        for v in [1, 2, 2, 7, 100_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 100_000_012);
+        assert_eq!(h.bucket(0), 1, "v=1");
+        assert_eq!(h.bucket(1), 2, "v=2 twice");
+        assert_eq!(h.bucket(3), 1, "v=7 in (4, 8]");
+        assert_eq!(h.bucket(BUCKETS), 1, "overflow");
+    }
+
+    #[test]
+    fn cumulative_ends_at_total_count() {
+        let h = Histogram::new();
+        for v in 0..100 {
+            h.observe(v);
+        }
+        let cum = h.cumulative();
+        assert_eq!(cum.last().unwrap(), &(None, 100));
+        // Monotone non-decreasing.
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+        // le=64 holds v in 0..=64 -> 65 observations.
+        assert_eq!(cum[6], (Some(64), 65));
+    }
+}

@@ -1,0 +1,118 @@
+//! JSON codec for [`Snapshot`] and snapshot diffs.
+//!
+//! The format is deliberately flat — one JSON object mapping metric path
+//! to integer value — so dumps diff cleanly under `jq`/`diff` and the
+//! parser can stay a page long (no dependency budget for serde here).
+//! Paths contain only `[A-Za-z0-9_/.-]`, so no string escaping is needed
+//! in either direction; the parser still rejects anything it does not
+//! understand rather than guessing.
+
+use std::collections::BTreeMap;
+
+use crate::registry::Snapshot;
+
+/// Renders a snapshot as a pretty-printed JSON object, keys sorted.
+pub fn to_json(snap: &Snapshot) -> String {
+    render_map(snap.entries.iter().map(|(k, &v)| (k.as_str(), v as i64)))
+}
+
+/// Renders a signed snapshot diff (see [`Snapshot::diff`]) as JSON.
+pub fn diff_to_json(diff: &BTreeMap<String, i64>) -> String {
+    render_map(diff.iter().map(|(k, &v)| (k.as_str(), v)))
+}
+
+fn render_map<'a>(entries: impl Iterator<Item = (&'a str, i64)>) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{k}\": {v}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses a snapshot previously rendered by [`to_json`]. Returns an error
+/// message describing the first malformed construct.
+pub fn from_json(text: &str) -> Result<Snapshot, String> {
+    let mut entries = BTreeMap::new();
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("snapshot JSON must be a single object")?;
+    for (lineno, raw) in body.split(',').enumerate() {
+        let pair = raw.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("entry {lineno}: missing ':' in {pair:?}"))?;
+        let key = key.trim();
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("entry {lineno}: key must be quoted, got {key:?}"))?;
+        if key.contains('"') || key.contains('\\') {
+            return Err(format!("entry {lineno}: unsupported escape in key {key:?}"));
+        }
+        let value: u64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("entry {lineno}: bad value for {key:?}: {e}"))?;
+        if entries.insert(key.to_string(), value).is_some() {
+            return Err(format!("entry {lineno}: duplicate key {key:?}"));
+        }
+    }
+    Ok(Snapshot { entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Ctr, Gge, LinkCtr, Registry};
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = Registry::default();
+        reg.node(0).add(Ctr::RetiredRouteHits, 12);
+        reg.node(1).set(Gge::StubTableSize, 30);
+        reg.node(1)
+            .observe(crate::registry::Hst::InvalidationFanout, 2);
+        reg.link(2, 0).add(LinkCtr::Bytes, 8192);
+        reg.set_bunch_live_bytes(1, 3, 777);
+        let snap = reg.snapshot();
+        let text = to_json(&snap);
+        let back = from_json(&text).expect("parse");
+        assert_eq!(back, snap, "round-trip must be lossless");
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{\"a\" 1}").is_err());
+        assert!(from_json("{\"a\": -3}").is_err(), "snapshots are unsigned");
+        assert!(from_json("{\"a\": 1, \"a\": 2}").is_err(), "duplicate keys");
+        assert!(from_json("{a: 1}").is_err(), "unquoted key");
+    }
+
+    #[test]
+    fn diff_json_carries_signed_deltas() {
+        let mut diff = BTreeMap::new();
+        diff.insert("node0/gauge/retry_queue_depth".to_string(), -4i64);
+        diff.insert("node0/ctr/bgc_collections".to_string(), 2i64);
+        let text = diff_to_json(&diff);
+        assert!(text.contains("\"node0/gauge/retry_queue_depth\": -4"));
+        assert!(text.contains("\"node0/ctr/bgc_collections\": 2"));
+    }
+}

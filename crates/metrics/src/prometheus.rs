@@ -1,0 +1,171 @@
+//! Hand-rolled Prometheus text exposition (version 0.0.4).
+//!
+//! Renders straight from the live [`Registry`] — no intermediate
+//! allocation-heavy model. Every metric is prefixed `bmx_` and labelled
+//! with its node (`node="0"`) or link (`src`/`dst`); histograms follow
+//! the `_bucket{le=...}` / `_sum` / `_count` convention with cumulative
+//! buckets, so the output scrapes cleanly into a real Prometheus if one
+//! is ever pointed at a dump.
+
+use std::fmt::Write as _;
+
+use bmx_common::StatKind;
+use bmx_trace::AlarmKind;
+
+use crate::registry::{snake, Ctr, Gge, Hst, LinkCtr, Registry};
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders the registry in Prometheus text-exposition format.
+pub fn render(reg: &Registry) -> String {
+    let mut out = String::new();
+    let n = reg.node_count();
+
+    for c in Ctr::ALL {
+        let name = format!("bmx_{}_total", snake(c));
+        header(&mut out, &name, &format!("bmx counter {:?}", c), "counter");
+        for i in 0..n {
+            let v = reg.node(i as u32).ctr(c);
+            let _ = writeln!(out, "{name}{{node=\"{i}\"}} {v}");
+        }
+    }
+
+    for g in Gge::ALL {
+        let name = format!("bmx_{}", snake(g));
+        header(&mut out, &name, &format!("bmx gauge {:?}", g), "gauge");
+        for i in 0..n {
+            let v = reg.node(i as u32).gauge(g);
+            let _ = writeln!(out, "{name}{{node=\"{i}\"}} {v}");
+        }
+    }
+
+    for h in Hst::ALL {
+        let name = format!("bmx_{}", snake(h));
+        header(
+            &mut out,
+            &name,
+            &format!("bmx histogram {:?}", h),
+            "histogram",
+        );
+        for i in 0..n {
+            let scope = reg.node(i as u32);
+            let hist = scope.hist(h);
+            for (bound, cum) in hist.cumulative() {
+                let le = bound.map_or("+Inf".to_string(), |b| b.to_string());
+                let _ = writeln!(out, "{name}_bucket{{node=\"{i}\",le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_sum{{node=\"{i}\"}} {}", hist.sum());
+            let _ = writeln!(out, "{name}_count{{node=\"{i}\"}} {}", hist.count());
+        }
+    }
+
+    // The migrated simulation counters (StatKind), read live from the
+    // bound NodeStats cells.
+    for kind in StatKind::ALL {
+        let name = format!("bmx_stat_{}_total", snake(kind));
+        header(
+            &mut out,
+            &name,
+            &format!("bmx sim counter {:?}", kind),
+            "counter",
+        );
+        for i in 0..n {
+            let v = reg.node(i as u32).stat(kind);
+            let _ = writeln!(out, "{name}{{node=\"{i}\"}} {v}");
+        }
+    }
+
+    // Per-link counters via the snapshot path set (link scopes are keyed,
+    // not dense) — rendered from the registry's snapshot keys to avoid a
+    // second keyed accessor.
+    let snap = reg.snapshot();
+    for c in LinkCtr::ALL {
+        let suffix = format!("/{}", snake(c));
+        let name = format!("bmx_link_{}_total", snake(c));
+        header(
+            &mut out,
+            &name,
+            &format!("bmx link counter {:?}", c),
+            "counter",
+        );
+        for (path, v) in &snap.entries {
+            if let Some(rest) = path.strip_prefix("link") {
+                if let Some(pair) = rest.strip_suffix(&suffix) {
+                    if let Some((s, d)) = pair.split_once('-') {
+                        let _ = writeln!(out, "{name}{{src=\"{s}\",dst=\"{d}\"}} {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    let name = "bmx_bunch_live_bytes";
+    header(
+        &mut out,
+        name,
+        "live bytes per bunch at last collection",
+        "gauge",
+    );
+    for (path, v) in &snap.entries {
+        if let Some(rest) = path.strip_prefix("bunch/node") {
+            if let Some((node, tail)) = rest.split_once("/b") {
+                if let Some(bunch) = tail.strip_suffix("/live_bytes") {
+                    let _ = writeln!(out, "{name}{{node=\"{node}\",bunch=\"{bunch}\"}} {v}");
+                }
+            }
+        }
+    }
+
+    let name = "bmx_watchdog_alarms_total";
+    header(
+        &mut out,
+        name,
+        "leak-watchdog alarms fired per detector",
+        "counter",
+    );
+    for k in AlarmKind::ALL {
+        let _ = writeln!(out, "{name}{{kind=\"{}\"}} {}", snake(k), reg.alarms(k));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn exposition_has_types_labels_and_cumulative_buckets() {
+        let reg = Registry::default();
+        reg.node(0).add(Ctr::BgcCollections, 3);
+        reg.node(1).observe(Hst::BgcPauseMicros, 5);
+        reg.node(1).observe(Hst::BgcPauseMicros, 900);
+        reg.link(0, 1).add(LinkCtr::Drop, 2);
+        reg.set_bunch_live_bytes(0, 7, 4096);
+        let text = render(&reg);
+
+        assert!(text.contains("# TYPE bmx_bgc_collections_total counter"));
+        assert!(text.contains("bmx_bgc_collections_total{node=\"0\"} 3"));
+        assert!(text.contains("# TYPE bmx_bgc_pause_micros histogram"));
+        // v=5 -> le=8; v=900 -> le=1024; both <= +Inf.
+        assert!(text.contains("bmx_bgc_pause_micros_bucket{node=\"1\",le=\"8\"} 1"));
+        assert!(text.contains("bmx_bgc_pause_micros_bucket{node=\"1\",le=\"1024\"} 2"));
+        assert!(text.contains("bmx_bgc_pause_micros_bucket{node=\"1\",le=\"+Inf\"} 2"));
+        assert!(text.contains("bmx_bgc_pause_micros_sum{node=\"1\"} 905"));
+        assert!(text.contains("bmx_bgc_pause_micros_count{node=\"1\"} 2"));
+        assert!(text.contains("bmx_link_drop_total{src=\"0\",dst=\"1\"} 2"));
+        assert!(text.contains("bmx_bunch_live_bytes{node=\"0\",bunch=\"7\"} 4096"));
+        assert!(text.contains("bmx_watchdog_alarms_total{kind=\"from_space_leak\"} 0"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.contains('{') && line.contains("} "),
+                "malformed line: {line}"
+            );
+        }
+    }
+}

@@ -3,6 +3,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bmx_common::{MsgSeq, NodeId, SplitMix64};
+use bmx_metrics as metrics;
+use bmx_metrics::{Ctr, Gge, LinkCtr};
 use bmx_trace as trace;
 
 use crate::fault::{FaultConfigError, FaultEvent, FaultPlan, FaultStats};
@@ -282,6 +284,7 @@ impl<M: WireSize + Clone> Network<M> {
         };
         if class_dropped {
             self.stats.entry(class).or_default().dropped += 1;
+            metrics::link(src, dst, LinkCtr::Drop, 1);
             trace::emit(src, drop_event);
             return seq;
         }
@@ -289,6 +292,7 @@ impl<M: WireSize + Clone> Network<M> {
         if !class.requires_reliability() && fault.drop > 0.0 && self.rng.chance(fault.drop) {
             self.stats.entry(class).or_default().dropped += 1;
             self.fault_stats.link_dropped += 1;
+            metrics::link(src, dst, LinkCtr::Drop, 1);
             trace::emit(src, drop_event);
             return seq;
         }
@@ -320,6 +324,7 @@ impl<M: WireSize + Clone> Network<M> {
                 {
                     self.fault_stats.amnesia_dropped += 1;
                     self.stats.entry(class).or_default().dropped += 1;
+                    metrics::link(src, dst, LinkCtr::Drop, 1);
                     trace::emit(src, drop_event);
                     return seq;
                 }
@@ -337,14 +342,19 @@ impl<M: WireSize + Clone> Network<M> {
                     self.fault_stats.partition_dropped += 1;
                 }
                 self.stats.entry(class).or_default().dropped += 1;
+                metrics::link(src, dst, LinkCtr::Drop, 1);
                 trace::emit(src, drop_event);
                 return seq;
             }
         }
 
+        let wire = payload.wire_size();
         let stats = self.stats.entry(class).or_default();
         stats.sent += 1;
-        stats.bytes += payload.wire_size();
+        stats.bytes += wire;
+        metrics::link(src, dst, LinkCtr::Send, 1);
+        metrics::link(src, dst, LinkCtr::Bytes, wire);
+        metrics::gauge_add(src, Gge::InflightBytes, wire);
         let queue = self.channels.entry((src, dst)).or_default();
         if let Some(tail) = queue.back() {
             // FIFO under jitter: never schedule before the channel's tail.
@@ -371,6 +381,8 @@ impl<M: WireSize + Clone> Network<M> {
         if duplicate {
             stats.duplicated += 1;
             self.fault_stats.duplicates_injected += 1;
+            metrics::link(src, dst, LinkCtr::Duplicate, 1);
+            metrics::gauge_add(src, Gge::InflightBytes, wire);
             queue.push_back(InFlight {
                 deliver_at,
                 env: env.clone(),
@@ -386,6 +398,7 @@ impl<M: WireSize + Clone> Network<M> {
         self.now += 1;
         trace::set_now(self.now);
         self.apply_fault_transitions();
+        metrics::tick(self.now);
         self.drain_due()
     }
 
@@ -410,6 +423,9 @@ impl<M: WireSize + Clone> Network<M> {
                         );
                     }
                 }
+                for &m in &members {
+                    metrics::bump(m, Ctr::FaultActivations);
+                }
                 self.events.push(FaultEvent::PartitionHealed { members });
             }
         }
@@ -423,6 +439,7 @@ impl<M: WireSize + Clone> Network<M> {
                         kind: trace::FaultKind::Crash,
                     },
                 );
+                metrics::bump(c.node, Ctr::FaultActivations);
                 self.events.push(FaultEvent::NodeCrashed {
                     node: c.node,
                     amnesia: c.amnesia,
@@ -438,6 +455,7 @@ impl<M: WireSize + Clone> Network<M> {
                         kind: trace::FaultKind::Restart,
                     },
                 );
+                metrics::bump(c.node, Ctr::FaultActivations);
                 self.events.push(FaultEvent::NodeRestarted {
                     node: c.node,
                     amnesia: c.amnesia,
@@ -468,6 +486,7 @@ impl<M: WireSize + Clone> Network<M> {
                     } else {
                         self.fault_stats.crash_dropped += 1;
                     }
+                    metrics::gauge_sub(m.env.src, Gge::InflightBytes, m.env.payload.wire_size());
                 }
                 continue;
             }
@@ -480,6 +499,7 @@ impl<M: WireSize + Clone> Network<M> {
                     kept.push_back(m);
                 } else {
                     self.fault_stats.crash_dropped += 1;
+                    metrics::gauge_sub(m.env.src, Gge::InflightBytes, m.env.payload.wire_size());
                 }
             }
             *queue = kept;
@@ -493,6 +513,9 @@ impl<M: WireSize + Clone> Network<M> {
         for queue in self.channels.values_mut() {
             while queue.front().is_some_and(|m| m.deliver_at <= now) {
                 let env = queue.pop_front().expect("front checked").env;
+                if metrics::enabled() {
+                    metrics::gauge_sub(env.src, Gge::InflightBytes, env.payload.wire_size());
+                }
                 if trace::enabled() {
                     // Merge the piggy-backed sender clock first so the
                     // delivery event is stamped after the send.

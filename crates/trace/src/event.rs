@@ -77,6 +77,33 @@ pub enum MsgLane {
     GcBackground,
 }
 
+/// Which leak/stall detector of the metrics watchdog fired (mirror of the
+/// detector set in `bmx-metrics`, which this crate cannot name without a
+/// dependency cycle — the same arrangement as [`MsgLane`] / `MsgClass`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AlarmKind {
+    /// From-space retention stayed nonzero and never drained for a whole
+    /// detection window after a covering epoch should have freed it.
+    FromSpaceLeak,
+    /// The scion backlog grew monotonically across consecutive checks.
+    ScionBacklog,
+    /// The report-retry queue stayed deep for a whole detection window.
+    RetryStorm,
+    /// A node's Lamport clock stalled while the rest of the cluster
+    /// made progress.
+    ClockStall,
+}
+
+impl AlarmKind {
+    /// All detector kinds, for iteration in reports.
+    pub const ALL: [AlarmKind; 4] = [
+        AlarmKind::FromSpaceLeak,
+        AlarmKind::ScionBacklog,
+        AlarmKind::RetryStorm,
+        AlarmKind::ClockStall,
+    ];
+}
+
 /// Fault-plane transition.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FaultKind {
@@ -316,6 +343,25 @@ pub enum TraceEvent {
         epoch: Epoch,
     },
 
+    // ---------------- metrics plane ----------------
+    /// The metrics watchdog raised an alarm at this node. The alarm is
+    /// causally ordered with the events that justified it: `witness_lamport`
+    /// is the node's Lamport clock *before* the alarm was stamped, i.e. the
+    /// newest event inside the detection window, so the alarm happens-after
+    /// its evidence (`query::metric_alarm_hb_violations` checks this).
+    MetricAlarm {
+        /// Which detector fired.
+        kind: AlarmKind,
+        /// The reading that tripped the detector (gauge value, queue depth,
+        /// or stalled clock value, per kind).
+        value: u64,
+        /// Tick at which the offending condition was first observed.
+        since_tick: u64,
+        /// The node's Lamport clock when the alarm fired (the newest event
+        /// the alarm is justified by); always < this record's own stamp.
+        witness_lamport: u64,
+    },
+
     // ---------------- mutator plane ----------------
     /// A mutator data/pointer access at this node; `resolved` differs from
     /// `requested` when the access went through forwarding knowledge.
@@ -357,6 +403,7 @@ impl TraceEvent {
             | OwnerPtrRetired { .. }
             | ReportRetry { .. } => "cleaner",
             RecoveryBegin { .. } | RecoveryComplete { .. } | RejoinEpoch { .. } => "recovery",
+            MetricAlarm { .. } => "metrics",
             MutatorAccess { .. } => "mutator",
         }
     }
@@ -391,6 +438,7 @@ impl TraceEvent {
             RecoveryBegin { .. } => "RecoveryBegin",
             RecoveryComplete { .. } => "RecoveryComplete",
             RejoinEpoch { .. } => "RejoinEpoch",
+            MetricAlarm { .. } => "MetricAlarm",
             MutatorAccess { .. } => "MutatorAccess",
         }
     }
@@ -463,6 +511,15 @@ impl fmt::Display for TraceEvent {
             RejoinEpoch { bunch, epoch } => {
                 write!(f, "RejoinEpoch {bunch} resumed-at={}", epoch.0)
             }
+            MetricAlarm {
+                kind,
+                value,
+                since_tick,
+                witness_lamport,
+            } => write!(
+                f,
+                "MetricAlarm {kind:?} value={value} since-t={since_tick} L(witness)={witness_lamport}"
+            ),
             MutatorAccess {
                 requested,
                 resolved,

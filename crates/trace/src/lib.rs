@@ -41,7 +41,7 @@ pub mod query;
 mod sink;
 
 pub use event::{
-    AccessMode, FaultKind, GcPhase, MsgLane, ReuseStep, SspKind, TraceEvent, TraceRecord,
+    AccessMode, AlarmKind, FaultKind, GcPhase, MsgLane, ReuseStep, SspKind, TraceEvent, TraceRecord,
 };
 pub use sink::{DiscardSink, RingSink, TraceSink, VecSink};
 

@@ -278,6 +278,48 @@ pub fn post_crash_epoch_violations(records: &[TraceRecord]) -> Vec<TraceRecord> 
     bad
 }
 
+/// **Metric-alarm happens-before justification**: a watchdog alarm is a
+/// claim *about* the trace — "the events up to my witness show a leak" —
+/// so every `MetricAlarm` must be causally anchored in the window it
+/// accuses. Three rules, violations of any returned:
+///
+/// 1. *Witnessed*: the alarm cites a `witness_lamport` that actually
+///    exists at the alarming node — some non-alarm event of that node
+///    carries exactly that stamp. An alarm with `witness_lamport == 0`
+///    (or citing a stamp the node never produced) is unjustified: the
+///    watchdog observed no evidence, or cites evidence outside the
+///    captured window.
+/// 2. *After its evidence*: the alarm's own stamp is strictly greater
+///    than the witness stamp (`a → b ⇒ L(a) < L(b)`; the alarm must
+///    happen-after the newest event it is justified by).
+/// 3. *Window sanity*: the condition's start (`since_tick`) does not lie
+///    in the alarm's future — `since_tick <= tick`.
+pub fn metric_alarm_hb_violations(records: &[TraceRecord]) -> Vec<TraceRecord> {
+    let mut bad = Vec::new();
+    for node in nodes_of(records) {
+        let order = node_order(records, node);
+        for rec in &order {
+            let TraceEvent::MetricAlarm {
+                witness_lamport,
+                since_tick,
+                ..
+            } = rec.event
+            else {
+                continue;
+            };
+            let witnessed = witness_lamport != 0
+                && order.iter().any(|p| {
+                    p.lamport == witness_lamport
+                        && !matches!(p.event, TraceEvent::MetricAlarm { .. })
+                });
+            if !witnessed || witness_lamport >= rec.lamport || since_tick > rec.tick {
+                bad.push(*rec);
+            }
+        }
+    }
+    bad
+}
+
 fn nodes_of(records: &[TraceRecord]) -> Vec<NodeId> {
     let mut nodes: Vec<NodeId> = records.iter().map(|r| r.node).collect();
     nodes.sort_by_key(|n| n.0);
@@ -532,6 +574,43 @@ mod tests {
             ),
         ];
         assert!(post_crash_epoch_violations(&other).is_empty());
+    }
+
+    #[test]
+    fn metric_alarm_query_demands_a_causal_witness() {
+        use crate::event::AlarmKind;
+        let alarm = |witness: u64, since: u64| TraceEvent::MetricAlarm {
+            kind: AlarmKind::FromSpaceLeak,
+            value: 4096,
+            since_tick: since,
+            witness_lamport: witness,
+        };
+        let evidence = TraceEvent::ReportPublish {
+            bunch: BunchId(1),
+            epoch: Epoch(2),
+        };
+        // Justified: the alarm cites the publish (L=3) and fires after it.
+        let good = vec![r(0, 3, 1, evidence), r(0, 7, 2, alarm(3, 1))];
+        assert!(metric_alarm_hb_violations(&good).is_empty());
+        // No event at the cited stamp: unjustified.
+        let unwitnessed = vec![r(0, 3, 1, evidence), r(0, 7, 2, alarm(4, 1))];
+        assert_eq!(metric_alarm_hb_violations(&unwitnessed).len(), 1);
+        // A zero witness means the watchdog saw nothing at all.
+        let blind = vec![r(0, 7, 1, alarm(0, 1))];
+        assert_eq!(metric_alarm_hb_violations(&blind).len(), 1);
+        // The alarm may not be stamped at-or-before its own evidence.
+        let premature = vec![r(0, 3, 1, evidence), r(0, 3, 2, alarm(3, 1))];
+        assert_eq!(metric_alarm_hb_violations(&premature).len(), 1);
+        // Another alarm cannot serve as the witness.
+        let circular = vec![r(0, 3, 1, alarm(0, 1)), r(0, 7, 2, alarm(3, 1))];
+        assert_eq!(
+            metric_alarm_hb_violations(&circular).len(),
+            2,
+            "the blind alarm and the one citing it are both flagged"
+        );
+        // since_tick in the future of the alarm's own tick is nonsense.
+        let future = vec![r(0, 3, 1, evidence), r(0, 7, 2, alarm(3, 99))];
+        assert_eq!(metric_alarm_hb_violations(&future).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! `bmx-top`: a live terminal dashboard over the metrics plane.
+//!
+//! Installs the metrics registry, drives a 3-node churning cluster through
+//! a mildly faulty network (drops, duplicates, a timed partition, a crash/
+//! restart), and redraws a `top`-style screen every few simulation rounds:
+//! per-node GC and DSM health, the link traffic matrix, and any watchdog
+//! alarms. Everything on screen is read back from the same
+//! [`bmx_repro::metrics`] registry a production deployment would scrape
+//! via the Prometheus endpoint (see DESIGN.md §9).
+//!
+//! Run with: `cargo run --example bmx_top [frames]`
+//! (default 12 frames; set `BMX_TOP_FAST=1` to skip the inter-frame sleep,
+//! which CI does).
+
+use bmx_repro::metrics::{self, Ctr, Gge, Hst, LinkCtr, Registry};
+use bmx_repro::prelude::*;
+use bmx_repro::trace;
+use bmx_repro::workloads::churn;
+
+const NODES: u32 = 3;
+
+/// Approximate quantile from a power-of-two histogram: the upper bound of
+/// the first bucket whose cumulative count reaches `q` of the total.
+fn quantile(reg: &Registry, node: u32, h: Hst, q: f64) -> String {
+    let scope = reg.node(node);
+    let hist = scope.hist(h);
+    let total = hist.count();
+    if total == 0 {
+        return "-".to_string();
+    }
+    let need = (total as f64 * q).ceil() as u64;
+    let mut seen = 0;
+    for (bound, cum) in hist.cumulative() {
+        seen = cum;
+        if seen >= need {
+            return match bound {
+                Some(b) => format!("≤{b}"),
+                None => "inf".to_string(),
+            };
+        }
+    }
+    let _ = seen;
+    "inf".to_string()
+}
+
+fn frame(c: &Cluster, reg: &Registry, round: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bmx-top — tick {:>6}  round {:>4}  alarms {}\n\n",
+        c.net.now(),
+        round,
+        reg.total_alarms(),
+    ));
+
+    out.push_str(
+        "node  bgc  pause_p50(us)  acq_rd_p50  acq_wr_p50  inflight_B  \
+         fromspace_W  scions  stubs  retryq\n",
+    );
+    for i in 0..NODES {
+        let scope = reg.node(i);
+        out.push_str(&format!(
+            "{:>4}  {:>3}  {:>13}  {:>10}  {:>10}  {:>10}  {:>11}  {:>6}  {:>5}  {:>6}\n",
+            i,
+            scope.ctr(Ctr::BgcCollections),
+            quantile(reg, i, Hst::BgcPauseMicros, 0.5),
+            quantile(reg, i, Hst::AcquireReadTicks, 0.5),
+            quantile(reg, i, Hst::AcquireWriteTicks, 0.5),
+            scope.gauge(Gge::InflightBytes),
+            scope.gauge(Gge::FromSpaceRetainedWords),
+            scope.gauge(Gge::ScionTableSize),
+            scope.gauge(Gge::StubTableSize),
+            scope.gauge(Gge::RetryQueueDepth),
+        ));
+    }
+
+    out.push_str("\nlink        sent      bytes   dropped  duplicated  retried\n");
+    for s in 0..NODES {
+        for d in 0..NODES {
+            if s == d {
+                continue;
+            }
+            let l = reg.link(s, d);
+            if l.ctr(LinkCtr::Send) == 0 && l.ctr(LinkCtr::Drop) == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{s}→{d}   {:>9}  {:>9}  {:>8}  {:>10}  {:>7}\n",
+                l.ctr(LinkCtr::Send),
+                l.ctr(LinkCtr::Bytes),
+                l.ctr(LinkCtr::Drop),
+                l.ctr(LinkCtr::Duplicate),
+                l.ctr(LinkCtr::Retry),
+            ));
+        }
+    }
+    out
+}
+
+fn main() -> Result<()> {
+    let frames: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let fast = std::env::var("BMX_TOP_FAST").is_ok_and(|v| v == "1");
+
+    let reg = metrics::install();
+    trace::install_ring(4096);
+
+    let plan = FaultPlan::none()
+        .all_links(LinkFault {
+            drop: 0.08,
+            duplicate: 0.15,
+            jitter: 2,
+        })
+        .partition(vec![NodeId(0)], vec![NodeId(1), NodeId(2)], 400, 650)
+        .crash(NodeId(2), 900, 1080);
+    let mut net = NetworkConfig::lossless(1).with_fault(plan);
+    net.seed = 0x70_D0;
+    let mut c = Cluster::new(ClusterConfig {
+        nodes: NODES,
+        net,
+        retry: Some(RetryPolicy::default()),
+        ..Default::default()
+    });
+
+    let mut sites = Vec::new();
+    for i in 0..NODES {
+        let node = NodeId(i);
+        let b = c.create_bunch(node)?;
+        let reg_obj = c.alloc(node, b, &ObjSpec::with_refs(1, &[0]))?;
+        c.add_root(node, reg_obj);
+        sites.push((node, b, reg_obj));
+    }
+    let shared = c.create_bunch(NodeId(0))?;
+    let migrate: Vec<Addr> = (0..3)
+        .map(|_| {
+            let o = c.alloc(NodeId(0), shared, &ObjSpec::with_refs(2, &[0]))?;
+            c.add_root(NodeId(0), o);
+            Ok(o)
+        })
+        .collect::<Result<_>>()?;
+    c.map_bunch(NodeId(1), shared, NodeId(0))?;
+    c.map_bunch(NodeId(2), shared, NodeId(0))?;
+
+    let mut round = 0u64;
+    for _ in 0..frames {
+        for _ in 0..4 {
+            churn::chaos_round(&mut c, &sites, &migrate, round as usize, 0x70_D0)?;
+            c.run_bgc(NodeId(0), shared)?;
+            round += 1;
+        }
+        // Clear screen + home, then the frame. Plain prints, no TUI deps.
+        print!("\x1b[2J\x1b[H{}", frame(&c, &reg, round));
+        if !fast {
+            std::thread::sleep(std::time::Duration::from_millis(250));
+        }
+    }
+    c.settle(3_000)?;
+
+    println!("\nfinal snapshot (JSON excerpt):");
+    let snap = metrics::snapshot();
+    for (k, v) in snap
+        .diff(&metrics::Snapshot::default())
+        .iter()
+        .filter(|(k, _)| k.contains("bgc_collections") || k.starts_with("alarm/"))
+    {
+        println!("  {k} = {v}");
+    }
+    println!("\nPrometheus exposition is one call away:");
+    let prom = metrics::prometheus::render(&reg);
+    for line in prom.lines().take(8) {
+        println!("  {line}");
+    }
+    println!("  … ({} lines total)", prom.lines().count());
+    Ok(())
+}

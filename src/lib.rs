@@ -13,6 +13,9 @@
 //! * [`rvm`] — recoverable virtual memory;
 //! * [`trace`] — causal event tracing: flight recorder, Chrome-trace
 //!   export, trace-backed invariant checking;
+//! * [`metrics`] — the cluster-wide metrics plane: allocation-free
+//!   counters/gauges/histograms, leak watchdogs, Prometheus and JSON
+//!   exposition (see DESIGN.md §9);
 //! * [`baselines`] — the comparison systems the paper argues against;
 //! * [`workloads`] — synthetic object-graph generators.
 //!
@@ -25,6 +28,7 @@ pub use bmx_baselines as baselines;
 pub use bmx_common as common;
 pub use bmx_dsm as dsm;
 pub use bmx_gc as gc;
+pub use bmx_metrics as metrics;
 pub use bmx_net as net;
 pub use bmx_rvm as rvm;
 pub use bmx_trace as trace;

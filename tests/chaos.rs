@@ -15,6 +15,7 @@
 
 use bmx::audit;
 use bmx_net::FaultStats;
+use bmx_repro::metrics;
 use bmx_repro::prelude::*;
 use bmx_repro::trace;
 use bmx_repro::workloads::{churn, lists};
@@ -62,6 +63,12 @@ fn run_chaos(seed: u64) -> ChaosSummary {
     // summaries produced with the recorder installed both times, and the
     // traced-vs-untraced identity is pinned by `tests/trace_invariants.rs`.
     trace::install_ring(FLIGHT_RECORDER_CAP);
+    // Metrics ride along on every chaos run: the watchdogs must stay silent
+    // on a green soak (a firing leak detector fails the run even when the
+    // safety gate passes), and each seed leaves a queryable snapshot next
+    // to the flight-recorder artifacts. Instrumentation is observational —
+    // `tests/metrics_plane.rs` pins the metered-vs-unmetered identity.
+    let mreg = metrics::install();
     let mut net = NetworkConfig::lossless(1).with_fault(chaos_plan());
     net.seed = seed;
     let cfg = ClusterConfig {
@@ -153,6 +160,17 @@ fn run_chaos(seed: u64) -> ChaosSummary {
         "anchor payload intact"
     );
 
+    // A green soak must also be watchdog-silent: an alarm here means some
+    // drain-based detector saw a leak signature the functional gates missed.
+    assert_eq!(
+        mreg.total_alarms(),
+        0,
+        "watchdog alarm fired during an otherwise-green chaos run \
+         (snapshot in target/chaos/metrics-seed-{seed:#x}.json)"
+    );
+    dump_metrics_snapshot(seed);
+    metrics::disable();
+
     let summary = ChaosSummary {
         counters: (0..3)
             .map(|i| StatKind::ALL.iter().map(|&k| c.stats[i].get(k)).collect())
@@ -169,6 +187,19 @@ fn run_chaos(seed: u64) -> ChaosSummary {
     };
     trace::disable();
     summary
+}
+
+/// Writes the run's metrics snapshot to `target/chaos/` — uploaded by the
+/// nightly chaos workflow alongside the flight-recorder dumps, and the
+/// first thing to diff when a seed regresses.
+fn dump_metrics_snapshot(seed: u64) {
+    let dir = std::path::Path::new("target/chaos");
+    let _ = std::fs::create_dir_all(dir);
+    let snap = metrics::snapshot();
+    let _ = std::fs::write(
+        dir.join(format!("metrics-seed-{seed:#x}.json")),
+        metrics::json::to_json(&snap),
+    );
 }
 
 /// Writes the flight recorder's tail to `target/chaos/`: one
@@ -277,9 +308,12 @@ fn chaos_seed_sweep() {
                 .cloned()
                 .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
                 .unwrap_or_else(|| "non-string panic".into());
-            // The panicked run's flight recorder is still installed: dump
-            // its tail (per-node timelines + merged Chrome trace) next to
-            // the replay seed.
+            // The panicked run's flight recorder and metrics registry are
+            // still installed: dump the recorder tail (per-node timelines +
+            // merged Chrome trace) and the metrics snapshot next to the
+            // replay seed.
+            dump_metrics_snapshot(seed);
+            metrics::disable();
             let dumps = dump_flight_recorders(seed);
             let dump_list: Vec<String> = dumps
                 .iter()

@@ -19,6 +19,7 @@
 //! failure can be inspected).
 
 use bmx::audit;
+use bmx_repro::metrics;
 use bmx_repro::prelude::*;
 use bmx_repro::trace;
 use bmx_repro::workloads::{churn, lists};
@@ -127,6 +128,9 @@ struct AmnesiaSummary {
 
 fn run_amnesia(seed: u64) -> AmnesiaSummary {
     trace::install_ring(FLIGHT_RECORDER_CAP);
+    // Same policy as tests/chaos.rs: watchdogs must stay silent on a green
+    // amnesia soak, and each seed leaves a metrics snapshot artifact.
+    let mreg = metrics::install();
     let dir = persist_dir(seed);
     let _ = std::fs::remove_dir_all(&dir);
     let mut net = NetworkConfig::lossless(1).with_fault(amnesia_plan());
@@ -256,6 +260,23 @@ fn run_amnesia(seed: u64) -> AmnesiaSummary {
             .any(|r| matches!(r.event, trace::TraceEvent::RecoveryComplete { .. })),
         "the recovery plane actually traced"
     );
+
+    assert_eq!(
+        mreg.total_alarms(),
+        0,
+        "watchdog alarm fired during an otherwise-green amnesia run \
+         (snapshot in target/chaos/metrics-amnesia-seed-{seed:#x}.json)"
+    );
+    {
+        let out = std::path::Path::new("target/chaos");
+        let _ = std::fs::create_dir_all(out);
+        let snap = metrics::snapshot();
+        let _ = std::fs::write(
+            out.join(format!("metrics-amnesia-seed-{seed:#x}.json")),
+            metrics::json::to_json(&snap),
+        );
+    }
+    metrics::disable();
 
     let summary = AmnesiaSummary {
         counters: (0..3)

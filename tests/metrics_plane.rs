@@ -1,0 +1,219 @@
+//! The metrics plane's integration contract (DESIGN.md §9).
+//!
+//! Three promises are pinned here, each against a *real* cluster rather
+//! than the unit fixtures in `crates/metrics`:
+//!
+//! 1. **Observational purity** — a fixed-seed faulty run produces
+//!    bit-identical counters, per-class network stats, and fault stats
+//!    whether the metrics plane is installed or not. Instrumentation may
+//!    read the simulation; it must never steer it.
+//! 2. **Watchdog calibration** — the from-space leak detector stays silent
+//!    on a healthy run that drains its from-space, and fires on the same
+//!    cluster when the drain never happens.
+//! 3. **Exposition fidelity** — the snapshot of a live run survives the
+//!    JSON round-trip losslessly and renders to well-formed Prometheus
+//!    text exposition.
+
+use bmx_repro::metrics::{self, watchdog::WatchdogConfig, Ctr, Gge};
+use bmx_repro::prelude::*;
+use bmx_repro::trace::AlarmKind;
+use bmx_repro::workloads::churn;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// Everything a [`faulty_run`] computes that could conceivably be
+/// perturbed: per-node counters, per-class (sent, dropped, duplicated)
+/// network stats, and the round count.
+type RunDigest = (Vec<Vec<u64>>, Vec<(u64, u64, u64)>, usize);
+
+/// A short faulty churn run, fully determined by the seed: link loss,
+/// duplication, jitter, a healing partition.
+fn faulty_run(seed: u64) -> RunDigest {
+    let plan = FaultPlan::none()
+        .all_links(LinkFault {
+            drop: 0.10,
+            duplicate: 0.20,
+            jitter: 2,
+        })
+        .partition(vec![n(0)], vec![n(1), n(2)], 300, 500);
+    let mut net = NetworkConfig::lossless(1).with_fault(plan);
+    net.seed = seed;
+    let mut c = Cluster::new(ClusterConfig {
+        nodes: 3,
+        net,
+        retry: Some(RetryPolicy::default()),
+        ..Default::default()
+    });
+
+    let mut sites = Vec::new();
+    for i in 0..3 {
+        let node = n(i);
+        let b = c.create_bunch(node).unwrap();
+        let reg = c.alloc(node, b, &ObjSpec::with_refs(1, &[0])).unwrap();
+        c.add_root(node, reg);
+        sites.push((node, b, reg));
+    }
+    let shared = c.create_bunch(n(0)).unwrap();
+    let migrate: Vec<Addr> = (0..3)
+        .map(|_| {
+            let o = c.alloc(n(0), shared, &ObjSpec::with_refs(2, &[0])).unwrap();
+            c.add_root(n(0), o);
+            o
+        })
+        .collect();
+    c.map_bunch(n(1), shared, n(0)).unwrap();
+    c.map_bunch(n(2), shared, n(0)).unwrap();
+
+    let mut rounds = 0;
+    while c.net.now() < 800 {
+        churn::chaos_round(&mut c, &sites, &migrate, rounds, seed).unwrap();
+        c.run_bgc([n(0), n(1), n(2)][rounds % 3], shared).unwrap();
+        rounds += 1;
+    }
+    c.settle(3_000).unwrap();
+
+    let counters = (0..3)
+        .map(|i| StatKind::ALL.iter().map(|&k| c.stats[i].get(k)).collect())
+        .collect();
+    let per_class = MsgClass::ALL
+        .iter()
+        .map(|&cl| {
+            let s = c.net.class_stats(cl);
+            (s.sent, s.dropped, s.duplicated)
+        })
+        .collect();
+    (counters, per_class, rounds)
+}
+
+/// Promise 1: installing the metrics plane does not perturb the simulation.
+/// Same seed, metered and unmetered, bit-identical outcomes.
+#[test]
+fn metered_run_is_bit_identical_to_unmetered() {
+    metrics::disable();
+    let bare = faulty_run(0x5EED_CAFE);
+
+    let reg = metrics::install();
+    let metered = faulty_run(0x5EED_CAFE);
+    assert_eq!(
+        bare, metered,
+        "metrics instrumentation perturbed a fixed-seed run"
+    );
+    // ... and the metered run actually measured something.
+    assert!(
+        (0..3)
+            .map(|i| reg.node(i).ctr(Ctr::BgcCollections))
+            .sum::<u64>()
+            > 0,
+        "the metered run recorded no collections"
+    );
+    metrics::disable();
+}
+
+/// Promise 2a: a healthy run — collections happen, from-space drains via
+/// reuse — never trips the leak watchdog.
+#[test]
+fn fromspace_watchdog_is_silent_when_the_drain_runs() {
+    let reg = metrics::install_with(WatchdogConfig {
+        fromspace_window: 200,
+        ..WatchdogConfig::default()
+    });
+    let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+    let b = c.create_bunch(n(0)).unwrap();
+    let root = c.alloc(n(0), b, &ObjSpec::with_refs(1, &[0])).unwrap();
+    c.add_root(n(0), root);
+
+    for _ in 0..6 {
+        // Garbage + a collection retires a segment into from-space...
+        let junk = c.alloc(n(0), b, &ObjSpec::data(4)).unwrap();
+        c.write_ref(n(0), root, 0, junk).unwrap();
+        c.write_data(n(0), junk, 0, 7).unwrap();
+        c.run_bgc(n(0), b).unwrap();
+        // ... and the reuse path drains it before the window closes.
+        c.step(120).unwrap();
+        c.reuse_from_space(n(0), b).unwrap();
+        c.step(120).unwrap();
+    }
+    assert_eq!(
+        reg.alarms(AlarmKind::FromSpaceLeak),
+        0,
+        "leak watchdog fired on a draining run"
+    );
+    metrics::disable();
+}
+
+/// Promise 2b: the same cluster with the drain withheld — from-space
+/// retention stays nonzero for a whole window — fires exactly the
+/// from-space alarm, and latches rather than re-firing every check.
+#[test]
+fn fromspace_watchdog_fires_when_the_drain_is_withheld() {
+    let reg = metrics::install_with(WatchdogConfig {
+        fromspace_window: 200,
+        ..WatchdogConfig::default()
+    });
+    let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+    let b = c.create_bunch(n(0)).unwrap();
+    let root = c.alloc(n(0), b, &ObjSpec::with_refs(1, &[0])).unwrap();
+    c.add_root(n(0), root);
+
+    let junk = c.alloc(n(0), b, &ObjSpec::data(4)).unwrap();
+    c.write_ref(n(0), root, 0, junk).unwrap();
+    c.run_bgc(n(0), b).unwrap();
+    assert!(
+        reg.node(0).gauge(Gge::FromSpaceRetainedWords) > 0,
+        "collection should have retired a segment into from-space"
+    );
+
+    // Never drain; drive background time well past the detection window.
+    c.step(600).unwrap();
+    assert_eq!(
+        reg.alarms(AlarmKind::FromSpaceLeak),
+        1,
+        "leak watchdog latched one alarm for the stuck from-space"
+    );
+    assert_eq!(reg.alarms(AlarmKind::RetryStorm), 0);
+    assert_eq!(reg.alarms(AlarmKind::ScionBacklog), 0);
+    metrics::disable();
+}
+
+/// Promise 3: snapshot → JSON → snapshot is lossless on a real run, the
+/// diff against a baseline only reports what moved, and the Prometheus
+/// rendering is well-formed.
+#[test]
+fn exposition_round_trips_on_a_live_run() {
+    let reg = metrics::install();
+    let baseline = metrics::snapshot();
+    faulty_run(0xD05E_D05E);
+
+    let snap = metrics::snapshot();
+    let json = metrics::json::to_json(&snap);
+    let back = metrics::json::from_json(&json).expect("parse own output");
+    assert_eq!(snap, back, "JSON round-trip lost entries");
+
+    let delta = snap.diff(&baseline);
+    assert!(
+        delta
+            .iter()
+            .any(|(k, &v)| k.ends_with("/bgc_collections") && v > 0),
+        "diff should show the run's collections"
+    );
+    assert!(
+        delta.keys().all(|k| snap.get(k) != baseline.get(k)),
+        "diff must only contain changed entries"
+    );
+
+    let prom = metrics::prometheus::render(&reg);
+    assert!(prom.contains("# TYPE bmx_bgc_collections_total counter"));
+    assert!(prom.contains("# TYPE bmx_bgc_pause_micros histogram"));
+    assert!(prom.contains("bmx_link_send_total{src=\"0\",dst=\"1\"}"));
+    assert!(prom.contains("le=\"+Inf\""));
+    // Every exposition line is either a comment or `name{labels} value`.
+    for line in prom.lines() {
+        assert!(
+            line.starts_with('#') || line.split_whitespace().count() == 2,
+            "malformed exposition line: {line}"
+        );
+    }
+    metrics::disable();
+}

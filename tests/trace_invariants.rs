@@ -347,6 +347,61 @@ fn traced_run_is_bit_identical_to_untraced() {
     );
 }
 
+/// A real watchdog alarm justifies itself causally: the `MetricAlarm`
+/// event cites a witness stamp its node actually produced, strictly before
+/// the alarm, with a sane window start — and the checker flags a forged
+/// alarm whose witness points at nothing.
+#[test]
+fn metric_alarm_events_satisfy_the_happens_before_rule() {
+    use bmx_repro::metrics::{self, watchdog::WatchdogConfig};
+
+    trace::install_vec();
+    metrics::install_with(WatchdogConfig {
+        fromspace_window: 200,
+        ..WatchdogConfig::default()
+    });
+    // A collection retires a segment into from-space; nothing ever drains
+    // it, so the leak watchdog must fire within the (shortened) window.
+    let mut c = Cluster::new(ClusterConfig::with_nodes(2));
+    let b = c.create_bunch(n(0)).unwrap();
+    let root = c.alloc(n(0), b, &ObjSpec::with_refs(1, &[0])).unwrap();
+    c.add_root(n(0), root);
+    let junk = c.alloc(n(0), b, &ObjSpec::data(4)).unwrap();
+    c.write_ref(n(0), root, 0, junk).unwrap();
+    c.run_bgc(n(0), b).unwrap();
+    c.step(600).unwrap();
+    metrics::disable();
+    let records = trace::take();
+    trace::disable();
+
+    let alarm = records
+        .iter()
+        .find(|r| matches!(r.event, TraceEvent::MetricAlarm { .. }))
+        .expect("the withheld drain raised an alarm event");
+    let bad = trace::query::metric_alarm_hb_violations(&records);
+    assert!(bad.is_empty(), "alarm HB violations: {bad:?}");
+
+    // Forge the same alarm with a witness stamp the node never produced:
+    // the checker must reject it.
+    let mut forged = records.clone();
+    let mut fake = *alarm;
+    if let TraceEvent::MetricAlarm {
+        ref mut witness_lamport,
+        ..
+    } = fake.event
+    {
+        *witness_lamport = u64::MAX;
+    }
+    fake.lamport += 1;
+    fake.seq += 1;
+    forged.push(fake);
+    assert_eq!(
+        trace::query::metric_alarm_hb_violations(&forged).len(),
+        1,
+        "the forged witness must be flagged"
+    );
+}
+
 /// The Chrome exporter output for a real run survives a strict JSON parse
 /// and carries well-formed trace_event entries.
 #[test]
