@@ -7,7 +7,7 @@
 //! [`BmxError::RefMapMismatch`], the reproduction's equivalent of the paper's
 //! compiler-enforced write instrumentation.
 
-use bmx_common::{Addr, BmxError, Oid, Result};
+use bmx_common::{Addr, BmxError, Oid, Result, SharedWords};
 
 use crate::layout::{self, ObjFlags, HEADER_WORDS};
 use crate::memory::{MappedSegment, NodeMemory};
@@ -180,15 +180,20 @@ pub fn set_forwarding(mem: &mut NodeMemory, addr: Addr, to: Addr) -> Result<()> 
 }
 
 /// Returns `(field index, target)` for every pointer field of the object.
+///
+/// Scans the reference map word-parallel ([`Bitmap::ones_in`]): the trace
+/// and update phases of every collection call this once per live object,
+/// so the per-slot loop it replaced dominated BGC phase time on sparse
+/// maps.
+///
+/// [`Bitmap::ones_in`]: bmx_common::Bitmap::ones_in
 pub fn ref_fields(mem: &NodeMemory, addr: Addr) -> Result<Vec<(u64, Addr)>> {
     let v = view(mem, addr)?;
     let (seg, off) = mem.resolve(addr)?;
+    let base = (off + HEADER_WORDS) as usize;
     let mut out = Vec::new();
-    for f in 0..v.size {
-        let idx = (off + HEADER_WORDS + f) as usize;
-        if seg.ref_map.get(idx) {
-            out.push((f, Addr(seg.words[idx])));
-        }
+    for idx in seg.ref_map.ones_in(base, base + v.size as usize) {
+        out.push(((idx - base) as u64, Addr(seg.words[idx])));
     }
     Ok(out)
 }
@@ -226,19 +231,32 @@ pub struct ObjectImage {
     pub oid: Oid,
     /// Field indices that hold pointers.
     pub ref_fields: Vec<u64>,
-    /// Data words (length = object size).
-    pub data: Vec<u64>,
+    /// Data words (length = object size), in a refcounted slab: cloning an
+    /// image (network fault duplication, retries) shares the words instead
+    /// of copying them. The only memcpy is the capture itself.
+    pub data: SharedWords,
 }
 
 impl ObjectImage {
     /// Captures the image of the object at `addr`.
+    ///
+    /// Single pass over the segment: the reference map is scanned
+    /// word-parallel and the data words sliced once, instead of the two
+    /// separate resolve-and-walk passes this used to take.
     pub fn capture(mem: &NodeMemory, addr: Addr) -> Result<ObjectImage> {
         let v = view(mem, addr)?;
-        let refs = ref_fields(mem, addr)?.into_iter().map(|(f, _)| f).collect();
+        let (seg, off) = mem.resolve(addr)?;
+        let base = (off + HEADER_WORDS) as usize;
+        let end = base + v.size as usize;
+        let refs: Vec<u64> = seg
+            .ref_map
+            .ones_in(base, end)
+            .map(|idx| (idx - base) as u64)
+            .collect();
         Ok(ObjectImage {
             oid: v.oid,
             ref_fields: refs,
-            data: data_words(mem, addr)?,
+            data: SharedWords::from(&seg.words[base..end]),
         })
     }
 
@@ -278,12 +296,9 @@ pub fn install_object_at(mem: &mut NodeMemory, addr: Addr, image: &ObjectImage) 
     seg.words[off as usize + 1] = image.oid.0;
     seg.words[off as usize + 2] = Addr::NULL.0;
     seg.words[(off + HEADER_WORDS) as usize..(off + need) as usize].copy_from_slice(&image.data);
-    for i in off..off + need {
-        seg.ref_map.clear(i as usize);
-        if i != off {
-            seg.object_map.clear(i as usize);
-        }
-    }
+    seg.ref_map.clear_range(off as usize, (off + need) as usize);
+    seg.object_map
+        .clear_range(off as usize + 1, (off + need) as usize);
     seg.object_map.set(off as usize);
     for &f in &image.ref_fields {
         seg.ref_map.set((off + HEADER_WORDS + f) as usize);
@@ -466,7 +481,11 @@ mod tests {
         let img = ObjectImage::capture(&mem, a).unwrap();
         assert_eq!(img.oid, Oid(7));
         assert_eq!(img.ref_fields, vec![1, 3]);
-        assert_eq!(img.data, vec![123, 0x5550, 0, 0]);
+        assert_eq!(&img.data[..], &[123, 0x5550, 0, 0]);
+        // The send path never copies the words again: a clone (network
+        // duplication, retry re-enqueue) aliases the captured slab.
+        let dup = img.clone();
+        assert!(bmx_common::SharedWords::same_slab(&img.data, &dup.data));
 
         // Install the image into a different node's fresh replica at the same
         // address (the single-address-space property).
@@ -490,13 +509,13 @@ mod tests {
         let img = ObjectImage {
             oid: Oid(1),
             ref_fields: vec![],
-            data: vec![0; 4],
+            data: vec![0; 4].into(),
         };
         assert!(install_object_at(&mut mem, near_end, &img).is_err());
         let bad = ObjectImage {
             oid: Oid(1),
             ref_fields: vec![4],
-            data: vec![0; 4],
+            data: vec![0; 4].into(),
         };
         assert!(install_object_at(&mut mem, info.base, &bad).is_err());
     }

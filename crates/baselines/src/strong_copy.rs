@@ -77,10 +77,10 @@ fn trace_local(cluster: &Cluster, node: NodeId, bunch: BunchId) -> Result<Vec<Oi
     let mem = &cluster.mems[node.0 as usize];
     let mut roots: Vec<Addr> = ns.roots.values().copied().collect();
     if let Some(brs) = ns.bunch(bunch) {
-        roots.extend(brs.scion_table.inter.iter().map(|s| s.target_addr));
+        roots.extend(brs.scion_table.inter().iter().map(|s| s.target_addr));
         roots.extend(
             brs.scion_table
-                .intra
+                .intra()
                 .iter()
                 .filter_map(|s| ns.directory.addr_of(s.oid)),
         );

@@ -1,0 +1,85 @@
+//! Perf-regression gate: diffs a fresh `BENCH_tables.json` against the
+//! committed `BENCH_baseline.json`.
+//!
+//! Usage: `bench-diff <baseline.json> <current.json>... [--tol <frac>]`
+//!
+//! Exits nonzero on any regression (per-metric, direction-aware — see
+//! `bmx_bench::diff` for the policy) or benchmark-shape change. `--tol`
+//! sets the relative tolerance band for wall-clock columns (default 0.40;
+//! deterministic counters are always gated at zero tolerance). Passing
+//! several current snapshots merges them cell-wise into the best case
+//! first — the CI lane runs the tables twice to filter one-sided
+//! scheduler noise.
+
+//!
+//! `bench-diff --merge <out.json> <run.json>...` instead merges the runs
+//! and writes the best-case snapshot without diffing — used by
+//! `scripts/update_baseline.sh` to refresh `BENCH_baseline.json`.
+
+use bmx_bench::diff::{diff, extract_tables, merge_best, parse_json, render_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tol = 0.40f64;
+    let mut merge_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--merge" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| usage("missing path for --merge"));
+            merge_out = Some(v.clone());
+        } else if a == "--tol" {
+            let v = it
+                .next()
+                .unwrap_or_else(|| usage("missing value for --tol"));
+            tol = v
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad --tol value {v:?}")));
+        } else if a == "--help" || a == "-h" {
+            usage("");
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let load = |path: &str| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let doc = parse_json(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")));
+        extract_tables(&doc).unwrap_or_else(|e| fail(&format!("bad tables in {path}: {e}")))
+    };
+    if let Some(out) = merge_out {
+        if paths.is_empty() {
+            usage("--merge needs at least one run snapshot");
+        }
+        let runs: Vec<_> = paths.iter().map(|p| load(p)).collect();
+        let merged = render_json(&merge_best(&runs));
+        std::fs::write(&out, merged).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        eprintln!("wrote best-of-{} snapshot to {out}", paths.len());
+        return;
+    }
+    if paths.len() < 2 {
+        usage("expected a baseline and at least one current snapshot");
+    }
+    let baseline = load(&paths[0]);
+    let runs: Vec<_> = paths[1..].iter().map(|p| load(p)).collect();
+    let current = merge_best(&runs);
+    let report = diff(&baseline, &current, tol);
+    print!("{}", report.render());
+    std::process::exit(if report.pass() { 0 } else { 1 });
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: bench-diff <baseline.json> <current.json>... [--tol <frac>]");
+    eprintln!("       bench-diff --merge <out.json> <run.json>...");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

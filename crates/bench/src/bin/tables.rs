@@ -78,6 +78,10 @@ fn main() {
         let rows = e11_consistency::run();
         tables.push(e11_consistency::table(&rows));
     }
+    if want("e12") {
+        let rows = e12_hot_paths::run();
+        tables.push(e12_hot_paths::table(&rows));
+    }
 
     let mut text = String::new();
     for t in &tables {

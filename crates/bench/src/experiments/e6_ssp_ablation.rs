@@ -106,7 +106,7 @@ fn real_migration(hops: usize) -> (u64, u64) {
         .map(|i| {
             c.gc.node(NodeId(i))
                 .bunch(b_src)
-                .map(|b| b.stub_table.intra.len() as u64)
+                .map(|b| b.stub_table.intra().len() as u64)
                 .unwrap_or(0)
         })
         .sum();

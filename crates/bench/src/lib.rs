@@ -8,6 +8,7 @@
 //! (`tests/figure_scenarios.rs`) since they are assertion-checked
 //! configurations rather than measurements.
 
+pub mod diff;
 pub mod experiments;
 pub mod fixtures;
 pub mod table;

@@ -154,7 +154,7 @@ fn audit_node(cluster: &Cluster, node: NodeId, findings: &mut Vec<Finding>) {
     // 4: SSP endpoint sanity.
     let node_count = cluster.nodes();
     for brs in ns.bunches.values() {
-        for s in &brs.stub_table.intra {
+        for s in brs.stub_table.intra() {
             if s.scion_at.0 >= node_count {
                 push(format!(
                     "intra stub for {} names unknown node {}",
@@ -165,7 +165,7 @@ fn audit_node(cluster: &Cluster, node: NodeId, findings: &mut Vec<Finding>) {
                 push(format!("intra stub for {} points at its own node", s.oid));
             }
         }
-        for s in &brs.scion_table.intra {
+        for s in brs.scion_table.intra() {
             if s.stub_at.0 >= node_count {
                 push(format!(
                     "intra scion for {} names unknown node {}",
@@ -173,12 +173,12 @@ fn audit_node(cluster: &Cluster, node: NodeId, findings: &mut Vec<Finding>) {
                 ));
             }
         }
-        for s in &brs.stub_table.inter {
+        for s in brs.stub_table.inter() {
             if s.scion_at.0 >= node_count {
                 push(format!("inter stub {:?} names unknown scion site", s.id));
             }
         }
-        for s in &brs.scion_table.inter {
+        for s in brs.scion_table.inter() {
             if s.source_node.0 >= node_count {
                 push(format!("inter scion {:?} names unknown source node", s.id));
             }

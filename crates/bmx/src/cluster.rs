@@ -40,6 +40,10 @@ pub struct ClusterConfig {
     /// restart runs the full recovery pipeline against the store. `None`
     /// keeps the cluster purely volatile (the seed behaviour).
     pub persist: Option<PersistConfig>,
+    /// DSM envelope coalescing (one envelope per destination per protocol
+    /// round). `false` reverts to one envelope per protocol message — the
+    /// pre-batching wire behaviour, kept for equivalence testing.
+    pub coalesce_dsm: bool,
 }
 
 /// Where (and how aggressively) the cluster persists through RVM.
@@ -73,6 +77,7 @@ impl Default for ClusterConfig {
             reloc_mode: RelocMode::Piggyback,
             retry: Some(RetryPolicy::default()),
             persist: None,
+            coalesce_dsm: true,
         }
     }
 }
@@ -131,9 +136,11 @@ impl Cluster {
             Rc::new(RefCell::new(SegmentServer::new(cfg.segment_words)));
         let mut gc = GcState::new(cfg.nodes as usize, Rc::clone(&server));
         gc.reloc_mode = cfg.reloc_mode;
+        let mut engine = DsmEngine::new(cfg.nodes as usize);
+        engine.set_coalescing(cfg.coalesce_dsm);
         let cluster = Cluster {
             server,
-            engine: DsmEngine::new(cfg.nodes as usize),
+            engine,
             gc,
             mems: (0..cfg.nodes).map(|i| NodeMemory::new(NodeId(i))).collect(),
             stats: (0..cfg.nodes).map(|_| NodeStats::new()).collect(),
@@ -1045,6 +1052,7 @@ impl Cluster {
         self.stats[from.0 as usize].add(StatKind::MessagesSent, seg_ids.len() as u64);
         self.stats[from.0 as usize].add(StatKind::BytesSent, total_bytes);
         self.stats[from.0 as usize].add(StatKind::DsmProtocolMessages, seg_ids.len() as u64);
+        self.stats[from.0 as usize].add(StatKind::DsmLogicalMessages, seg_ids.len() as u64);
 
         // Learn the objects: directory entries, forwarding edges, replica
         // registrations.
@@ -1461,8 +1469,8 @@ impl Cluster {
             from: node,
             bunch,
             epoch: brs.epoch,
-            inter_stubs: brs.stub_table.inter.clone(),
-            intra_stubs: brs.stub_table.intra.clone(),
+            inter_stubs: brs.stub_table.inter().to_vec(),
+            intra_stubs: brs.stub_table.intra().to_vec(),
             exiting,
         })
     }

@@ -279,6 +279,7 @@ impl Cluster {
         };
         self.stats[node.0 as usize].add(StatKind::MessagesSent, 2);
         self.stats[node.0 as usize].add(StatKind::DsmProtocolMessages, 2);
+        self.stats[node.0 as usize].add(StatKind::DsmLogicalMessages, 2);
         match retired_to {
             // The node now knows where this object lives locally (same
             // address until relocations say otherwise) and who to ask for

@@ -81,6 +81,34 @@ impl Bitmap {
         self.bits.fill(0);
     }
 
+    /// Clears every bit in `start..end` word-parallel: the interior of the
+    /// range is zeroed a whole map word at a time, only the two boundary
+    /// words are masked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` exceeds the bitmap length.
+    pub fn clear_range(&mut self, start: usize, end: usize) {
+        assert!(
+            end <= self.len,
+            "bitmap range end {end} out of bounds {}",
+            self.len
+        );
+        if start >= end {
+            return;
+        }
+        let (sw, ew) = (start / 64, (end - 1) / 64);
+        let head = u64::MAX << (start % 64);
+        let tail = u64::MAX >> (63 - (end - 1) % 64);
+        if sw == ew {
+            self.bits[sw] &= !(head & tail);
+            return;
+        }
+        self.bits[sw] &= !head;
+        self.bits[sw + 1..ew].fill(0);
+        self.bits[ew] &= !tail;
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
@@ -95,6 +123,40 @@ impl Bitmap {
             }
             .filter(move |&i| i < self.len)
         })
+    }
+
+    /// Iterates over the indices of set bits in `start..end`, ascending.
+    ///
+    /// This is the word-parallel scan the collector's hot loops use: the
+    /// first and last words of the range are masked once, then whole 64-bit
+    /// map words are consumed with trailing-zeros iteration (`w &= w - 1`),
+    /// so a sparse reference map costs one test per *word*, not per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` exceeds the bitmap length.
+    pub fn ones_in(&self, start: usize, end: usize) -> OnesIn<'_> {
+        assert!(
+            end <= self.len,
+            "bitmap range end {end} out of bounds {}",
+            self.len
+        );
+        let start = start.min(end);
+        let wi = start / 64;
+        let first = if start >= end {
+            0
+        } else {
+            // Mask off bits below `start` in the first word; bits at or
+            // past `end` are masked in the iterator when the word is the
+            // range's last.
+            self.bits[wi] & (u64::MAX << (start % 64))
+        };
+        OnesIn {
+            bits: &self.bits,
+            word: first,
+            wi,
+            end,
+        }
     }
 
     /// Index of the first set bit at or after `from`, if any.
@@ -123,6 +185,42 @@ impl core::fmt::Debug for Bitmap {
         write!(f, "Bitmap[{}; ones=", self.len)?;
         f.debug_list().entries(self.iter_ones()).finish()?;
         write!(f, "]")
+    }
+}
+
+/// Word-parallel iterator over set bits in a half-open range.
+/// See [`Bitmap::ones_in`].
+pub struct OnesIn<'a> {
+    bits: &'a [u64],
+    /// Remaining bits of the word currently being consumed.
+    word: u64,
+    /// Index of that word in `bits`.
+    wi: usize,
+    /// Exclusive upper bound (bit index).
+    end: usize,
+}
+
+impl Iterator for OnesIn<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.word != 0 {
+                let idx = self.wi * 64 + self.word.trailing_zeros() as usize;
+                if idx >= self.end {
+                    self.word = 0;
+                    return None;
+                }
+                self.word &= self.word - 1;
+                return Some(idx);
+            }
+            self.wi += 1;
+            if self.wi * 64 >= self.end || self.wi >= self.bits.len() {
+                return None;
+            }
+            self.word = self.bits[self.wi];
+        }
     }
 }
 
@@ -210,7 +308,58 @@ mod tests {
         assert_eq!(b.iter_ones().count(), 0);
     }
 
+    #[test]
+    fn clear_range_masks_boundaries() {
+        let mut b = Bitmap::new(300);
+        for i in 0..300 {
+            b.set(i);
+        }
+        b.clear_range(5, 164);
+        for i in 0..300 {
+            assert_eq!(b.get(i), !(5..164).contains(&i), "bit {i}");
+        }
+        b.clear_range(3, 3); // empty range: no-op
+        assert!(b.get(3));
+        let mut w = Bitmap::new(64);
+        w.set(10);
+        w.set(20);
+        w.clear_range(15, 25); // single-word range
+        assert!(w.get(10) && !w.get(20));
+    }
+
+    #[test]
+    fn ones_in_masks_both_ends() {
+        let mut b = Bitmap::new(300);
+        for i in [0usize, 5, 63, 64, 100, 163, 164, 299] {
+            b.set(i);
+        }
+        let got: Vec<_> = b.ones_in(5, 164).collect();
+        assert_eq!(got, vec![5, 63, 64, 100, 163]);
+        assert_eq!(b.ones_in(0, 300).count(), 8);
+        assert_eq!(b.ones_in(6, 6).count(), 0, "empty range");
+        assert_eq!(b.ones_in(65, 100).count(), 0, "range with no ones");
+    }
+
     proptest! {
+        #[test]
+        fn ones_in_matches_scalar_scan(
+            ones in proptest::collection::btree_set(0usize..512, 0..128),
+            start in 0usize..512,
+            span in 0usize..512,
+        ) {
+            let mut b = Bitmap::new(512);
+            for &i in &ones {
+                b.set(i);
+            }
+            let end = (start + span).min(512);
+            let start = start.min(end);
+            // The scalar scanner `ref_fields` used before the word-parallel
+            // rewrite: one `get` per slot.
+            let want: Vec<_> = (start..end).filter(|&i| b.get(i)).collect();
+            let got: Vec<_> = b.ones_in(start, end).collect();
+            prop_assert_eq!(got, want);
+        }
+
         #[test]
         fn model_matches_hashset(ops in proptest::collection::vec((0usize..500, any::<bool>()), 0..200)) {
             let mut b = Bitmap::new(500);

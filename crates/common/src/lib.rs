@@ -15,6 +15,7 @@ pub mod bitmap;
 pub mod error;
 pub mod ids;
 pub mod rng;
+pub mod shared;
 pub mod stats;
 
 pub use addr::{Addr, WORD_BYTES};
@@ -22,4 +23,5 @@ pub use bitmap::Bitmap;
 pub use error::{BmxError, Result};
 pub use ids::{BunchId, Epoch, MsgSeq, NodeId, Oid, SegmentId};
 pub use rng::SplitMix64;
+pub use shared::SharedWords;
 pub use stats::{Counter, NodeStats, StatKind};

@@ -1,0 +1,96 @@
+//! A cheaply clonable, immutable word buffer.
+//!
+//! Grant images travel from the capture site through the simulated network
+//! (where fault injection may duplicate an envelope) to the install site.
+//! Backing the payload with a reference-counted slab makes every clone on
+//! that path a refcount bump instead of a memcpy of the object's words:
+//! the words are copied exactly once, at capture.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable `u64` buffer with `O(1)` clone.
+///
+/// Dereferences to `&[u64]`, so reads are indistinguishable from a
+/// `Vec<u64>`. There is deliberately no mutable access: a buffer may be
+/// aliased by any number of in-flight envelopes.
+#[derive(Clone)]
+pub struct SharedWords(Arc<[u64]>);
+
+impl SharedWords {
+    /// The empty buffer.
+    pub fn empty() -> SharedWords {
+        SharedWords(Arc::from(Vec::new()))
+    }
+
+    /// Whether `a` and `b` alias the same backing slab (i.e. no words were
+    /// copied to produce one from the other).
+    pub fn same_slab(a: &SharedWords, b: &SharedWords) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl From<Vec<u64>> for SharedWords {
+    fn from(v: Vec<u64>) -> SharedWords {
+        SharedWords(Arc::from(v))
+    }
+}
+
+impl From<&[u64]> for SharedWords {
+    fn from(v: &[u64]) -> SharedWords {
+        SharedWords(Arc::from(v))
+    }
+}
+
+impl Deref for SharedWords {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+impl PartialEq for SharedWords {
+    fn eq(&self, other: &SharedWords) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0[..] == other.0[..]
+    }
+}
+
+impl Eq for SharedWords {}
+
+impl fmt::Debug for SharedWords {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0[..], f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_slab() {
+        let a: SharedWords = vec![1, 2, 3].into();
+        let b = a.clone();
+        assert!(SharedWords::same_slab(&a, &b));
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn equality_compares_contents_across_slabs() {
+        let a: SharedWords = vec![7, 8].into();
+        let b: SharedWords = vec![7, 8].into();
+        assert!(!SharedWords::same_slab(&a, &b));
+        assert_eq!(a, b);
+        let c: SharedWords = vec![7, 9].into();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let e = SharedWords::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+}

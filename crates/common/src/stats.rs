@@ -76,8 +76,18 @@ pub enum StatKind {
     RvmLogRecords,
     /// RVM bytes logged.
     RvmBytesLogged,
-    /// Messages the DSM layer exchanged on behalf of applications.
+    /// Envelopes the DSM layer exchanged on behalf of applications. One
+    /// protocol round emits at most one envelope per destination; the
+    /// constituent messages inside them are counted by
+    /// [`StatKind::DsmLogicalMessages`].
     DsmProtocolMessages,
+    /// Constituent DSM protocol messages before envelope coalescing
+    /// (requests, grants, invalidations, acks, registrations).
+    DsmLogicalMessages,
+    /// Words physically copied when capturing a grant's object image.
+    /// Refcounted clones of an already-captured image (fault duplicates,
+    /// re-enqueues) cost nothing and are deliberately not counted.
+    ImageWordsCopied,
     /// Background (non-piggy-backed) GC messages.
     BackgroundGcMessages,
     /// Reachability reports re-sent by the automatic retry daemon.
@@ -109,7 +119,7 @@ pub enum StatKind {
 
 impl StatKind {
     /// All counter kinds, for iteration in reports.
-    pub const ALL: [StatKind; 35] = [
+    pub const ALL: [StatKind; 37] = [
         StatKind::MessagesSent,
         StatKind::MessagesDropped,
         StatKind::BytesSent,
@@ -135,6 +145,8 @@ impl StatKind {
         StatKind::RvmLogRecords,
         StatKind::RvmBytesLogged,
         StatKind::DsmProtocolMessages,
+        StatKind::DsmLogicalMessages,
+        StatKind::ImageWordsCopied,
         StatKind::BackgroundGcMessages,
         StatKind::RetryResends,
         StatKind::DuplicateDeliveries,

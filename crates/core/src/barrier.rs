@@ -268,12 +268,12 @@ mod tests {
         );
         assert_eq!(f.stats.get(StatKind::BarrierSlowPaths), 1);
         let stubs = &f.gc.node(NodeId(0)).bunch(f.b1).unwrap().stub_table;
-        assert_eq!(stubs.inter.len(), 1);
-        assert_eq!(stubs.inter[0].source_oid, Oid(1));
-        assert_eq!(stubs.inter[0].target_bunch, f.b2);
+        assert_eq!(stubs.inter().len(), 1);
+        assert_eq!(stubs.inter()[0].source_oid, Oid(1));
+        assert_eq!(stubs.inter()[0].target_bunch, f.b2);
         let scions = &f.gc.node(NodeId(0)).bunch(f.b2).unwrap().scion_table;
-        assert_eq!(scions.inter.len(), 1);
-        assert_eq!(scions.inter[0].id, stubs.inter[0].id);
+        assert_eq!(scions.inter().len(), 1);
+        assert_eq!(scions.inter()[0].id, stubs.inter()[0].id);
     }
 
     #[test]
@@ -305,7 +305,7 @@ mod tests {
                 .bunch(f.b2)
                 .unwrap()
                 .scion_table
-                .inter
+                .inter()
                 .len(),
             1
         );
@@ -316,7 +316,7 @@ mod tests {
                 .bunch(f.b2)
                 .unwrap()
                 .scion_table
-                .inter
+                .inter()
                 .len(),
             1
         );
@@ -351,7 +351,7 @@ mod tests {
                 .bunch(f.b1)
                 .unwrap()
                 .stub_table
-                .inter
+                .inter()
                 .len(),
             1
         );

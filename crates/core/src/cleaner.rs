@@ -89,57 +89,43 @@ pub fn process_report(
     // (source node, source bunch).
     let ns = gc.node_mut(at);
     for brs in ns.bunches.values_mut() {
-        let before = brs.scion_table.inter.len();
-        brs.scion_table.inter.retain(|s| {
+        let before = brs.scion_table.inter().len();
+        brs.scion_table.retain_inter(|s| {
             s.source_node != report.from
                 || s.source_bunch != report.bunch
                 || reported_ids.contains(&s.id)
         });
-        out.scions_removed += (before - brs.scion_table.inter.len()) as u64;
+        out.scions_removed += (before - brs.scion_table.inter().len()) as u64;
     }
     // Recreate scions this node should hold but lost (e.g. dropped
-    // scion-message). Set-based dedup keeps this linear for large tables.
-    {
-        let mut existing: std::collections::BTreeMap<
-            bmx_common::BunchId,
-            std::collections::BTreeSet<crate::ssp::SspId>,
-        > = std::collections::BTreeMap::new();
-        for stub in &report.inter_stubs {
-            if stub.scion_at != at {
-                continue;
-            }
-            let known = existing.entry(stub.target_bunch).or_insert_with(|| {
-                ns.bunch_or_default(stub.target_bunch)
-                    .scion_table
-                    .inter
-                    .iter()
-                    .map(|s| s.id)
-                    .collect()
+    // scion-message). `add_inter` dedups through the table's sharded
+    // membership index, so this stays linear for large tables.
+    for stub in &report.inter_stubs {
+        if stub.scion_at != at {
+            continue;
+        }
+        let created = ns
+            .bunch_or_default(stub.target_bunch)
+            .scion_table
+            .add_inter(InterScion {
+                id: stub.id,
+                source_node: report.from,
+                source_bunch: stub.source_bunch,
+                target_bunch: stub.target_bunch,
+                target_addr: stub.target_addr,
+                target_oid: stub.target_oid,
             });
-            if known.insert(stub.id) {
-                ns.bunch_or_default(stub.target_bunch)
-                    .scion_table
-                    .inter
-                    .push(InterScion {
-                        id: stub.id,
-                        source_node: report.from,
-                        source_bunch: stub.source_bunch,
-                        target_bunch: stub.target_bunch,
-                        target_addr: stub.target_addr,
-                        target_oid: stub.target_oid,
-                    });
-                out.scions_created += 1;
-            }
+        if created {
+            out.scions_created += 1;
         }
     }
 
     // Intra-bunch scions of this bunch whose stub holder is the reporter.
     if let Some(brs) = ns.bunch_mut(report.bunch) {
-        let before = brs.scion_table.intra.len();
+        let before = brs.scion_table.intra().len();
         brs.scion_table
-            .intra
-            .retain(|s| s.stub_at != report.from || reported_intra.contains(&(s.oid, at)));
-        out.scions_removed += (before - brs.scion_table.intra.len()) as u64;
+            .retain_intra(|s| s.stub_at != report.from || reported_intra.contains(&(s.oid, at)));
+        out.scions_removed += (before - brs.scion_table.intra().len()) as u64;
     }
     // Create (or re-key) intra scions the report asserts: after an
     // ownership-transfer chain compression the stub may have moved to a
@@ -281,7 +267,7 @@ mod tests {
             .bunch(BunchId(2))
             .unwrap()
             .scion_table
-            .inter
+            .inter()
             .is_empty());
         assert_eq!(stats.get(StatKind::ScionsCleaned), 1);
     }
@@ -314,7 +300,7 @@ mod tests {
                 .bunch(BunchId(2))
                 .unwrap()
                 .scion_table
-                .inter
+                .inter()
                 .len(),
             1
         );
@@ -346,7 +332,7 @@ mod tests {
                 .bunch(BunchId(2))
                 .unwrap()
                 .scion_table
-                .inter
+                .inter()
                 .len(),
             1
         );
@@ -413,7 +399,7 @@ mod tests {
             .bunch(BunchId(2))
             .unwrap()
             .scion_table
-            .inter;
+            .inter();
         assert_eq!(remaining.len(), 1);
         assert_eq!(remaining[0].source_node, NodeId(1));
     }
@@ -449,7 +435,7 @@ mod tests {
             .bunch(BunchId(1))
             .unwrap()
             .scion_table
-            .intra;
+            .intra();
         assert_eq!(intra.len(), 1);
         assert_eq!(intra[0].oid, Oid(4));
     }

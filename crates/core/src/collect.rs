@@ -179,8 +179,8 @@ pub fn refresh_node_gauges(gc: &GcState, node: NodeId) {
     let mut stubs = 0u64;
     for brs in gc.node(node).bunches.values() {
         from_words += brs.pending_from.len() as u64 * seg_words;
-        scions += (brs.scion_table.inter.len() + brs.scion_table.intra.len()) as u64;
-        stubs += (brs.stub_table.inter.len() + brs.stub_table.intra.len()) as u64;
+        scions += (brs.scion_table.inter().len() + brs.scion_table.intra().len()) as u64;
+        stubs += (brs.stub_table.inter().len() + brs.stub_table.intra().len()) as u64;
     }
     metrics::gauge_set(node, Gge::FromSpaceRetainedWords, from_words);
     metrics::gauge_set(node, Gge::ScionTableSize, scions);
@@ -278,14 +278,14 @@ impl Ctx<'_> {
         }
         for &b in &self.core.group {
             let Some(brs) = ns.bunch(b) else { continue };
-            for s in &brs.scion_table.inter {
+            for s in brs.scion_table.inter() {
                 // GGC rule: scions whose source bunch is inside the group do
                 // not root — that is what lets intra-group cycles die.
                 if !self.core.group.contains(&s.source_bunch) {
                     strong.push(s.target_addr);
                 }
             }
-            for s in &brs.scion_table.intra {
+            for s in brs.scion_table.intra() {
                 if let Some(a) = ns.directory.addr_of(s.oid) {
                     intra.push(a);
                 }
@@ -475,7 +475,7 @@ impl Ctx<'_> {
             let Some(brs) = ns.bunches.get_mut(&b) else {
                 continue;
             };
-            for s in &mut brs.scion_table.inter {
+            for s in brs.scion_table.inter_mut() {
                 s.target_addr = ns.directory.resolve(s.target_addr);
             }
         }
@@ -556,7 +556,10 @@ impl Ctx<'_> {
             // Stub retention.
             let (old_inter, old_intra) = {
                 let brs = self.gc.node(self.node).bunch(b).expect("mapped");
-                (brs.stub_table.inter.clone(), brs.stub_table.intra.clone())
+                (
+                    brs.stub_table.inter().to_vec(),
+                    brs.stub_table.intra().to_vec(),
+                )
             };
             let new_inter: Vec<InterStub> = old_inter
                 .iter()
@@ -609,8 +612,7 @@ impl Ctx<'_> {
             // Swap spaces and store the new tables.
             let epoch = {
                 let brs = self.gc.node_mut(self.node).bunch_mut(b).expect("mapped");
-                brs.stub_table.inter = new_inter.clone();
-                brs.stub_table.intra = new_intra.clone();
+                brs.stub_table.replace(new_inter.clone(), new_intra.clone());
                 if let Some(to) = self.core.to_segs.remove(&b) {
                     let old = std::mem::replace(&mut brs.alloc_segments, to);
                     brs.pending_from.extend(old);

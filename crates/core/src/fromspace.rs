@@ -692,7 +692,7 @@ fn wipe_segments(
             let ns = gc.node(at);
             let Some(brs) = ns.bunch(b) else { continue };
             brs.scion_table
-                .inter
+                .inter()
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| in_doomed(s.target_addr))
@@ -701,7 +701,7 @@ fn wipe_segments(
         };
         if let Some(brs) = gc.node_mut(at).bunch_mut(b) {
             for (i, a) in updates {
-                brs.scion_table.inter[i].target_addr = a;
+                brs.scion_table.inter_mut()[i].target_addr = a;
             }
         }
     }

@@ -1,0 +1,519 @@
+//! A GCList-style sharded lock-free set with constant-time epoch-based
+//! reclamation, used as the membership index behind the scion/stub tables
+//! (see `ssp`).
+//!
+//! The structure follows the classic lock-free linked-list design (logical
+//! delete via a mark bit folded into the successor pointer, physical unlink
+//! during traversal) sharded by a deterministic hash so concurrent inserts
+//! on different keys rarely contend. Retired nodes are *not* freed at
+//! unlink time — a concurrent reader may still be traversing them — but
+//! handed to an epoch-based reclamation scheme in the style of Wei &
+//! Fatourou's constant-time EBR: three limbo generations, a global epoch,
+//! and per-participant announcements. A node unlinked in epoch `e` is freed
+//! only once the epoch has advanced twice past `e`, which requires every
+//! pinned participant to have announced a newer epoch — at that point no
+//! thread can still hold a reference into the retired generation.
+//!
+//! Two properties matter to the simulation:
+//!
+//! * **Determinism.** The shard hash is a fixed multiplicative mix (no
+//!   `RandomState`), so single-threaded use — the deterministic cluster —
+//!   behaves bit-identically across runs and replays.
+//! * **No reclamation pauses.** `retire` is O(1) (a Treiber-stack push)
+//!   and `try_advance` inspects a fixed-size participant table; neither
+//!   walks the retired set, matching the constant-time-EBR bound.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards. A power of two so the hash folds with a mask.
+const SHARDS: usize = 16;
+
+/// Limbo generations. Three suffice: retire into `e % 3`, free `(e + 1) % 3`
+/// (two generations behind) when advancing to `e + 1`.
+const GENERATIONS: usize = 3;
+
+/// Fixed-size participant table for epoch announcements.
+const MAX_PARTICIPANTS: usize = 64;
+
+/// Announcement value meaning "not inside a critical section".
+const QUIESCENT: u64 = u64::MAX;
+
+/// Low bit of a tagged successor pointer: set when the node owning the
+/// pointer is logically deleted.
+const MARK: usize = 1;
+
+struct Node {
+    key: u128,
+    /// Tagged pointer: `Node*` in the high bits, [`MARK`] in bit 0.
+    next: AtomicUsize,
+}
+
+#[inline]
+fn untag(p: usize) -> *mut Node {
+    (p & !MARK) as *mut Node
+}
+
+#[inline]
+fn is_marked(p: usize) -> bool {
+    p & MARK != 0
+}
+
+struct Shard {
+    head: AtomicUsize,
+    len: AtomicUsize,
+}
+
+/// A Treiber stack of retired nodes awaiting their reclamation epoch.
+struct Limbo {
+    head: AtomicUsize,
+}
+
+impl Limbo {
+    const fn new() -> Self {
+        Limbo {
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// O(1) lock-free push of an unlinked node.
+    fn push(&self, node: *mut Node) {
+        let mut cur = self.head.load(Ordering::Acquire);
+        loop {
+            unsafe { (*node).next.store(cur, Ordering::Relaxed) };
+            match self.head.compare_exchange_weak(
+                cur,
+                node as usize,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Detaches the whole stack for freeing. Only the epoch-advancing
+    /// thread frees a generation, and only one thread wins the epoch CAS,
+    /// so the swap gives it exclusive ownership.
+    fn take(&self) -> *mut Node {
+        self.head.swap(0, Ordering::AcqRel) as *mut Node
+    }
+}
+
+/// A sharded lock-free set of `u128` keys with epoch-based reclamation.
+///
+/// Callers compose their composite keys (oid + addr, oid + node, SSP id)
+/// into the `u128` themselves; the set only hashes and compares it.
+pub struct ShardedSet {
+    shards: Box<[Shard]>,
+    epoch: AtomicU64,
+    limbo: [Limbo; GENERATIONS],
+    /// Per-participant epoch announcements (QUIESCENT when unpinned).
+    announce: Box<[AtomicU64]>,
+    /// Participant-slot allocation bitmap-ish: slot is taken when `claimed`
+    /// is nonzero.
+    claimed: Box<[AtomicUsize]>,
+    /// Retired nodes currently waiting in limbo (for tests / audits).
+    limbo_count: AtomicUsize,
+    /// Nodes physically freed so far (for tests / audits).
+    freed: AtomicUsize,
+}
+
+impl Default for ShardedSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Deterministic multiplicative mix — no per-process hash randomization,
+/// so the simulation's replay stays bit-exact.
+#[inline]
+fn mix(key: u128) -> u64 {
+    let mut h = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 29;
+    h
+}
+
+/// RAII pin on the current epoch: while alive, no generation the pin can
+/// reach is freed.
+pub struct Guard<'a> {
+    set: &'a ShardedSet,
+    slot: usize,
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        self.set.announce[self.slot].store(QUIESCENT, Ordering::Release);
+        self.set.claimed[self.slot].store(0, Ordering::Release);
+    }
+}
+
+impl ShardedSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        let shards = (0..SHARDS)
+            .map(|_| Shard {
+                head: AtomicUsize::new(0),
+                len: AtomicUsize::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedSet {
+            shards,
+            epoch: AtomicU64::new(0),
+            limbo: [Limbo::new(), Limbo::new(), Limbo::new()],
+            announce: (0..MAX_PARTICIPANTS)
+                .map(|_| AtomicU64::new(QUIESCENT))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            claimed: (0..MAX_PARTICIPANTS)
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            limbo_count: AtomicUsize::new(0),
+            freed: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u128) -> &Shard {
+        &self.shards[(mix(key) as usize) & (SHARDS - 1)]
+    }
+
+    /// Pins the current epoch. Every operation takes a guard internally;
+    /// tests that want to model a stalled reader hold one across calls.
+    pub fn pin(&self) -> Guard<'_> {
+        let slot = self
+            .claimed
+            .iter()
+            .position(|c| {
+                c.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            })
+            .expect("participant table full");
+        let e = self.epoch.load(Ordering::SeqCst);
+        self.announce[slot].store(e, Ordering::SeqCst);
+        Guard { set: self, slot }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.len.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nodes currently parked in limbo (unlinked, not yet freed).
+    pub fn limbo_len(&self) -> usize {
+        self.limbo_count.load(Ordering::Acquire)
+    }
+
+    /// Nodes physically freed so far.
+    pub fn freed(&self) -> usize {
+        self.freed.load(Ordering::Acquire)
+    }
+
+    /// Finds the first live node with `key` in `shard`, physically
+    /// unlinking any marked nodes encountered. Returns `(prev_link,
+    /// cur_tagged)` where `cur` either holds the key or is the first node
+    /// past it (the list is unordered; we return on exact hit or end).
+    fn search(&self, shard: &Shard, key: u128, guard: &Guard<'_>) -> Option<*mut Node> {
+        'retry: loop {
+            let mut prev: &AtomicUsize = &shard.head;
+            let mut cur = prev.load(Ordering::Acquire);
+            while !untag(cur).is_null() {
+                let cur_ptr = untag(cur);
+                let next = unsafe { (*cur_ptr).next.load(Ordering::Acquire) };
+                if is_marked(next) {
+                    // Logically deleted: unlink and retire, or restart if
+                    // the predecessor moved under us.
+                    if prev
+                        .compare_exchange(cur, next & !MARK, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    self.retire(cur_ptr, guard);
+                    cur = next & !MARK;
+                    continue;
+                }
+                if unsafe { (*cur_ptr).key } == key {
+                    return Some(cur_ptr);
+                }
+                prev = unsafe { &(*cur_ptr).next };
+                cur = next;
+            }
+            return None;
+        }
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    pub fn insert(&self, key: u128) -> bool {
+        let guard = self.pin();
+        let shard = self.shard(key);
+        loop {
+            if self.search(shard, key, &guard).is_some() {
+                return false;
+            }
+            // Push at head: new node's next is the current head.
+            let head = shard.head.load(Ordering::Acquire);
+            if is_marked(head) {
+                continue; // impossible for a head link, but stay defensive
+            }
+            let node = Box::into_raw(Box::new(Node {
+                key,
+                next: AtomicUsize::new(head),
+            }));
+            match shard.head.compare_exchange(
+                head,
+                node as usize,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    shard.len.fetch_add(1, Ordering::AcqRel);
+                    self.try_advance();
+                    return true;
+                }
+                Err(_) => {
+                    // Lost the race; free the unpublished node and retry
+                    // (it was never visible, so no EBR needed).
+                    drop(unsafe { Box::from_raw(node) });
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u128) -> bool {
+        let guard = self.pin();
+        self.search(self.shard(key), key, &guard).is_some()
+    }
+
+    /// Removes `key`; returns `false` if it was absent.
+    pub fn remove(&self, key: u128) -> bool {
+        let guard = self.pin();
+        let shard = self.shard(key);
+        loop {
+            let Some(node) = self.search(shard, key, &guard) else {
+                return false;
+            };
+            let next = unsafe { (*node).next.load(Ordering::Acquire) };
+            if is_marked(next) {
+                continue; // someone else is deleting it; re-search
+            }
+            // Logical delete: set the mark on the successor pointer. The
+            // next traversal through it performs the physical unlink.
+            if unsafe { &(*node).next }
+                .compare_exchange(next, next | MARK, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                shard.len.fetch_sub(1, Ordering::AcqRel);
+                // Eagerly attempt the unlink ourselves so quiescent
+                // single-threaded use reclaims promptly.
+                let _ = self.search(shard, key, &guard);
+                self.try_advance();
+                return true;
+            }
+        }
+    }
+
+    /// Removes every key. Single-owner operation (used when a table is
+    /// rebuilt wholesale); concurrent readers remain safe because removal
+    /// goes through the ordinary mark + retire path.
+    pub fn clear(&self) {
+        for i in 0..SHARDS {
+            let shard = &self.shards[i];
+            loop {
+                let guard = self.pin();
+                let cur = shard.head.load(Ordering::Acquire);
+                let cur_ptr = untag(cur);
+                if cur_ptr.is_null() {
+                    break;
+                }
+                let key = unsafe { (*cur_ptr).key };
+                drop(guard);
+                self.remove(key);
+            }
+        }
+    }
+
+    /// Hands an unlinked node to the current limbo generation.
+    fn retire(&self, node: *mut Node, _guard: &Guard<'_>) {
+        let e = self.epoch.load(Ordering::SeqCst);
+        self.limbo[(e as usize) % GENERATIONS].push(node);
+        self.limbo_count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Advances the epoch if every pinned participant has announced the
+    /// current one, then frees the generation two epochs behind. O(table
+    /// size), not O(retired nodes) — the constant-time-EBR property.
+    fn try_advance(&self) {
+        let e = self.epoch.load(Ordering::SeqCst);
+        for a in self.announce.iter() {
+            let v = a.load(Ordering::SeqCst);
+            if v != QUIESCENT && v < e {
+                return; // a straggler still sits in an older epoch
+            }
+        }
+        if self
+            .epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return; // another advancer won; it will free the generation
+        }
+        // Generation (e + 2) % 3 == (e - 1) % 3's predecessor: everything
+        // retired in epoch e - 1 or earlier parked there is unreachable.
+        let gen = ((e as usize) + 2) % GENERATIONS;
+        let mut cur = self.limbo[gen].take();
+        while !cur.is_null() {
+            let next = untag(unsafe { (*cur).next.load(Ordering::Relaxed) });
+            drop(unsafe { Box::from_raw(cur) });
+            self.limbo_count.fetch_sub(1, Ordering::AcqRel);
+            self.freed.fetch_add(1, Ordering::AcqRel);
+            cur = next;
+        }
+    }
+
+    /// Drains every limbo generation that is safe to free by advancing the
+    /// epoch repeatedly. Quiescent-time housekeeping (no guard may be held
+    /// by the caller).
+    pub fn flush_limbo(&self) {
+        for _ in 0..GENERATIONS + 1 {
+            self.try_advance();
+        }
+    }
+}
+
+impl Drop for ShardedSet {
+    fn drop(&mut self) {
+        // Exclusive access: free live chains and every limbo generation.
+        for shard in self.shards.iter() {
+            let mut cur = untag(shard.head.load(Ordering::Relaxed));
+            while !cur.is_null() {
+                let next = untag(unsafe { (*cur).next.load(Ordering::Relaxed) });
+                drop(unsafe { Box::from_raw(cur) });
+                cur = next;
+            }
+        }
+        for limbo in &self.limbo {
+            let mut cur = limbo.take();
+            while !cur.is_null() {
+                let next = untag(unsafe { (*cur).next.load(Ordering::Relaxed) });
+                drop(unsafe { Box::from_raw(cur) });
+                cur = next;
+            }
+        }
+    }
+}
+
+unsafe impl Send for ShardedSet {}
+unsafe impl Sync for ShardedSet {}
+
+impl std::fmt::Debug for ShardedSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSet")
+            .field("len", &self.len())
+            .field("limbo", &self.limbo_len())
+            .finish()
+    }
+}
+
+/// Packs two words into the composite key the tables use.
+#[inline]
+pub fn key2(a: u64, b: u64) -> u128 {
+    ((a as u128) << 64) | b as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let s = ShardedSet::new();
+        assert!(s.insert(key2(1, 2)));
+        assert!(!s.insert(key2(1, 2)), "duplicate insert rejected");
+        assert!(s.contains(key2(1, 2)));
+        assert!(!s.contains(key2(2, 1)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(key2(1, 2)));
+        assert!(!s.remove(key2(1, 2)));
+        assert!(!s.contains(key2(1, 2)));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn many_keys_across_shards() {
+        let s = ShardedSet::new();
+        for i in 0..1000u64 {
+            assert!(s.insert(key2(i, i * 7)));
+        }
+        assert_eq!(s.len(), 1000);
+        for i in 0..1000u64 {
+            assert!(s.contains(key2(i, i * 7)));
+        }
+        for i in (0..1000u64).step_by(2) {
+            assert!(s.remove(key2(i, i * 7)));
+        }
+        assert_eq!(s.len(), 500);
+        for i in 0..1000u64 {
+            assert_eq!(s.contains(key2(i, i * 7)), i % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn removed_nodes_flow_through_limbo_to_freed() {
+        let s = ShardedSet::new();
+        for i in 0..64u64 {
+            s.insert(key2(0, i));
+        }
+        for i in 0..64u64 {
+            s.remove(key2(0, i));
+        }
+        s.flush_limbo();
+        assert_eq!(s.limbo_len(), 0, "quiescent flush drains all limbo");
+        assert_eq!(s.freed(), 64);
+    }
+
+    #[test]
+    fn pinned_guard_blocks_reclamation() {
+        let s = ShardedSet::new();
+        s.insert(key2(9, 9));
+        let guard = s.pin(); // a "stalled reader" in the current epoch
+        s.remove(key2(9, 9));
+        let parked = s.limbo_len();
+        assert!(parked >= 1, "removed node parked in limbo");
+        s.flush_limbo();
+        assert_eq!(
+            s.limbo_len(),
+            parked,
+            "epoch cannot advance past a pinned guard, nothing freed"
+        );
+        drop(guard);
+        s.flush_limbo();
+        assert_eq!(s.limbo_len(), 0, "guard released: limbo drains");
+    }
+
+    #[test]
+    fn clear_empties_the_set() {
+        let s = ShardedSet::new();
+        for i in 0..100u64 {
+            s.insert(key2(i, 1));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        for i in 0..100u64 {
+            assert!(!s.contains(key2(i, 1)));
+        }
+    }
+}

@@ -81,10 +81,10 @@ fn ssp_components(gc: &GcState, node: NodeId, all: &[BunchId]) -> Vec<Vec<BunchI
     };
     let ns = gc.node(node);
     for brs in ns.bunches.values() {
-        for s in &brs.stub_table.inter {
+        for s in brs.stub_table.inter() {
             union(&mut parent, s.source_bunch, s.target_bunch);
         }
-        for s in &brs.scion_table.inter {
+        for s in brs.scion_table.inter() {
             union(&mut parent, s.source_bunch, s.target_bunch);
         }
     }

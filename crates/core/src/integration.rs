@@ -199,7 +199,7 @@ impl GcIntegration for GcState {
             let holds_inter = brs.stub_table.inter_for(oid).next().is_some();
             let sites: std::collections::BTreeSet<NodeId> = brs
                 .stub_table
-                .intra
+                .intra()
                 .iter()
                 .filter(|s| s.oid == oid)
                 .map(|s| s.scion_at)
@@ -396,13 +396,13 @@ mod tests {
         assert_eq!(reqs[0].old_owner, NodeId(0));
         // The scion exists at the old owner.
         let scions = &gc.node(NodeId(0)).bunch(bunch).unwrap().scion_table;
-        assert_eq!(scions.intra.len(), 1);
-        assert_eq!(scions.intra[0].stub_at, NodeId(1));
+        assert_eq!(scions.intra().len(), 1);
+        assert_eq!(scions.intra()[0].stub_at, NodeId(1));
         // The new owner creates the stub when the grant arrives.
         gc.apply_intra_ssp(NodeId(1), &reqs);
         let stubs = &gc.node(NodeId(1)).bunch(bunch).unwrap().stub_table;
-        assert_eq!(stubs.intra.len(), 1);
-        assert_eq!(stubs.intra[0].scion_at, NodeId(0));
+        assert_eq!(stubs.intra().len(), 1);
+        assert_eq!(stubs.intra()[0].scion_at, NodeId(0));
     }
 
     #[test]

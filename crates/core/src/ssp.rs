@@ -14,8 +14,23 @@
 //! intra-bunch *stub* and the old owner keeps an intra-bunch *scion*, which
 //! preserves the old owner's replica — and therefore the inter-bunch stubs
 //! stored there — until the object dies everywhere (Section 3.2, 6.2).
+//!
+//! # Representation
+//!
+//! Each table keeps two structures in lockstep: an ordered `Vec` (the
+//! deterministic view — reports, wire images, and BGC root scans iterate
+//! it, so replay stays bit-exact) and a sharded lock-free membership index
+//! ([`gclist::ShardedSet`]) that answers the dedup queries `add_*` used to
+//! answer with O(n) scans. Retired entries leave the index through
+//! epoch-based reclamation, so a concurrent reader (the threaded driver's
+//! audit path) never observes freed memory. Mutation therefore goes through
+//! methods — `add_*`, `retain_*`, `replace` — instead of raw field access;
+//! the old `pub inter` / `pub intra` fields are exposed read-only via
+//! [`StubTable::inter`]-style accessors.
 
 use bmx_common::{Addr, BunchId, NodeId, Oid};
+
+use crate::gclist::{key2, ShardedSet};
 
 /// Globally unique identifier of one stub–scion pair.
 ///
@@ -27,6 +42,14 @@ pub struct SspId {
     pub node: NodeId,
     /// Creation counter at that node.
     pub seq: u64,
+}
+
+impl SspId {
+    /// Packs the id into a membership-index key.
+    #[inline]
+    fn key(self) -> u128 {
+        key2(self.node.0 as u64, self.seq)
+    }
 }
 
 /// Source half of an inter-bunch SSP: "this bunch replica holds a reference
@@ -93,26 +116,76 @@ pub struct IntraScion {
 }
 
 /// The stub table of one bunch replica: outgoing reachability it asserts.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct StubTable {
-    /// Inter-bunch stubs created at this node.
-    pub inter: Vec<InterStub>,
-    /// Intra-bunch stubs held at this node.
-    pub intra: Vec<IntraStub>,
+    /// Inter-bunch stubs created at this node (ordered, deterministic).
+    inter: Vec<InterStub>,
+    /// Intra-bunch stubs held at this node (ordered, deterministic).
+    intra: Vec<IntraStub>,
+    /// Membership index over `(source_oid, target_addr)`.
+    addr_index: ShardedSet,
+    /// Membership index over `(source_oid, target_oid)` for stubs whose
+    /// target OID was resolvable.
+    oid_index: ShardedSet,
+    /// Membership index over `(oid, scion_at)` for intra stubs.
+    intra_index: ShardedSet,
+}
+
+impl Clone for StubTable {
+    fn clone(&self) -> Self {
+        let mut t = StubTable {
+            inter: self.inter.clone(),
+            intra: self.intra.clone(),
+            ..StubTable::default()
+        };
+        t.rebuild_index();
+        t
+    }
 }
 
 impl StubTable {
+    fn rebuild_index(&mut self) {
+        for s in &self.inter {
+            self.addr_index
+                .insert(key2(s.source_oid.0, s.target_addr.0));
+            if let Some(t) = s.target_oid {
+                self.oid_index.insert(key2(s.source_oid.0, t.0));
+            }
+        }
+        for s in &self.intra {
+            self.intra_index.insert(key2(s.oid.0, s.scion_at.0 as u64));
+        }
+    }
+
+    /// Inter-bunch stubs, in insertion order.
+    #[inline]
+    pub fn inter(&self) -> &[InterStub] {
+        &self.inter
+    }
+
+    /// Intra-bunch stubs, in insertion order.
+    #[inline]
+    pub fn intra(&self) -> &[IntraStub] {
+        &self.intra
+    }
+
     /// Adds an inter-bunch stub unless an equivalent one (same source object
     /// and same resolved target) is already present. Returns whether it was
-    /// added.
+    /// added. The duplicate check is two index probes, not a table scan.
     pub fn add_inter(&mut self, stub: InterStub) -> bool {
-        let dup = self.inter.iter().any(|s| {
-            s.source_oid == stub.source_oid
-                && (s.target_addr == stub.target_addr
-                    || (s.target_oid.is_some() && s.target_oid == stub.target_oid))
-        });
+        let dup = self
+            .addr_index
+            .contains(key2(stub.source_oid.0, stub.target_addr.0))
+            || stub
+                .target_oid
+                .is_some_and(|t| self.oid_index.contains(key2(stub.source_oid.0, t.0)));
         if dup {
             return false;
+        }
+        self.addr_index
+            .insert(key2(stub.source_oid.0, stub.target_addr.0));
+        if let Some(t) = stub.target_oid {
+            self.oid_index.insert(key2(stub.source_oid.0, t.0));
         }
         self.inter.push(stub);
         true
@@ -121,10 +194,9 @@ impl StubTable {
     /// Adds an intra-bunch stub, deduplicating by `(oid, scion_at)`.
     /// Returns whether it was added.
     pub fn add_intra(&mut self, stub: IntraStub) -> bool {
-        if self
-            .intra
-            .iter()
-            .any(|s| s.oid == stub.oid && s.scion_at == stub.scion_at)
+        if !self
+            .intra_index
+            .insert(key2(stub.oid.0, stub.scion_at.0 as u64))
         {
             return false;
         }
@@ -132,41 +204,127 @@ impl StubTable {
         true
     }
 
+    /// Keeps only the inter-bunch stubs satisfying `f`; dropped entries are
+    /// retired from the membership index (freed via its EBR limbo).
+    pub fn retain_inter(&mut self, mut f: impl FnMut(&InterStub) -> bool) {
+        let (addr_index, oid_index) = (&self.addr_index, &self.oid_index);
+        self.inter.retain(|s| {
+            let keep = f(s);
+            if !keep {
+                addr_index.remove(key2(s.source_oid.0, s.target_addr.0));
+                if let Some(t) = s.target_oid {
+                    oid_index.remove(key2(s.source_oid.0, t.0));
+                }
+            }
+            keep
+        });
+    }
+
+    /// Keeps only the intra-bunch stubs satisfying `f`.
+    pub fn retain_intra(&mut self, mut f: impl FnMut(&IntraStub) -> bool) {
+        let intra_index = &self.intra_index;
+        self.intra.retain(|s| {
+            let keep = f(s);
+            if !keep {
+                intra_index.remove(key2(s.oid.0, s.scion_at.0 as u64));
+            }
+            keep
+        });
+    }
+
+    /// Replaces the whole table (a BGC publication regenerates it); the old
+    /// index entries are retired wholesale.
+    pub fn replace(&mut self, inter: Vec<InterStub>, intra: Vec<IntraStub>) {
+        self.addr_index.clear();
+        self.oid_index.clear();
+        self.intra_index.clear();
+        self.inter = inter;
+        self.intra = intra;
+        self.rebuild_index();
+    }
+
     /// Inter-bunch stubs whose source is `oid`.
     pub fn inter_for(&self, oid: Oid) -> impl Iterator<Item = &InterStub> {
-        self.inter.iter().filter(move |s| s.source_oid == oid)
+        self.inter().iter().filter(move |s| s.source_oid == oid)
     }
 
     /// Whether any stub (inter or intra) concerns `oid`.
     pub fn mentions(&self, oid: Oid) -> bool {
-        self.inter.iter().any(|s| s.source_oid == oid) || self.intra.iter().any(|s| s.oid == oid)
+        self.inter().iter().any(|s| s.source_oid == oid)
+            || self.intra().iter().any(|s| s.oid == oid)
     }
 
     /// Total entries.
     pub fn len(&self) -> usize {
-        self.inter.len() + self.intra.len()
+        self.inter().len() + self.intra().len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.inter.is_empty() && self.intra.is_empty()
+        self.inter().is_empty() && self.intra().is_empty()
     }
 }
 
 /// The scion table of one bunch replica: incoming reachability it honours.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct ScionTable {
-    /// Inter-bunch scions protecting objects of this bunch.
-    pub inter: Vec<InterScion>,
+    /// Inter-bunch scions protecting objects of this bunch (ordered).
+    inter: Vec<InterScion>,
     /// Intra-bunch scions preserving local replicas for remote stub sites.
-    pub intra: Vec<IntraScion>,
+    intra: Vec<IntraScion>,
+    /// Membership index over pair ids.
+    id_index: ShardedSet,
+    /// Membership index over `(oid, stub_at)` for intra scions.
+    intra_index: ShardedSet,
+}
+
+impl Clone for ScionTable {
+    fn clone(&self) -> Self {
+        let mut t = ScionTable {
+            inter: self.inter.clone(),
+            intra: self.intra.clone(),
+            ..ScionTable::default()
+        };
+        t.rebuild_index();
+        t
+    }
 }
 
 impl ScionTable {
+    fn rebuild_index(&mut self) {
+        for s in &self.inter {
+            self.id_index.insert(s.id.key());
+        }
+        for s in &self.intra {
+            self.intra_index.insert(key2(s.oid.0, s.stub_at.0 as u64));
+        }
+    }
+
+    /// Inter-bunch scions, in insertion order.
+    #[inline]
+    pub fn inter(&self) -> &[InterScion] {
+        &self.inter
+    }
+
+    /// Mutable view of the inter-bunch scions for in-place `target_addr`
+    /// rewrites (BGC reference update, from-space retirement). Identity
+    /// fields (`id`) must not be changed through this — the membership
+    /// index keys on them.
+    #[inline]
+    pub fn inter_mut(&mut self) -> &mut [InterScion] {
+        &mut self.inter
+    }
+
+    /// Intra-bunch scions, in insertion order.
+    #[inline]
+    pub fn intra(&self) -> &[IntraScion] {
+        &self.intra
+    }
+
     /// Adds an inter-bunch scion, deduplicating by pair id. Returns whether
-    /// it was added.
+    /// it was added. The duplicate check is one index probe.
     pub fn add_inter(&mut self, scion: InterScion) -> bool {
-        if self.inter.iter().any(|s| s.id == scion.id) {
+        if !self.id_index.insert(scion.id.key()) {
             return false;
         }
         self.inter.push(scion);
@@ -176,10 +334,9 @@ impl ScionTable {
     /// Adds an intra-bunch scion, deduplicating by `(oid, stub_at)`.
     /// Returns whether it was added.
     pub fn add_intra(&mut self, scion: IntraScion) -> bool {
-        if self
-            .intra
-            .iter()
-            .any(|s| s.oid == scion.oid && s.stub_at == scion.stub_at)
+        if !self
+            .intra_index
+            .insert(key2(scion.oid.0, scion.stub_at.0 as u64))
         {
             return false;
         }
@@ -187,14 +344,39 @@ impl ScionTable {
         true
     }
 
+    /// Keeps only the inter-bunch scions satisfying `f` (the cleaner's
+    /// retirement path); dropped ids are retired from the index.
+    pub fn retain_inter(&mut self, mut f: impl FnMut(&InterScion) -> bool) {
+        let id_index = &self.id_index;
+        self.inter.retain(|s| {
+            let keep = f(s);
+            if !keep {
+                id_index.remove(s.id.key());
+            }
+            keep
+        });
+    }
+
+    /// Keeps only the intra-bunch scions satisfying `f`.
+    pub fn retain_intra(&mut self, mut f: impl FnMut(&IntraScion) -> bool) {
+        let intra_index = &self.intra_index;
+        self.intra.retain(|s| {
+            let keep = f(s);
+            if !keep {
+                intra_index.remove(key2(s.oid.0, s.stub_at.0 as u64));
+            }
+            keep
+        });
+    }
+
     /// Total entries.
     pub fn len(&self) -> usize {
-        self.inter.len() + self.intra.len()
+        self.inter().len() + self.intra().len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.inter.is_empty() && self.intra.is_empty()
+        self.inter().is_empty() && self.intra().is_empty()
     }
 }
 
@@ -230,7 +412,7 @@ mod tests {
             "same source, new target: distinct"
         );
         assert!(t.add_inter(stub(4, 11, 0x100)), "new source: distinct");
-        assert_eq!(t.inter.len(), 3);
+        assert_eq!(t.inter().len(), 3);
         assert_eq!(t.inter_for(Oid(10)).count(), 2);
     }
 
@@ -289,5 +471,51 @@ mod tests {
         assert!(!t.add_intra(ic));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn retain_retires_index_entries_and_readds_cleanly() {
+        let mut t = StubTable::default();
+        assert!(t.add_inter(stub(1, 10, 0x100)));
+        assert!(t.add_inter(stub(2, 11, 0x200)));
+        t.retain_inter(|s| s.source_oid != Oid(10));
+        assert_eq!(t.inter().len(), 1);
+        assert!(
+            t.add_inter(stub(3, 10, 0x100)),
+            "retired key must be re-insertable"
+        );
+        let mut sc = ScionTable::default();
+        let mk = |seq| InterScion {
+            id: SspId {
+                node: NodeId(0),
+                seq,
+            },
+            source_node: NodeId(0),
+            source_bunch: BunchId(1),
+            target_bunch: BunchId(2),
+            target_addr: Addr(0x100),
+            target_oid: None,
+        };
+        assert!(sc.add_inter(mk(1)));
+        assert!(sc.add_inter(mk(2)));
+        sc.retain_inter(|s| s.id.seq != 1);
+        assert_eq!(sc.inter().len(), 1);
+        assert!(sc.add_inter(mk(1)), "retired id re-insertable");
+    }
+
+    #[test]
+    fn replace_rebuilds_the_index() {
+        let mut t = StubTable::default();
+        assert!(t.add_inter(stub(1, 10, 0x100)));
+        t.replace(vec![stub(7, 20, 0x700)], Vec::new());
+        assert!(t.add_inter(stub(8, 10, 0x100)), "old entries retired");
+        assert!(!t.add_inter(stub(9, 20, 0x700)), "new entries indexed");
+        let cl = t.clone();
+        assert_eq!(cl.inter(), t.inter(), "clone keeps the ordered view");
+        let mut cl = cl;
+        assert!(
+            !cl.add_inter(stub(10, 20, 0x700)),
+            "clone rebuilt its index"
+        );
     }
 }

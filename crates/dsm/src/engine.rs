@@ -7,11 +7,16 @@
 //! This keeps the protocol unit-testable with a five-line pump and lets the
 //! same engine run under the deterministic or the threaded driver.
 //!
-//! Every outgoing message drains the collector's piggy-back buffer for its
-//! destination ([`GcIntegration::drain_piggyback`]); every incoming message
-//! applies the attached payload before the protocol action. Together with
-//! the grant-side hooks, this implements the three invariants of the paper's
-//! Section 5.
+//! Outgoing messages are *coalesced*: while one protocol round runs (one
+//! mutator operation, one delivered envelope), emissions are buffered per
+//! destination, and a single envelope per `(src, dst)` pair leaves the node
+//! when the round ends. Every envelope drains the collector's piggy-back
+//! buffer for its destination ([`GcIntegration::drain_piggyback`]); every
+//! incoming envelope applies the attached payload before the protocol
+//! actions. Together with the grant-side hooks, this implements the three
+//! invariants of the paper's Section 5.
+
+use std::collections::BTreeMap;
 
 use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
@@ -49,6 +54,14 @@ pub enum AcquireStart {
 /// The protocol engine for a fixed-size cluster.
 pub struct DsmEngine {
     nodes: Vec<DsmNodeState>,
+    /// Messages buffered during the current protocol round, keyed by
+    /// `(src, dst)`. Drained into one envelope per pair when the round's
+    /// public entry point returns; always empty between rounds.
+    outbox: BTreeMap<(NodeId, NodeId), Vec<DsmMsg>>,
+    /// When `false`, every emission leaves immediately as its own
+    /// single-message envelope (the pre-coalescing wire behaviour, kept for
+    /// the equivalence tests and as a diagnostic knob).
+    coalesce: bool,
 }
 
 impl DsmEngine {
@@ -56,7 +69,16 @@ impl DsmEngine {
     pub fn new(n: usize) -> Self {
         DsmEngine {
             nodes: (0..n).map(|_| DsmNodeState::default()).collect(),
+            outbox: BTreeMap::new(),
+            coalesce: true,
         }
+    }
+
+    /// Switches envelope coalescing on or off (on by default). With it off
+    /// the engine reproduces the unbatched one-envelope-per-message wire
+    /// behaviour; protocol state transitions are identical either way.
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalesce = on;
     }
 
     /// Number of nodes.
@@ -111,6 +133,7 @@ impl DsmEngine {
             owner_hint,
             DsmMsg::RegisterReplica { oid, holder: node },
         );
+        self.flush_outbox(sh, send);
     }
 
     // ------------------------------------------------------------------
@@ -225,6 +248,18 @@ impl DsmEngine {
     /// fresh reachability reports requested during rejoin retire them
     /// through the normal idempotent cleaner path instead.
     pub fn purge_peer(
+        &mut self,
+        at: NodeId,
+        gone: NodeId,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let r = self.purge_peer_inner(at, gone, sh, send);
+        self.flush_outbox(sh, send);
+        r
+    }
+
+    fn purge_peer_inner(
         &mut self,
         at: NodeId,
         gone: NodeId,
@@ -411,6 +446,18 @@ impl DsmEngine {
         sh: &mut DsmShared<'_>,
         send: &mut SendFn<'_>,
     ) -> Result<AcquireStart> {
+        let r = self.start_read_inner(node, oid, sh, send);
+        self.flush_outbox(sh, send);
+        r
+    }
+
+    fn start_read_inner(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<AcquireStart> {
         sh.stats[node.0 as usize].bump(StatKind::MutatorReadAcquires);
         let hint = {
             let st = self
@@ -453,6 +500,18 @@ impl DsmEngine {
 
     /// Starts a write-token acquire at `node`.
     pub fn start_write(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<AcquireStart> {
+        let r = self.start_write_inner(node, oid, sh, send);
+        self.flush_outbox(sh, send);
+        r
+    }
+
+    fn start_write_inner(
         &mut self,
         node: NodeId,
         oid: Oid,
@@ -514,7 +573,23 @@ impl DsmEngine {
     }
 
     /// Ends the critical section (token release) and serves deferred work.
+    ///
+    /// A release with deferred invalidations *and* queued requests is the
+    /// densest coalescing site: the aggregated acks and the forwarded
+    /// requests all leave in the round's single per-destination envelopes.
     pub fn unlock(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        let r = self.unlock_inner(node, oid, sh, send);
+        self.flush_outbox(sh, send);
+        r
+    }
+
+    fn unlock_inner(
         &mut self,
         node: NodeId,
         oid: Oid,
@@ -553,7 +628,8 @@ impl DsmEngine {
     // Message plumbing.
     // ------------------------------------------------------------------
 
-    /// Wraps `msg` with the piggy-back payload pending for `dst` and sends.
+    /// Queues `msg` on the round's outbox (or, with coalescing off, wraps
+    /// it with the piggy-back payload pending for `dst` and sends at once).
     fn emit(
         &mut self,
         sh: &mut DsmShared<'_>,
@@ -562,13 +638,42 @@ impl DsmEngine {
         dst: NodeId,
         msg: DsmMsg,
     ) {
-        let piggyback = sh.gc.drain_piggyback(src, dst);
-        sh.stats[src.0 as usize].bump(StatKind::DsmProtocolMessages);
-        sh.stats[src.0 as usize].add(StatKind::PiggybackedRelocations, piggyback.len() as u64);
-        send(src, dst, DsmPacket { msg, piggyback });
+        sh.stats[src.0 as usize].bump(StatKind::DsmLogicalMessages);
+        if !self.coalesce {
+            let piggyback = sh.gc.drain_piggyback(src, dst);
+            sh.stats[src.0 as usize].bump(StatKind::DsmProtocolMessages);
+            sh.stats[src.0 as usize].add(StatKind::PiggybackedRelocations, piggyback.len() as u64);
+            send(
+                src,
+                dst,
+                DsmPacket {
+                    msgs: vec![msg],
+                    piggyback,
+                },
+            );
+            return;
+        }
+        self.outbox.entry((src, dst)).or_default().push(msg);
     }
 
-    /// Handles a delivered packet at `dst`.
+    /// Ends a protocol round: every buffered `(src, dst)` message group
+    /// leaves as one envelope, carrying the piggy-back payload drained once
+    /// for that destination. Iteration over the `BTreeMap` keeps the flush
+    /// order deterministic.
+    fn flush_outbox(&mut self, sh: &mut DsmShared<'_>, send: &mut SendFn<'_>) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        for ((src, dst), msgs) in std::mem::take(&mut self.outbox) {
+            let piggyback = sh.gc.drain_piggyback(src, dst);
+            sh.stats[src.0 as usize].bump(StatKind::DsmProtocolMessages);
+            sh.stats[src.0 as usize].add(StatKind::PiggybackedRelocations, piggyback.len() as u64);
+            metrics::observe(src, Hst::EnvelopeMsgs, msgs.len() as u64);
+            send(src, dst, DsmPacket { msgs, piggyback });
+        }
+    }
+
+    /// Handles a delivered envelope at `dst`.
     pub fn handle(
         &mut self,
         src: NodeId,
@@ -577,12 +682,40 @@ impl DsmEngine {
         sh: &mut DsmShared<'_>,
         send: &mut SendFn<'_>,
     ) -> Result<()> {
-        // Piggy-backed relocations apply before the protocol action
+        let r = self.handle_inner(src, dst, packet, sh, send);
+        self.flush_outbox(sh, send);
+        r
+    }
+
+    fn handle_inner(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        packet: DsmPacket,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        // Piggy-backed relocations apply before any protocol action
         // (invariant 1) and fan out to local copy-sets (invariant 2).
         if !packet.piggyback.is_empty() {
             self.apply_incoming_relocations(dst, &packet.piggyback, sh);
         }
-        match packet.msg {
+        for msg in packet.msgs {
+            self.handle_msg(src, dst, msg, sh, send)?;
+        }
+        Ok(())
+    }
+
+    /// Dispatches one constituent message of an envelope, in arrival order.
+    fn handle_msg(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        msg: DsmMsg,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        match msg {
             DsmMsg::ReadReq { oid, requester } => {
                 self.handle_read_req(dst, oid, requester, sh, send)
             }
@@ -717,6 +850,7 @@ impl DsmEngine {
             .local_addr(at, oid)
             .ok_or_else(|| BmxError::Protocol(format!("granter {at} has no address for {oid}")))?;
         let image = ObjectImage::capture(&sh.mems[at.0 as usize], addr)?;
+        sh.stats[at.0 as usize].add(StatKind::ImageWordsCopied, image.data.len() as u64);
         metrics::observe(at, Hst::GrantImageWords, image.data.len() as u64);
         let relocations = sh.gc.grant_relocations(at, oid, sh.mems);
         trace::emit(
@@ -965,6 +1099,7 @@ impl DsmEngine {
             .local_addr(owner, oid)
             .ok_or_else(|| BmxError::Protocol(format!("owner {owner} has no address for {oid}")))?;
         let image = ObjectImage::capture(&sh.mems[owner.0 as usize], addr)?;
+        sh.stats[owner.0 as usize].add(StatKind::ImageWordsCopied, image.data.len() as u64);
         metrics::observe(owner, Hst::GrantImageWords, image.data.len() as u64);
         let bunch = {
             let st = self.ns_mut(owner).get_mut(oid).expect("owner state exists");

@@ -245,6 +245,94 @@ fn write_acquire_invalidates_transitive_readers() {
 }
 
 #[test]
+fn unlock_round_coalesces_messages_per_destination() {
+    let mut h = Harness::new(3);
+    h.alloc(1, 1, &[]);
+    // Two writers queue behind node 0's critical section.
+    h.engine.lock(n(0), Oid(1)).unwrap();
+    h.start(n(1), Oid(1), true);
+    h.pump();
+    h.start(n(2), Oid(1), true);
+    h.pump();
+    assert_eq!(h.engine.token(n(1), Oid(1)), Token::None);
+    assert_eq!(h.engine.token(n(2), Oid(1)), Token::None);
+    let sent_before = h.net.total_sent();
+    // Release without pumping: the round grants the token to node 1 AND
+    // forwards node 2's queued request to the new owner — two protocol
+    // messages, one destination, one envelope.
+    {
+        let (engine, mems, stats, gc, net) = (
+            &mut h.engine,
+            &mut h.mems,
+            &mut h.stats,
+            &mut h.gc,
+            &mut h.net,
+        );
+        let mut sh = DsmShared { mems, stats, gc };
+        let mut send = |src: NodeId, dst: NodeId, pkt: DsmPacket| {
+            assert_eq!((src, dst), (n(0), n(1)));
+            assert_eq!(pkt.msgs.len(), 2, "grant + forwarded request coalesce");
+            assert_eq!(pkt.msgs[0].kind(), "WriteGrant");
+            assert_eq!(pkt.msgs[1].kind(), "WriteReq");
+            net.send(src, dst, MsgClass::Dsm, pkt);
+        };
+        engine.unlock(n(0), Oid(1), &mut sh, &mut send).unwrap();
+    }
+    assert_eq!(h.net.total_sent(), sent_before + 1, "one envelope, not two");
+    h.pump();
+    // The chained transfer still completes: node 2 ends up as owner.
+    assert_eq!(h.engine.token(n(2), Oid(1)), Token::Write);
+    assert!(h.engine.is_owner(n(2), Oid(1)));
+    // Envelope count < constituent message count at the coalescing node.
+    let env = h.stats[0].get(StatKind::DsmProtocolMessages);
+    let logical = h.stats[0].get(StatKind::DsmLogicalMessages);
+    assert!(
+        env < logical,
+        "coalescing must save envelopes: {env} envelopes / {logical} messages"
+    );
+}
+
+#[test]
+fn uncoalesced_engine_matches_final_state() {
+    // The same contended schedule, coalescing off: wire envelopes revert to
+    // one per message but every protocol outcome is identical.
+    let run = |coalesce: bool| {
+        let mut h = Harness::new(3);
+        h.engine.set_coalescing(coalesce);
+        h.alloc(1, 1, &[]);
+        h.engine.lock(n(0), Oid(1)).unwrap();
+        h.start(n(1), Oid(1), true);
+        h.pump();
+        h.start(n(2), Oid(1), true);
+        h.pump();
+        h.unlock(n(0), Oid(1));
+        let tokens: Vec<Token> = (0..3).map(|i| h.engine.token(n(i), Oid(1))).collect();
+        let owners: Vec<bool> = (0..3).map(|i| h.engine.is_owner(n(i), Oid(1))).collect();
+        let logical: u64 = h
+            .stats
+            .iter()
+            .map(|s| s.get(StatKind::DsmLogicalMessages))
+            .sum();
+        let envelopes: u64 = h
+            .stats
+            .iter()
+            .map(|s| s.get(StatKind::DsmProtocolMessages))
+            .sum();
+        (tokens, owners, logical, envelopes)
+    };
+    let (t_on, o_on, logical_on, env_on) = run(true);
+    let (t_off, o_off, logical_off, env_off) = run(false);
+    assert_eq!(t_on, t_off);
+    assert_eq!(o_on, o_off);
+    assert_eq!(logical_on, logical_off, "same protocol actions either way");
+    assert_eq!(
+        logical_off, env_off,
+        "uncoalesced: one envelope per message"
+    );
+    assert!(env_on < env_off, "coalescing saved envelopes");
+}
+
+#[test]
 fn write_data_propagates_through_grants() {
     let mut h = Harness::new(3);
     let a = h.alloc(1, 2, &[]);

@@ -133,24 +133,9 @@ impl DsmMsg {
     }
 }
 
-/// A protocol message plus everything piggy-backed onto it.
-///
-/// Every DSM message is a carrier: before it leaves a node, the engine
-/// drains the collector's pending per-destination payloads (lazily buffered
-/// relocations — Section 4.4, and invariant-2 forwards) and attaches them
-/// here. The receiver applies the piggy-back *before* acting on the message,
-/// which is what makes invariant 1 hold at acquire completion.
-#[derive(Clone, Debug)]
-pub struct DsmPacket {
-    /// The protocol message.
-    pub msg: DsmMsg,
-    /// Piggy-backed relocation records.
-    pub piggyback: Vec<Relocation>,
-}
-
-impl WireSize for DsmPacket {
+impl WireSize for DsmMsg {
     fn wire_size(&self) -> u64 {
-        let base = match &self.msg {
+        match self {
             DsmMsg::ReadReq { .. } | DsmMsg::WriteReq { .. } => 24,
             DsmMsg::ReadGrant {
                 image, relocations, ..
@@ -165,8 +150,51 @@ impl WireSize for DsmPacket {
             }
             DsmMsg::Invalidate { .. } | DsmMsg::InvalidateAck { .. } => 20,
             DsmMsg::RegisterReplica { .. } => 24,
-        };
-        base + 24 * self.piggyback.len() as u64
+        }
+    }
+}
+
+/// A coalesced envelope: every protocol message bound for one destination
+/// in one protocol round, plus everything piggy-backed onto it.
+///
+/// The engine buffers outgoing messages per `(src, dst)` pair while it
+/// processes one protocol round (one mutator operation or one delivered
+/// envelope) and flushes a single envelope per destination at the end, so
+/// an invalidation round costs one envelope per copy-set *node*, not one
+/// per protocol action. The messages are applied in emission order at the
+/// receiver.
+///
+/// Every envelope is a carrier: at flush the engine drains the collector's
+/// pending per-destination payloads (lazily buffered relocations —
+/// Section 4.4, and invariant-2 forwards) and attaches them here. The
+/// receiver applies the piggy-back *before* acting on any of the messages,
+/// which is what makes invariant 1 hold at acquire completion.
+#[derive(Clone, Debug)]
+pub struct DsmPacket {
+    /// The protocol messages, in emission order.
+    pub msgs: Vec<DsmMsg>,
+    /// Piggy-backed relocation records.
+    pub piggyback: Vec<Relocation>,
+}
+
+impl DsmPacket {
+    /// An envelope carrying one message and no piggy-back.
+    pub fn single(msg: DsmMsg) -> DsmPacket {
+        DsmPacket {
+            msgs: vec![msg],
+            piggyback: Vec::new(),
+        }
+    }
+}
+
+/// Fixed per-envelope framing overhead (src, dst, seq, counts), in bytes.
+pub const ENVELOPE_HEADER_BYTES: u64 = 16;
+
+impl WireSize for DsmPacket {
+    fn wire_size(&self) -> u64 {
+        ENVELOPE_HEADER_BYTES
+            + self.msgs.iter().map(WireSize::wire_size).sum::<u64>()
+            + 24 * self.piggyback.len() as u64
     }
 }
 
@@ -179,18 +207,12 @@ mod tests {
 
     #[test]
     fn wire_size_grows_with_payload() {
-        let small = DsmPacket {
-            msg: DsmMsg::ReadReq {
-                oid: Oid(1),
-                requester: NodeId(0),
-            },
-            piggyback: vec![],
-        };
+        let small = DsmPacket::single(DsmMsg::ReadReq {
+            oid: Oid(1),
+            requester: NodeId(0),
+        });
         let big = DsmPacket {
-            msg: DsmMsg::ReadReq {
-                oid: Oid(1),
-                requester: NodeId(0),
-            },
+            msgs: small.msgs.clone(),
             piggyback: vec![
                 Relocation {
                     oid: Oid(2),
@@ -201,6 +223,21 @@ mod tests {
             ],
         };
         assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn coalesced_envelope_amortizes_framing() {
+        let msg = || DsmMsg::Invalidate {
+            oid: Oid(1),
+            parent: NodeId(0),
+        };
+        let two_envelopes = DsmPacket::single(msg()).wire_size() * 2;
+        let one_envelope = DsmPacket {
+            msgs: vec![msg(), msg()],
+            piggyback: vec![],
+        }
+        .wire_size();
+        assert_eq!(one_envelope + ENVELOPE_HEADER_BYTES, two_envelopes);
     }
 
     #[test]

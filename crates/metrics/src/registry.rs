@@ -88,6 +88,9 @@ pub enum Hst {
     /// Ticks between a report's publication and the retry daemon
     /// confirming every destination applied it.
     ReportRetireLagTicks,
+    /// Constituent protocol messages coalesced into one DSM envelope.
+    /// Values above 1 are rounds the envelope batching actually compressed.
+    EnvelopeMsgs,
 }
 
 /// Per-(src, dst) link counters.
@@ -137,7 +140,7 @@ impl Gge {
 }
 
 impl Hst {
-    pub(crate) const COUNT: usize = 7;
+    pub(crate) const COUNT: usize = 8;
     /// All histograms, in index order.
     pub const ALL: [Hst; Self::COUNT] = [
         Hst::AcquireReadTicks,
@@ -147,6 +150,7 @@ impl Hst {
         Hst::BgcPauseMicros,
         Hst::ForwardingChainLen,
         Hst::ReportRetireLagTicks,
+        Hst::EnvelopeMsgs,
     ];
 }
 

@@ -33,21 +33,21 @@ fn main() -> Result<()> {
     c.acquire_write(n2, o3)?;
     c.write_ref(n2, o3, 0, o5)?; // the inter-bunch reference O3 -> O5
     c.release(n2, o3)?;
-    let stubs = &c.gc.node(n2).bunch(b1).unwrap().stub_table.inter;
+    let stubs = &c.gc.node(n2).bunch(b1).unwrap().stub_table.inter();
     println!(
         "after O3->O5 at N2: {} inter-bunch stub at N2 (scion at {}), {} at N1",
         stubs.len(),
         stubs[0].scion_at,
         c.gc.node(n1)
             .bunch(b1)
-            .map_or(0, |b| b.stub_table.inter.len()),
+            .map_or(0, |b| b.stub_table.inter().len()),
     );
     c.acquire_write(n1, o3)?; // write token N2 -> N1
     c.release(n1, o3)?;
     println!(
         "after O3's token moved to N1: intra-bunch SSP stub@N1->scion@N2 = {}/{}",
-        c.gc.node(n1).bunch(b1).unwrap().stub_table.intra.len(),
-        c.gc.node(n2).bunch(b1).unwrap().scion_table.intra.len(),
+        c.gc.node(n1).bunch(b1).unwrap().stub_table.intra().len(),
+        c.gc.node(n2).bunch(b1).unwrap().scion_table.intra().len(),
     );
 
     // ---- Figure 2 -----------------------------------------------------

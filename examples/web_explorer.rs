@@ -39,7 +39,7 @@ fn main() -> Result<()> {
         .bunch(index)
         .unwrap()
         .stub_table
-        .inter
+        .inter()
         .len();
     println!("topic index created {stubs} inter-bunch SSPs");
 

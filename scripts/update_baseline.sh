@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Refreshes the committed perf baseline (BENCH_baseline.json).
+#
+# Run this after an INTENTIONAL perf change — a new experiment, a changed
+# workload shape, or an accepted regression — then commit the result with
+# a message saying why the numbers moved. The perf CI lane
+# (.github/workflows/perf.yml) diffs every PR's fresh tables against this
+# file with `bench-diff`, so a stale baseline is how regressions sneak in
+# and an unexplained refresh is how they get laundered; reviewers should
+# treat a BENCH_baseline.json diff like a lockfile diff.
+#
+# The baseline is the cell-wise best of $RUNS (default 2) regenerations,
+# matching what the CI lane does on the measurement side: wall-clock cells
+# keep their minimum, achievement counters their maximum, and the
+# deterministic counters are identical across runs by construction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-2}"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release --locked -p bmx-bench
+
+snapshots=()
+for i in $(seq 1 "$RUNS"); do
+    echo "== tables run $i/$RUNS" >&2
+    ./target/release/tables >/dev/null
+    cp BENCH_tables.json "$tmp/run$i.json"
+    snapshots+=("$tmp/run$i.json")
+done
+
+./target/release/bench-diff --merge BENCH_baseline.json "${snapshots[@]}"
+echo "BENCH_baseline.json refreshed — commit it together with the change that moved the numbers." >&2

@@ -1,0 +1,189 @@
+//! Equivalence of the coalesced DSM envelope fanout against the unbatched
+//! reference wire format.
+//!
+//! The engine batches every protocol message bound for one destination in
+//! one protocol round into a single envelope (`DsmPacket::msgs`). Batching
+//! is a wire-level optimisation only: with `ClusterConfig::coalesce_dsm`
+//! off, the engine reverts to one envelope per message. These tests drive
+//! the same seeded contended workload both ways — under latency jitter,
+//! and under duplication plus GC-lane loss — and require the protocol
+//! outcomes to be indistinguishable.
+
+use bmx::audit;
+use bmx_common::SplitMix64;
+use bmx_repro::prelude::*;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+
+/// Per-node replica view, normalized for comparison: `(oid, token,
+/// is_owner)` for every replica record, in oid order.
+type ReplicaView = Vec<Vec<(u64, Token, bool)>>;
+
+struct Outcome {
+    replicas: ReplicaView,
+    /// Final payload of each shared object, read at its owner.
+    payloads: Vec<u64>,
+    /// Sum of per-node envelope counts (`DsmProtocolMessages`).
+    envelopes: u64,
+    /// Sum of per-node constituent message counts (`DsmLogicalMessages`).
+    logical: u64,
+}
+
+/// Drives `rounds` of seeded contended writes: several nodes race for the
+/// write token of the same objects, so releases serve queued requests —
+/// exactly the rounds envelope coalescing compresses. Returns the final
+/// protocol state.
+fn run(seed: u64, coalesce: bool, plan: FaultPlan) -> Outcome {
+    let mut net = NetworkConfig::lossless(1).with_fault(plan);
+    net.seed = seed;
+    let cfg = ClusterConfig {
+        nodes: 3,
+        net,
+        coalesce_dsm: coalesce,
+        ..Default::default()
+    };
+    let mut c = Cluster::new(cfg);
+    let (n0, n1, n2) = (n(0), n(1), n(2));
+    let b = c.create_bunch(n0).unwrap();
+    let objs: Vec<Addr> = (0..5)
+        .map(|_| {
+            let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
+            c.add_root(n0, o);
+            o
+        })
+        .collect();
+    c.map_bunch(n1, b, n0).unwrap();
+    c.map_bunch(n2, b, n0).unwrap();
+
+    let mut rng = SplitMix64::new(seed);
+    let mut stamp = 0u64;
+    for round in 0..30 {
+        let o = objs[(rng.next_u64() % objs.len() as u64) as usize];
+        let holder = n((rng.next_u64() % 3) as u32);
+        // The holder enters a write critical section; the other two nodes
+        // race for the same token and queue behind the lock.
+        if c.acquire_write(holder, o).is_ok() {
+            stamp += 1;
+            c.write_data(holder, o, 1, stamp).unwrap();
+            let first = n((holder.0 + 1) % 3);
+            let second = n((holder.0 + 2) % 3);
+            // Both contenders block: their requests are parked at the
+            // locked owner until the release below serves them.
+            let _ = c.acquire_write(first, o);
+            let _ = c.acquire_write(second, o);
+            c.release(holder, o).unwrap();
+        }
+        // Contenders that meanwhile received the token just release it so
+        // the next round starts unlocked.
+        for node in [n0, n1, n2] {
+            if c.token_at(node, o).unwrap_or(Token::None) == Token::Write
+                && c.acquire_write(node, o).is_ok()
+            {
+                stamp += 1;
+                c.write_data(node, o, 1, stamp).unwrap();
+                c.release(node, o).unwrap();
+            }
+        }
+        // Mix collections in so relocations piggy-back on the envelopes.
+        if round % 10 == 9 {
+            c.run_bgc([n0, n1, n2][round % 3], b).unwrap();
+        }
+    }
+    c.settle(5_000).unwrap();
+
+    let expected_live: Vec<(NodeId, Addr)> = objs.iter().map(|&o| (n0, o)).collect();
+    audit::assert_no_premature_reclamation(&c, &expected_live);
+
+    let replicas: ReplicaView = (0..3)
+        .map(|i| {
+            c.engine
+                .replicas(n(i))
+                .into_iter()
+                .map(|(oid, st)| (oid.0, st.token, st.is_owner))
+                .collect()
+        })
+        .collect();
+    let payloads: Vec<u64> = objs
+        .iter()
+        .map(|&o| {
+            let owner = (0..3)
+                .map(n)
+                .find(|&node| {
+                    c.oid_at_local(node, o)
+                        .is_ok_and(|oid| c.engine.is_owner(node, oid))
+                })
+                .expect("every object has exactly one owner");
+            c.read_data(owner, o, 1).unwrap()
+        })
+        .collect();
+    let sum = |k: StatKind| (0..3).map(|i| c.stats[i].get(k)).sum();
+    Outcome {
+        replicas,
+        payloads,
+        envelopes: sum(StatKind::DsmProtocolMessages),
+        logical: sum(StatKind::DsmLogicalMessages),
+    }
+}
+
+/// Jitter-only chaos: delivery timing wobbles but nothing is duplicated or
+/// lost, so batched and unbatched runs must agree on *everything* — token
+/// placement, ownership, payloads — while the batched run uses strictly
+/// fewer envelopes for the same logical messages.
+#[test]
+fn batched_equals_unbatched_under_jitter() {
+    let plan = || {
+        FaultPlan::none().all_links(LinkFault {
+            drop: 0.0,
+            duplicate: 0.0,
+            jitter: 3,
+        })
+    };
+    for seed in [0x0C0A_1E5C_E001u64, 0xB47C_43D5_EED5, 0x5EED_0F02_71CE] {
+        let on = run(seed, true, plan());
+        let off = run(seed, false, plan());
+        assert_eq!(
+            on.replicas, off.replicas,
+            "token/ownership state (seed {seed:#x})"
+        );
+        assert_eq!(on.payloads, off.payloads, "payloads (seed {seed:#x})");
+        assert_eq!(
+            on.logical, off.logical,
+            "same protocol actions either way (seed {seed:#x})"
+        );
+        assert_eq!(
+            off.logical, off.envelopes,
+            "unbatched reference: one envelope per message (seed {seed:#x})"
+        );
+        assert!(
+            on.envelopes < off.envelopes,
+            "coalescing saved envelopes (seed {seed:#x}): {} vs {}",
+            on.envelopes,
+            off.envelopes
+        );
+    }
+}
+
+/// Duplication and GC-lane loss make the wire schedules of the two runs
+/// diverge (different envelope counts consume the fault RNG differently),
+/// so token *placement* may legitimately differ; the writes applied and
+/// the surviving heap must not. Payload comparison pins that down: both
+/// runs admit the same scripted write sequence.
+#[test]
+fn batched_equals_unbatched_under_duplication_and_loss() {
+    let plan = || {
+        FaultPlan::none().all_links(LinkFault {
+            drop: 0.10,
+            duplicate: 0.20,
+            jitter: 2,
+        })
+    };
+    for seed in [0xD0_0D1E_5EEDu64, 0xFA11_BACC_5EED] {
+        let on = run(seed, true, plan());
+        let off = run(seed, false, plan());
+        assert_eq!(on.payloads, off.payloads, "payloads (seed {seed:#x})");
+        assert!(on.envelopes <= on.logical, "seed {seed:#x}");
+        assert_eq!(off.logical, off.envelopes, "seed {seed:#x}");
+    }
+}

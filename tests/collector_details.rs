@@ -76,14 +76,14 @@ fn stub_dropped_when_the_reference_is_overwritten() {
     let t2 = c.alloc(n0, b2, &ObjSpec::data(1)).unwrap();
     c.add_root(n0, src);
     c.write_ref(n0, src, 0, t1).unwrap();
-    assert_eq!(c.gc.node(n0).bunch(b1).unwrap().stub_table.inter.len(), 1);
+    assert_eq!(c.gc.node(n0).bunch(b1).unwrap().stub_table.inter().len(), 1);
     // Re-point at t2: a second SSP appears (t1's stub is now dangling-ish
     // until the next collection rebuilds the table).
     c.write_ref(n0, src, 0, t2).unwrap();
-    assert_eq!(c.gc.node(n0).bunch(b1).unwrap().stub_table.inter.len(), 2);
+    assert_eq!(c.gc.node(n0).bunch(b1).unwrap().stub_table.inter().len(), 2);
     // The BGC regenerates: only the live reference's stub survives.
     c.run_bgc(n0, b1).unwrap();
-    let stubs = &c.gc.node(n0).bunch(b1).unwrap().stub_table.inter;
+    let stubs = &c.gc.node(n0).bunch(b1).unwrap().stub_table.inter();
     assert_eq!(stubs.len(), 1);
     assert_eq!(stubs[0].target_addr, t2);
     // And B2's collection then reclaims the unshielded t1.
@@ -104,11 +104,11 @@ fn scion_targets_follow_relocations() {
     c.write_data(n0, tgt, 0, 5).unwrap();
     c.add_root(n0, src);
     c.write_ref(n0, src, 0, tgt).unwrap();
-    let before = c.gc.node(n0).bunch(b2).unwrap().scion_table.inter[0].target_addr;
+    let before = c.gc.node(n0).bunch(b2).unwrap().scion_table.inter()[0].target_addr;
     // Collect B2: the target (owned locally) moves; the scion is a root, so
     // the object survives and the scion's address is updated.
     c.run_bgc(n0, b2).unwrap();
-    let after = c.gc.node(n0).bunch(b2).unwrap().scion_table.inter[0].target_addr;
+    let after = c.gc.node(n0).bunch(b2).unwrap().scion_table.inter()[0].target_addr;
     assert_ne!(before, after, "the scion followed the copy");
     assert_eq!(c.read_data(n0, tgt, 0).unwrap(), 5);
     // B1's source still reads the target through forwarding; after B1's own

@@ -23,7 +23,10 @@ fn acyclic_distributed_garbage_is_collected() {
     c.add_root(n1, src);
     // Cross-node inter-bunch reference: scion-message to N2.
     c.write_ref(n1, src, 0, tgt).unwrap();
-    assert_eq!(c.gc.node(n2).bunch(b2).unwrap().scion_table.inter.len(), 1);
+    assert_eq!(
+        c.gc.node(n2).bunch(b2).unwrap().scion_table.inter().len(),
+        1
+    );
 
     // While the reference lives, B2's collection keeps the target.
     let s = c.run_bgc(n2, b2).unwrap();
@@ -41,7 +44,7 @@ fn acyclic_distributed_garbage_is_collected() {
         .bunch(b2)
         .unwrap()
         .scion_table
-        .inter
+        .inter()
         .is_empty());
     let s = c.run_bgc(n2, b2).unwrap();
     assert_eq!(s.reclaimed, 1);
@@ -63,7 +66,14 @@ fn dead_source_object_releases_its_stubs() {
 
     c.remove_root(n1, root);
     c.run_bgc(n1, b1).unwrap(); // src dies, stub dropped
-    assert!(c.gc.node(n1).bunch(b1).unwrap().stub_table.inter.is_empty());
+    assert!(c
+        .gc
+        .node(n1)
+        .bunch(b1)
+        .unwrap()
+        .stub_table
+        .inter()
+        .is_empty());
     let s = c.run_bgc(n2, b2).unwrap();
     assert_eq!(s.reclaimed, 1);
 }

@@ -40,29 +40,29 @@ fn figure1_stub_and_scion_tables() {
 
     // Exactly one inter-bunch SSP, kept at the creating node (N2)...
     let stubs_n2 = &c.gc.node(n2).bunch(b1).unwrap().stub_table;
-    assert_eq!(stubs_n2.inter.len(), 1, "one stub for O3->O5");
-    assert_eq!(stubs_n2.inter[0].target_bunch, b2);
+    assert_eq!(stubs_n2.inter().len(), 1, "one stub for O3->O5");
+    assert_eq!(stubs_n2.inter()[0].target_bunch, b2);
     // ...and none at N1, despite N1 caching O3 too (Section 3.1).
     assert!(c
         .gc
         .node(n1)
         .bunch(b1)
-        .is_none_or(|b| b.stub_table.inter.is_empty()));
+        .is_none_or(|b| b.stub_table.inter().is_empty()));
     // The scion-message created the matching scion at N3.
     let scions_n3 = &c.gc.node(n3).bunch(b2).unwrap().scion_table;
-    assert_eq!(scions_n3.inter.len(), 1);
-    assert_eq!(scions_n3.inter[0].source_node, n2);
-    assert_eq!(scions_n3.inter[0].source_bunch, b1);
+    assert_eq!(scions_n3.inter().len(), 1);
+    assert_eq!(scions_n3.inter()[0].source_node, n2);
+    assert_eq!(scions_n3.inter()[0].source_bunch, b1);
     assert_eq!(c.total_stat(StatKind::ScionMessages), 1);
 
     // O3's write token goes from N2 to N1: the intra-bunch SSP from N1 to
     // N2 appears (stub at the new owner, scion at the old).
     c.acquire_write(n1, o3).unwrap();
     c.release(n1, o3).unwrap();
-    let intra_stubs_n1 = &c.gc.node(n1).bunch(b1).unwrap().stub_table.intra;
+    let intra_stubs_n1 = &c.gc.node(n1).bunch(b1).unwrap().stub_table.intra();
     assert_eq!(intra_stubs_n1.len(), 1);
     assert_eq!(intra_stubs_n1[0].scion_at, n2);
-    let intra_scions_n2 = &c.gc.node(n2).bunch(b1).unwrap().scion_table.intra;
+    let intra_scions_n2 = &c.gc.node(n2).bunch(b1).unwrap().scion_table.intra();
     assert_eq!(intra_scions_n2.len(), 1);
     assert_eq!(intra_scions_n2[0].stub_at, n1);
     // No further scion-messages were needed: the SSP rode the grant.
@@ -265,8 +265,11 @@ fn figure4_intra_ssp_cascade_deletion() {
     // Ownership of O1 moves to N2: intra-bunch SSP stub@N2 -> scion@N3.
     c.acquire_write(n2, o1).unwrap();
     c.release(n2, o1).unwrap();
-    assert_eq!(c.gc.node(n2).bunch(b1).unwrap().stub_table.intra.len(), 1);
-    assert_eq!(c.gc.node(n3).bunch(b1).unwrap().scion_table.intra.len(), 1);
+    assert_eq!(c.gc.node(n2).bunch(b1).unwrap().stub_table.intra().len(), 1);
+    assert_eq!(
+        c.gc.node(n3).bunch(b1).unwrap().scion_table.intra().len(),
+        1
+    );
 
     // The only mutator reference is at N1.
     c.acquire_read(n1, o1).unwrap();
@@ -300,7 +303,7 @@ fn figure4_intra_ssp_cascade_deletion() {
     // stub to N3 is retained.
     let s = c.run_bgc(n2, b1).unwrap();
     assert_eq!(s.reclaimed, 0);
-    assert_eq!(c.gc.node(n2).bunch(b1).unwrap().stub_table.intra.len(), 1);
+    assert_eq!(c.gc.node(n2).bunch(b1).unwrap().stub_table.intra().len(), 1);
 
     // Step D: the mutator at N1 drops its reference; N1's BGC reclaims the
     // local replica and stops reporting the exiting pointer.
@@ -320,21 +323,28 @@ fn figure4_intra_ssp_cascade_deletion() {
         .bunch(b1)
         .unwrap()
         .scion_table
-        .intra
+        .intra()
         .is_empty());
 
     // Step F: BGC at N3 — O1 dies on its last node; its inter-bunch stub is
     // dropped and the local cleaner prunes X's scion.
     let s = c.run_bgc(n3, b1).unwrap();
     assert_eq!(s.reclaimed, 1, "O1 dies at N3");
-    assert!(c.gc.node(n3).bunch(b1).unwrap().stub_table.inter.is_empty());
+    assert!(c
+        .gc
+        .node(n3)
+        .bunch(b1)
+        .unwrap()
+        .stub_table
+        .inter()
+        .is_empty());
     assert!(c
         .gc
         .node(n3)
         .bunch(b2)
         .unwrap()
         .scion_table
-        .inter
+        .inter()
         .is_empty());
 
     // Step G: BGC of B2 at N3 — the inter-bunch target X is finally

@@ -81,7 +81,10 @@ fn duplicate_tables_are_idempotent() {
         c.resend_report(n1, b1, &[n2]).unwrap();
     }
     // The scion survives (the stub is still reported) and the target lives.
-    assert_eq!(c.gc.node(n2).bunch(b2).unwrap().scion_table.inter.len(), 1);
+    assert_eq!(
+        c.gc.node(n2).bunch(b2).unwrap().scion_table.inter().len(),
+        1
+    );
     let s = c.run_bgc(n2, b2).unwrap();
     assert_eq!(s.reclaimed, 0);
 }
@@ -155,13 +158,16 @@ fn lost_scion_message_recovered_by_table() {
     assert_eq!(
         c.gc.node(n2)
             .bunch(b2)
-            .map_or(0, |b| b.scion_table.inter.len()),
+            .map_or(0, |b| b.scion_table.inter().len()),
         0
     );
     // N1's next collection reports the stub; the cleaner recreates the
     // missing scion at N2.
     c.run_bgc(n1, b1).unwrap();
-    assert_eq!(c.gc.node(n2).bunch(b2).unwrap().scion_table.inter.len(), 1);
+    assert_eq!(
+        c.gc.node(n2).bunch(b2).unwrap().scion_table.inter().len(),
+        1
+    );
     let s = c.run_bgc(n2, b2).unwrap();
     assert_eq!(s.reclaimed, 0, "target protected again");
 }
@@ -243,7 +249,7 @@ mod duplication_properties {
                 .gc
                 .node(n2)
                 .bunch(b2)
-                .map_or(0, |b| b.scion_table.inter.len()),
+                .map_or(0, |b| b.scion_table.inter().len()),
             reclaimed: s.reclaimed,
             payloads: targets
                 .iter()

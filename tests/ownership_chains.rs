@@ -48,7 +48,7 @@ fn two_hop_chain_protects_the_stub_site() {
     // weld uncollectable cross-node SSP cycles). Node 1 retains its own
     // stub->0 while its replica lives.
     assert_eq!(
-        c.gc.node(n(1)).bunch(b1).unwrap().stub_table.intra[0].scion_at,
+        c.gc.node(n(1)).bunch(b1).unwrap().stub_table.intra()[0].scion_at,
         n(0)
     );
     assert!(c
@@ -57,14 +57,14 @@ fn two_hop_chain_protects_the_stub_site() {
         .bunch(b1)
         .unwrap()
         .scion_table
-        .intra
+        .intra()
         .is_empty());
     assert_eq!(
-        c.gc.node(n(2)).bunch(b1).unwrap().stub_table.intra[0].scion_at,
+        c.gc.node(n(2)).bunch(b1).unwrap().stub_table.intra()[0].scion_at,
         n(0)
     );
     assert_eq!(
-        c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra[0].stub_at,
+        c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra()[0].stub_at,
         n(1)
     );
 
@@ -86,7 +86,7 @@ fn two_hop_chain_protects_the_stub_site() {
     assert!(reclaimed[1] <= 1, "at most the middleman's replica dies");
     // Node 0's scion table carries the re-keyed entry for node 2's direct
     // stub (created by the cleaner from node 2's report).
-    let scions_at_0 = &c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra;
+    let scions_at_0 = &c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra();
     assert!(
         scions_at_0.iter().any(|s| s.stub_at == n(2)),
         "node 2's direct stub was re-keyed at node 0: {scions_at_0:?}"
@@ -140,12 +140,12 @@ fn bouncing_ownership_does_not_grow_tables() {
         c.acquire_write(n(0), o).unwrap();
         c.release(n(0), o).unwrap();
     }
-    let stubs_0 = c.gc.node(n(0)).bunch(b1).unwrap().stub_table.intra.len();
-    let stubs_1 = c.gc.node(n(1)).bunch(b1).unwrap().stub_table.intra.len();
+    let stubs_0 = c.gc.node(n(0)).bunch(b1).unwrap().stub_table.intra().len();
+    let stubs_1 = c.gc.node(n(1)).bunch(b1).unwrap().stub_table.intra().len();
     assert!(stubs_0 <= 1, "node 0 intra stubs bounded: {stubs_0}");
     assert!(stubs_1 <= 1, "node 1 intra stubs bounded: {stubs_1}");
-    let scions_0 = c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra.len();
-    let scions_1 = c.gc.node(n(1)).bunch(b1).unwrap().scion_table.intra.len();
+    let scions_0 = c.gc.node(n(0)).bunch(b1).unwrap().scion_table.intra().len();
+    let scions_1 = c.gc.node(n(1)).bunch(b1).unwrap().scion_table.intra().len();
     assert!(
         scions_0 <= 1 && scions_1 <= 1,
         "scions bounded: {scions_0}/{scions_1}"

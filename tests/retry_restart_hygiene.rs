@@ -90,7 +90,10 @@ fn restart_resets_the_recovery_latency_baseline() {
     );
 
     // And the report actually applied: the scion protecting `tgt` exists.
-    assert_eq!(c.gc.node(n1).bunch(b1).unwrap().scion_table.inter.len(), 1);
+    assert_eq!(
+        c.gc.node(n1).bunch(b1).unwrap().scion_table.inter().len(),
+        1
+    );
     let s = c.run_bgc(n1, b1).unwrap();
     assert_eq!(s.reclaimed, 0, "the reported stub keeps the target alive");
 }
