@@ -6,13 +6,13 @@ use bmx_common::{Addr, BunchId, Epoch, NodeId, NodeStats, Oid};
 use bmx_dsm::DsmEngine;
 use bmx_gc::msg::ReachabilityReport;
 use bmx_gc::ssp::{InterScion, InterStub, SspId};
-use bmx_gc::{cleaner, GcState};
+use bmx_gc::{cleaner, GcState, SharedServer};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Builds a GcState with `n` inter scions at node 1 (half of which the
 /// report will justify) plus the matching report from node 0.
 fn fixture(n: u64) -> (GcState, DsmEngine, ReachabilityReport) {
-    let server = std::rc::Rc::new(std::cell::RefCell::new(bmx_addr::SegmentServer::new(64)));
+    let server = SharedServer::new(bmx_addr::SegmentServer::new(64));
     let mut gc = GcState::new(2, server);
     let engine = DsmEngine::new(2);
     let (b_src, b_tgt) = (BunchId(1), BunchId(2));

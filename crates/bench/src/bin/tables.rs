@@ -82,6 +82,10 @@ fn main() {
         let rows = e12_hot_paths::run();
         tables.push(e12_hot_paths::table(&rows));
     }
+    if want("e13") {
+        let rows = e13_parallel::run(&[2, 4]);
+        tables.push(e13_parallel::table(&rows));
+    }
 
     let mut text = String::new();
     for t in &tables {

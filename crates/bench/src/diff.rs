@@ -283,6 +283,10 @@ pub enum Gate {
     /// Noisy wall-clock measurement: regression if
     /// `current > baseline * (1 + tol)`.
     TimeLowerBetter,
+    /// Noisy wall-clock throughput (`*_per_sec`): regression if
+    /// `current < baseline * (1 - tol)` — same relative band as
+    /// [`Gate::TimeLowerBetter`], opposite direction.
+    RateHigherBetter,
     /// Deterministic cost counter: regression on any increase.
     CounterLowerBetter,
     /// Deterministic achievement counter: regression on any decrease.
@@ -318,6 +322,7 @@ const PARAMS: &[&str] = &[
     "hops",
     "drop",
     "remote_frac",
+    "mutators",
 ];
 
 /// Classifies a column by header name. The first column is always the row
@@ -328,6 +333,9 @@ pub fn classify(header: &str, col: usize) -> Gate {
     }
     if header.ends_with("_us") || header.contains("ns/") || header.ends_with("_ticks") {
         return Gate::TimeLowerBetter;
+    }
+    if header.ends_with("_per_sec") {
+        return Gate::RateHigherBetter;
     }
     if HIGHER_BETTER.contains(&header) {
         return Gate::CounterHigherBetter;
@@ -406,7 +414,7 @@ pub fn merge_best(runs: &[Vec<BenchTable>]) -> Vec<BenchTable> {
                 for (col, header) in t.headers.iter().enumerate() {
                     let keep_max = match classify(header, col) {
                         Gate::Identity => continue,
-                        Gate::CounterHigherBetter => true,
+                        Gate::CounterHigherBetter | Gate::RateHigherBetter => true,
                         Gate::TimeLowerBetter | Gate::CounterLowerBetter => false,
                     };
                     let (Ok(old), Ok(new)) = (mrow[col].parse::<f64>(), row[col].parse::<f64>())
@@ -544,6 +552,20 @@ fn check(gate: Gate, base: f64, cur: f64, time_tol: f64, place: &str, report: &m
                 ));
             }
         }
+        Gate::RateHigherBetter => {
+            if cur < base * (1.0 - time_tol) {
+                report.regressions.push(format!(
+                    "{place}: {base} -> {cur} (-{:.0}%, tolerance {:.0}%)",
+                    (1.0 - cur / base.max(f64::MIN_POSITIVE)) * 100.0,
+                    time_tol * 100.0
+                ));
+            } else if cur > base * (1.0 + time_tol) {
+                report.improvements.push(format!(
+                    "{place}: {base} -> {cur} (+{:.0}%)",
+                    (cur / base.max(f64::MIN_POSITIVE) - 1.0) * 100.0
+                ));
+            }
+        }
         Gate::CounterLowerBetter => {
             if cur > base {
                 report.regressions.push(format!(
@@ -616,8 +638,31 @@ mod tests {
         assert_eq!(classify("refault_msgs", 4), Gate::CounterLowerBetter);
         assert_eq!(classify("envelopes", 2), Gate::CounterLowerBetter);
         assert_eq!(classify("piggybacked", 3), Gate::CounterHigherBetter);
+        assert_eq!(classify("ops_per_sec", 2), Gate::RateHigherBetter);
         assert_eq!(classify("objects", 1), Gate::Identity);
         assert_eq!(classify("whatever", 0), Gate::Identity);
+    }
+
+    #[test]
+    fn rate_gate_bands_throughput_drops_only() {
+        let base = [table(
+            "E13: t",
+            &["nodes", "ops_per_sec"],
+            &[&["2", "1000"]],
+        )];
+        let slow = [table("E13: t", &["nodes", "ops_per_sec"], &[&["2", "790"]])];
+        let ok = [table("E13: t", &["nodes", "ops_per_sec"], &[&["2", "810"]])];
+        let fast = [table(
+            "E13: t",
+            &["nodes", "ops_per_sec"],
+            &[&["2", "5000"]],
+        )];
+        assert!(!diff(&base, &slow, 0.20).pass());
+        assert!(diff(&base, &ok, 0.20).pass());
+        assert!(
+            diff(&base, &fast, 0.20).pass(),
+            "faster is never a regression"
+        );
     }
 
     #[test]

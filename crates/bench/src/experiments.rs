@@ -3,6 +3,7 @@
 pub mod e10_fromspace;
 pub mod e11_consistency;
 pub mod e12_hot_paths;
+pub mod e13_parallel;
 pub mod e1_replication;
 pub mod e2_interference;
 pub mod e3_piggyback;

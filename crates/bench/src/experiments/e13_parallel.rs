@@ -1,0 +1,188 @@
+//! E13 — parallel-runtime throughput: sustained mutator ops/sec and
+//! acquire latency on the real-parallelism runtime (`bmx::parallel`).
+//!
+//! The deterministic experiments (E1–E12) measure protocol *work*
+//! (messages, words, rounds) on the tick simulation. E13 measures the
+//! other execution mode of the same state machines: one OS driver thread
+//! per node, channel links, and one mutator thread per node hammering a
+//! mixed workload through real [`bmx::NodeHandle`]s. Reported per
+//! cluster size: sustained operations per wall-clock second, and the
+//! p50/p99 of the *blocking* acquire path (request parked at a remote
+//! owner, granted by a driver thread) measured at the call site.
+//!
+//! Wall-clock columns (`ops_per_sec`, `*_us`) go through the perf gate's
+//! relative tolerance bands; `ops` is the deterministic workload size.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bmx::{ClusterConfig, NodeHandle, ObjSpec, ParallelCluster, Shutdown};
+use bmx_common::{NodeId, SplitMix64};
+use parking_lot::Mutex;
+
+use crate::table::Table;
+
+/// One measured cluster size.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Nodes (== driver threads == mutator threads).
+    pub nodes: u32,
+    /// Mutator operations completed (workload size, deterministic).
+    pub ops: u64,
+    /// Sustained mutator operations per wall-clock second.
+    pub ops_per_sec: u64,
+    /// Median latency of *blocking* acquires (request parked at a remote
+    /// owner), microseconds, floor 1 — local fast-path acquires complete
+    /// in well under a microsecond and would make the percentile columns
+    /// degenerate zeros.
+    pub acquire_p50_us: u64,
+    /// Tail blocking-acquire latency, microseconds, floor 1.
+    pub acquire_p99_us: u64,
+}
+
+/// An acquire that took at least this long went remote (parked, granted
+/// by a driver thread); faster ones are the local token fast path.
+const BLOCKING_US: u64 = 2;
+
+/// Shared objects under contention.
+pub const OBJECTS: usize = 4;
+/// Increments per mutator thread.
+pub const OPS_PER_NODE: u64 = 250;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn drive(nodes: u32) -> Row {
+    let pc = ParallelCluster::spawn(ClusterConfig::with_nodes(nodes));
+    let h0 = pc.handle(NodeId(0));
+    let bunch = h0.create_bunch().expect("bunch");
+    let objs: Vec<_> = (0..OBJECTS)
+        .map(|_| {
+            let o = h0
+                .alloc(bunch, &ObjSpec::with_refs(2, &[0]))
+                .expect("alloc");
+            h0.add_root(o).expect("root");
+            o
+        })
+        .collect();
+    for i in 1..nodes {
+        let h = pc.handle(NodeId(i));
+        h.map_bunch(bunch, NodeId(0)).expect("map");
+        for &o in &objs {
+            h.add_root(o).expect("root");
+        }
+    }
+    assert!(pc.quiesce(Duration::from_secs(10)), "setup quiesce");
+
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..nodes)
+        .map(|i| {
+            let h: NodeHandle = pc.handle(NodeId(i));
+            let objs = objs.clone();
+            let latencies = Arc::clone(&latencies);
+            std::thread::spawn(move || {
+                h.bind_metrics();
+                let mut rng = SplitMix64::new(0xE13_0000 + u64::from(i));
+                let mut local = Vec::with_capacity(OPS_PER_NODE as usize);
+                for _ in 0..OPS_PER_NODE {
+                    let o = objs[(rng.next_u64() % OBJECTS as u64) as usize];
+                    let q0 = Instant::now();
+                    h.acquire_write(o).expect("acquire");
+                    local.push(q0.elapsed().as_micros() as u64);
+                    let v = h.read_data(o, 1).expect("load");
+                    h.write_data(o, 1, v + 1).expect("store");
+                    h.release(o).expect("release");
+                }
+                latencies.lock().extend(local);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("mutator thread");
+    }
+    let wall = t0.elapsed();
+    let ops = pc.ops();
+    assert!(pc.quiesce(Duration::from_secs(10)), "quiesce");
+    let (mut cluster, report) = pc.shutdown(Shutdown::Drain).expect("drain");
+    assert_eq!(report.dropped, 0, "drain dropped traffic");
+    // Full totals check: every increment landed exactly once.
+    cluster.settle(50_000).expect("settle");
+    let total: u64 = objs
+        .iter()
+        .map(|&o| {
+            cluster.acquire_read(NodeId(0), o).expect("read token");
+            let v = cluster.read_data(NodeId(0), o, 1).expect("load");
+            cluster.release(NodeId(0), o).expect("release");
+            v
+        })
+        .sum();
+    assert_eq!(total, u64::from(nodes) * OPS_PER_NODE, "lost increments");
+
+    let mut lat: Vec<u64> = std::mem::take(&mut *latencies.lock())
+        .into_iter()
+        .filter(|&us| us >= BLOCKING_US)
+        .collect();
+    lat.sort_unstable();
+    let secs = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+    Row {
+        nodes,
+        ops,
+        ops_per_sec: (ops as f64 / secs) as u64,
+        acquire_p50_us: percentile(&lat, 0.50).max(1),
+        acquire_p99_us: percentile(&lat, 0.99).max(1),
+    }
+}
+
+/// Runs the sweep over cluster sizes.
+pub fn run(sizes: &[u32]) -> Vec<Row> {
+    sizes.iter().map(|&n| drive(n)).collect()
+}
+
+/// Renders the table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        "E13: parallel runtime throughput (4 contended objects, 250 ops/node)",
+        &[
+            "nodes",
+            "ops",
+            "ops_per_sec",
+            "acquire_p50_us",
+            "acquire_p99_us",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.nodes.to_string(),
+            r.ops.to_string(),
+            r.ops_per_sec.to_string(),
+            r.acquire_p50_us.to_string(),
+            r.acquire_p99_us.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_throughput_rows_are_sound() {
+        let rows = run(&[2]);
+        let r = &rows[0];
+        // ops counts every handle operation (setup included), so it is
+        // at least the four per increment.
+        assert!(r.ops >= 2 * OPS_PER_NODE * 4, "ops under-counted: {r:?}");
+        assert!(r.ops_per_sec > 0, "throughput must be measurable: {r:?}");
+        assert!(
+            r.acquire_p50_us <= r.acquire_p99_us,
+            "percentiles out of order: {r:?}"
+        );
+    }
+}

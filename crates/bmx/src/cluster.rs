@@ -1,9 +1,8 @@
 //! The deterministic cluster driver.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bmx_addr::object;
 use bmx_addr::server::Protection;
@@ -127,14 +126,22 @@ pub struct Cluster {
     rejoin_epochs: Vec<u64>,
     /// Every completed recovery, for the E9 experiment and the chaos suite.
     pub recovery_log: Vec<RecoveryOutcome>,
+    /// Parallel-mode egress hook. When set, [`Cluster::pump`] *exports*
+    /// in-flight envelopes to the hook (a real [`bmx_net::Transport`])
+    /// instead of dispatching them inline; per-node driver threads deliver
+    /// them back through [`Cluster::deliver`]. `None` in the deterministic
+    /// simulation, which keeps the tick loop bit-exact.
+    uplink: Option<Uplink>,
 }
+
+/// The egress half of the transport seam (see [`Cluster::set_uplink`]).
+pub type Uplink = Arc<dyn Fn(Envelope<ClusterMsg>) + Send + Sync>;
 
 impl Cluster {
     /// Builds a cluster.
     pub fn new(cfg: ClusterConfig) -> Self {
-        let server: bmx_gc::SharedServer =
-            Rc::new(RefCell::new(SegmentServer::new(cfg.segment_words)));
-        let mut gc = GcState::new(cfg.nodes as usize, Rc::clone(&server));
+        let server = bmx_gc::SharedServer::new(SegmentServer::new(cfg.segment_words));
+        let mut gc = GcState::new(cfg.nodes as usize, server.clone());
         gc.reloc_mode = cfg.reloc_mode;
         let mut engine = DsmEngine::new(cfg.nodes as usize);
         engine.set_coalescing(cfg.coalesce_dsm);
@@ -154,6 +161,7 @@ impl Cluster {
             recoveries: (0..cfg.nodes).map(|_| None).collect(),
             rejoin_epochs: vec![0; cfg.nodes as usize],
             recovery_log: Vec::new(),
+            uplink: None,
         };
         cluster.bind_metrics();
         cluster
@@ -206,6 +214,12 @@ impl Cluster {
     /// does not fire the retry daemon's timers. Chaos runs drive time with
     /// [`Cluster::step`] instead.
     pub fn pump(&mut self) -> Result<()> {
+        if self.uplink.is_some() {
+            // Parallel mode: messages leave through the transport and come
+            // back through per-node drivers; nothing is dispatched inline.
+            self.export_outbox();
+            return Ok(());
+        }
         while self.net.in_flight() > 0 {
             let due = self.net.tick();
             for env in due {
@@ -216,12 +230,63 @@ impl Cluster {
         Ok(())
     }
 
+    /// Routes every protocol send through the uplink instead of the
+    /// deterministic tick loop. All send sites keep writing into the
+    /// staging [`Network`]; [`Cluster::export_outbox`] moves the staged
+    /// envelopes out. Parallel-runtime use only.
+    pub fn set_uplink(&mut self, uplink: Uplink) {
+        self.uplink = Some(uplink);
+    }
+
+    /// Detaches the uplink (returning the cluster to inline dispatch), for
+    /// post-shutdown inspection of a parallel run's final state.
+    pub fn clear_uplink(&mut self) {
+        self.uplink = None;
+    }
+
+    /// Whether sends currently leave through a transport uplink.
+    pub fn has_uplink(&self) -> bool {
+        self.uplink.is_some()
+    }
+
+    /// Drains every staged envelope out of the simulated network and hands
+    /// it to the uplink. No-op without an uplink. The staging network is
+    /// configured lossless in parallel mode, so the tick here only rolls
+    /// messages to their due time — nothing is dropped or reordered beyond
+    /// per-link FIFO.
+    pub fn export_outbox(&mut self) {
+        let Some(uplink) = self.uplink.clone() else {
+            return;
+        };
+        while self.net.in_flight() > 0 {
+            for env in self.net.tick() {
+                uplink(env);
+            }
+        }
+    }
+
+    /// Applies one transport-delivered envelope under the caller's
+    /// protocol lock, then exports whatever the dispatch itself sent. This
+    /// is the per-node driver's entry point in parallel mode; an envelope
+    /// is either fully applied (including its cascading sends reaching the
+    /// transport) or — if the dispatch errors — not applied at all past
+    /// the error point, with the error surfaced to the driver.
+    pub fn deliver(&mut self, env: Envelope<ClusterMsg>) -> Result<()> {
+        let r = self.dispatch(env);
+        self.export_outbox();
+        r
+    }
+
     /// Advances the cluster's background clock by `ticks`: each tick
     /// delivers due messages, accounts fault transitions (partition heals,
     /// crash/restarts), and polls the retry daemon. This — not
     /// [`Cluster::pump`] — drives chaos runs, where time must pass for
     /// partitions to heal and backoff timers to fire.
     pub fn step(&mut self, ticks: u64) -> Result<()> {
+        if self.uplink.is_some() {
+            self.export_outbox();
+            return Ok(());
+        }
         for _ in 0..ticks {
             let due = self.net.tick();
             for env in due {

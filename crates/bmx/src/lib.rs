@@ -48,16 +48,20 @@
 
 pub mod audit;
 pub mod cluster;
+pub mod driver;
 pub mod msg;
 pub mod mutator;
+pub mod parallel;
 pub mod persist;
 pub mod recovery;
 pub mod retry;
 pub mod threaded;
 
 pub use cluster::{Cluster, ClusterConfig, PersistConfig};
+pub use driver::{Driver, LinkDriver, TickDriver};
 pub use msg::ClusterMsg;
 pub use mutator::ObjSpec;
+pub use parallel::{NodeHandle, ParallelCluster, Shutdown, ShutdownReport};
 pub use recovery::RecoveryOutcome;
 pub use retry::{RetryDaemon, RetryPolicy};
 pub use threaded::{ClusterActor, ClusterHandle};

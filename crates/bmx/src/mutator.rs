@@ -382,6 +382,76 @@ impl Cluster {
         self.engine.lock(node, oid)
     }
 
+    /// One step of a split-phase acquire, for drivers that cannot block
+    /// inside the protocol (the parallel runtime's per-node handles).
+    ///
+    /// Returns `Ok(true)` when the token is held and the critical section
+    /// entered; `Ok(false)` when a request is outstanding — the caller
+    /// should release the protocol lock, let driver threads deliver the
+    /// grant, and poll again. Unlike [`Cluster::acquire_write`], an
+    /// outstanding request is *not* re-sent on re-poll (channels are
+    /// lossless in parallel mode, so a duplicate request would only fan
+    /// out duplicate grants).
+    pub fn poll_acquire(&mut self, node: NodeId, addr: Addr, write: bool) -> Result<bool> {
+        let oid = self.oid_at(node, addr)?;
+        if self.engine.is_waiting(node, oid) {
+            // The grant clears `waiting_for` when it lands.
+            return Ok(false);
+        }
+        let tok = self.engine.token(node, oid);
+        let held = if write {
+            tok == Token::Write
+        } else {
+            tok != Token::None
+        };
+        if held {
+            self.engine.lock(node, oid)?;
+            return Ok(true);
+        }
+        let started = {
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            if write {
+                engine.start_write(node, oid, &mut sh, &mut send)?
+            } else {
+                engine.start_read(node, oid, &mut sh, &mut send)?
+            }
+        };
+        self.pump()?;
+        match started {
+            AcquireStart::Satisfied => {
+                self.engine.lock(node, oid)?;
+                Ok(true)
+            }
+            AcquireStart::Requested => {
+                // In sim mode the pump above completed the exchange; in
+                // parallel mode the request is now in the transport.
+                let tok = self.engine.token(node, oid);
+                let held = if write {
+                    tok == Token::Write
+                } else {
+                    tok != Token::None
+                };
+                if held && !self.engine.is_waiting(node, oid) {
+                    self.engine.lock(node, oid)?;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
     /// Releases the token bracket for the object at `addr`.
     pub fn release(&mut self, node: NodeId, addr: Addr) -> Result<()> {
         let oid = self.oid_at_local(node, addr)?;

@@ -1,0 +1,514 @@
+//! `bmx::parallel`: the real-parallelism runtime.
+//!
+//! The deterministic [`Cluster`] interleaves everything on one thread so
+//! the paper's protocol properties can be audited bit-exactly. This module
+//! runs the *same* protocol state machines on real hardware concurrency:
+//!
+//! * **One OS driver thread per node** ([`LinkDriver`] inside), each
+//!   polling only its own inboxes on a shared lock-free-facade
+//!   [`ChannelTransport`] and applying envelopes under the protocol lock.
+//! * **Real per-node handles** ([`NodeHandle`]): application mutator
+//!   threads call `acquire/read/write/release` directly — no global actor
+//!   serializing closures. An acquire whose token is remote parks the
+//!   *calling thread only*; driver threads keep delivering, so the grant
+//!   makes progress while the mutator waits.
+//! * **The transport seam**: the cluster's sends are exported through
+//!   [`Cluster::set_uplink`] into the channels; nothing is dispatched
+//!   inline. Per-link FIFO holds; cross-link order is whatever the
+//!   hardware does — exactly the loosely-coupled model of the paper.
+//!
+//! Concurrency model, stated honestly: protocol state (engine, collector
+//! state, heaps) lives under **one protocol mutex** — this is a
+//! coarse-lock runtime, v1. What runs concurrently is everything else:
+//! message transfer, mutator think-time, the blocking part of acquires,
+//! and the per-thread metric/trace planes. The conformance suite
+//! (`tests/parallel_conformance.rs`) proves this runtime and the
+//! deterministic simulator reach equivalent quiesced protocol state on
+//! the same seeded workloads; DESIGN.md §11 describes the methodology
+//! and the locking roadmap.
+//!
+//! Shutdown has two modes with deterministic per-class fate
+//! ([`Shutdown`]): **Drain** applies every in-flight envelope before
+//! stopping; **Drop** applies the classes the design requires reliable
+//! (DSM) and discards loss-tolerant collector traffic *whole* — an
+//! envelope is never half-applied, because application happens under the
+//! protocol lock after the envelope was popped intact.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result};
+use bmx_metrics::{self as metrics, Ctr, Hst, Registry};
+use bmx_net::{ChannelTransport, MsgClass, NetworkConfig, Transport};
+use parking_lot::Mutex;
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::driver::LinkDriver;
+use crate::msg::ClusterMsg;
+use crate::mutator::ObjSpec;
+
+const PHASE_RUN: u8 = 0;
+const PHASE_DRAIN: u8 = 1;
+const PHASE_DROP: u8 = 2;
+
+/// What happens to in-flight messages at shutdown.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Shutdown {
+    /// Every in-flight envelope is applied before drivers stop.
+    Drain,
+    /// Reliability-requiring classes (DSM) are applied; loss-tolerant
+    /// collector traffic is discarded whole. Mirrors what a real lossy
+    /// network is allowed to do to those classes at any time.
+    Drop,
+}
+
+/// Transport accounting for a completed parallel run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShutdownReport {
+    /// Envelopes accepted by the transport over the run's lifetime.
+    pub sent: u64,
+    /// Envelopes fully applied under the protocol lock.
+    pub delivered: u64,
+    /// Envelopes discarded whole (drop policy or post-join leftovers).
+    pub dropped: u64,
+    /// Discards per class, [`MsgClass::ALL`] order. A sound run never
+    /// discards index 0 (DSM) via the drop *policy*; leftovers after a
+    /// driver failure are the only path that can.
+    pub dropped_by_class: [u64; 4],
+}
+
+struct Shared {
+    /// The protocol core. `None` after shutdown took the cluster out.
+    core: Mutex<Option<Cluster>>,
+    transport: Arc<ChannelTransport<ClusterMsg>>,
+    phase: AtomicU8,
+    /// Envelopes fully applied by driver threads.
+    delivered: AtomicU64,
+    /// Mutator operations completed through node handles.
+    ops: AtomicU64,
+    /// First failure (driver error or caught panic); sticky.
+    fail: Mutex<Option<String>>,
+    /// Registry captured at spawn, installed on driver threads and
+    /// offered to mutator threads via [`NodeHandle::bind_metrics`].
+    registry: Option<Arc<Registry>>,
+    /// Cap on how long a blocking acquire spins before giving up.
+    acquire_timeout: Duration,
+}
+
+impl Shared {
+    fn fail_with(&self, note: String) {
+        let mut f = self.fail.lock();
+        if f.is_none() {
+            *f = Some(note);
+        }
+    }
+
+    fn check(&self) -> Result<()> {
+        if let Some(note) = self.fail.lock().clone() {
+            return Err(BmxError::Protocol(format!(
+                "parallel runtime failed: {note}"
+            )));
+        }
+        if self.phase.load(Ordering::Acquire) != PHASE_RUN {
+            return Err(BmxError::Protocol("parallel runtime shutting down".into()));
+        }
+        Ok(())
+    }
+}
+
+fn panic_note(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// The parallel runtime: a cluster whose nodes run on real OS threads.
+pub struct ParallelCluster {
+    shared: Arc<Shared>,
+    drivers: Vec<JoinHandle<()>>,
+    nodes: u32,
+}
+
+impl ParallelCluster {
+    /// Builds the cluster and spawns one driver thread per node.
+    ///
+    /// The config's network is replaced by a lossless latency-1 staging
+    /// network (the channel transport carries the traffic; fault plans
+    /// and the retry daemon are features of the deterministic mode) and
+    /// the retry daemon is disabled.
+    pub fn spawn(mut cfg: ClusterConfig) -> ParallelCluster {
+        let nodes = cfg.nodes;
+        cfg.net = NetworkConfig::lossless(1);
+        cfg.retry = None;
+        let transport = Arc::new(ChannelTransport::<ClusterMsg>::new(nodes as usize));
+        let mut cluster = Cluster::new(cfg);
+        let uplink_t = Arc::clone(&transport);
+        cluster.set_uplink(Arc::new(move |env| uplink_t.send_env(env)));
+
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Some(cluster)),
+            transport: Arc::clone(&transport),
+            phase: AtomicU8::new(PHASE_RUN),
+            delivered: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            fail: Mutex::new(None),
+            registry: metrics::registry(),
+            acquire_timeout: Duration::from_secs(10),
+        });
+
+        let mut drivers = Vec::with_capacity(nodes as usize);
+        for i in 0..nodes {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("bmx-driver-{i}"))
+                .spawn(move || drive(NodeId(i), shared))
+                .expect("spawn driver thread");
+            drivers.push(handle);
+        }
+        ParallelCluster {
+            shared,
+            drivers,
+            nodes,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// A mutator handle bound to `node`. Cloneable and `Send`; any number
+    /// of application threads may hold handles to any node.
+    pub fn handle(&self, node: NodeId) -> NodeHandle {
+        assert!(node.0 < self.nodes, "no such node {node:?}");
+        NodeHandle {
+            node,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Mutator operations completed so far across all handles.
+    pub fn ops(&self) -> u64 {
+        self.shared.ops.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes currently in flight (sent, not yet fully applied).
+    pub fn in_flight(&self) -> u64 {
+        self.shared.transport.in_flight()
+    }
+
+    /// Blocks until no message is in flight *and* no mutator operation is
+    /// mid-protocol, or `timeout` elapses. Returns whether quiescence was
+    /// reached. Callers must have stopped issuing new operations first —
+    /// quiescence under active mutators is momentary by nature.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shared.transport.in_flight() == 0 {
+                // Taking the protocol lock serializes against any op that
+                // was mid-flight when we looked; re-check afterwards.
+                let _core = self.shared.core.lock();
+                if self.shared.transport.in_flight() == 0 {
+                    return true;
+                }
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Stops the drivers under `mode`, joins them, and returns the final
+    /// cluster (uplink detached — it dispatches inline again, so tests
+    /// can keep using it deterministically) plus the transport report.
+    ///
+    /// Errors if any driver or handle operation failed or panicked during
+    /// the run; the failure note is carried in the error.
+    pub fn shutdown(mut self, mode: Shutdown) -> Result<(Cluster, ShutdownReport)> {
+        let phase = match mode {
+            Shutdown::Drain => PHASE_DRAIN,
+            Shutdown::Drop => PHASE_DROP,
+        };
+        self.shared.phase.store(phase, Ordering::Release);
+        for d in self.drivers.drain(..) {
+            let _ = d.join();
+        }
+        // A failed driver may have left its inboxes non-empty; discard the
+        // leftovers whole so accounting conserves.
+        for i in 0..self.nodes {
+            while let Some(env) = self.shared.transport.try_recv(NodeId(i)) {
+                self.shared.transport.note_dropped(env.class);
+                self.shared.transport.ack_delivered();
+            }
+        }
+        let mut dropped_by_class = [0u64; 4];
+        for (slot, class) in dropped_by_class.iter_mut().zip(MsgClass::ALL) {
+            *slot = self.shared.transport.dropped(class);
+        }
+        let report = ShutdownReport {
+            sent: self.shared.transport.sent_total(),
+            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            dropped: self.shared.transport.dropped_total(),
+            dropped_by_class,
+        };
+        let fail = self.shared.fail.lock().clone();
+        let mut cluster = self
+            .shared
+            .core
+            .lock()
+            .take()
+            .expect("cluster present until shutdown");
+        cluster.clear_uplink();
+        if let Some(note) = fail {
+            return Err(BmxError::Protocol(format!(
+                "parallel runtime failed: {note}"
+            )));
+        }
+        Ok((cluster, report))
+    }
+}
+
+/// The per-node driver thread body.
+fn drive(node: NodeId, shared: Arc<Shared>) {
+    if let Some(reg) = &shared.registry {
+        metrics::install_registry(Arc::clone(reg));
+    }
+    let driver = LinkDriver::new(node, Arc::clone(&shared.transport));
+    let mut idle_rounds: u32 = 0;
+    loop {
+        let phase = shared.phase.load(Ordering::Acquire);
+        match driver.next_pending() {
+            Some(env) => {
+                idle_rounds = 0;
+                if phase == PHASE_DROP && !env.class.requires_reliability() {
+                    shared.transport.note_dropped(env.class);
+                    driver.ack();
+                    continue;
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut core = shared.core.lock();
+                    match core.as_mut() {
+                        Some(c) => c.deliver(env),
+                        None => Ok(()),
+                    }
+                }));
+                driver.ack();
+                match outcome {
+                    Ok(Ok(())) => {
+                        shared.delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(Err(e)) => shared.fail_with(format!("driver {node:?}: {e}")),
+                    Err(p) => {
+                        shared.fail_with(format!("driver {node:?} panicked: {}", panic_note(p)))
+                    }
+                }
+            }
+            None => {
+                if phase != PHASE_RUN
+                    && (shared.transport.in_flight() == 0 || shared.fail.lock().is_some())
+                {
+                    break;
+                }
+                // Idle backoff: spin briefly, then sleep — keeps grant
+                // latency low without burning a core per idle node.
+                idle_rounds = idle_rounds.saturating_add(1);
+                if idle_rounds < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}
+
+/// A mutator's door into one node of a running [`ParallelCluster`].
+///
+/// Operations take the protocol lock for their own duration only; an
+/// acquire that must wait for a remote grant releases the lock between
+/// polls so driver threads can deliver it.
+#[derive(Clone)]
+pub struct NodeHandle {
+    node: NodeId,
+    shared: Arc<Shared>,
+}
+
+impl NodeHandle {
+    /// The node this handle addresses.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Installs the runtime's metrics registry on the calling thread, so
+    /// this mutator thread's observations land in the shared registry.
+    pub fn bind_metrics(&self) {
+        if let Some(reg) = &self.shared.registry {
+            metrics::install_registry(Arc::clone(reg));
+        }
+    }
+
+    /// Runs `f` on the protocol core under the lock. Panics inside `f`
+    /// are caught, poison the runtime logically (all later operations
+    /// fail with the note), and surface here as an `Err`.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Cluster) -> Result<R>) -> Result<R> {
+        let r = self.with_uncounted(f);
+        if r.is_ok() {
+            self.count_op();
+        }
+        r
+    }
+
+    /// One completed mutator operation, for [`ParallelCluster::ops`] and
+    /// the [`Ctr::ParallelOps`] counter. Acquire *polls* are not ops —
+    /// only the completed acquire is, so the count stays
+    /// schedule-independent.
+    fn count_op(&self) {
+        self.shared.ops.fetch_add(1, Ordering::Relaxed);
+        metrics::bump(self.node, Ctr::ParallelOps);
+    }
+
+    fn with_uncounted<R>(&self, f: impl FnOnce(&mut Cluster) -> Result<R>) -> Result<R> {
+        self.shared.check()?;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut core = self.shared.core.lock();
+            match core.as_mut() {
+                Some(c) => f(c),
+                None => Err(BmxError::Protocol("parallel runtime shut down".into())),
+            }
+        }));
+        match outcome {
+            Ok(r) => r,
+            Err(p) => {
+                let note = format!("handle op at {:?} panicked: {}", self.node, panic_note(p));
+                self.shared.fail_with(note.clone());
+                Err(BmxError::Protocol(note))
+            }
+        }
+    }
+
+    /// Creates a bunch with this node as creator.
+    pub fn create_bunch(&self) -> Result<BunchId> {
+        let n = self.node;
+        self.with(|c| c.create_bunch(n))
+    }
+
+    /// Maps `bunch` (created at `from`) onto this node.
+    pub fn map_bunch(&self, bunch: BunchId, from: NodeId) -> Result<()> {
+        let n = self.node;
+        self.with(|c| c.map_bunch(n, bunch, from))
+    }
+
+    /// Allocates an object in `bunch`.
+    pub fn alloc(&self, bunch: BunchId, spec: &ObjSpec) -> Result<Addr> {
+        let n = self.node;
+        self.with(|c| c.alloc(n, bunch, spec))
+    }
+
+    /// Registers a mutator root.
+    pub fn add_root(&self, addr: Addr) -> Result<u64> {
+        let n = self.node;
+        self.with(|c| Ok(c.add_root(n, addr)))
+    }
+
+    /// Reads a data field (inside a token bracket).
+    pub fn read_data(&self, obj: Addr, field: u64) -> Result<u64> {
+        let n = self.node;
+        self.with(|c| c.read_data(n, obj, field))
+    }
+
+    /// Writes a data field (inside a token bracket).
+    pub fn write_data(&self, obj: Addr, field: u64, value: u64) -> Result<()> {
+        let n = self.node;
+        self.with(|c| c.write_data(n, obj, field, value))
+    }
+
+    /// Reads a reference field.
+    pub fn read_ref(&self, obj: Addr, field: u64) -> Result<Addr> {
+        let n = self.node;
+        self.with(|c| c.read_ref(n, obj, field))
+    }
+
+    /// Writes a reference field (through the write barrier).
+    pub fn write_ref(&self, obj: Addr, field: u64, target: Addr) -> Result<()> {
+        let n = self.node;
+        self.with(|c| c.write_ref(n, obj, field, target))
+    }
+
+    /// OID of the object at `addr`.
+    pub fn oid_at(&self, addr: Addr) -> Result<Oid> {
+        let n = self.node;
+        self.with(|c| c.oid_at(n, addr))
+    }
+
+    /// Runs a bunch collection at this node.
+    pub fn run_bgc(&self, bunch: BunchId) -> Result<bmx_gc::CollectStats> {
+        let n = self.node;
+        self.with(|c| c.run_bgc(n, bunch))
+    }
+
+    /// Acquires a read token, blocking the calling thread (not the
+    /// cluster) until the grant arrives or the runtime's acquire timeout
+    /// elapses.
+    pub fn acquire_read(&self, obj: Addr) -> Result<()> {
+        self.acquire(obj, false)
+    }
+
+    /// Acquires the write token, blocking the calling thread only.
+    pub fn acquire_write(&self, obj: Addr) -> Result<()> {
+        self.acquire(obj, true)
+    }
+
+    /// Releases the token bracket.
+    pub fn release(&self, obj: Addr) -> Result<()> {
+        let n = self.node;
+        self.with(|c| c.release(n, obj))
+    }
+
+    fn acquire(&self, obj: Addr, write: bool) -> Result<()> {
+        let n = self.node;
+        let t0 = Instant::now();
+        let deadline = t0 + self.shared.acquire_timeout;
+        let mut spins: u32 = 0;
+        loop {
+            let entered = self.with_uncounted(|c| c.poll_acquire(n, obj, write))?;
+            if entered {
+                self.count_op();
+                let waited = t0.elapsed().as_micros() as u64;
+                let h = if write {
+                    Hst::AcquireWriteMicros
+                } else {
+                    Hst::AcquireReadMicros
+                };
+                metrics::observe(n, h, waited);
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                let oid = self.with_uncounted(|c| c.oid_at(n, obj))?;
+                return Err(BmxError::WouldBlock { oid });
+            }
+            spins = spins.saturating_add(1);
+            if spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+        }
+    }
+}
+
+// The parallel runtime is only sound if the protocol core can cross
+// threads; keep that property pinned at compile time.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Cluster>();
+    assert_send::<NodeHandle>();
+};

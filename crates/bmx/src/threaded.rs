@@ -9,10 +9,24 @@
 //! is exactly the cluster's, and the channel serializes the interleaving —
 //! so multi-threaded programs get an arbitrary (but valid) schedule, which
 //! is what the stress tests shake.
+//!
+//! For genuine hardware parallelism (per-node driver threads, real
+//! channel links) see [`crate::parallel`]; this actor remains the bridge
+//! for code that wants the deterministic cluster behind a `Send` handle.
+//!
+//! **Failure model**: a panic inside a submitted closure kills the cluster
+//! thread — the cluster state it owned must be presumed torn. The panic
+//! does *not* propagate as a hang: the actor records the panic message,
+//! and every pending and future [`ClusterHandle::with`] call returns
+//! `Err(BmxError::Protocol(..))` carrying it.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use bmx_common::{BmxError, Result};
 use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
 
 use crate::cluster::{Cluster, ClusterConfig};
 
@@ -34,20 +48,45 @@ pub struct ClusterActor {
 #[derive(Clone)]
 pub struct ClusterHandle {
     tx: Sender<Msg>,
+    /// Set once if the cluster thread dies to a panic; read by every
+    /// submitter whose reply channel comes back dead.
+    note: Arc<Mutex<Option<String>>>,
+}
+
+fn panic_note(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
 }
 
 impl ClusterActor {
-    /// Builds the cluster *inside* a dedicated thread (the cluster itself
-    /// is intentionally not `Send`) and returns the actor plus a handle.
+    /// Builds the cluster *inside* a dedicated thread and returns the
+    /// actor plus a handle.
     pub fn spawn(cfg: ClusterConfig) -> (ClusterActor, ClusterHandle) {
         let (tx, rx) = unbounded::<Msg>();
+        let note: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let thread_note = Arc::clone(&note);
         let thread = std::thread::Builder::new()
             .name("bmx-cluster".into())
             .spawn(move || {
                 let mut cluster = Cluster::new(cfg);
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        Msg::Job(job) => job(&mut cluster),
+                        Msg::Job(job) => {
+                            // A panicking job means the cluster state may
+                            // be mid-mutation: record why and stop serving.
+                            // Dropping `rx` disconnects every sender, and
+                            // dropping the in-flight job's reply sender
+                            // wakes its submitter with an error.
+                            if let Err(p) = catch_unwind(AssertUnwindSafe(|| job(&mut cluster))) {
+                                *thread_note.lock() = Some(panic_note(p));
+                                break;
+                            }
+                        }
                         Msg::Stop => break,
                     }
                 }
@@ -58,7 +97,7 @@ impl ClusterActor {
                 tx: tx.clone(),
                 thread: Some(thread),
             },
-            ClusterHandle { tx },
+            ClusterHandle { tx, note },
         )
     }
 
@@ -82,33 +121,45 @@ impl Drop for ClusterActor {
 }
 
 impl ClusterHandle {
+    /// The error every submitter sees once the cluster thread is gone.
+    fn dead_err(&self) -> BmxError {
+        match self.note.lock().clone() {
+            Some(why) => BmxError::Protocol(format!("cluster thread panicked: {why}")),
+            None => BmxError::Protocol("cluster thread stopped".into()),
+        }
+    }
+
     /// Runs `f` on the cluster thread and returns its result.
     ///
-    /// # Panics
-    ///
-    /// Panics if the cluster thread has stopped.
-    pub fn with<R, F>(&self, f: F) -> R
+    /// Errors (instead of hanging or panicking) if the cluster thread has
+    /// stopped — including when it dies to a panic *while running `f` or
+    /// any queued job ahead of it*; the panic message is carried in the
+    /// error.
+    pub fn with<R, F>(&self, f: F) -> Result<R>
     where
         R: Send + 'static,
         F: FnOnce(&mut Cluster) -> R + Send + 'static,
     {
         let (rtx, rrx) = bounded(1);
-        self.tx
+        if self
+            .tx
             .send(Msg::Job(Box::new(move |c: &mut Cluster| {
                 let _ = rtx.send(f(c));
             })))
-            .expect("cluster thread alive");
-        rrx.recv().expect("cluster thread replied")
+            .is_err()
+        {
+            return Err(self.dead_err());
+        }
+        rrx.recv().map_err(|_| self.dead_err())
     }
 
-    /// Fire-and-forget variant (no reply).
+    /// Fire-and-forget variant (no reply). Silently dropped if the
+    /// cluster thread has stopped.
     pub fn post<F>(&self, f: F)
     where
         F: FnOnce(&mut Cluster) + Send + 'static,
     {
-        self.tx
-            .send(Msg::Job(Box::new(f)))
-            .expect("cluster thread alive");
+        let _ = self.tx.send(Msg::Job(Box::new(f)));
     }
 }
 
@@ -122,13 +173,15 @@ mod tests {
     fn handle_round_trips_operations() {
         let (actor, h) = ClusterActor::spawn(ClusterConfig::with_nodes(1));
         let n0 = NodeId(0);
-        let (bunch, obj) = h.with(move |c| {
-            let b = c.create_bunch(n0).unwrap();
-            let o = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
-            c.write_data(n0, o, 0, 99).unwrap();
-            (b, o)
-        });
-        let v = h.with(move |c| c.read_data(n0, obj, 0).unwrap());
+        let (bunch, obj) = h
+            .with(move |c| {
+                let b = c.create_bunch(n0).unwrap();
+                let o = c.alloc(n0, b, &ObjSpec::data(1)).unwrap();
+                c.write_data(n0, o, 0, 99).unwrap();
+                (b, o)
+            })
+            .unwrap();
+        let v = h.with(move |c| c.read_data(n0, obj, 0).unwrap()).unwrap();
         assert_eq!(v, 99);
         let _ = bunch;
         actor.shutdown();
@@ -139,12 +192,56 @@ mod tests {
         let (actor, h) = ClusterActor::spawn(ClusterConfig::with_nodes(1));
         let h2 = h.clone();
         let n0 = NodeId(0);
-        let obj = h.with(move |c| {
-            let b = c.create_bunch(n0).unwrap();
-            c.alloc(n0, b, &ObjSpec::data(1)).unwrap()
-        });
-        h2.with(move |c| c.write_data(n0, obj, 0, 7).unwrap());
-        assert_eq!(h.with(move |c| c.read_data(n0, obj, 0).unwrap()), 7);
+        let obj = h
+            .with(move |c| {
+                let b = c.create_bunch(n0).unwrap();
+                c.alloc(n0, b, &ObjSpec::data(1)).unwrap()
+            })
+            .unwrap();
+        h2.with(move |c| c.write_data(n0, obj, 0, 7).unwrap())
+            .unwrap();
+        assert_eq!(
+            h.with(move |c| c.read_data(n0, obj, 0).unwrap()).unwrap(),
+            7
+        );
+        actor.shutdown();
+    }
+
+    /// The satellite regression: a panicking job must not hang or panic
+    /// other submitters — pending and future `with` calls all get an `Err`
+    /// carrying the panic message.
+    #[test]
+    fn cluster_thread_panic_surfaces_as_err() {
+        let (actor, h) = ClusterActor::spawn(ClusterConfig::with_nodes(1));
+
+        // A submitter already blocked on a reply when the panic happens.
+        let pending = {
+            let h = h.clone();
+            std::thread::spawn(move || {
+                h.with(|_c| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                })
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // This job panics on the cluster thread (while `pending`'s result
+        // may still be queued behind it on other interleavings — both
+        // orders must end in Err/Ok, never a hang).
+        let r = h.with(|_c| -> () { panic!("deliberate test panic") });
+        assert!(
+            matches!(&r, Err(BmxError::Protocol(m)) if m.contains("deliberate test panic")),
+            "panicking submitter got {r:?}"
+        );
+        let _ = pending.join().expect("pending submitter thread");
+
+        // Future submitters see the same error, not a hang or a panic.
+        let later = h.with(|c| c.nodes());
+        assert!(
+            matches!(&later, Err(BmxError::Protocol(m)) if m.contains("deliberate test panic")),
+            "future submitter got {later:?}"
+        );
+        // post() after death is a silent no-op, not a panic.
+        h.post(|_c| {});
         actor.shutdown();
     }
 }

@@ -146,8 +146,6 @@ mod tests {
     use bmx_addr::server::Protection;
     use bmx_addr::SegmentServer;
     use bmx_common::Oid;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     struct Fix {
         gc: GcState,
@@ -163,7 +161,7 @@ mod tests {
     /// Two bunches, both mapped at node 0; B2 also exists at node 1 (its
     /// creator). O1, O2 in B1; O3 in B2.
     fn fixture(map_b2_locally: bool) -> Fix {
-        let server = Rc::new(RefCell::new(SegmentServer::new(128)));
+        let server = crate::state::SharedServer::new(SegmentServer::new(128));
         let b1 = server
             .borrow_mut()
             .create_bunch(NodeId(0), Protection::default());

@@ -208,11 +208,9 @@ mod tests {
     use bmx_addr::server::Protection;
     use bmx_addr::SegmentServer;
     use bmx_common::{Addr, BunchId, Epoch, Oid};
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     fn gc_with(n: usize) -> GcState {
-        let server = Rc::new(RefCell::new(SegmentServer::new(64)));
+        let server = crate::state::SharedServer::new(SegmentServer::new(64));
         server
             .borrow_mut()
             .create_bunch(NodeId(0), Protection::default());

@@ -294,11 +294,9 @@ mod tests {
     use bmx_addr::server::Protection;
     use bmx_addr::SegmentServer;
     use bmx_common::BunchId;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     fn setup() -> (GcState, Vec<NodeMemory>, BunchId, bmx_addr::SegmentInfo) {
-        let server = Rc::new(RefCell::new(SegmentServer::new(64)));
+        let server = crate::state::SharedServer::new(SegmentServer::new(64));
         let bunch = server
             .borrow_mut()
             .create_bunch(NodeId(0), Protection::default());

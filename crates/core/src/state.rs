@@ -1,23 +1,46 @@
 //! Collector state containers.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bmx_addr::SegmentServer;
 use bmx_common::{Addr, BunchId, Epoch, NodeId, Oid, SegmentId};
 use bmx_dsm::Relocation;
 use bmx_net::PiggybackBuffer;
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::directory::Directory;
 use crate::ssp::{ScionTable, StubTable};
 
 /// The segment server shared by the simulated cluster (the BMX-server role).
 ///
-/// The cluster is single-threaded and deterministic, so `Rc<RefCell<_>>`
-/// models the "a BMX-server runs on every node" service cheaply; the
-/// threaded driver wraps the cluster as a whole instead.
-pub type SharedServer = Rc<RefCell<SegmentServer>>;
+/// Historically `Rc<RefCell<SegmentServer>>` — cheap for the deterministic
+/// single-threaded simulation. The parallel runtime (`bmx::parallel`) runs
+/// protocol code from per-node OS threads, so the handle is now an
+/// `Arc<Mutex<_>>` (non-poisoning `parking_lot` mutex, uncontended in sim
+/// mode). The `borrow`/`borrow_mut` method names are kept so the ~40
+/// protocol call sites read unchanged.
+#[derive(Clone)]
+pub struct SharedServer(Arc<Mutex<SegmentServer>>);
+
+impl SharedServer {
+    /// Wraps a server for sharing across nodes (and, in parallel mode,
+    /// across threads).
+    pub fn new(server: SegmentServer) -> Self {
+        SharedServer(Arc::new(Mutex::new(server)))
+    }
+
+    /// Locks the server for shared reading (same guard as `borrow_mut`;
+    /// the name preserves the old `RefCell` call sites).
+    pub fn borrow(&self) -> MutexGuard<'_, SegmentServer> {
+        self.0.lock()
+    }
+
+    /// Locks the server for mutation.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, SegmentServer> {
+        self.0.lock()
+    }
+}
 
 /// How relocation records propagate to other nodes — the knob of
 /// experiment E3.
@@ -282,7 +305,7 @@ mod tests {
     use bmx_addr::server::Protection;
 
     fn shared_server() -> SharedServer {
-        Rc::new(RefCell::new(SegmentServer::new(64)))
+        SharedServer::new(SegmentServer::new(64))
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub enum Ctr {
     /// Times the from-space retention gauge decreased (a drain the leak
     /// watchdog credits).
     FromSpaceDrains,
+    /// Mutator operations completed through a parallel-runtime node
+    /// handle (the numerator of E13's sustained ops/sec).
+    ParallelOps,
 }
 
 /// Per-node gauges (set to the current value; may go down).
@@ -91,6 +94,13 @@ pub enum Hst {
     /// Constituent protocol messages coalesced into one DSM envelope.
     /// Values above 1 are rounds the envelope batching actually compressed.
     EnvelopeMsgs,
+    /// Wall-clock microseconds a parallel-mode read acquire blocked,
+    /// request start to critical-section entry (ticks don't advance
+    /// meaningfully under the parallel runtime, so these histograms are
+    /// the real-time siblings of the `*Ticks` pair).
+    AcquireReadMicros,
+    /// Wall-clock microseconds a parallel-mode write acquire blocked.
+    AcquireWriteMicros,
 }
 
 /// Per-(src, dst) link counters.
@@ -110,7 +120,7 @@ pub enum LinkCtr {
 }
 
 impl Ctr {
-    pub(crate) const COUNT: usize = 11;
+    pub(crate) const COUNT: usize = 12;
     /// All counters, in index order.
     pub const ALL: [Ctr; Self::COUNT] = [
         Ctr::FaultActivations,
@@ -124,6 +134,7 @@ impl Ctr {
         Ctr::RecoveryReplayMicros,
         Ctr::RecoveryTotalMicros,
         Ctr::FromSpaceDrains,
+        Ctr::ParallelOps,
     ];
 }
 
@@ -140,7 +151,7 @@ impl Gge {
 }
 
 impl Hst {
-    pub(crate) const COUNT: usize = 8;
+    pub(crate) const COUNT: usize = 10;
     /// All histograms, in index order.
     pub const ALL: [Hst; Self::COUNT] = [
         Hst::AcquireReadTicks,
@@ -151,6 +162,8 @@ impl Hst {
         Hst::ForwardingChainLen,
         Hst::ReportRetireLagTicks,
         Hst::EnvelopeMsgs,
+        Hst::AcquireReadMicros,
+        Hst::AcquireWriteMicros,
     ];
 }
 

@@ -46,9 +46,11 @@
 pub mod fault;
 pub mod network;
 pub mod piggyback;
+pub mod transport;
 
 pub use fault::{
     CrashEvent, FaultConfigError, FaultEvent, FaultPlan, FaultStats, LinkFault, Partition,
 };
 pub use network::{ClassStats, Envelope, MsgClass, Network, NetworkConfig, WireSize};
 pub use piggyback::PiggybackBuffer;
+pub use transport::{ChannelTransport, Transport};

@@ -64,6 +64,73 @@ thread_local! {
     static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
 }
 
+// Process-global recorder, used only when the current thread has no
+// thread-local recorder installed. The parallel runtime (`bmx::parallel`)
+// emits protocol events from per-node driver threads and any number of
+// mutator threads; a shared recorder is the only way those emissions merge
+// into one causally-ordered stream. All protocol emissions there happen
+// under the cluster's protocol lock, so the mutex below is essentially
+// uncontended. The deterministic simulation never installs it, keeping
+// the single-threaded hot path free of atomics beyond one relaxed load.
+static GLOBAL_ON: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static GLOBAL: std::sync::Mutex<Option<Recorder>> = std::sync::Mutex::new(None);
+
+/// Runs `f` against the active recorder: the thread-local one if present,
+/// else the process-global one, else returns `R::default()`.
+fn with_recorder<R: Default>(f: impl FnOnce(&mut Recorder) -> R) -> R {
+    let mut f = Some(f);
+    let local = RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        r.as_mut().map(|rec| (f.take().expect("unused"))(rec))
+    });
+    if let Some(out) = local {
+        return out;
+    }
+    if GLOBAL_ON.load(std::sync::atomic::Ordering::Acquire) {
+        let mut g = GLOBAL.lock().expect("trace global recorder");
+        if let Some(rec) = g.as_mut() {
+            if let Some(f) = f.take() {
+                return f(rec);
+            }
+        }
+    }
+    R::default()
+}
+
+/// Install `sink` as the process-global trace destination, shared by all
+/// threads that have no thread-local recorder of their own. Used by the
+/// parallel runtime; the deterministic simulation uses [`install`].
+pub fn install_global(sink: Box<dyn TraceSink>) {
+    let mut g = GLOBAL.lock().expect("trace global recorder");
+    *g = Some(Recorder {
+        clocks: Vec::new(),
+        now: 0,
+        seq: 0,
+        sink,
+    });
+    GLOBAL_ON.store(true, std::sync::atomic::Ordering::Release);
+}
+
+/// Convenience: a process-global unbounded capture buffer.
+pub fn install_global_vec() {
+    install_global(Box::new(VecSink::new()));
+}
+
+/// Disable and drop the process-global recorder.
+pub fn disable_global() {
+    GLOBAL_ON.store(false, std::sync::atomic::Ordering::Release);
+    *GLOBAL.lock().expect("trace global recorder") = None;
+}
+
+/// Drain the process-global sink (oldest first), leaving it installed.
+pub fn take_global() -> Vec<TraceRecord> {
+    let mut g = GLOBAL.lock().expect("trace global recorder");
+    match g.as_mut() {
+        Some(rec) => rec.sink.drain(),
+        None => Vec::new(),
+    }
+}
+
 impl Recorder {
     fn clock(&mut self, node: NodeId) -> &mut u64 {
         let idx = node.0 as usize;
@@ -79,7 +146,7 @@ impl Recorder {
 /// event field) should guard on this.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.with(|e| e.get())
+    ENABLED.with(|e| e.get()) || GLOBAL_ON.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Install `sink` as this thread's trace destination and enable tracing.
@@ -120,10 +187,8 @@ pub fn set_now(tick: u64) {
     if !enabled() {
         return;
     }
-    RECORDER.with(|r| {
-        if let Some(rec) = r.borrow_mut().as_mut() {
-            rec.now = tick;
-        }
+    with_recorder(|rec| {
+        rec.now = tick;
     });
 }
 
@@ -141,9 +206,7 @@ pub fn emit(node: NodeId, event: TraceEvent) -> u64 {
 
 #[cold]
 fn emit_slow(node: NodeId, event: TraceEvent) -> u64 {
-    RECORDER.with(|r| {
-        let mut r = r.borrow_mut();
-        let Some(rec) = r.as_mut() else { return 0 };
+    with_recorder(|rec| {
         let clk = rec.clock(node);
         *clk += 1;
         let lamport = *clk;
@@ -169,10 +232,7 @@ pub fn clock(node: NodeId) -> u64 {
     if !enabled() {
         return 0;
     }
-    RECORDER.with(|r| match r.borrow_mut().as_mut() {
-        Some(rec) => *rec.clock(node),
-        None => 0,
-    })
+    with_recorder(|rec| *rec.clock(node))
 }
 
 /// Merge a remote Lamport stamp into `node`'s clock (message delivery):
@@ -183,11 +243,9 @@ pub fn observe(node: NodeId, remote_lamport: u64) {
     if !enabled() || remote_lamport == 0 {
         return;
     }
-    RECORDER.with(|r| {
-        if let Some(rec) = r.borrow_mut().as_mut() {
-            let clk = rec.clock(node);
-            *clk = (*clk).max(remote_lamport);
-        }
+    with_recorder(|rec| {
+        let clk = rec.clock(node);
+        *clk = (*clk).max(remote_lamport);
     });
 }
 

@@ -9,7 +9,7 @@
 use crate::event::TraceRecord;
 
 /// A destination for trace records.
-pub trait TraceSink {
+pub trait TraceSink: Send {
     /// Accept one record.
     fn record(&mut self, rec: TraceRecord);
     /// Copy out everything currently retained, oldest first.

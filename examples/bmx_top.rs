@@ -11,6 +11,13 @@
 //! Run with: `cargo run --example bmx_top [frames]`
 //! (default 12 frames; set `BMX_TOP_FAST=1` to skip the inter-frame sleep,
 //! which CI does).
+//!
+//! Pass `--parallel` (or set `BMX_TOP_PARALLEL=1`) to watch the *real
+//! parallelism* runtime instead: a [`ParallelCluster`] with one driver
+//! thread per node and racing mutator threads, live ops/sec from
+//! [`Ctr::ParallelOps`], and the wall-clock acquire-latency histograms
+//! ([`Hst::AcquireReadMicros`]/[`Hst::AcquireWriteMicros`]) the E13
+//! benchmark reports — same registry, different execution mode.
 
 use bmx_repro::metrics::{self, Ctr, Gge, Hst, LinkCtr, Registry};
 use bmx_repro::prelude::*;
@@ -96,12 +103,124 @@ fn frame(c: &Cluster, reg: &Registry, round: u64) -> String {
     out
 }
 
+/// The `--parallel` dashboard: real threads, wall-clock histograms.
+fn run_parallel(frames: u64, fast: bool) -> Result<()> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let reg = metrics::install();
+    let pc = bmx::ParallelCluster::spawn(ClusterConfig::with_nodes(NODES));
+    let h0 = pc.handle(NodeId(0));
+    let bunch = h0.create_bunch()?;
+    let objs: Vec<Addr> = (0..4)
+        .map(|_| {
+            let o = h0.alloc(bunch, &ObjSpec::with_refs(2, &[0]))?;
+            h0.add_root(o)?;
+            Ok(o)
+        })
+        .collect::<Result<_>>()?;
+    for i in 1..NODES {
+        let h = pc.handle(NodeId(i));
+        h.map_bunch(bunch, NodeId(0))?;
+        for &o in &objs {
+            h.add_root(o)?;
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mutators: Vec<_> = (0..NODES)
+        .map(|i| {
+            let h = pc.handle(NodeId(i));
+            let objs = objs.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                h.bind_metrics();
+                let mut k = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let o = objs[k % objs.len()];
+                    k += 1;
+                    let step = || -> Result<()> {
+                        if k.is_multiple_of(3) {
+                            h.acquire_read(o)?;
+                            let _ = h.read_data(o, 1)?;
+                        } else {
+                            h.acquire_write(o)?;
+                            let v = h.read_data(o, 1)?;
+                            h.write_data(o, 1, v + 1)?;
+                        }
+                        h.release(o)
+                    };
+                    if step().is_err() {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut last_ops = 0u64;
+    let mut last_t = Instant::now();
+    for f in 0..frames {
+        if !fast {
+            std::thread::sleep(Duration::from_millis(250));
+        } else {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let ops = pc.ops();
+        let dt = last_t.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        let rate = ((ops - last_ops) as f64 / dt) as u64;
+        last_ops = ops;
+        last_t = Instant::now();
+
+        let mut out = format!(
+            "bmx-top (parallel) — frame {:>3}  ops {:>9}  ops/sec {:>9}  in-flight {}\n\n",
+            f,
+            ops,
+            rate,
+            pc.in_flight(),
+        );
+        out.push_str(
+            "node  parallel_ops  acq_rd_p50(us)  acq_rd_p99(us)  acq_wr_p50(us)  acq_wr_p99(us)\n",
+        );
+        for i in 0..NODES {
+            let scope = reg.node(i);
+            out.push_str(&format!(
+                "{:>4}  {:>12}  {:>14}  {:>14}  {:>14}  {:>14}\n",
+                i,
+                scope.ctr(Ctr::ParallelOps),
+                quantile(&reg, i, Hst::AcquireReadMicros, 0.5),
+                quantile(&reg, i, Hst::AcquireReadMicros, 0.99),
+                quantile(&reg, i, Hst::AcquireWriteMicros, 0.5),
+                quantile(&reg, i, Hst::AcquireWriteMicros, 0.99),
+            ));
+        }
+        print!("\x1b[2J\x1b[H{out}");
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for m in mutators {
+        let _ = m.join();
+    }
+    assert!(pc.quiesce(Duration::from_secs(10)), "failed to quiesce");
+    let (cluster, report) = pc.shutdown(Shutdown::Drain)?;
+    cluster.assert_gc_acquired_no_tokens();
+    println!(
+        "\nshutdown: sent {} delivered {} dropped {}",
+        report.sent, report.delivered, report.dropped
+    );
+    Ok(())
+}
+
 fn main() -> Result<()> {
-    let frames: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parallel = args.iter().any(|a| a == "--parallel")
+        || std::env::var("BMX_TOP_PARALLEL").is_ok_and(|v| v == "1");
+    let frames: u64 = args.iter().find_map(|s| s.parse().ok()).unwrap_or(12);
     let fast = std::env::var("BMX_TOP_FAST").is_ok_and(|v| v == "1");
+    if parallel {
+        return run_parallel(frames, fast);
+    }
 
     let reg = metrics::install();
     trace::install_ring(4096);

@@ -36,7 +36,10 @@ pub use bmx_workloads as workloads;
 
 /// A convenient prelude for examples and tests.
 pub mod prelude {
-    pub use bmx::{Cluster, ClusterConfig, ObjSpec, PersistConfig, RecoveryOutcome, RetryPolicy};
+    pub use bmx::{
+        Cluster, ClusterConfig, NodeHandle, ObjSpec, ParallelCluster, PersistConfig,
+        RecoveryOutcome, RetryPolicy, Shutdown, ShutdownReport,
+    };
     pub use bmx_addr::Protection;
     pub use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result, StatKind};
     pub use bmx_dsm::Token;

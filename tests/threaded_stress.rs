@@ -29,16 +29,18 @@ fn concurrent_increments_with_collections() {
 
     let (actor, handle) = ClusterActor::spawn(ClusterConfig::with_nodes(WORKERS));
     let n0 = n(0);
-    let (bunch, counter) = handle.with(move |c| {
-        let b = c.create_bunch(n0).unwrap();
-        let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
-        c.add_root(n0, o);
-        for i in 1..WORKERS {
-            c.map_bunch(n(i), b, n0).unwrap();
-            c.add_root(n(i), o);
-        }
-        (b, o)
-    });
+    let (bunch, counter) = handle
+        .with(move |c| {
+            let b = c.create_bunch(n0).unwrap();
+            let o = c.alloc(n0, b, &ObjSpec::with_refs(2, &[0])).unwrap();
+            c.add_root(n0, o);
+            for i in 1..WORKERS {
+                c.map_bunch(n(i), b, n0).unwrap();
+                c.add_root(n(i), o);
+            }
+            (b, o)
+        })
+        .expect("setup");
 
     let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let mut threads = Vec::new();
@@ -48,12 +50,14 @@ fn concurrent_increments_with_collections() {
         threads.push(std::thread::spawn(move || {
             let node = n(w);
             for i in 0..INCS_PER_WORKER {
-                let res: Result<()> = h.with(move |c| {
-                    c.acquire_write(node, counter)?;
-                    let v = c.read_data(node, counter, 1)?;
-                    c.write_data(node, counter, 1, v + 1)?;
-                    c.release(node, counter)
-                });
+                let res: Result<()> = h
+                    .with(move |c| {
+                        c.acquire_write(node, counter)?;
+                        let v = c.read_data(node, counter, 1)?;
+                        c.write_data(node, counter, 1, v + 1)?;
+                        c.release(node, counter)
+                    })
+                    .and_then(|r| r);
                 if let Err(e) = res {
                     failures.lock().push(format!("worker {w} inc {i}: {e}"));
                     return;
@@ -68,7 +72,7 @@ fn concurrent_increments_with_collections() {
         threads.push(std::thread::spawn(move || {
             for round in 0..12 {
                 let node = n(round % WORKERS);
-                let res: Result<_> = h.with(move |c| c.run_bgc(node, bunch));
+                let res: Result<_> = h.with(move |c| c.run_bgc(node, bunch)).and_then(|r| r);
                 if let Err(e) = res {
                     failures.lock().push(format!("gc round {round}: {e}"));
                     return;
@@ -86,13 +90,15 @@ fn concurrent_increments_with_collections() {
         failures.lock()
     );
 
-    let total = handle.with(move |c| {
-        c.acquire_read(n0, counter).unwrap();
-        let v = c.read_data(n0, counter, 1).unwrap();
-        c.release(n0, counter).unwrap();
-        c.assert_gc_acquired_no_tokens();
-        v
-    });
+    let total = handle
+        .with(move |c| {
+            c.acquire_read(n0, counter).unwrap();
+            let v = c.read_data(n0, counter, 1).unwrap();
+            c.release(n0, counter).unwrap();
+            c.assert_gc_acquired_no_tokens();
+            v
+        })
+        .expect("final read");
     assert_eq!(total, WORKERS as u64 * INCS_PER_WORKER);
     actor.shutdown();
 }
@@ -104,14 +110,16 @@ fn concurrent_increments_with_collections() {
 fn producer_consumer_through_the_actor() {
     let (actor, handle) = ClusterActor::spawn(ClusterConfig::with_nodes(2));
     let (prod, cons) = (n(0), n(1));
-    let (bunch, queue) = handle.with(move |c| {
-        let b = c.create_bunch(prod).unwrap();
-        let q = c.alloc(prod, b, &ObjSpec::with_refs(1, &[0])).unwrap();
-        c.add_root(prod, q);
-        c.map_bunch(cons, b, prod).unwrap();
-        c.add_root(cons, q);
-        (b, q)
-    });
+    let (bunch, queue) = handle
+        .with(move |c| {
+            let b = c.create_bunch(prod).unwrap();
+            let q = c.alloc(prod, b, &ObjSpec::with_refs(1, &[0])).unwrap();
+            c.add_root(prod, q);
+            c.map_bunch(cons, b, prod).unwrap();
+            c.add_root(cons, q);
+            (b, q)
+        })
+        .expect("setup");
 
     const ITEMS: u64 = 40;
     let producer = {
@@ -127,6 +135,7 @@ fn producer_consumer_through_the_actor() {
                     c.write_ref(prod, queue, 0, item)?;
                     c.release(prod, queue)
                 })
+                .and_then(|r| r)
                 .expect("produce");
             }
         })
@@ -154,6 +163,7 @@ fn producer_consumer_through_the_actor() {
                         c.release(cons, queue)?;
                         Ok(out)
                     })
+                    .and_then(|r| r)
                     .expect("consume");
                 match popped {
                     Some(v) => got.push(v),
@@ -165,7 +175,9 @@ fn producer_consumer_through_the_actor() {
                 }
                 // Periodic housekeeping on the consumer's replica.
                 if got.len() % 10 == 5 {
-                    h.with(move |c| c.run_bgc(cons, bunch)).expect("gc");
+                    h.with(move |c| c.run_bgc(cons, bunch))
+                        .and_then(|r| r)
+                        .expect("gc");
                 }
             }
             got
@@ -179,12 +191,139 @@ fn producer_consumer_through_the_actor() {
     sorted.sort_unstable();
     assert_eq!(sorted, (0..ITEMS).collect::<Vec<_>>());
 
-    handle.with(move |c| {
-        c.run_bgc(prod, bunch).unwrap();
-        c.run_bgc(cons, bunch).unwrap();
-        c.assert_gc_acquired_no_tokens();
-    });
+    handle
+        .with(move |c| {
+            c.run_bgc(prod, bunch).unwrap();
+            c.run_bgc(cons, bunch).unwrap();
+            c.assert_gc_acquired_no_tokens();
+        })
+        .expect("final gc");
     actor.shutdown();
+}
+
+/// Mixed-workload hammer on the real-parallelism runtime
+/// (`bmx::parallel`): one mutator thread per node drives its own
+/// [`NodeHandle`] — racing write-token increments on a shared counter,
+/// allocation churn plus collections in a node-private bunch — while a
+/// separate collector thread runs BGCs on the shared bunch from rotating
+/// nodes. Unlike the actor tests above, operations here genuinely overlap:
+/// an acquire blocked on a remote grant parks only its own thread while
+/// the per-node driver threads move the token traffic. The run is gated
+/// by the full audit set: exact counter total, transport conservation
+/// (drain leaves nothing dropped or in flight), zero premature
+/// reclamation of every root, structural audit clean, and the collector
+/// acquired no tokens.
+#[test]
+fn parallel_runtime_mixed_hammer() {
+    use std::time::Duration;
+
+    use bmx_repro::bmx::audit;
+
+    const NODES: u32 = 4;
+    const INCS_PER_NODE: u64 = 30;
+
+    let pc = ParallelCluster::spawn(ClusterConfig::with_nodes(NODES));
+    let h0 = pc.handle(n(0));
+    let shared_bunch = h0.create_bunch().expect("bunch");
+    let counter = h0
+        .alloc(shared_bunch, &ObjSpec::with_refs(2, &[0]))
+        .expect("counter");
+    h0.add_root(counter).expect("root");
+    for i in 1..NODES {
+        let h = pc.handle(n(i));
+        h.map_bunch(shared_bunch, n(0)).expect("map");
+        h.add_root(counter).expect("root");
+    }
+
+    let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    // Every root each thread pins, collected for the liveness audit.
+    let live: Arc<Mutex<Vec<(NodeId, Addr)>>> =
+        Arc::new(Mutex::new((0..NODES).map(|i| (n(i), counter)).collect()));
+
+    let mut threads = Vec::new();
+    for w in 0..NODES {
+        let h = pc.handle(n(w));
+        let failures = Arc::clone(&failures);
+        let live = Arc::clone(&live);
+        threads.push(std::thread::spawn(move || {
+            h.bind_metrics();
+            let work = || -> Result<()> {
+                // Node-private churn bunch: every allocation that is not
+                // `keep` becomes garbage the interleaved BGCs reclaim.
+                let mine = h.create_bunch()?;
+                let keep = h.alloc(mine, &ObjSpec::with_refs(2, &[0]))?;
+                h.add_root(keep)?;
+                live.lock().push((h.node(), keep));
+                for i in 0..INCS_PER_NODE {
+                    let g = h.alloc(mine, &ObjSpec::with_refs(2, &[0]))?;
+                    h.write_data(g, 1, i)?;
+                    h.acquire_write(counter)?;
+                    let v = h.read_data(counter, 1)?;
+                    h.write_data(counter, 1, v + 1)?;
+                    h.release(counter)?;
+                    if i % 8 == 3 {
+                        h.run_bgc(mine)?;
+                    }
+                }
+                h.run_bgc(mine)?;
+                Ok(())
+            };
+            if let Err(e) = work() {
+                failures.lock().push(format!("node {w}: {e}"));
+            }
+        }));
+    }
+    // A collector thread interleaves BGCs on the *shared* bunch from
+    // rotating nodes while the increments race.
+    {
+        let handles: Vec<_> = (0..NODES).map(|i| pc.handle(n(i))).collect();
+        let failures = Arc::clone(&failures);
+        threads.push(std::thread::spawn(move || {
+            for round in 0..12usize {
+                let h = &handles[round % NODES as usize];
+                if let Err(e) = h.run_bgc(shared_bunch) {
+                    failures
+                        .lock()
+                        .push(format!("shared gc round {round}: {e}"));
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("thread");
+    }
+    assert!(
+        failures.lock().is_empty(),
+        "failures: {:?}",
+        failures.lock()
+    );
+    assert!(
+        pc.ops() > u64::from(NODES) * INCS_PER_NODE,
+        "ops under-counted"
+    );
+
+    assert!(
+        pc.quiesce(Duration::from_secs(10)),
+        "cluster failed to quiesce"
+    );
+    let (mut cluster, report) = pc.shutdown(Shutdown::Drain).expect("drain shutdown");
+    assert_eq!(report.dropped, 0, "drain must not drop: {report:?}");
+    assert_eq!(
+        report.delivered, report.sent,
+        "drain must deliver everything: {report:?}"
+    );
+
+    // The full audit set on the final state (the returned cluster runs
+    // deterministically again, so plain ops work).
+    let n0 = n(0);
+    cluster.acquire_read(n0, counter).unwrap();
+    let total = cluster.read_data(n0, counter, 1).unwrap();
+    cluster.release(n0, counter).unwrap();
+    assert_eq!(total, u64::from(NODES) * INCS_PER_NODE);
+    cluster.assert_gc_acquired_no_tokens();
+    audit::assert_no_premature_reclamation(&cluster, &live.lock());
 }
 
 /// Eight threads hammer the sharded lock-free set: each owns a private key
