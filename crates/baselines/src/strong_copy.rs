@@ -59,6 +59,23 @@ pub fn strong_bgc(cluster: &mut Cluster, node: NodeId, bunch: BunchId) -> Result
         };
         if started == AcquireStart::Requested {
             cluster.pump()?;
+            // The collector wants the token, not a critical section: it
+            // never calls `lock()`, so release the grant-time reservation
+            // the arriving grant placed for the outstanding wait —
+            // otherwise the replica stays barred to remote requests.
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = cluster;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.cancel_wait(node, oid, &mut sh, &mut send)?;
         }
     }
     let inval_after: u64 = (0..cluster.nodes())

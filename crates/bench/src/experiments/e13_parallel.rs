@@ -46,8 +46,11 @@ const BLOCKING_US: u64 = 2;
 
 /// Shared objects under contention.
 pub const OBJECTS: usize = 4;
-/// Increments per mutator thread.
-pub const OPS_PER_NODE: u64 = 250;
+/// Increments per mutator thread. Sized so the measured window is tens
+/// of milliseconds even at 2 nodes: at 250 the whole run fit inside a
+/// single scheduler quantum and the wall-clock cells swung by 2x run to
+/// run, which no perf-gate tolerance can absorb.
+pub const OPS_PER_NODE: u64 = 4_000;
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -147,7 +150,7 @@ pub fn run(sizes: &[u32]) -> Vec<Row> {
 /// Renders the table.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        "E13: parallel runtime throughput (4 contended objects, 250 ops/node)",
+        "E13: parallel runtime throughput (4 contended objects, 4000 ops/node)",
         &[
             "nodes",
             "ops",

@@ -8,7 +8,36 @@ use bmx_addr::object;
 use bmx_addr::server::Protection;
 use bmx_addr::{NodeMemory, SegmentServer};
 use bmx_common::{Addr, BmxError, BunchId, Epoch, NodeId, NodeStats, Oid, Result, StatKind};
-use bmx_dsm::{DsmEngine, DsmPacket, DsmShared, Token};
+use bmx_dsm::{DsmEngine, DsmMsg, DsmPacket, DsmShared, Token};
+
+/// Equality over the deferrable token-request messages, used to dedupe the
+/// mid-recovery replay queue: sim-mode acquires re-send on every retry, and
+/// replaying each copy would double-queue the grant.
+fn same_request(a: &DsmMsg, b: &DsmMsg) -> bool {
+    match (a, b) {
+        (
+            DsmMsg::ReadReq {
+                oid: ao,
+                requester: ar,
+            },
+            DsmMsg::ReadReq {
+                oid: bo,
+                requester: br,
+            },
+        )
+        | (
+            DsmMsg::WriteReq {
+                oid: ao,
+                requester: ar,
+            },
+            DsmMsg::WriteReq {
+                oid: bo,
+                requester: br,
+            },
+        ) => ao == bo && ar == br,
+        _ => false,
+    }
+}
 use bmx_gc::{barrier, cleaner, collect, fromspace, CollectStats, GcMsg, GcState, RelocMode};
 use bmx_metrics::{self as metrics, Ctr, Gge, Hst, LinkCtr};
 use bmx_net::{Envelope, FaultEvent, MsgClass, Network, NetworkConfig};
@@ -43,6 +72,11 @@ pub struct ClusterConfig {
     /// round). `false` reverts to one envelope per protocol message — the
     /// pre-batching wire behaviour, kept for equivalence testing.
     pub coalesce_dsm: bool,
+    /// How long a parallel-runtime blocking acquire
+    /// ([`crate::NodeHandle::acquire_write`]) re-polls before giving up
+    /// with `WouldBlock`. Ignored by the deterministic simulation, whose
+    /// acquires pump the network to completion instead of waiting.
+    pub acquire_timeout: std::time::Duration,
 }
 
 /// Where (and how aggressively) the cluster persists through RVM.
@@ -77,6 +111,7 @@ impl Default for ClusterConfig {
             retry: Some(RetryPolicy::default()),
             persist: None,
             coalesce_dsm: true,
+            acquire_timeout: std::time::Duration::from_secs(10),
         }
     }
 }
@@ -88,6 +123,12 @@ impl ClusterConfig {
             nodes: n,
             ..Default::default()
         }
+    }
+
+    /// Sets the parallel runtime's blocking-acquire timeout.
+    pub fn with_acquire_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.acquire_timeout = timeout;
+        self
     }
 }
 
@@ -413,6 +454,25 @@ impl Cluster {
         self.recoveries[node.0 as usize].is_some()
     }
 
+    /// Crash-amnesia restart driven from *outside* the simulated fault
+    /// plane: wipes the node's volatile state and launches the recovery
+    /// pipeline, exactly as a [`bmx_net::FaultEvent`] crash/restart pair
+    /// would. The parallel runtime's supervisor calls this (under the
+    /// protocol lock) to revive a node whose driver crashed; staged
+    /// `Rejoin` requests are exported through the uplink immediately, so
+    /// surviving drivers can answer them.
+    pub fn restart_with_amnesia(&mut self, node: NodeId) -> Result<()> {
+        // A crash *during* recovery simply starts over: the wipe clears the
+        // partial recovery and the epoch bump makes stale replies inert.
+        self.amnesia_wipe(node);
+        if let Some(s) = self.stats.get_mut(node.0 as usize) {
+            s.bump(StatKind::NodeRestarts);
+        }
+        self.begin_recovery(node)?;
+        self.export_outbox();
+        Ok(())
+    }
+
     /// Launches the recovery pipeline of an amnesia-restarted node:
     /// stage 1 (RVM replay) synchronously, then stage 2 (the epoch-based
     /// rejoin handshake, [`crate::recovery`]) by broadcasting the
@@ -496,6 +556,7 @@ impl Cluster {
             orphans: BTreeMap::new(),
             epoch_floor: BTreeMap::new(),
             reports: Vec::new(),
+            deferred: Vec::new(),
         });
         Ok(())
     }
@@ -820,6 +881,11 @@ impl Cluster {
             orphans_adopted,
             reports_applied,
         });
+        // Serve the token requests that landed mid-recovery, on reconciled
+        // ownership state (a stale requester hint just forwards normally).
+        for (src, msg) in rec.deferred {
+            self.dispatch_dsm(src, node, DsmPacket::single(msg))?;
+        }
         Ok(())
     }
 
@@ -881,14 +947,30 @@ impl Cluster {
         }
         // A node mid-recovery has no protocol state to serve from. Rejoin
         // traffic always lands; reports and scion-creates are idempotent
-        // and exactly what regeneration wants; everything else is dropped
-        // as if lost — senders recover the way they recover from loss
-        // (re-sent acquires, the retry daemon, lazy relocation).
+        // and exactly what regeneration wants; token requests are deferred
+        // and replayed at completion (the requester's `waiting_for` latch
+        // is only cleared by a grant, and its one rejoin-purge reprieve is
+        // already spent by the time a re-sent request can land here);
+        // everything else is dropped as if lost — senders recover the way
+        // they recover from loss (the retry daemon, lazy relocation).
         if self.recoveries[env.dst.0 as usize].is_some() {
             match &env.payload {
                 ClusterMsg::Rejoin(_)
                 | ClusterMsg::Gc(GcMsg::Report(_))
                 | ClusterMsg::Gc(GcMsg::ScionCreate { .. }) => {}
+                ClusterMsg::Dsm(pkt) => {
+                    let src = env.src;
+                    let rec = self.recoveries[env.dst.0 as usize].as_mut().unwrap();
+                    for m in &pkt.msgs {
+                        let (DsmMsg::ReadReq { .. } | DsmMsg::WriteReq { .. }) = m else {
+                            continue;
+                        };
+                        if !rec.deferred.iter().any(|(_, d)| same_request(d, m)) {
+                            rec.deferred.push((src, m.clone()));
+                        }
+                    }
+                    return Ok(());
+                }
                 _ => return Ok(()),
             }
         }

@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use bmx_common::{NodeId, Result};
-use bmx_net::{ChannelTransport, Transport};
+use bmx_net::Transport;
 
 use crate::cluster::Cluster;
 use crate::msg::ClusterMsg;
@@ -57,16 +57,17 @@ impl Driver for TickDriver {
     }
 }
 
-/// A per-node driver over a shared channel transport: polls only this
-/// node's inboxes and applies one envelope per [`Driver::poll`] call.
+/// A per-node driver over a shared transport (plain channels or the
+/// fault-injecting wrapper): polls only this node's inboxes and applies
+/// one envelope per [`Driver::poll`] call.
 pub struct LinkDriver {
     node: NodeId,
-    transport: Arc<ChannelTransport<ClusterMsg>>,
+    transport: Arc<dyn Transport<ClusterMsg>>,
 }
 
 impl LinkDriver {
     /// A driver delivering into `node` from `transport`.
-    pub fn new(node: NodeId, transport: Arc<ChannelTransport<ClusterMsg>>) -> Self {
+    pub fn new(node: NodeId, transport: Arc<dyn Transport<ClusterMsg>>) -> Self {
         LinkDriver { node, transport }
     }
 

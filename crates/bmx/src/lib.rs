@@ -61,7 +61,9 @@ pub use cluster::{Cluster, ClusterConfig, PersistConfig};
 pub use driver::{Driver, LinkDriver, TickDriver};
 pub use msg::ClusterMsg;
 pub use mutator::ObjSpec;
-pub use parallel::{NodeHandle, ParallelCluster, Shutdown, ShutdownReport};
+pub use parallel::{
+    ChaosConfig, NodeHandle, NodeLiveness, NodeStatus, ParallelCluster, Shutdown, ShutdownReport,
+};
 pub use recovery::RecoveryOutcome;
 pub use retry::{RetryDaemon, RetryPolicy};
 pub use threaded::{ClusterActor, ClusterHandle};

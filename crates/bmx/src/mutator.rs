@@ -345,6 +345,10 @@ impl Cluster {
         if started == AcquireStart::Requested {
             self.pump()?;
             if self.engine.token(node, oid) == Token::None {
+                // Give up cleanly: leaving the wait latched would turn the
+                // grant that eventually lands into a reservation for a
+                // waiter that is gone.
+                self.cancel_acquire(node, addr)?;
                 return Err(BmxError::WouldBlock { oid });
             }
             metrics::observe(node, Hst::AcquireReadTicks, self.net.now() - t0);
@@ -375,6 +379,9 @@ impl Cluster {
         if started == AcquireStart::Requested {
             self.pump()?;
             if self.engine.token(node, oid) != Token::Write {
+                // Same as the read path: abandon the wait so a late grant
+                // is absorbed unreserved instead of held for nobody.
+                self.cancel_acquire(node, addr)?;
                 return Err(BmxError::WouldBlock { oid });
             }
             metrics::observe(node, Hst::AcquireWriteTicks, self.net.now() - t0);
@@ -390,8 +397,10 @@ impl Cluster {
     /// should release the protocol lock, let driver threads deliver the
     /// grant, and poll again. Unlike [`Cluster::acquire_write`], an
     /// outstanding request is *not* re-sent on re-poll (channels are
-    /// lossless in parallel mode, so a duplicate request would only fan
-    /// out duplicate grants).
+    /// lossless in parallel mode, so a hot poll loop would only fan out
+    /// redundant traffic); a caller that has waited long enough to suspect
+    /// the request died with a crashed node re-sends it explicitly via
+    /// [`Cluster::nudge_acquire`].
     pub fn poll_acquire(&mut self, node: NodeId, addr: Addr, write: bool) -> Result<bool> {
         let oid = self.oid_at(node, addr)?;
         if self.engine.is_waiting(node, oid) {
@@ -450,6 +459,56 @@ impl Cluster {
                 }
             }
         }
+    }
+
+    /// Re-sends the outstanding token request behind a split-phase acquire
+    /// toward the current owner hint; a no-op when nothing is outstanding.
+    /// The parallel runtime calls this when a poll has backed off to its
+    /// ceiling — long enough that the request may have died with a crashed
+    /// node (purged inbox, amnesia-wiped queue, or a drop during the
+    /// recovery window). See [`bmx_dsm::DsmEngine::nudge_wait`] for why a
+    /// duplicate request cannot double-grant.
+    pub fn nudge_acquire(&mut self, node: NodeId, addr: Addr) -> Result<()> {
+        let oid = self.oid_at(node, addr)?;
+        {
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.nudge_wait(node, oid, &mut sh, &mut send);
+        }
+        self.pump()
+    }
+
+    /// Abandons the outstanding acquire of the object at `addr` (the caller
+    /// gave up: timeout, or the owner is down). Releases any reservation a
+    /// grant may already have placed so parked remote requests proceed.
+    pub fn cancel_acquire(&mut self, node: NodeId, addr: Addr) -> Result<()> {
+        let oid = self.oid_at(node, addr)?;
+        {
+            let Cluster {
+                engine,
+                gc,
+                mems,
+                stats,
+                net,
+                ..
+            } = self;
+            let mut sh = DsmShared { mems, stats, gc };
+            let mut send = |s: NodeId, d: NodeId, p: DsmPacket| {
+                net.send(s, d, MsgClass::Dsm, ClusterMsg::Dsm(p));
+            };
+            engine.cancel_wait(node, oid, &mut sh, &mut send)?;
+        }
+        self.pump()
     }
 
     /// Releases the token bracket for the object at `addr`.

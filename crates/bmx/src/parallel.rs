@@ -27,6 +27,19 @@
 //! the same seeded workloads; DESIGN.md §11 describes the methodology
 //! and the locking roadmap.
 //!
+//! **Failure domains** (DESIGN.md §12): each node is its own blast
+//! radius. A protocol panic or an [`ParallelCluster::inject_crash`] marks
+//! only that node [`NodeStatus::Down`] — its driver thread exits, its
+//! pending submitters get [`BmxError::NodeDown`], and every other node
+//! keeps serving. A **supervisor thread** beats a pulse clock (which also
+//! drives [`FaultyTransport`] partition healing), pumps the metrics
+//! watchdogs with real pending-work readings, and — under
+//! [`ChaosConfig::restart`] — revives downed nodes live through the
+//! crash-amnesia recovery pipeline ([`Cluster::restart_with_amnesia`]):
+//! purge the dead incarnation's inbox, wipe + rejoin under the protocol
+//! lock, respawn a fresh driver generation. The generation check under
+//! the lock makes a straggler delivery from the dead thread impossible.
+//!
 //! Shutdown has two modes with deterministic per-class fate
 //! ([`Shutdown`]): **Drain** applies every in-flight envelope before
 //! stopping; **Drop** applies the classes the design requires reliable
@@ -40,9 +53,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result};
+use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result, SplitMix64};
 use bmx_metrics::{self as metrics, Ctr, Hst, Registry};
-use bmx_net::{ChannelTransport, MsgClass, NetworkConfig, Transport};
+use bmx_net::{
+    ChannelTransport, FaultyTransport, MsgClass, NetworkConfig, ParallelFaultPlan, Transport,
+};
 use parking_lot::Mutex;
 
 use crate::cluster::{Cluster, ClusterConfig};
@@ -53,6 +68,10 @@ use crate::mutator::ObjSpec;
 const PHASE_RUN: u8 = 0;
 const PHASE_DRAIN: u8 = 1;
 const PHASE_DROP: u8 = 2;
+
+const NODE_ALIVE: u8 = 0;
+const NODE_RECOVERING: u8 = 1;
+const NODE_DOWN: u8 = 2;
 
 /// What happens to in-flight messages at shutdown.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,57 +84,239 @@ pub enum Shutdown {
     Drop,
 }
 
-/// Transport accounting for a completed parallel run.
+/// Transport accounting for a completed parallel run. Conservation
+/// (`delivered + dropped == sent`) holds globally *and per class* on
+/// every run, faults included — duplicates injected by the fault plane
+/// count as sends of their own.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ShutdownReport {
     /// Envelopes accepted by the transport over the run's lifetime.
     pub sent: u64,
     /// Envelopes fully applied under the protocol lock.
     pub delivered: u64,
-    /// Envelopes discarded whole (drop policy or post-join leftovers).
+    /// Envelopes discarded whole (drop policy, injected faults, purged
+    /// inboxes of crashed nodes, or post-join leftovers).
     pub dropped: u64,
-    /// Discards per class, [`MsgClass::ALL`] order. A sound run never
-    /// discards index 0 (DSM) via the drop *policy*; leftovers after a
-    /// driver failure are the only path that can.
+    /// Sends per class, [`MsgClass::ALL`] order.
+    pub sent_by_class: [u64; 4],
+    /// Applied envelopes per class, [`MsgClass::ALL`] order.
+    pub delivered_by_class: [u64; 4],
+    /// Discards per class, [`MsgClass::ALL`] order. A fault-free run
+    /// never discards index 0 (DSM) via the drop *policy*; a crashed
+    /// node's purged inbox and post-failure leftovers are the only paths
+    /// that can.
     pub dropped_by_class: [u64; 4],
+    /// Supervisor-driven live restarts over the run.
+    pub restarts: u64,
+}
+
+/// Fault-plane configuration for [`ParallelCluster::spawn_with_chaos`].
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Seed for every fault decision (see [`FaultyTransport`]) and the
+    /// acquire-backoff jitter.
+    pub seed: u64,
+    /// Per-link drop/duplicate/delay probabilities and timed partitions.
+    pub plan: ParallelFaultPlan,
+    /// Supervisor beat. Each beat advances the fault plane's healing
+    /// clock one pulse, so partition windows are measured in beats.
+    pub pulse: Duration,
+    /// Whether the supervisor restarts downed nodes through the
+    /// crash-amnesia recovery pipeline.
+    pub restart: bool,
+    /// Beats between observing a node down and restarting it.
+    pub restart_delay_pulses: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            plan: ParallelFaultPlan::default(),
+            pulse: Duration::from_micros(500),
+            restart: true,
+            restart_delay_pulses: 16,
+        }
+    }
+}
+
+/// A node's liveness as the runtime sees it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeStatus {
+    /// Serving normally.
+    Alive,
+    /// Restarted by the supervisor; the rejoin handshake is running.
+    Recovering,
+    /// Crashed (panic in protocol code or injected); not serving.
+    Down,
+}
+
+/// Per-node liveness snapshot, for tests and `bmx_top --parallel`.
+#[derive(Clone, Debug)]
+pub struct NodeLiveness {
+    /// The node.
+    pub node: NodeId,
+    /// Current status.
+    pub status: NodeStatus,
+    /// Supervisor-driven restarts so far.
+    pub restarts: u64,
+    /// The most recent failure note (survives a successful restart, as
+    /// the record of *why* the node last went down).
+    pub note: Option<String>,
+}
+
+/// One node's failure-domain state.
+struct NodeState {
+    status: AtomicU8,
+    /// Why the node last went down.
+    note: Mutex<Option<String>>,
+    restarts: AtomicU64,
+    /// Pulse at which the supervisor first saw this down episode
+    /// (`u64::MAX` = not stamped yet).
+    down_since: AtomicU64,
+    /// Driver-thread incarnation. A restart bumps this under the
+    /// protocol lock; a driver holding a stale generation discards
+    /// instead of applying.
+    generation: AtomicU64,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            status: AtomicU8::new(NODE_ALIVE),
+            note: Mutex::new(None),
+            restarts: AtomicU64::new(0),
+            down_since: AtomicU64::new(u64::MAX),
+            generation: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Shared {
     /// The protocol core. `None` after shutdown took the cluster out.
     core: Mutex<Option<Cluster>>,
-    transport: Arc<ChannelTransport<ClusterMsg>>,
+    transport: Arc<dyn Transport<ClusterMsg>>,
+    /// The fault-injecting wrapper, when chaos is on (same object as
+    /// `transport`, kept concretely typed for pulse/heal/stats access).
+    chaos: Option<Arc<FaultyTransport<ClusterMsg>>>,
     phase: AtomicU8,
-    /// Envelopes fully applied by driver threads.
-    delivered: AtomicU64,
+    /// Envelopes fully applied by driver threads, per class.
+    delivered_by_class: [AtomicU64; 4],
     /// Mutator operations completed through node handles.
     ops: AtomicU64,
-    /// First failure (driver error or caught panic); sticky.
-    fail: Mutex<Option<String>>,
+    /// Per-node failure domains.
+    nodes: Vec<NodeState>,
+    /// Driver threads respawned by the supervisor; joined at shutdown.
+    revived: Mutex<Vec<JoinHandle<()>>>,
     /// Registry captured at spawn, installed on driver threads and
     /// offered to mutator threads via [`NodeHandle::bind_metrics`].
     registry: Option<Arc<Registry>>,
-    /// Cap on how long a blocking acquire spins before giving up.
+    /// Cap on how long a blocking acquire re-polls before giving up
+    /// (from [`ClusterConfig::acquire_timeout`]).
     acquire_timeout: Duration,
+    /// Seed for acquire-backoff jitter.
+    backoff_seed: u64,
+    /// Per-node grant wakeup: blocking acquires park here instead of
+    /// sleeping blind, and the node's driver pokes the cell after every
+    /// applied envelope. Without this, a grant that lands mid-backoff
+    /// sits reserved-but-unclaimed for the rest of the sleep — dead time
+    /// the whole cluster queues behind.
+    wake: Vec<WakeCell>,
 }
 
-impl Shared {
-    fn fail_with(&self, note: String) {
-        let mut f = self.fail.lock();
-        if f.is_none() {
-            *f = Some(note);
+// std primitives, not the parking_lot shim: the timed wait needs a real
+// condvar. The mutex guards a poke epoch so a grant applied between a
+// waiter's failed poll and its park is never lost: the waiter samples the
+// epoch before polling and `wait` returns immediately if it has moved.
+struct WakeCell {
+    epoch: std::sync::Mutex<u64>,
+    cv: std::sync::Condvar,
+}
+
+impl WakeCell {
+    fn new() -> Self {
+        WakeCell {
+            epoch: std::sync::Mutex::new(0),
+            cv: std::sync::Condvar::new(),
         }
     }
 
-    fn check(&self) -> Result<()> {
-        if let Some(note) = self.fail.lock().clone() {
-            return Err(BmxError::Protocol(format!(
-                "parallel runtime failed: {note}"
-            )));
+    /// Current poke epoch; sample this *before* polling the protocol.
+    fn epoch(&self) -> u64 {
+        *self.epoch.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes every parked acquire and invalidates in-flight `epoch()`
+    /// samples so the next `wait` on them returns without blocking.
+    fn poke(&self) {
+        let mut guard = self.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = guard.wrapping_add(1);
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    /// Parks the caller until the next poke or `timeout`, whichever comes
+    /// first. Returns immediately if a poke already landed since `seen`
+    /// was sampled. Spurious wakeups are fine: the acquire loop re-polls.
+    fn wait(&self, seen: u64, timeout: Duration) {
+        let guard = self.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        if *guard != seen {
+            return;
+        }
+        let _ = self.cv.wait_timeout(guard, timeout);
+    }
+}
+
+fn class_idx(class: MsgClass) -> usize {
+    MsgClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("class")
+}
+
+impl Shared {
+    fn status_of(&self, node: NodeId) -> u8 {
+        self.nodes[node.0 as usize].status.load(Ordering::Acquire)
+    }
+
+    /// Marks `node`'s failure domain down. Later calls in the same down
+    /// episode update the note (the last crash reason is the useful one).
+    fn fail_node(&self, node: NodeId, note: String) {
+        let st = &self.nodes[node.0 as usize];
+        *st.note.lock() = Some(note);
+        st.down_since.store(u64::MAX, Ordering::Release);
+        st.status.store(NODE_DOWN, Ordering::Release);
+    }
+
+    fn check(&self, node: NodeId) -> Result<()> {
+        if self.status_of(node) != NODE_ALIVE {
+            return Err(BmxError::NodeDown { node });
         }
         if self.phase.load(Ordering::Acquire) != PHASE_RUN {
             return Err(BmxError::Protocol("parallel runtime shutting down".into()));
         }
         Ok(())
+    }
+
+    fn count_delivery(&self, node: NodeId, class: MsgClass) {
+        self.delivered_by_class[class_idx(class)].fetch_add(1, Ordering::Relaxed);
+        metrics::bump(node, Ctr::ParallelDeliveries);
+    }
+
+    fn delivered_total(&self) -> u64 {
+        self.delivered_by_class
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Discards everything queued for `node` (crash semantics: the dead
+    /// incarnation's inbox is lost with it).
+    fn purge_inbox(&self, node: NodeId) {
+        while let Some(env) = self.transport.try_recv(node) {
+            self.transport.note_dropped(env.class);
+            self.transport.ack_delivered();
+        }
     }
 }
 
@@ -133,34 +334,66 @@ fn panic_note(payload: Box<dyn std::any::Any + Send>) -> String {
 pub struct ParallelCluster {
     shared: Arc<Shared>,
     drivers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     nodes: u32,
 }
 
 impl ParallelCluster {
-    /// Builds the cluster and spawns one driver thread per node.
+    /// Builds the cluster and spawns one driver thread per node plus the
+    /// supervisor.
     ///
     /// The config's network is replaced by a lossless latency-1 staging
-    /// network (the channel transport carries the traffic; fault plans
-    /// and the retry daemon are features of the deterministic mode) and
-    /// the retry daemon is disabled.
-    pub fn spawn(mut cfg: ClusterConfig) -> ParallelCluster {
+    /// network (the channel transport carries the traffic; the simulated
+    /// fault plan and the retry daemon are features of the deterministic
+    /// mode) and the retry daemon is disabled. Without chaos the
+    /// transport is a plain [`ChannelTransport`] and the supervisor does
+    /// not restart failed nodes — a protocol panic stays a hard failure,
+    /// surfaced at shutdown.
+    pub fn spawn(cfg: ClusterConfig) -> ParallelCluster {
+        Self::spawn_inner(cfg, None)
+    }
+
+    /// Like [`ParallelCluster::spawn`], but the transport is wrapped in a
+    /// seeded [`FaultyTransport`] and the supervisor revives crashed
+    /// nodes through the crash-amnesia recovery pipeline (when
+    /// [`ChaosConfig::restart`] is on).
+    pub fn spawn_with_chaos(cfg: ClusterConfig, chaos: ChaosConfig) -> ParallelCluster {
+        Self::spawn_inner(cfg, Some(chaos))
+    }
+
+    fn spawn_inner(mut cfg: ClusterConfig, chaos: Option<ChaosConfig>) -> ParallelCluster {
         let nodes = cfg.nodes;
+        let acquire_timeout = cfg.acquire_timeout;
         cfg.net = NetworkConfig::lossless(1);
         cfg.retry = None;
-        let transport = Arc::new(ChannelTransport::<ClusterMsg>::new(nodes as usize));
+        let faulty = chaos.as_ref().map(|cc| {
+            Arc::new(FaultyTransport::<ClusterMsg>::new(
+                nodes as usize,
+                cc.plan.clone(),
+                cc.seed,
+            ))
+        });
+        let transport: Arc<dyn Transport<ClusterMsg>> = match &faulty {
+            Some(ft) => Arc::clone(ft) as Arc<dyn Transport<ClusterMsg>>,
+            None => Arc::new(ChannelTransport::<ClusterMsg>::new(nodes as usize)),
+        };
         let mut cluster = Cluster::new(cfg);
         let uplink_t = Arc::clone(&transport);
         cluster.set_uplink(Arc::new(move |env| uplink_t.send_env(env)));
 
         let shared = Arc::new(Shared {
             core: Mutex::new(Some(cluster)),
-            transport: Arc::clone(&transport),
+            transport,
+            chaos: faulty,
             phase: AtomicU8::new(PHASE_RUN),
-            delivered: AtomicU64::new(0),
+            delivered_by_class: Default::default(),
             ops: AtomicU64::new(0),
-            fail: Mutex::new(None),
+            nodes: (0..nodes).map(|_| NodeState::new()).collect(),
+            revived: Mutex::new(Vec::new()),
             registry: metrics::registry(),
-            acquire_timeout: Duration::from_secs(10),
+            acquire_timeout,
+            backoff_seed: chaos.as_ref().map_or(0xB0FF_5EED, |cc| cc.seed),
+            wake: (0..nodes).map(|_| WakeCell::new()).collect(),
         });
 
         let mut drivers = Vec::with_capacity(nodes as usize);
@@ -168,13 +401,28 @@ impl ParallelCluster {
             let shared = Arc::clone(&shared);
             let handle = std::thread::Builder::new()
                 .name(format!("bmx-driver-{i}"))
-                .spawn(move || drive(NodeId(i), shared))
+                .spawn(move || drive(NodeId(i), shared, 0))
                 .expect("spawn driver thread");
             drivers.push(handle);
         }
+        let sup = SupervisorCfg {
+            pulse: chaos
+                .as_ref()
+                .map_or(Duration::from_millis(1), |cc| cc.pulse),
+            restart: chaos.as_ref().is_some_and(|cc| cc.restart),
+            restart_delay: chaos.as_ref().map_or(16, |cc| cc.restart_delay_pulses),
+        };
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("bmx-supervisor".into())
+                .spawn(move || supervise(shared, sup))
+                .expect("spawn supervisor thread")
+        };
         ParallelCluster {
             shared,
             drivers,
+            supervisor: Some(supervisor),
             nodes,
         }
     }
@@ -199,15 +447,71 @@ impl ParallelCluster {
         self.shared.ops.load(Ordering::Relaxed)
     }
 
-    /// Envelopes currently in flight (sent, not yet fully applied).
+    /// Envelopes currently in flight (sent, not yet fully applied;
+    /// includes envelopes the fault plane is holding back).
     pub fn in_flight(&self) -> u64 {
         self.shared.transport.in_flight()
+    }
+
+    /// Injected-fault accounting, when chaos is on.
+    pub fn fault_stats(&self) -> Option<bmx_net::ParallelFaultStats> {
+        self.shared.chaos.as_ref().map(|ch| ch.stats())
+    }
+
+    /// The fault plane's healing-clock reading, when chaos is on. A
+    /// stalled pulse clock means held (delayed/partitioned) envelopes
+    /// are not being flushed — useful when diagnosing a stall.
+    pub fn now_pulse(&self) -> Option<u64> {
+        self.shared.chaos.as_ref().map(|ch| ch.now_pulse())
+    }
+
+    /// Crashes `node`'s failure domain as if its driver panicked: the
+    /// driver thread exits, pending and future submitters at that node
+    /// get [`BmxError::NodeDown`], and — under a chaos config with
+    /// restarts — the supervisor revives it through the recovery
+    /// pipeline after [`ChaosConfig::restart_delay_pulses`].
+    pub fn inject_crash(&self, node: NodeId) {
+        assert!(node.0 < self.nodes, "no such node {node:?}");
+        self.shared
+            .fail_node(node, format!("injected crash at {node:?}"));
+    }
+
+    /// Per-node liveness snapshot.
+    pub fn liveness(&self) -> Vec<NodeLiveness> {
+        (0..self.nodes)
+            .map(|i| {
+                let st = &self.shared.nodes[i as usize];
+                let status = match st.status.load(Ordering::Acquire) {
+                    NODE_ALIVE => NodeStatus::Alive,
+                    NODE_RECOVERING => NodeStatus::Recovering,
+                    _ => NodeStatus::Down,
+                };
+                NodeLiveness {
+                    node: NodeId(i),
+                    status,
+                    restarts: st.restarts.load(Ordering::Relaxed),
+                    note: st.note.lock().clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// One node's current status.
+    pub fn node_status(&self, node: NodeId) -> NodeStatus {
+        assert!(node.0 < self.nodes, "no such node {node:?}");
+        match self.shared.status_of(node) {
+            NODE_ALIVE => NodeStatus::Alive,
+            NODE_RECOVERING => NodeStatus::Recovering,
+            _ => NodeStatus::Down,
+        }
     }
 
     /// Blocks until no message is in flight *and* no mutator operation is
     /// mid-protocol, or `timeout` elapses. Returns whether quiescence was
     /// reached. Callers must have stopped issuing new operations first —
-    /// quiescence under active mutators is momentary by nature.
+    /// quiescence under active mutators is momentary by nature. A downed
+    /// node with pending inbox traffic keeps this `false` (nothing will
+    /// apply those envelopes until a restart or shutdown).
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
@@ -231,36 +535,84 @@ impl ParallelCluster {
     /// cluster (uplink detached — it dispatches inline again, so tests
     /// can keep using it deterministically) plus the transport report.
     ///
-    /// Errors if any driver or handle operation failed or panicked during
-    /// the run; the failure note is carried in the error.
+    /// Errors if any node is still down or mid-recovery at shutdown — a
+    /// crash the supervisor healed in time is *not* an error (the report
+    /// carries the restart count; [`ParallelCluster::liveness`] carries
+    /// the notes). Partitions are healed first so `Drain` cannot hang on
+    /// held traffic.
     pub fn shutdown(mut self, mode: Shutdown) -> Result<(Cluster, ShutdownReport)> {
         let phase = match mode {
             Shutdown::Drain => PHASE_DRAIN,
             Shutdown::Drop => PHASE_DROP,
         };
         self.shared.phase.store(phase, Ordering::Release);
-        for d in self.drivers.drain(..) {
+        // The supervisor exits at the phase flip; join it first so no
+        // restart can race the teardown below.
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        if let Some(ch) = &self.shared.chaos {
+            ch.heal_all();
+        }
+        // Janitor loop: drivers of live nodes drain to in_flight == 0,
+        // which can only happen if someone keeps emptying the inboxes of
+        // downed nodes (their drivers are gone) and flushing any traffic
+        // the fault plane still holds.
+        let mut handles: Vec<JoinHandle<()>> = self.drivers.drain(..).collect();
+        loop {
+            if let Some(ch) = &self.shared.chaos {
+                ch.pulse();
+            }
+            for i in 0..self.nodes {
+                if self.shared.status_of(NodeId(i)) == NODE_DOWN {
+                    self.shared.purge_inbox(NodeId(i));
+                }
+            }
+            handles.extend(self.shared.revived.lock().drain(..));
+            if handles.iter().all(JoinHandle::is_finished) {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        handles.extend(self.shared.revived.lock().drain(..));
+        for d in handles {
             let _ = d.join();
         }
-        // A failed driver may have left its inboxes non-empty; discard the
+        // A failed driver may have left its inboxes non-empty, and final
+        // deliveries may have staged sends to a downed node; discard the
         // leftovers whole so accounting conserves.
         for i in 0..self.nodes {
-            while let Some(env) = self.shared.transport.try_recv(NodeId(i)) {
-                self.shared.transport.note_dropped(env.class);
-                self.shared.transport.ack_delivered();
-            }
+            self.shared.purge_inbox(NodeId(i));
         }
+        let mut sent_by_class = [0u64; 4];
+        let mut delivered_by_class = [0u64; 4];
         let mut dropped_by_class = [0u64; 4];
-        for (slot, class) in dropped_by_class.iter_mut().zip(MsgClass::ALL) {
-            *slot = self.shared.transport.dropped(class);
+        for (idx, class) in MsgClass::ALL.into_iter().enumerate() {
+            sent_by_class[idx] = self.shared.transport.sent(class);
+            delivered_by_class[idx] = self.shared.delivered_by_class[idx].load(Ordering::Relaxed);
+            dropped_by_class[idx] = self.shared.transport.dropped(class);
         }
         let report = ShutdownReport {
             sent: self.shared.transport.sent_total(),
-            delivered: self.shared.delivered.load(Ordering::Relaxed),
+            delivered: self.shared.delivered_total(),
             dropped: self.shared.transport.dropped_total(),
+            sent_by_class,
+            delivered_by_class,
             dropped_by_class,
+            restarts: self
+                .shared
+                .nodes
+                .iter()
+                .map(|st| st.restarts.load(Ordering::Relaxed))
+                .sum(),
         };
-        let fail = self.shared.fail.lock().clone();
+        let mut failures = Vec::new();
+        for (i, st) in self.shared.nodes.iter().enumerate() {
+            if st.status.load(Ordering::Acquire) != NODE_ALIVE {
+                let note = st.note.lock().clone();
+                failures.push(format!("N{i}: {}", note.unwrap_or_else(|| "down".into())));
+            }
+        }
         let mut cluster = self
             .shared
             .core
@@ -268,24 +620,34 @@ impl ParallelCluster {
             .take()
             .expect("cluster present until shutdown");
         cluster.clear_uplink();
-        if let Some(note) = fail {
+        if !failures.is_empty() {
             return Err(BmxError::Protocol(format!(
-                "parallel runtime failed: {note}"
+                "parallel runtime failed: {}",
+                failures.join("; ")
             )));
         }
         Ok((cluster, report))
     }
 }
 
-/// The per-node driver thread body.
-fn drive(node: NodeId, shared: Arc<Shared>) {
+/// The per-node driver thread body. `generation` is the incarnation this
+/// thread serves; a supervisor restart supersedes it.
+fn drive(node: NodeId, shared: Arc<Shared>, generation: u64) {
     if let Some(reg) = &shared.registry {
         metrics::install_registry(Arc::clone(reg));
     }
     let driver = LinkDriver::new(node, Arc::clone(&shared.transport));
+    let me = &shared.nodes[node.0 as usize];
     let mut idle_rounds: u32 = 0;
     loop {
         let phase = shared.phase.load(Ordering::Acquire);
+        if me.status.load(Ordering::Acquire) == NODE_DOWN
+            || me.generation.load(Ordering::Acquire) != generation
+        {
+            // This incarnation crashed (or was superseded by a restart):
+            // the driver is the node's process; it dies with it.
+            break;
+        }
         match driver.next_pending() {
             Some(env) => {
                 idle_rounds = 0;
@@ -294,28 +656,49 @@ fn drive(node: NodeId, shared: Arc<Shared>) {
                     driver.ack();
                     continue;
                 }
+                let class = env.class;
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     let mut core = shared.core.lock();
-                    match core.as_mut() {
+                    // Crash check *under the protocol lock*: a restart
+                    // bumps the generation while holding it, so a popped
+                    // envelope can never leak into the recovered state
+                    // through the pre-crash thread.
+                    if me.status.load(Ordering::Acquire) == NODE_DOWN
+                        || me.generation.load(Ordering::Acquire) != generation
+                    {
+                        return None;
+                    }
+                    Some(match core.as_mut() {
                         Some(c) => c.deliver(env),
                         None => Ok(()),
-                    }
+                    })
                 }));
                 driver.ack();
                 match outcome {
-                    Ok(Ok(())) => {
-                        shared.delivered.fetch_add(1, Ordering::Relaxed);
+                    Ok(None) => {
+                        // Popped by a dead incarnation: lost with it.
+                        shared.transport.note_dropped(class);
+                        break;
                     }
-                    Ok(Err(e)) => shared.fail_with(format!("driver {node:?}: {e}")),
+                    Ok(Some(Ok(()))) => {
+                        shared.count_delivery(node, class);
+                        // Poke parked acquires: the envelope may have been
+                        // their grant.
+                        shared.wake[node.0 as usize].poke();
+                    }
+                    Ok(Some(Err(e))) => {
+                        shared.fail_node(node, format!("driver {node:?}: {e}"));
+                    }
                     Err(p) => {
-                        shared.fail_with(format!("driver {node:?} panicked: {}", panic_note(p)))
+                        shared.fail_node(
+                            node,
+                            format!("driver {node:?} panicked: {}", panic_note(p)),
+                        );
                     }
                 }
             }
             None => {
-                if phase != PHASE_RUN
-                    && (shared.transport.in_flight() == 0 || shared.fail.lock().is_some())
-                {
+                if phase != PHASE_RUN && shared.transport.in_flight() == 0 {
                     break;
                 }
                 // Idle backoff: spin briefly, then sleep — keeps grant
@@ -329,6 +712,103 @@ fn drive(node: NodeId, shared: Arc<Shared>) {
             }
         }
     }
+}
+
+struct SupervisorCfg {
+    pulse: Duration,
+    restart: bool,
+    restart_delay: u64,
+}
+
+/// The supervisor thread body: beats the pulse clock (healing the fault
+/// plane's partitions on schedule), stamps and revives downed nodes,
+/// flips recovered nodes back to alive, and pumps the metrics watchdogs
+/// with a real pending-work reading so stalls latch alarms instead of
+/// being waited out.
+fn supervise(shared: Arc<Shared>, cfg: SupervisorCfg) {
+    if let Some(reg) = &shared.registry {
+        metrics::install_registry(Arc::clone(reg));
+    }
+    let wd_interval = shared
+        .registry
+        .as_ref()
+        .map_or(0, |r| r.watchdog_config().interval.max(1));
+    let mut pulse: u64 = 0;
+    while shared.phase.load(Ordering::Acquire) == PHASE_RUN {
+        std::thread::sleep(cfg.pulse);
+        pulse = match &shared.chaos {
+            Some(ch) => ch.pulse(),
+            None => pulse + 1,
+        };
+        for i in 0..shared.nodes.len() {
+            let node = NodeId(i as u32);
+            let st = &shared.nodes[i];
+            match st.status.load(Ordering::Acquire) {
+                NODE_DOWN => {
+                    let seen = st.down_since.load(Ordering::Acquire);
+                    if seen == u64::MAX {
+                        st.down_since.store(pulse, Ordering::Release);
+                    } else if cfg.restart && pulse.saturating_sub(seen) >= cfg.restart_delay {
+                        restart_node(&shared, node);
+                    }
+                }
+                NODE_RECOVERING => {
+                    let done = {
+                        let core = shared.core.lock();
+                        // `map_or(true, ..)` rather than `is_none_or`: MSRV 1.75.
+                        #[allow(clippy::unnecessary_map_or)]
+                        core.as_ref().map_or(true, |c| !c.in_recovery(node))
+                    };
+                    if done {
+                        st.status.store(NODE_ALIVE, Ordering::Release);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // `u64::is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.75.
+        #[allow(clippy::manual_is_multiple_of)]
+        if wd_interval > 0 && pulse % wd_interval == 0 {
+            if let Some(reg) = &shared.registry {
+                metrics::evaluate_parallel(reg, pulse, shared.transport.in_flight());
+            }
+        }
+    }
+}
+
+/// Revives one downed node: purge the dead incarnation's inbox (its
+/// queued traffic died with it — the sim's crash loss model), then under
+/// the protocol lock bump the driver generation and run
+/// [`Cluster::restart_with_amnesia`] (wipe, RVM replay, rejoin-request
+/// broadcast through the uplink), then respawn a fresh driver. Stage 2/3
+/// of recovery complete asynchronously as surviving drivers answer; the
+/// supervisor flips the node back to alive when `in_recovery` clears.
+fn restart_node(shared: &Arc<Shared>, node: NodeId) {
+    let st = &shared.nodes[node.0 as usize];
+    shared.purge_inbox(node);
+    let generation = {
+        let mut core = shared.core.lock();
+        let generation = st.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        match core.as_mut() {
+            Some(c) => {
+                if let Err(e) = c.restart_with_amnesia(node) {
+                    *st.note.lock() = Some(format!("restart of {node:?} failed: {e}"));
+                    return;
+                }
+            }
+            None => return,
+        }
+        generation
+    };
+    st.restarts.fetch_add(1, Ordering::Relaxed);
+    st.down_since.store(u64::MAX, Ordering::Release);
+    st.status.store(NODE_RECOVERING, Ordering::Release);
+    let sh = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("bmx-driver-{}-g{generation}", node.0))
+        .spawn(move || drive(node, sh, generation))
+        .expect("respawn driver thread");
+    shared.revived.lock().push(handle);
 }
 
 /// A mutator's door into one node of a running [`ParallelCluster`].
@@ -356,15 +836,36 @@ impl NodeHandle {
         }
     }
 
-    /// Runs `f` on the protocol core under the lock. Panics inside `f`
-    /// are caught, poison the runtime logically (all later operations
-    /// fail with the note), and surface here as an `Err`.
+    /// Runs `f` on the protocol core under the lock.
+    ///
+    /// This is the *user-closure* domain: a panic inside `f` is caught
+    /// and returned as an `Err` **to this caller only** — it does not
+    /// mark the node failed, because the panic is the application's, not
+    /// the protocol's. (Panics inside protocol code reached through the
+    /// typed methods *do* crash the node's failure domain.) The caller
+    /// owns the consistency of whatever `f` half-did before panicking.
     pub fn with<R>(&self, f: impl FnOnce(&mut Cluster) -> Result<R>) -> Result<R> {
-        let r = self.with_uncounted(f);
-        if r.is_ok() {
-            self.count_op();
+        self.shared.check(self.node)?;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut core = self.shared.core.lock();
+            match core.as_mut() {
+                Some(c) => f(c),
+                None => Err(BmxError::Protocol("parallel runtime shut down".into())),
+            }
+        }));
+        match outcome {
+            Ok(r) => {
+                if r.is_ok() {
+                    self.count_op();
+                }
+                r
+            }
+            Err(p) => Err(BmxError::Protocol(format!(
+                "user closure at {:?} panicked: {}",
+                self.node,
+                panic_note(p)
+            ))),
         }
-        r
     }
 
     /// One completed mutator operation, for [`ParallelCluster::ops`] and
@@ -376,8 +877,19 @@ impl NodeHandle {
         metrics::bump(self.node, Ctr::ParallelOps);
     }
 
-    fn with_uncounted<R>(&self, f: impl FnOnce(&mut Cluster) -> Result<R>) -> Result<R> {
-        self.shared.check()?;
+    /// The *protocol* domain behind the typed methods: a panic here is a
+    /// protocol bug, so it crashes this node's failure domain (the node
+    /// goes down; other nodes keep serving).
+    fn with_protocol<R>(&self, f: impl FnOnce(&mut Cluster) -> Result<R>) -> Result<R> {
+        let r = self.with_protocol_uncounted(f);
+        if r.is_ok() {
+            self.count_op();
+        }
+        r
+    }
+
+    fn with_protocol_uncounted<R>(&self, f: impl FnOnce(&mut Cluster) -> Result<R>) -> Result<R> {
+        self.shared.check(self.node)?;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut core = self.shared.core.lock();
             match core.as_mut() {
@@ -389,7 +901,7 @@ impl NodeHandle {
             Ok(r) => r,
             Err(p) => {
                 let note = format!("handle op at {:?} panicked: {}", self.node, panic_note(p));
-                self.shared.fail_with(note.clone());
+                self.shared.fail_node(self.node, note.clone());
                 Err(BmxError::Protocol(note))
             }
         }
@@ -398,66 +910,66 @@ impl NodeHandle {
     /// Creates a bunch with this node as creator.
     pub fn create_bunch(&self) -> Result<BunchId> {
         let n = self.node;
-        self.with(|c| c.create_bunch(n))
+        self.with_protocol(|c| c.create_bunch(n))
     }
 
     /// Maps `bunch` (created at `from`) onto this node.
     pub fn map_bunch(&self, bunch: BunchId, from: NodeId) -> Result<()> {
         let n = self.node;
-        self.with(|c| c.map_bunch(n, bunch, from))
+        self.with_protocol(|c| c.map_bunch(n, bunch, from))
     }
 
     /// Allocates an object in `bunch`.
     pub fn alloc(&self, bunch: BunchId, spec: &ObjSpec) -> Result<Addr> {
         let n = self.node;
-        self.with(|c| c.alloc(n, bunch, spec))
+        self.with_protocol(|c| c.alloc(n, bunch, spec))
     }
 
     /// Registers a mutator root.
     pub fn add_root(&self, addr: Addr) -> Result<u64> {
         let n = self.node;
-        self.with(|c| Ok(c.add_root(n, addr)))
+        self.with_protocol(|c| Ok(c.add_root(n, addr)))
     }
 
     /// Reads a data field (inside a token bracket).
     pub fn read_data(&self, obj: Addr, field: u64) -> Result<u64> {
         let n = self.node;
-        self.with(|c| c.read_data(n, obj, field))
+        self.with_protocol(|c| c.read_data(n, obj, field))
     }
 
     /// Writes a data field (inside a token bracket).
     pub fn write_data(&self, obj: Addr, field: u64, value: u64) -> Result<()> {
         let n = self.node;
-        self.with(|c| c.write_data(n, obj, field, value))
+        self.with_protocol(|c| c.write_data(n, obj, field, value))
     }
 
     /// Reads a reference field.
     pub fn read_ref(&self, obj: Addr, field: u64) -> Result<Addr> {
         let n = self.node;
-        self.with(|c| c.read_ref(n, obj, field))
+        self.with_protocol(|c| c.read_ref(n, obj, field))
     }
 
     /// Writes a reference field (through the write barrier).
     pub fn write_ref(&self, obj: Addr, field: u64, target: Addr) -> Result<()> {
         let n = self.node;
-        self.with(|c| c.write_ref(n, obj, field, target))
+        self.with_protocol(|c| c.write_ref(n, obj, field, target))
     }
 
     /// OID of the object at `addr`.
     pub fn oid_at(&self, addr: Addr) -> Result<Oid> {
         let n = self.node;
-        self.with(|c| c.oid_at(n, addr))
+        self.with_protocol(|c| c.oid_at(n, addr))
     }
 
     /// Runs a bunch collection at this node.
     pub fn run_bgc(&self, bunch: BunchId) -> Result<bmx_gc::CollectStats> {
         let n = self.node;
-        self.with(|c| c.run_bgc(n, bunch))
+        self.with_protocol(|c| c.run_bgc(n, bunch))
     }
 
     /// Acquires a read token, blocking the calling thread (not the
     /// cluster) until the grant arrives or the runtime's acquire timeout
-    /// elapses.
+    /// ([`ClusterConfig::acquire_timeout`]) elapses.
     pub fn acquire_read(&self, obj: Addr) -> Result<()> {
         self.acquire(obj, false)
     }
@@ -470,16 +982,52 @@ impl NodeHandle {
     /// Releases the token bracket.
     pub fn release(&self, obj: Addr) -> Result<()> {
         let n = self.node;
-        self.with(|c| c.release(n, obj))
+        self.with_protocol(|c| c.release(n, obj))
     }
 
     fn acquire(&self, obj: Addr, write: bool) -> Result<()> {
         let n = self.node;
         let t0 = Instant::now();
         let deadline = t0 + self.shared.acquire_timeout;
+        let mut rng = SplitMix64::new(
+            self.shared
+                .backoff_seed
+                .wrapping_add(obj.0.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ ((u64::from(n.0) + 1) << 32)
+                ^ u64::from(write),
+        );
         let mut spins: u32 = 0;
+        let mut backoff_us: u64 = 20;
         loop {
-            let entered = self.with_uncounted(|c| c.poll_acquire(n, obj, write))?;
+            // Once the backoff has hit its ceiling the grant is overdue by
+            // orders of magnitude over the lossless-channel round trip: the
+            // request may have died with a crashed node (purged inbox,
+            // amnesia-wiped queue). Re-send it toward the current owner
+            // hint — deduplicated at the queue, so a false alarm is noise,
+            // not a double grant.
+            let nudge = spins >= 64 && backoff_us >= 2_000;
+            // Sample the wake epoch *before* polling: a grant applied
+            // after this line moves the epoch, so the `wait` below falls
+            // through instead of sleeping past it (no lost wakeup).
+            let seen = self.shared.wake[n.0 as usize].epoch();
+            let (entered, owner) = self.with_protocol_uncounted(|c| {
+                if nudge {
+                    c.nudge_acquire(n, obj)?;
+                }
+                let entered = c.poll_acquire(n, obj, write)?;
+                // While waiting, note whose grant we are waiting for, so
+                // a dead owner surfaces as a typed error below instead of
+                // burning the whole acquire timeout.
+                let owner = if entered {
+                    None
+                } else {
+                    c.oid_at(n, obj)
+                        .ok()
+                        .and_then(|oid| c.engine.obj_state(n, oid))
+                        .map(|st| st.owner_hint)
+                };
+                Ok((entered, owner))
+            })?;
             if entered {
                 self.count_op();
                 let waited = t0.elapsed().as_micros() as u64;
@@ -491,17 +1039,54 @@ impl NodeHandle {
                 metrics::observe(n, h, waited);
                 return Ok(());
             }
+            if let Some(owner) = owner {
+                // Down hard: fail fast with the typed error. A merely
+                // *recovering* owner is coming back — keep polling; the
+                // backoff-ceiling nudge above re-sends the request once
+                // the recovered node is serving again.
+                if owner != n && self.shared.status_of(owner) == NODE_DOWN {
+                    self.abandon_acquire(obj);
+                    return Err(BmxError::NodeDown { node: owner });
+                }
+            }
             if Instant::now() >= deadline {
-                let oid = self.with_uncounted(|c| c.oid_at(n, obj))?;
+                if let Some(owner) = owner {
+                    if owner != n && self.shared.status_of(owner) != NODE_ALIVE {
+                        self.abandon_acquire(obj);
+                        return Err(BmxError::NodeDown { node: owner });
+                    }
+                }
+                let oid = self.with_protocol_uncounted(|c| c.oid_at(n, obj))?;
+                self.abandon_acquire(obj);
                 return Err(BmxError::WouldBlock { oid });
             }
+            // Re-poll cadence: spin briefly for fast grants, then back
+            // off exponentially with seeded jitter so contending handles
+            // don't re-poll in lockstep.
             spins = spins.saturating_add(1);
             if spins < 64 {
                 std::thread::yield_now();
             } else {
-                std::thread::sleep(Duration::from_micros(20));
+                // Park on the node's wake cell rather than sleeping blind:
+                // the driver pokes it after every applied envelope, so a
+                // landing grant is claimed in microseconds instead of
+                // idling reserved for the rest of the backoff. The epoch
+                // sampled above makes the poll-then-park window safe, and
+                // the backoff is still the timeout of last resort.
+                let jitter = rng.next_below(backoff_us / 2 + 1);
+                self.shared.wake[n.0 as usize]
+                    .wait(seen, Duration::from_micros(backoff_us + jitter));
+                backoff_us = (backoff_us * 2).min(2_000);
             }
         }
+    }
+
+    /// Best-effort wait cancellation on an acquire's error exit. Without
+    /// it, a grant that raced the timeout leaves the replica reserved for
+    /// a waiter that is gone, wedging every later remote request.
+    fn abandon_acquire(&self, obj: Addr) {
+        let n = self.node;
+        let _ = self.with_protocol_uncounted(|c| c.cancel_acquire(n, obj));
     }
 }
 

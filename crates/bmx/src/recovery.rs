@@ -38,6 +38,7 @@
 //! `trace::query::post_crash_epoch_violations` checker asserts exactly this.
 
 use bmx_common::{BunchId, NodeId, Oid};
+use bmx_dsm::DsmMsg;
 use bmx_gc::ReachabilityReport;
 use bmx_net::WireSize;
 use std::collections::{BTreeMap, BTreeSet};
@@ -191,6 +192,14 @@ pub struct Recovery {
     /// ownership reconciliation, so entering-ownerPtr adjustments land on
     /// reconciled state).
     pub reports: Vec<ReachabilityReport>,
+    /// Token requests that arrived while the recovery was in flight,
+    /// replayed once the pipeline completes. A silent drop would wedge the
+    /// requester in real-thread mode: its `waiting_for` latch is only
+    /// cleared by a grant or by the rejoin `Request` purge, and that purge
+    /// fired once already — the re-sent request has nobody left to clear
+    /// it. Deduplicated by `(kind, oid, requester)` so sim-mode acquire
+    /// retries (which re-send every poll) cannot double-queue a grant.
+    pub deferred: Vec<(NodeId, DsmMsg)>,
 }
 
 /// One completed recovery, recorded for the E9 experiment and the chaos

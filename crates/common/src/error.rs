@@ -47,6 +47,10 @@ pub enum BmxError {
     WouldBlock { oid: Oid },
     /// The bunch's protection attributes deny the attempted access.
     AccessDenied { bunch: BunchId, write: bool },
+    /// The operation needed a node whose runtime failure domain is down
+    /// (crashed driver or injected crash in the parallel runtime). The
+    /// caller may retry once the supervisor has restarted the node.
+    NodeDown { node: NodeId },
     /// Protocol violation detected at runtime (a bug, surfaced loudly).
     Protocol(String),
 }
@@ -96,6 +100,9 @@ impl fmt::Display for BmxError {
             BmxError::AccessDenied { bunch, write } => {
                 let kind = if *write { "write" } else { "read" };
                 write!(f, "{kind} access to bunch {bunch} denied by its protection")
+            }
+            BmxError::NodeDown { node } => {
+                write!(f, "node {node} is down (failure domain crashed)")
             }
             BmxError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }

@@ -76,10 +76,19 @@ impl Limbo {
     }
 
     /// O(1) lock-free push of an unlinked node.
+    ///
+    /// The stack link is stored TAGGED: a retired node's `next` must keep
+    /// its mark bit, because a straggler that found the node via `search`
+    /// before it was unlinked may still inspect `next`. Every list CAS
+    /// expects an unmarked value, so the preserved mark makes any such
+    /// late CAS fail and the straggler restart from the head — storing an
+    /// unmarked limbo link here would let a racing `remove` re-mark the
+    /// node and report a second successful removal of the same key, or
+    /// let a traversal follow the link into the limbo stack.
     fn push(&self, node: *mut Node) {
         let mut cur = self.head.load(Ordering::Acquire);
         loop {
-            unsafe { (*node).next.store(cur, Ordering::Relaxed) };
+            unsafe { (*node).next.store(cur | MARK, Ordering::Relaxed) };
             match self.head.compare_exchange_weak(
                 cur,
                 node as usize,
@@ -260,13 +269,21 @@ impl ShardedSet {
         let guard = self.pin();
         let shard = self.shard(key);
         loop {
-            if self.search(shard, key, &guard).is_some() {
-                return false;
-            }
-            // Push at head: new node's next is the current head.
+            // Snapshot the head BEFORE the duplicate check. The publish
+            // CAS below expects this snapshot, so it can only succeed if
+            // no push landed since — a same-key insert racing in between
+            // the search and the publish moves the head and forces a
+            // retry, closing the window where two inserts of one key
+            // could both pass the absence check and both publish.
             let head = shard.head.load(Ordering::Acquire);
             if is_marked(head) {
                 continue; // impossible for a head link, but stay defensive
+            }
+            if self.search(shard, key, &guard).is_some() {
+                return false;
+            }
+            if shard.head.load(Ordering::Acquire) != head {
+                continue; // the shard moved under the search; re-check
             }
             let node = Box::into_raw(Box::new(Node {
                 key,

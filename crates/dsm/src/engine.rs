@@ -62,6 +62,12 @@ pub struct DsmEngine {
     /// single-message envelope (the pre-coalescing wire behaviour, kept for
     /// the equivalence tests and as a diagnostic knob).
     coalesce: bool,
+    /// Lost-request re-sends issued by [`DsmEngine::nudge_wait`].
+    nudges: u64,
+    /// Per-`(node, oid)` request-path accounting: `[rx, fwd, queued,
+    /// granted]` for write requests handled at `node`. Diagnostic only —
+    /// surfaced by [`DsmEngine::describe_object`].
+    req_counts: BTreeMap<(NodeId, Oid), [u64; 4]>,
 }
 
 impl DsmEngine {
@@ -71,6 +77,8 @@ impl DsmEngine {
             nodes: (0..n).map(|_| DsmNodeState::default()).collect(),
             outbox: BTreeMap::new(),
             coalesce: true,
+            nudges: 0,
+            req_counts: BTreeMap::new(),
         }
     }
 
@@ -188,6 +196,45 @@ impl DsmEngine {
     /// Whether the local acquire of `oid` at `node` is still outstanding.
     pub fn is_waiting(&self, node: NodeId, oid: Oid) -> bool {
         self.ns(node).waiting_for.contains_key(&oid)
+    }
+
+    /// Write-request accounting at `(node, oid)`: `[rx, forwarded,
+    /// queued, transfer-started]`. Zeros if none handled yet.
+    pub fn write_req_counts(&self, node: NodeId, oid: Oid) -> [u64; 4] {
+        self.req_counts.get(&(node, oid)).copied().unwrap_or([0; 4])
+    }
+
+    /// One-line-per-node diagnostic of every replica's view of `oid`:
+    /// token, ownership, hint, lock/wait state, and any queued or pending
+    /// protocol entries. The chaos harness prints this when an acquire
+    /// wedges past its deadline.
+    pub fn describe_object(&self, oid: Oid) -> String {
+        let mut out = String::new();
+        for (i, ns) in self.nodes.iter().enumerate() {
+            let Some(st) = ns.get(oid) else { continue };
+            out.push_str(&format!(
+                "  N{i}: token={:?} owner={} hint=N{} locked={} reserved={} wait={:?} \
+                 queued={:?} pending_w={} copy_set={:?} entering={:?}\n",
+                st.token,
+                st.is_owner,
+                st.owner_hint.0,
+                st.locked,
+                st.reserved,
+                ns.waiting_for.get(&oid),
+                ns.queued.get(&oid).map_or(&[][..], |q| &q[..]),
+                ns.pending_write.contains_key(&oid),
+                st.copy_set,
+                st.entering,
+            ));
+            let n = NodeId(i as u32);
+            if let Some(rc) = self.req_counts.get(&(n, oid)) {
+                out.push_str(&format!(
+                    "      wreq rx={} fwd={} queued={} granted={}\n",
+                    rc[0], rc[1], rc[2], rc[3]
+                ));
+            }
+        }
+        out
     }
 
     // ------------------------------------------------------------------
@@ -498,6 +545,53 @@ impl DsmEngine {
         Ok(AcquireStart::Requested)
     }
 
+    /// Re-emits the outstanding token request for `oid` toward the
+    /// *current* owner hint; a no-op unless `node` is waiting. This is the
+    /// lost-request recovery primitive for the real-thread runtime: a
+    /// request can die in a crashed node's inbox or its amnesia-wiped
+    /// request queue, and when the requester's hint names a surviving
+    /// *forwarder* the rejoin purge never clears the wait — nobody is left
+    /// to produce the grant. Safe at any cadence: request queues
+    /// deduplicate by `(requester, kind)`, grant application is
+    /// idempotent, and a stale duplicate forwarded back to a requester
+    /// that has since become owner resolves as a self-promotion.
+    pub fn nudge_wait(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) {
+        let Some(&kind) = self.ns(node).waiting_for.get(&oid) else {
+            return;
+        };
+        let Some(st) = self.ns(node).get(oid) else {
+            return;
+        };
+        let hint = st.owner_hint;
+        if hint == node {
+            return;
+        }
+        let msg = match kind {
+            ReqKind::Read => DsmMsg::ReadReq {
+                oid,
+                requester: node,
+            },
+            ReqKind::Write => DsmMsg::WriteReq {
+                oid,
+                requester: node,
+            },
+        };
+        self.emit(sh, send, node, hint, msg);
+        self.flush_outbox(sh, send);
+        self.nudges += 1;
+    }
+
+    /// Total re-sends issued by [`DsmEngine::nudge_wait`] (all nodes).
+    pub fn nudges_sent(&self) -> u64 {
+        self.nudges
+    }
+
     /// Starts a write-token acquire at `node`.
     pub fn start_write(
         &mut self,
@@ -569,6 +663,34 @@ impl DsmEngine {
             return Err(BmxError::NoToken { node, oid });
         }
         st.locked = true;
+        // The waiter claims its grant: the reservation's job is done.
+        st.reserved = false;
+        Ok(())
+    }
+
+    /// Abandons an outstanding acquire at `node` (timeout, target down).
+    ///
+    /// Removes the wait record and, if a grant already landed and reserved
+    /// the replica for this waiter, releases the reservation and serves
+    /// whatever parked behind it — otherwise the abandoned reservation
+    /// would wedge every later remote request for the object.
+    pub fn cancel_wait(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
+        self.ns_mut(node).waiting_for.remove(&oid);
+        let reserved = self.ns(node).get(oid).is_some_and(|s| s.reserved);
+        if reserved {
+            self.ns_mut(node)
+                .get_mut(oid)
+                .expect("checked above")
+                .reserved = false;
+            self.serve_parked(node, oid, sh, send)?;
+        }
+        self.flush_outbox(sh, send);
         Ok(())
     }
 
@@ -604,8 +726,20 @@ impl DsmEngine {
             st.locked = false;
         }
         trace::emit(node, TraceEvent::TokenRelease { oid });
-        // Serve deferred invalidations first: they strip the token, and the
-        // queued requests will then be forwarded rather than granted.
+        self.serve_parked(node, oid, sh, send)
+    }
+
+    /// Serves the work parked while the replica was locked or reserved:
+    /// deferred invalidations first (they strip the token, so the queued
+    /// requests are then forwarded rather than granted), then the request
+    /// queue.
+    fn serve_parked(
+        &mut self,
+        node: NodeId,
+        oid: Oid,
+        sh: &mut DsmShared<'_>,
+        send: &mut SendFn<'_>,
+    ) -> Result<()> {
         let parents = self
             .ns_mut(node)
             .deferred_invals
@@ -782,6 +916,19 @@ impl DsmEngine {
     // Request handling.
     // ------------------------------------------------------------------
 
+    /// Parks a token request behind the critical section, ignoring an exact
+    /// `(requester, kind)` duplicate already queued. Requesters are allowed
+    /// to re-send an outstanding request (sim-mode acquire retries do it on
+    /// every poll; the real-thread runtime nudges a long-waiting acquire to
+    /// survive crash-window losses), and a double entry here would grant
+    /// the same token twice.
+    fn queue_request(&mut self, at: NodeId, oid: Oid, requester: NodeId, kind: ReqKind) {
+        let q = self.ns_mut(at).queued.entry(oid).or_default();
+        if !q.iter().any(|e| e.requester == requester && e.kind == kind) {
+            q.push(QueuedReq { requester, kind });
+        }
+    }
+
     fn handle_read_req(
         &mut self,
         at: NodeId,
@@ -790,28 +937,21 @@ impl DsmEngine {
         sh: &mut DsmShared<'_>,
         send: &mut SendFn<'_>,
     ) -> Result<()> {
-        let (token, locked, pending, hint, is_owner) = {
+        let (token, parked, pending, hint, is_owner) = {
             let st = self
                 .ns(at)
                 .get(oid)
                 .ok_or_else(|| BmxError::Protocol(format!("ReadReq for unknown {oid} at {at}")))?;
             (
                 st.token,
-                st.locked,
+                st.locked || st.reserved,
                 self.ns(at).pending_write.contains_key(&oid),
                 st.owner_hint,
                 st.is_owner,
             )
         };
-        if locked || pending {
-            self.ns_mut(at)
-                .queued
-                .entry(oid)
-                .or_default()
-                .push(QueuedReq {
-                    requester,
-                    kind: ReqKind::Read,
-                });
+        if parked || pending {
+            self.queue_request(at, oid, requester, ReqKind::Read);
             return Ok(());
         }
         if token == Token::None {
@@ -886,34 +1026,32 @@ impl DsmEngine {
         sh: &mut DsmShared<'_>,
         send: &mut SendFn<'_>,
     ) -> Result<()> {
-        let (is_owner, locked, pending, hint) = {
+        let (is_owner, parked, pending, hint) = {
             let st = self
                 .ns(at)
                 .get(oid)
                 .ok_or_else(|| BmxError::Protocol(format!("WriteReq for unknown {oid} at {at}")))?;
             (
                 st.is_owner,
-                st.locked,
+                st.locked || st.reserved,
                 self.ns(at).pending_write.contains_key(&oid),
                 st.owner_hint,
             )
         };
+        let rc = self.req_counts.entry((at, oid)).or_default();
+        rc[0] += 1;
         if !is_owner {
             // Not the owner: forward along the ownerPtr chain.
+            rc[1] += 1;
             self.emit(sh, send, at, hint, DsmMsg::WriteReq { oid, requester });
             return Ok(());
         }
-        if locked || pending {
-            self.ns_mut(at)
-                .queued
-                .entry(oid)
-                .or_default()
-                .push(QueuedReq {
-                    requester,
-                    kind: ReqKind::Write,
-                });
+        if parked || pending {
+            rc[2] += 1;
+            self.queue_request(at, oid, requester, ReqKind::Write);
             return Ok(());
         }
+        rc[3] += 1;
         self.owner_start_write_transfer(at, oid, requester, sh, send)
     }
 
@@ -964,8 +1102,8 @@ impl DsmEngine {
         sh: &mut DsmShared<'_>,
         send: &mut SendFn<'_>,
     ) -> Result<()> {
-        let locked = self.ns(at).get(oid).is_some_and(|s| s.locked);
-        if locked {
+        let parked = self.ns(at).get(oid).is_some_and(|s| s.locked || s.reserved);
+        if parked {
             self.ns_mut(at)
                 .deferred_invals
                 .entry(oid)
@@ -1085,8 +1223,12 @@ impl DsmEngine {
     ) -> Result<()> {
         if requester == owner {
             // Local promotion: the owner keeps ownership, now exclusive.
+            // Reserve for the local waiter just like a remote grant would —
+            // the promoted token is equally stealable until the claim.
+            let reserve = self.ns(owner).waiting_for.contains_key(&oid);
             let st = self.ns_mut(owner).get_mut(oid).expect("owner state exists");
             st.token = Token::Write;
+            st.reserved = reserve;
             self.ns_mut(owner).waiting_for.remove(&oid);
             return Ok(());
         }
@@ -1183,19 +1325,27 @@ impl DsmEngine {
         self.apply_incoming_relocations(at, &relocations, sh);
         self.install_replica(at, oid, addr, &image, sh)?;
         let ns = self.ns_mut(at);
+        // Reserve the token for the local waiter (if any) until its next
+        // poll claims it — a write waiter keeps waiting, a read token is
+        // no use to it.
+        let reserve = matches!(ns.waiting_for.get(&oid), Some(ReqKind::Read));
         match ns.get_mut(oid) {
             Some(st) => {
                 st.token = Token::Read;
                 if !st.is_owner {
                     st.owner_hint = owner_hint;
                 }
+                st.reserved = reserve;
             }
             None => {
-                ns.objects
-                    .insert(oid, ObjState::new_replica(bunch, Token::Read, owner_hint));
+                let mut st = ObjState::new_replica(bunch, Token::Read, owner_hint);
+                st.reserved = reserve;
+                ns.objects.insert(oid, st);
             }
         }
-        ns.waiting_for.remove(&oid);
+        if reserve {
+            ns.waiting_for.remove(&oid);
+        }
         trace::emit(
             at,
             TraceEvent::AcquireComplete {
@@ -1225,16 +1375,23 @@ impl DsmEngine {
         sh.gc.apply_intra_ssp(at, &intra_ssp);
         self.install_replica(at, oid, addr, &image, sh)?;
         let ns = self.ns_mut(at);
+        // A write token satisfies either wait kind; hold it for the local
+        // waiter until its next poll claims it, so a concurrent remote
+        // request cannot steal it inside that window (on real threads the
+        // waiter may be parked in its poll backoff for milliseconds).
+        let reserve = ns.waiting_for.contains_key(&oid);
         match ns.get_mut(oid) {
             Some(st) => {
                 st.token = Token::Write;
                 st.is_owner = true;
                 st.owner_hint = at;
                 st.entering.insert(src);
+                st.reserved = reserve;
             }
             None => {
                 let mut st = ObjState::new_owner(bunch, at);
                 st.entering.insert(src);
+                st.reserved = reserve;
                 ns.objects.insert(oid, st);
             }
         }

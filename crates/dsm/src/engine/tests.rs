@@ -127,6 +127,7 @@ impl Harness {
             matches!(self.engine.token(node, oid), Token::Read | Token::Write),
             "read acquire did not complete at {node} for {oid}"
         );
+        self.claim(node, oid);
     }
 
     fn acquire_write(&mut self, node: NodeId, oid: Oid) {
@@ -138,6 +139,28 @@ impl Harness {
             "write acquire incomplete"
         );
         assert!(self.engine.is_owner(node, oid));
+        self.claim(node, oid);
+    }
+
+    /// Claims a landed grant without entering a critical section: releases
+    /// the grant-time reservation so later remote requests and
+    /// invalidations are served. Every real caller does one of `lock()`
+    /// (mutators) or `cancel_wait` (e.g. the strong-copy baseline); a
+    /// token held by neither would keep the replica parked forever.
+    fn claim(&mut self, node: NodeId, oid: Oid) {
+        let (engine, mems, stats, gc, net) = (
+            &mut self.engine,
+            &mut self.mems,
+            &mut self.stats,
+            &mut self.gc,
+            &mut self.net,
+        );
+        let mut sh = DsmShared { mems, stats, gc };
+        let mut send = |src: NodeId, dst: NodeId, pkt: DsmPacket| {
+            net.send(src, dst, MsgClass::Dsm, pkt);
+        };
+        engine.cancel_wait(node, oid, &mut sh, &mut send).unwrap();
+        self.pump();
     }
 
     fn unlock(&mut self, node: NodeId, oid: Oid) {
@@ -280,6 +303,10 @@ fn unlock_round_coalesces_messages_per_destination() {
     }
     assert_eq!(h.net.total_sent(), sent_before + 1, "one envelope, not two");
     h.pump();
+    // Node 1's grant lands reserved for its waiter; the forwarded request
+    // parks behind it. The waiter's critical section hands the token on.
+    h.engine.lock(n(1), Oid(1)).unwrap();
+    h.unlock(n(1), Oid(1));
     // The chained transfer still completes: node 2 ends up as owner.
     assert_eq!(h.engine.token(n(2), Oid(1)), Token::Write);
     assert!(h.engine.is_owner(n(2), Oid(1)));

@@ -79,6 +79,15 @@ pub struct ObjState {
     pub entering: BTreeSet<NodeId>,
     /// Mutator is inside an acquire/release critical section.
     pub locked: bool,
+    /// A grant landed for a still-outstanding local acquire, and the
+    /// waiting mutator has not claimed it yet. While set, request and
+    /// invalidate handlers treat the replica like `locked` (queue/defer
+    /// instead of serving) so a concurrent remote request cannot steal
+    /// the token out from under the waiter between the grant's arrival
+    /// and the waiter's next poll — on real threads that window is long
+    /// enough to livelock under duplicate-request storms. Cleared by
+    /// [`super::DsmEngine::lock`] (the claim) or by cancelling the wait.
+    pub reserved: bool,
 }
 
 impl ObjState {
@@ -92,6 +101,7 @@ impl ObjState {
             copy_set: BTreeSet::new(),
             entering: BTreeSet::new(),
             locked: false,
+            reserved: false,
         }
     }
 
@@ -106,6 +116,7 @@ impl ObjState {
             copy_set: BTreeSet::new(),
             entering: BTreeSet::new(),
             locked: false,
+            reserved: false,
         }
     }
 }

@@ -51,6 +51,10 @@ pub enum Ctr {
     /// Mutator operations completed through a parallel-runtime node
     /// handle (the numerator of E13's sustained ops/sec).
     ParallelOps,
+    /// Envelopes fully applied by this node's parallel-runtime driver
+    /// thread. Together with [`Ctr::ParallelOps`] this is the progress
+    /// signal the parallel watchdog's stall detector watches.
+    ParallelDeliveries,
 }
 
 /// Per-node gauges (set to the current value; may go down).
@@ -120,7 +124,7 @@ pub enum LinkCtr {
 }
 
 impl Ctr {
-    pub(crate) const COUNT: usize = 12;
+    pub(crate) const COUNT: usize = 13;
     /// All counters, in index order.
     pub const ALL: [Ctr; Self::COUNT] = [
         Ctr::FaultActivations,
@@ -135,6 +139,7 @@ impl Ctr {
         Ctr::RecoveryTotalMicros,
         Ctr::FromSpaceDrains,
         Ctr::ParallelOps,
+        Ctr::ParallelDeliveries,
     ];
 }
 
@@ -311,6 +316,8 @@ pub struct Registry {
     bunch_live_bytes: RwLock<BTreeMap<(u32, u64), u64>>,
     /// Alarms fired per detector kind.
     alarms: [AtomicU64; AlarmKind::ALL.len()],
+    /// Most recent alarm per node, for liveness dashboards (`bmx_top`).
+    last_alarms: Mutex<BTreeMap<u32, AlarmKind>>,
     pub(crate) watchdog: Mutex<WatchdogState>,
     pub(crate) cfg: WatchdogConfig,
 }
@@ -323,6 +330,7 @@ impl Registry {
             links: RwLock::new(BTreeMap::new()),
             bunch_live_bytes: RwLock::new(BTreeMap::new()),
             alarms: core::array::from_fn(|_| AtomicU64::new(0)),
+            last_alarms: Mutex::new(BTreeMap::new()),
             watchdog: Mutex::new(WatchdogState::default()),
             cfg,
         }
@@ -387,6 +395,23 @@ impl Registry {
             .position(|&k| k == kind)
             .expect("kind");
         self.alarms[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remembers `kind` as the most recent alarm at `node`.
+    pub(crate) fn note_alarm(&self, node: u32, kind: AlarmKind) {
+        self.last_alarms
+            .lock()
+            .expect("last-alarm lock")
+            .insert(node, kind);
+    }
+
+    /// The most recent watchdog alarm fired at `node`, if any.
+    pub fn last_alarm(&self, node: u32) -> Option<AlarmKind> {
+        self.last_alarms
+            .lock()
+            .expect("last-alarm lock")
+            .get(&node)
+            .copied()
     }
 
     /// Alarms fired so far for `kind`.

@@ -53,6 +53,14 @@ pub struct WatchdogConfig {
     /// Minimum advance of the cluster-wide max Lamport clock over the
     /// stall window for the stall to count as "left behind".
     pub stall_min_progress: u64,
+    /// Parallel mode only: ticks (supervisor pulses) the cluster-wide
+    /// progress total ([`Ctr::ParallelOps`] + [`Ctr::ParallelDeliveries`])
+    /// may sit frozen *while messages are in flight* before
+    /// [`AlarmKind::ProgressStall`] fires. Quiet clusters (no pending
+    /// work) never alarm, so idle time is fine; the detector is only run
+    /// from [`evaluate_parallel`], so the deterministic simulation is
+    /// untouched.
+    pub progress_window: u64,
 }
 
 impl Default for WatchdogConfig {
@@ -65,6 +73,7 @@ impl Default for WatchdogConfig {
             retry_window: 600,
             stall_window: 1_000,
             stall_min_progress: 64,
+            progress_window: 2_000,
         }
     }
 }
@@ -98,10 +107,16 @@ struct NodeWd {
 pub(crate) struct WatchdogState {
     nodes: Vec<NodeWd>,
     primed: bool,
+    // Progress stall (cluster-wide, parallel mode): last progress total,
+    // the tick pending work was first seen with that total, and the latch.
+    pg_last: u64,
+    pg_since: Option<u64>,
+    pg_latched: bool,
 }
 
 fn fire(reg: &Registry, node: u32, kind: AlarmKind, value: u64, since_tick: u64) {
     reg.count_alarm(kind);
+    reg.note_alarm(node, kind);
     let witness_lamport = bmx_trace::clock(NodeId(node));
     bmx_trace::emit(
         NodeId(node),
@@ -112,6 +127,44 @@ fn fire(reg: &Registry, node: u32, kind: AlarmKind, value: u64, since_tick: u64)
             witness_lamport,
         },
     );
+}
+
+/// Runs every detector against the registry's current readings, plus the
+/// parallel-only progress-stall detector: `pending_work` is the
+/// transport's `in_flight()` reading. While it stays nonzero and the
+/// cluster-wide progress total (completed ops + applied deliveries)
+/// never advances for [`WatchdogConfig::progress_window`] ticks, the
+/// runtime is livelocked or deadlocked — [`AlarmKind::ProgressStall`]
+/// fires once (at node 0, as the cluster-wide designee) and latches
+/// until progress resumes. The parallel runtime's supervisor calls this;
+/// the tick simulation keeps calling [`evaluate`], which never runs this
+/// detector.
+pub fn evaluate_parallel(reg: &Registry, now: u64, pending_work: u64) {
+    evaluate(reg, now);
+    let cfg = reg.cfg;
+    let n = reg.node_count();
+    if n == 0 {
+        return;
+    }
+    let progress: u64 = (0..n as u32)
+        .map(|i| {
+            let scope = reg.node(i);
+            scope.ctr(Ctr::ParallelOps) + scope.ctr(Ctr::ParallelDeliveries)
+        })
+        .sum();
+    let mut wd = reg.watchdog.lock().expect("watchdog lock");
+    if progress != wd.pg_last || pending_work == 0 {
+        wd.pg_last = progress;
+        wd.pg_since = None;
+        wd.pg_latched = false;
+        return;
+    }
+    let since = *wd.pg_since.get_or_insert(now);
+    if !wd.pg_latched && now.saturating_sub(since) >= cfg.progress_window {
+        wd.pg_latched = true;
+        drop(wd);
+        fire(reg, 0, AlarmKind::ProgressStall, pending_work, since);
+    }
 }
 
 /// Runs every detector against the registry's current readings.
@@ -233,6 +286,7 @@ mod tests {
             retry_window: 50,
             stall_window: 40,
             stall_min_progress: 8,
+            progress_window: 30,
         })
     }
 
@@ -341,6 +395,41 @@ mod tests {
         }
         assert_eq!(r.alarms(AlarmKind::ClockStall), 1);
         bmx_trace::disable();
+    }
+
+    #[test]
+    fn progress_stall_needs_frozen_progress_with_pending_work() {
+        let r = reg();
+        let n0 = r.node(0);
+        n0.add(Ctr::ParallelOps, 10);
+        evaluate_parallel(&r, 0, 5); // primes
+                                     // Pending work but progress keeps advancing: no alarm.
+        for t in 1..100 {
+            n0.add(Ctr::ParallelDeliveries, 1);
+            evaluate_parallel(&r, t, 5);
+        }
+        assert_eq!(r.alarms(AlarmKind::ProgressStall), 0, "progress is fine");
+        // Idle cluster (nothing pending) with frozen progress: no alarm.
+        for t in 100..200 {
+            evaluate_parallel(&r, t, 0);
+        }
+        assert_eq!(r.alarms(AlarmKind::ProgressStall), 0, "idle is fine");
+        // Frozen progress while messages are in flight: fires, once.
+        for t in 200..300 {
+            evaluate_parallel(&r, t, 5);
+        }
+        assert_eq!(r.alarms(AlarmKind::ProgressStall), 1);
+        assert_eq!(r.last_alarm(0), Some(AlarmKind::ProgressStall));
+        for t in 300..350 {
+            evaluate_parallel(&r, t, 5);
+        }
+        assert_eq!(r.alarms(AlarmKind::ProgressStall), 1, "latched");
+        // Progress resumes: the latch clears, a fresh stall re-fires.
+        n0.add(Ctr::ParallelOps, 1);
+        for t in 350..450 {
+            evaluate_parallel(&r, t, 5);
+        }
+        assert_eq!(r.alarms(AlarmKind::ProgressStall), 2);
     }
 
     #[test]

@@ -44,12 +44,16 @@
 //! ```
 
 pub mod fault;
+pub mod fault_transport;
 pub mod network;
 pub mod piggyback;
 pub mod transport;
 
 pub use fault::{
     CrashEvent, FaultConfigError, FaultEvent, FaultPlan, FaultStats, LinkFault, Partition,
+};
+pub use fault_transport::{
+    FaultyTransport, ParallelFaultPlan, ParallelFaultStats, ParallelLinkFault, ParallelPartition,
 };
 pub use network::{ClassStats, Envelope, MsgClass, Network, NetworkConfig, WireSize};
 pub use piggyback::PiggybackBuffer;

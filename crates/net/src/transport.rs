@@ -64,6 +64,22 @@ pub trait Transport<M>: Send + Sync {
 
     /// Envelopes discarded whole (shutdown drop policy) for `class`.
     fn dropped(&self, class: MsgClass) -> u64;
+
+    /// Accounts an envelope discarded whole (shutdown drop policy, or a
+    /// crashed node's purged inbox). Pair with
+    /// [`Transport::ack_delivered`] like a delivery, so `in_flight`
+    /// still converges to zero.
+    fn note_dropped(&self, class: MsgClass);
+
+    /// Total envelopes accepted across all classes.
+    fn sent_total(&self) -> u64 {
+        MsgClass::ALL.iter().map(|&c| self.sent(c)).sum()
+    }
+
+    /// Total envelopes discarded across all classes.
+    fn dropped_total(&self) -> u64 {
+        MsgClass::ALL.iter().map(|&c| self.dropped(c)).sum()
+    }
 }
 
 struct Inbox<M> {
@@ -133,22 +149,6 @@ impl<M: Send> ChannelTransport<M> {
         let idx = src.0 as usize * self.nodes + dst.0 as usize;
         self.seqs[idx].fetch_add(1, Ordering::Relaxed) + 1
     }
-
-    /// Accounts an envelope discarded whole under the shutdown drop
-    /// policy. Pair with [`Transport::ack_delivered`] like a delivery.
-    pub fn note_dropped(&self, class: MsgClass) {
-        self.dropped[class_idx(class)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total envelopes accepted across all classes.
-    pub fn sent_total(&self) -> u64 {
-        self.sent.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Total envelopes discarded across all classes.
-    pub fn dropped_total(&self) -> u64 {
-        self.dropped.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
 }
 
 impl<M: Send> Transport<M> for ChannelTransport<M> {
@@ -193,6 +193,10 @@ impl<M: Send> Transport<M> for ChannelTransport<M> {
 
     fn dropped(&self, class: MsgClass) -> u64 {
         self.dropped[class_idx(class)].load(Ordering::Relaxed)
+    }
+
+    fn note_dropped(&self, class: MsgClass) {
+        self.dropped[class_idx(class)].fetch_add(1, Ordering::Relaxed);
     }
 }
 

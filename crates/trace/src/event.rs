@@ -92,15 +92,20 @@ pub enum AlarmKind {
     /// A node's Lamport clock stalled while the rest of the cluster
     /// made progress.
     ClockStall,
+    /// The parallel runtime had work pending (messages in flight) but no
+    /// node completed an operation or a delivery for a whole detection
+    /// window — a livelock/deadlock on real threads.
+    ProgressStall,
 }
 
 impl AlarmKind {
     /// All detector kinds, for iteration in reports.
-    pub const ALL: [AlarmKind; 4] = [
+    pub const ALL: [AlarmKind; 5] = [
         AlarmKind::FromSpaceLeak,
         AlarmKind::ScionBacklog,
         AlarmKind::RetryStorm,
         AlarmKind::ClockStall,
+        AlarmKind::ProgressStall,
     ];
 }
 

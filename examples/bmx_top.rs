@@ -110,7 +110,25 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
     use std::time::{Duration, Instant};
 
     let reg = metrics::install();
-    let pc = bmx::ParallelCluster::spawn(ClusterConfig::with_nodes(NODES));
+    // A modest chaos plan so the dashboard has failure-domain state to
+    // show: small delays on every link, plus a supervisor that restarts
+    // crashed drivers live (an injected crash below demos the
+    // down -> recovering -> alive arc).
+    let chaos = bmx::ChaosConfig {
+        seed: 0xB070_5EED,
+        plan: ParallelFaultPlan::default().all_links(ParallelLinkFault {
+            delay: 0.05,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    // Crash-amnesia recovery replays the RVM store; without it a revived
+    // node comes back knowing nothing (its bunches unmapped, every op an
+    // error). Give the cluster a store and cut a checkpoint after setup.
+    let persist_dir = std::env::temp_dir().join(format!("bmx-top-parallel-{}", std::process::id()));
+    let mut cfg = ClusterConfig::with_nodes(NODES);
+    cfg.persist = Some(PersistConfig::at(&persist_dir));
+    let pc = bmx::ParallelCluster::spawn_with_chaos(cfg, chaos);
     let h0 = pc.handle(NodeId(0));
     let bunch = h0.create_bunch()?;
     let objs: Vec<Addr> = (0..4)
@@ -127,6 +145,15 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
             h.add_root(o)?;
         }
     }
+    // Checkpoints are cut at collections: one per node so the RVM store
+    // holds the mapped bunch before any crash.
+    for i in 0..NODES {
+        pc.handle(NodeId(i)).run_bgc(bunch)?;
+    }
+    assert!(
+        pc.quiesce(Duration::from_secs(10)),
+        "setup failed to quiesce"
+    );
 
     let stop = Arc::new(AtomicBool::new(false));
     let mutators: Vec<_> = (0..NODES)
@@ -152,7 +179,10 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
                         h.release(o)
                     };
                     if step().is_err() {
-                        break;
+                        // A NodeDown/WouldBlock while a peer is crashed or
+                        // recovering: back off and retry — the supervisor
+                        // restarts the node live.
+                        std::thread::sleep(Duration::from_millis(1));
                     }
                 }
             })
@@ -166,6 +196,12 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
             std::thread::sleep(Duration::from_millis(250));
         } else {
             std::thread::sleep(Duration::from_millis(20));
+        }
+        // A third of the way in, crash a node on purpose: the next frames
+        // show its failure domain go down, recover, and rejoin while the
+        // survivors keep serving.
+        if f == frames / 3 {
+            pc.inject_crash(NodeId(NODES - 1));
         }
         let ops = pc.ops();
         let dt = last_t.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
@@ -181,13 +217,27 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
             pc.in_flight(),
         );
         out.push_str(
-            "node  parallel_ops  acq_rd_p50(us)  acq_rd_p99(us)  acq_wr_p50(us)  acq_wr_p99(us)\n",
+            "node  status      restarts  last_alarm     parallel_ops  \
+             acq_rd_p50(us)  acq_rd_p99(us)  acq_wr_p50(us)  acq_wr_p99(us)\n",
         );
+        let liveness = pc.liveness();
         for i in 0..NODES {
             let scope = reg.node(i);
+            let lv = &liveness[i as usize];
+            let status = match lv.status {
+                bmx::NodeStatus::Alive => "alive",
+                bmx::NodeStatus::Recovering => "recovering",
+                bmx::NodeStatus::Down => "down",
+            };
+            let alarm = reg
+                .last_alarm(i)
+                .map_or_else(|| "-".to_string(), |k| format!("{k:?}"));
             out.push_str(&format!(
-                "{:>4}  {:>12}  {:>14}  {:>14}  {:>14}  {:>14}\n",
+                "{:>4}  {:<10}  {:>8}  {:<13}  {:>12}  {:>14}  {:>14}  {:>14}  {:>14}\n",
                 i,
+                status,
+                lv.restarts,
+                alarm,
                 scope.ctr(Ctr::ParallelOps),
                 quantile(&reg, i, Hst::AcquireReadMicros, 0.5),
                 quantile(&reg, i, Hst::AcquireReadMicros, 0.99),
@@ -206,9 +256,10 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
     let (cluster, report) = pc.shutdown(Shutdown::Drain)?;
     cluster.assert_gc_acquired_no_tokens();
     println!(
-        "\nshutdown: sent {} delivered {} dropped {}",
-        report.sent, report.delivered, report.dropped
+        "\nshutdown: sent {} delivered {} dropped {} restarts {}",
+        report.sent, report.delivered, report.dropped, report.restarts
     );
+    let _ = std::fs::remove_dir_all(&persist_dir);
     Ok(())
 }
 

@@ -37,12 +37,15 @@ pub use bmx_workloads as workloads;
 /// A convenient prelude for examples and tests.
 pub mod prelude {
     pub use bmx::{
-        Cluster, ClusterConfig, NodeHandle, ObjSpec, ParallelCluster, PersistConfig,
-        RecoveryOutcome, RetryPolicy, Shutdown, ShutdownReport,
+        ChaosConfig, Cluster, ClusterConfig, NodeHandle, NodeLiveness, NodeStatus, ObjSpec,
+        ParallelCluster, PersistConfig, RecoveryOutcome, RetryPolicy, Shutdown, ShutdownReport,
     };
     pub use bmx_addr::Protection;
     pub use bmx_common::{Addr, BmxError, BunchId, NodeId, Oid, Result, StatKind};
     pub use bmx_dsm::Token;
     pub use bmx_gc::RelocMode;
-    pub use bmx_net::{FaultPlan, FaultStats, LinkFault, MsgClass, NetworkConfig};
+    pub use bmx_net::{
+        FaultPlan, FaultStats, FaultyTransport, LinkFault, MsgClass, NetworkConfig,
+        ParallelFaultPlan, ParallelFaultStats, ParallelLinkFault, ParallelPartition,
+    };
 }

@@ -184,6 +184,74 @@ fn drop_discards_only_loss_tolerant_classes_whole() {
     }
 }
 
+/// A failed quiesce is advisory, not corrupting: when the backlog cannot
+/// drain inside the deadline, `quiesce` reports `false` and a subsequent
+/// `shutdown(Drain)` still gives every in-flight envelope its legal fate —
+/// per-class accounting conserves exactly (`sent == delivered + dropped`
+/// for *each* message class, not just in aggregate) and the final state
+/// passes the same audit set as a clean run.
+#[test]
+fn failed_quiesce_then_drain_conserves_per_class() {
+    for seed in [0xBAD_0001u64, 0xBAD_0002, 0xBAD_0003, 0xBAD_0004] {
+        let pc = ParallelCluster::spawn(ClusterConfig::with_nodes(NODES));
+        let h0 = pc.handle(n(0));
+        let bunch = h0.create_bunch().expect("bunch");
+        let obj = h0
+            .alloc(bunch, &ObjSpec::with_refs(2, &[0]))
+            .expect("alloc");
+        h0.add_root(obj).expect("root");
+        let mut live = vec![(n(0), obj)];
+        for i in 1..NODES {
+            let h = pc.handle(n(i));
+            h.map_bunch(bunch, n(0)).expect("map");
+            h.add_root(obj).expect("root");
+            live.push((n(i), obj));
+        }
+        assert!(pc.quiesce(Duration::from_secs(10)), "setup quiesce");
+
+        // Straddle thread: export a collection backlog to the transport,
+        // then hold the protocol lock long past the quiesce deadline so
+        // the drivers cannot apply it.
+        let straddle = {
+            let h = pc.handle(n(seed as u32 % NODES));
+            let home = n(seed as u32 % NODES);
+            std::thread::spawn(move || {
+                h.with(|c| {
+                    for _ in 0..4 {
+                        c.run_bgc(home, bunch)?;
+                    }
+                    std::thread::sleep(Duration::from_millis(60));
+                    Ok(())
+                })
+                .expect("straddle collections");
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(
+            !pc.quiesce(Duration::from_millis(5)),
+            "seed {seed:#x}: a lock-held backlog must fail a 5ms quiesce"
+        );
+        let (mut cluster, report) = pc.shutdown(Shutdown::Drain).expect("shutdown");
+        straddle.join().expect("straddle thread");
+        assert!(report.sent > 0, "seed {seed:#x}: vacuous run");
+        for class in 0..4 {
+            assert_eq!(
+                report.sent_by_class[class],
+                report.delivered_by_class[class] + report.dropped_by_class[class],
+                "seed {seed:#x}: class {class} leaked an envelope: {report:?}"
+            );
+        }
+        assert_eq!(
+            report.dropped, 0,
+            "seed {seed:#x}: drain after failed quiesce dropped: {report:?}"
+        );
+        cluster.settle(50_000).unwrap();
+        cluster.assert_gc_acquired_no_tokens();
+        audit::assert_no_premature_reclamation(&cluster, &live);
+        audit::assert_clean(&cluster);
+    }
+}
+
 /// The post-shutdown audit set shared by both modes: the returned cluster
 /// runs deterministically again, every increment that reported success is
 /// in the heap, no root was reclaimed, and the structural audit is clean.
