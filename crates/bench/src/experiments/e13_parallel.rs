@@ -12,6 +12,12 @@
 //!
 //! Wall-clock columns (`ops_per_sec`, `*_us`) go through the perf gate's
 //! relative tolerance bands; `ops` is the deterministic workload size.
+//!
+//! Set `BMX_PROFILE=1` to record wall-clock spans during the measured
+//! window and export one Perfetto trace per cluster size to
+//! `target/profile/e13-<n>nodes.trace.json` — the CI perf leg does this
+//! on its second pass and uploads the traces as artifacts, so a slow
+//! E13 run comes with the span-level evidence attached.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -60,6 +66,23 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+/// `BMX_PROFILE=1` turns the span profiler on for the measured window.
+fn profiling() -> bool {
+    std::env::var("BMX_PROFILE").is_ok_and(|v| v == "1")
+}
+
+/// Exports the recorded spans as a Perfetto trace under `target/profile/`.
+fn export_profile(nodes: u32) {
+    let spans = bmx_profile::snapshot_all();
+    bmx_profile::disable();
+    let dir = std::path::Path::new("target").join("profile");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("e13-{nodes}nodes.trace.json"));
+        let _ = std::fs::write(&path, bmx_profile::chrome::export(&spans));
+        eprintln!("e13: wrote span trace {}", path.display());
+    }
+}
+
 fn drive(nodes: u32) -> Row {
     let pc = ParallelCluster::spawn(ClusterConfig::with_nodes(nodes));
     let h0 = pc.handle(NodeId(0));
@@ -81,6 +104,11 @@ fn drive(nodes: u32) -> Row {
         }
     }
     assert!(pc.quiesce(Duration::from_secs(10)), "setup quiesce");
+    // Profile only the measured window: setup spans would drown the
+    // steady-state picture in one-time mapping traffic.
+    if profiling() {
+        bmx_profile::enable(8192);
+    }
 
     let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let t0 = Instant::now();
@@ -112,6 +140,9 @@ fn drive(nodes: u32) -> Row {
     let wall = t0.elapsed();
     let ops = pc.ops();
     assert!(pc.quiesce(Duration::from_secs(10)), "quiesce");
+    if profiling() {
+        export_profile(nodes);
+    }
     let (mut cluster, report) = pc.shutdown(Shutdown::Drain).expect("drain");
     assert_eq!(report.dropped, 0, "drain dropped traffic");
     // Full totals check: every increment landed exactly once.

@@ -41,6 +41,7 @@ fn same_request(a: &DsmMsg, b: &DsmMsg) -> bool {
 use bmx_gc::{barrier, cleaner, collect, fromspace, CollectStats, GcMsg, GcState, RelocMode};
 use bmx_metrics::{self as metrics, Ctr, Gge, Hst, LinkCtr};
 use bmx_net::{Envelope, FaultEvent, MsgClass, Network, NetworkConfig};
+use bmx_profile::{self as profile, SpanKind};
 use bmx_rvm::{Rvm, RvmOptions};
 use bmx_trace::{self as trace, TraceEvent};
 
@@ -313,6 +314,11 @@ impl Cluster {
     /// transport) or — if the dispatch errors — not applied at all past
     /// the error point, with the error surfaced to the driver.
     pub fn deliver(&mut self, env: Envelope<ClusterMsg>) -> Result<()> {
+        // Apply under the envelope's profiler flow: cascading sends the
+        // dispatch stages (a grant answering this request) inherit it,
+        // and an *unstamped* envelope (span 0) clears whatever flow the
+        // calling thread saw last rather than mis-attributing to it.
+        let _flow = profile::flow_scope(env.span);
         let r = self.dispatch(env);
         self.export_outbox();
         r
@@ -484,6 +490,7 @@ impl Cluster {
         let n = node.0 as usize;
         self.rejoin_epochs[n] += 1;
         let started_at = self.net.now();
+        let replay_span = profile::span(SpanKind::RecoveryReplay, node);
         let replay_start = std::time::Instant::now();
         let mut recovered: Vec<(Oid, BunchId)> = Vec::new();
         if self.persist.is_some() {
@@ -508,6 +515,7 @@ impl Cluster {
             }
         }
         let epoch = self.rejoin_epochs[n];
+        drop(replay_span);
         let replay_micros = replay_start.elapsed().as_micros() as u64;
         metrics::add(node, Ctr::RecoveryReplayMicros, replay_micros);
         trace::emit(node, TraceEvent::RecoveryBegin { epoch });

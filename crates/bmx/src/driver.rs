@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use bmx_common::{NodeId, Result};
 use bmx_net::Transport;
+use bmx_profile::{self as profile, SpanKind};
 
 use crate::cluster::Cluster;
 use crate::msg::ClusterMsg;
@@ -93,6 +94,11 @@ impl Driver for LinkDriver {
     fn poll(&mut self, cluster: &mut Cluster) -> Result<usize> {
         match self.transport.try_recv(self.node) {
             Some(env) => {
+                // Same apply attribution as the parallel runtime's own
+                // driver loop: callers that poll a LinkDriver directly
+                // (threaded actors, conformance harnesses) profile
+                // identically to `bmx::parallel`.
+                let _apply = profile::span_with_flow(SpanKind::DriverApply, self.node, env.span);
                 let r = cluster.deliver(env);
                 self.transport.ack_delivered();
                 r.map(|()| 1)

@@ -47,6 +47,7 @@
 //! ```
 
 pub mod audit;
+pub mod blackbox;
 pub mod cluster;
 pub mod driver;
 pub mod msg;

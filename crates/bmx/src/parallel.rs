@@ -58,6 +58,7 @@ use bmx_metrics::{self as metrics, Ctr, Hst, Registry};
 use bmx_net::{
     ChannelTransport, FaultyTransport, MsgClass, NetworkConfig, ParallelFaultPlan, Transport,
 };
+use bmx_profile::{self as profile, SpanKind};
 use parking_lot::Mutex;
 
 use crate::cluster::{Cluster, ClusterConfig};
@@ -267,6 +268,49 @@ impl WakeCell {
     }
 }
 
+/// The protocol mutex, taken with wait/hold attribution: wall-clock
+/// wait and hold time land in [`Hst::MutexWaitMicros`] /
+/// [`Hst::MutexHoldMicros`] under `node` — the node the locking thread
+/// was working *for* — and as `mutex/wait` / `mutex/hold` profiler
+/// spans carrying the thread's current flow. Zero-cost when both planes
+/// are off: one `Instant` read gated behind their enabled checks.
+struct CoreGuard<'a> {
+    guard: parking_lot::MutexGuard<'a, Option<Cluster>>,
+    node: NodeId,
+    /// `Some` only when a plane is recording (the enabled check at lock
+    /// time is the gate for the whole guard).
+    hold_start: Option<Instant>,
+    /// Hold start on the profiler clock, µs since its epoch.
+    hold_start_us: u64,
+}
+
+impl std::ops::Deref for CoreGuard<'_> {
+    type Target = Option<Cluster>;
+    fn deref(&self) -> &Self::Target {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for CoreGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.guard
+    }
+}
+
+impl Drop for CoreGuard<'_> {
+    fn drop(&mut self) {
+        // Runs *before* the mutex guard field drops, so the measured
+        // hold ends while the lock is still held — never short.
+        if let Some(t0) = self.hold_start.take() {
+            let us = t0.elapsed().as_micros() as u64;
+            metrics::observe(self.node, Hst::MutexHoldMicros, us);
+            if profile::enabled() {
+                profile::record(SpanKind::MutexHold, self.node, self.hold_start_us, us);
+            }
+        }
+    }
+}
+
 fn class_idx(class: MsgClass) -> usize {
     MsgClass::ALL
         .iter()
@@ -282,6 +326,13 @@ impl Shared {
     /// Marks `node`'s failure domain down. Later calls in the same down
     /// episode update the note (the last crash reason is the useful one).
     fn fail_node(&self, node: NodeId, note: String) {
+        // Genuine deaths (protocol errors, panics) trigger the post-
+        // mortem blackbox; *injected* crashes are routine traffic in a
+        // green chaos-recovery soak and must not produce dumps — the
+        // nightly gate treats any dump on a passing run as a failure.
+        if !note.starts_with("injected crash") {
+            crate::blackbox::dump_if_armed(&note, self.registry.as_deref(), &self.generations());
+        }
         let st = &self.nodes[node.0 as usize];
         *st.note.lock() = Some(note);
         st.down_since.store(u64::MAX, Ordering::Release);
@@ -308,6 +359,36 @@ impl Shared {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Takes the protocol mutex attributed to `node`; see [`CoreGuard`].
+    fn lock_core(&self, node: NodeId) -> CoreGuard<'_> {
+        let timed = metrics::enabled() || profile::enabled();
+        let wait_start = if timed { Some(Instant::now()) } else { None };
+        let wait_start_us = profile::now_us();
+        let guard = self.core.lock();
+        if let Some(t0) = wait_start {
+            let us = t0.elapsed().as_micros() as u64;
+            metrics::observe(node, Hst::MutexWaitMicros, us);
+            if profile::enabled() {
+                profile::record(SpanKind::MutexWait, node, wait_start_us, us);
+            }
+        }
+        CoreGuard {
+            guard,
+            node,
+            hold_start: if timed { Some(Instant::now()) } else { None },
+            hold_start_us: profile::now_us(),
+        }
+    }
+
+    /// Per-node failure-domain generations, for blackbox metadata.
+    fn generations(&self) -> Vec<(u32, u64)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, st)| (i as u32, st.generation.load(Ordering::Acquire)))
+            .collect()
     }
 
     /// Discards everything queued for `node` (crash semantics: the dead
@@ -476,6 +557,20 @@ impl ParallelCluster {
             .fail_node(node, format!("injected crash at {node:?}"));
     }
 
+    /// A metrics snapshot stamped for post-hoc ordering: wall-clock
+    /// capture time plus each node's failure-domain generation (see
+    /// [`bmx_metrics::Snapshot::stamp_meta`]). `None` when the runtime
+    /// was spawned without a metrics registry. Blackbox dumps and
+    /// chaos-soak artifacts use this instead of the raw
+    /// [`Registry::snapshot`], so two dumps can always be ordered and
+    /// matched to node incarnations after the fact.
+    pub fn metrics_snapshot(&self) -> Option<bmx_metrics::Snapshot> {
+        let reg = self.shared.registry.as_ref()?;
+        let mut snap = reg.snapshot();
+        snap.stamp_meta(&self.shared.generations());
+        Some(snap)
+    }
+
     /// Per-node liveness snapshot.
     pub fn liveness(&self) -> Vec<NodeLiveness> {
         (0..self.nodes)
@@ -621,6 +716,13 @@ impl ParallelCluster {
             .expect("cluster present until shutdown");
         cluster.clear_uplink();
         if !failures.is_empty() {
+            // A failed shutdown is the chaos soak's "the run died": grab
+            // the post-mortem while the rings still hold the death.
+            crate::blackbox::dump_if_armed(
+                &format!("shutdown with failed nodes: {}", failures.join("; ")),
+                self.shared.registry.as_deref(),
+                &self.shared.generations(),
+            );
             return Err(BmxError::Protocol(format!(
                 "parallel runtime failed: {}",
                 failures.join("; ")
@@ -657,8 +759,19 @@ fn drive(node: NodeId, shared: Arc<Shared>, generation: u64) {
                     continue;
                 }
                 let class = env.class;
+                // Work on behalf of the envelope's flow for the whole
+                // apply: the mutex wait/hold spans, the apply span, and
+                // any sends the delivery stages (a grant answering a
+                // request) all join the originating acquire's track.
+                let _flow = profile::flow_scope(env.span);
+                let apply_span = profile::span_with_flow(SpanKind::DriverApply, node, env.span);
+                let apply_t0 = if metrics::enabled() {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    let mut core = shared.core.lock();
+                    let mut core = shared.lock_core(node);
                     // Crash check *under the protocol lock*: a restart
                     // bumps the generation while holding it, so a popped
                     // envelope can never leak into the recovered state
@@ -673,6 +786,14 @@ fn drive(node: NodeId, shared: Arc<Shared>, generation: u64) {
                         None => Ok(()),
                     })
                 }));
+                drop(apply_span);
+                if let Some(t0) = apply_t0 {
+                    metrics::observe(
+                        node,
+                        Hst::DriverApplyMicros,
+                        t0.elapsed().as_micros() as u64,
+                    );
+                }
                 driver.ack();
                 match outcome {
                     Ok(None) => {
@@ -734,8 +855,10 @@ fn supervise(shared: Arc<Shared>, cfg: SupervisorCfg) {
         .as_ref()
         .map_or(0, |r| r.watchdog_config().interval.max(1));
     let mut pulse: u64 = 0;
+    let mut alarms_seen = shared.registry.as_ref().map_or(0, |r| r.total_alarms());
     while shared.phase.load(Ordering::Acquire) == PHASE_RUN {
         std::thread::sleep(cfg.pulse);
+        let _pulse_span = profile::span(SpanKind::SupervisorPulse, NodeId(0));
         pulse = match &shared.chaos {
             Some(ch) => ch.pulse(),
             None => pulse + 1,
@@ -771,6 +894,18 @@ fn supervise(shared: Arc<Shared>, cfg: SupervisorCfg) {
         if wd_interval > 0 && pulse % wd_interval == 0 {
             if let Some(reg) = &shared.registry {
                 metrics::evaluate_parallel(reg, pulse, shared.transport.in_flight());
+                // A watchdog alarm is a blackbox trigger: the runtime is
+                // telling us it is wedged or leaking, and the spans that
+                // explain it are still in the rings right now.
+                let total = reg.total_alarms();
+                if total > alarms_seen {
+                    alarms_seen = total;
+                    crate::blackbox::dump_if_armed(
+                        &format!("watchdog alarm (total {total}) at pulse {pulse}"),
+                        Some(reg),
+                        &shared.generations(),
+                    );
+                }
             }
         }
     }
@@ -784,6 +919,7 @@ fn supervise(shared: Arc<Shared>, cfg: SupervisorCfg) {
 /// of recovery complete asynchronously as surviving drivers answer; the
 /// supervisor flips the node back to alive when `in_recovery` clears.
 fn restart_node(shared: &Arc<Shared>, node: NodeId) {
+    let _span = profile::span(SpanKind::RecoveryRestart, node);
     let st = &shared.nodes[node.0 as usize];
     shared.purge_inbox(node);
     let generation = {
@@ -847,7 +983,7 @@ impl NodeHandle {
     pub fn with<R>(&self, f: impl FnOnce(&mut Cluster) -> Result<R>) -> Result<R> {
         self.shared.check(self.node)?;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let mut core = self.shared.core.lock();
+            let mut core = self.shared.lock_core(self.node);
             match core.as_mut() {
                 Some(c) => f(c),
                 None => Err(BmxError::Protocol("parallel runtime shut down".into())),
@@ -891,7 +1027,7 @@ impl NodeHandle {
     fn with_protocol_uncounted<R>(&self, f: impl FnOnce(&mut Cluster) -> Result<R>) -> Result<R> {
         self.shared.check(self.node)?;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let mut core = self.shared.core.lock();
+            let mut core = self.shared.lock_core(self.node);
             match core.as_mut() {
                 Some(c) => f(c),
                 None => Err(BmxError::Protocol("parallel runtime shut down".into())),
@@ -989,6 +1125,15 @@ impl NodeHandle {
         let n = self.node;
         let t0 = Instant::now();
         let deadline = t0 + self.shared.acquire_timeout;
+        // One acquire = one distributed flow. Every protocol send this
+        // thread stages while polling carries the id on its envelope,
+        // remote drivers restore it while applying (and park it with a
+        // queued request, for a grant deferred behind a critical
+        // section), so the request -> grant -> apply -> wake chain
+        // stitches into one track in the exported Perfetto trace.
+        let flow = profile::new_flow();
+        let _flow_scope = profile::flow_scope(flow);
+        let _acquire_span = profile::span_with_flow(SpanKind::Acquire, n, flow);
         let mut rng = SplitMix64::new(
             self.shared
                 .backoff_seed
@@ -998,6 +1143,11 @@ impl NodeHandle {
         );
         let mut spins: u32 = 0;
         let mut backoff_us: u64 = 20;
+        let mut first_poll = true;
+        // Open between a park's end and the end of the next poll: the
+        // poke-wake -> re-poll reaction time the WakeCell exists to
+        // minimize, measured instead of assumed.
+        let mut wake_span: Option<profile::SpanGuard> = None;
         loop {
             // Once the backoff has hit its ceiling the grant is overdue by
             // orders of magnitude over the lossless-channel round trip: the
@@ -1010,6 +1160,16 @@ impl NodeHandle {
             // after this line moves the epoch, so the `wait` below falls
             // through instead of sleeping past it (no lost wakeup).
             let seen = self.shared.wake[n.0 as usize].epoch();
+            let poll_span = profile::span_with_flow(
+                if first_poll {
+                    SpanKind::AcquireSubmit
+                } else {
+                    SpanKind::AcquirePoll
+                },
+                n,
+                flow,
+            );
+            first_poll = false;
             let (entered, owner) = self.with_protocol_uncounted(|c| {
                 if nudge {
                     c.nudge_acquire(n, obj)?;
@@ -1028,6 +1188,10 @@ impl NodeHandle {
                 };
                 Ok((entered, owner))
             })?;
+            drop(poll_span);
+            // If we were parked, the wake "ends" once the poll it
+            // triggered completes (grant claimed or not).
+            drop(wake_span.take());
             if entered {
                 self.count_op();
                 let waited = t0.elapsed().as_micros() as u64;
@@ -1074,8 +1238,12 @@ impl NodeHandle {
                 // sampled above makes the poll-then-park window safe, and
                 // the backoff is still the timeout of last resort.
                 let jitter = rng.next_below(backoff_us / 2 + 1);
-                self.shared.wake[n.0 as usize]
-                    .wait(seen, Duration::from_micros(backoff_us + jitter));
+                {
+                    let _park = profile::span_with_flow(SpanKind::AcquirePark, n, flow);
+                    self.shared.wake[n.0 as usize]
+                        .wait(seen, Duration::from_micros(backoff_us + jitter));
+                }
+                wake_span = Some(profile::span_with_flow(SpanKind::AcquireWake, n, flow));
                 backoff_us = (backoff_us * 2).min(2_000);
             }
         }

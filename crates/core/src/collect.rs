@@ -40,6 +40,7 @@ use bmx_common::WORD_BYTES;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, SegmentId, StatKind};
 use bmx_dsm::{DsmEngine, GcIntegration, Relocation};
 use bmx_metrics::{self as metrics, Ctr, Gge, Hst};
+use bmx_profile::{self as profile, SpanKind};
 use bmx_trace::{self as trace, GcPhase, SspKind, TraceEvent};
 
 use crate::msg::ReachabilityReport;
@@ -126,28 +127,54 @@ impl TraceCore {
     }
 }
 
-/// Stopwatch for the per-phase / whole-pause metrics. Inert (no clock
-/// reads at all) when metrics are disabled; the readings feed only the
-/// metrics plane, never the simulation, so determinism is untouched.
+/// Stopwatch for the per-phase / whole-pause metrics and the profiler's
+/// BGC phase spans. Inert (no clock reads at all) when both planes are
+/// disabled; the readings feed only observability, never the
+/// simulation, so determinism is untouched.
 pub(crate) struct PhaseClock {
     start: Option<std::time::Instant>,
     last: Option<std::time::Instant>,
+    /// The previous lap's end on the profiler clock, µs since its epoch.
+    last_us: u64,
+}
+
+/// The profiler span a phase counter corresponds to, for runs profiled
+/// under real threads (the counters alone cannot show *when* a phase
+/// ran relative to the acquires it paused).
+fn phase_span(ctr: Ctr) -> Option<SpanKind> {
+    match ctr {
+        Ctr::BgcRootsMicros => Some(SpanKind::BgcRoots),
+        Ctr::BgcTraceMicros => Some(SpanKind::BgcTrace),
+        Ctr::BgcUpdateMicros => Some(SpanKind::BgcUpdate),
+        Ctr::BgcSweepMicros => Some(SpanKind::BgcSweep),
+        Ctr::BgcPublishMicros => Some(SpanKind::BgcPublish),
+        _ => None,
+    }
 }
 
 impl PhaseClock {
     pub(crate) fn start() -> PhaseClock {
-        let now = metrics::enabled().then(std::time::Instant::now);
+        let now = (metrics::enabled() || profile::enabled()).then(std::time::Instant::now);
         PhaseClock {
             start: now,
             last: now,
+            last_us: profile::now_us(),
         }
     }
 
-    /// Credits the time since the previous lap to `ctr`.
+    /// Credits the time since the previous lap to `ctr` (and, when
+    /// profiling, records the lap as that phase's span).
     pub(crate) fn lap(&mut self, node: NodeId, ctr: Ctr) {
         if let Some(prev) = self.last {
             let now = std::time::Instant::now();
-            metrics::add(node, ctr, now.duration_since(prev).as_micros() as u64);
+            let us = now.duration_since(prev).as_micros() as u64;
+            metrics::add(node, ctr, us);
+            if profile::enabled() {
+                if let Some(kind) = phase_span(ctr) {
+                    profile::record(kind, node, self.last_us, us);
+                }
+                self.last_us = profile::now_us();
+            }
             self.last = Some(now);
         }
     }

@@ -22,6 +22,7 @@ use bmx_addr::object::{self, ObjectImage};
 use bmx_addr::NodeMemory;
 use bmx_common::{Addr, BmxError, BunchId, NodeId, NodeStats, Oid, Result, StatKind};
 use bmx_metrics::{self as metrics, Hst};
+use bmx_profile as profile;
 use bmx_trace::{self as trace, AccessMode, TraceEvent};
 
 use crate::integration::GcIntegration;
@@ -373,15 +374,14 @@ impl DsmEngine {
             }
         }
         for oid in xfer_done {
-            let requester = self
-                .ns_mut(at)
-                .pending_write
-                .remove(&oid)
-                .expect("present")
-                .requester;
-            self.complete_write_transfer(at, oid, requester, sh, send)?;
+            let pw = self.ns_mut(at).pending_write.remove(&oid).expect("present");
+            {
+                let _flow = profile::flow_scope(pw.flow);
+                self.complete_write_transfer(at, oid, pw.requester, sh, send)?;
+            }
             let queued = self.ns_mut(at).queued.remove(&oid).unwrap_or_default();
             for q in queued {
+                let _flow = profile::flow_scope(q.flow);
                 match q.kind {
                     ReqKind::Read => self.handle_read_req(at, oid, q.requester, sh, send)?,
                     ReqKind::Write => self.handle_write_req(at, oid, q.requester, sh, send)?,
@@ -662,9 +662,16 @@ impl DsmEngine {
         if st.token == Token::None {
             return Err(BmxError::NoToken { node, oid });
         }
+        let claimed_reservation = st.reserved;
         st.locked = true;
         // The waiter claims its grant: the reservation's job is done.
         st.reserved = false;
+        if claimed_reservation {
+            // The parked-grant claim is the moment a blocking acquire
+            // actually enters its critical section; mark it so the
+            // profiler's stitched track ends on something visible.
+            profile::mark(profile::SpanKind::ReserveClaim, node);
+        }
         Ok(())
     }
 
@@ -750,6 +757,10 @@ impl DsmEngine {
         }
         let queued = self.ns_mut(node).queued.remove(&oid).unwrap_or_default();
         for q in queued {
+            // The grant leaves from the *holder's* release, long after
+            // the request envelope was applied; restoring the stored
+            // flow keeps it on the requester's track.
+            let _flow = profile::flow_scope(q.flow);
             match q.kind {
                 ReqKind::Read => self.handle_read_req(node, oid, q.requester, sh, send)?,
                 ReqKind::Write => self.handle_write_req(node, oid, q.requester, sh, send)?,
@@ -925,7 +936,13 @@ impl DsmEngine {
     fn queue_request(&mut self, at: NodeId, oid: Oid, requester: NodeId, kind: ReqKind) {
         let q = self.ns_mut(at).queued.entry(oid).or_default();
         if !q.iter().any(|e| e.requester == requester && e.kind == kind) {
-            q.push(QueuedReq { requester, kind });
+            // The request is being parked while its envelope is applied,
+            // so the driver's flow scope is the requester's flow.
+            q.push(QueuedReq {
+                requester,
+                kind,
+                flow: profile::current_flow(),
+            });
         }
     }
 
@@ -1080,6 +1097,7 @@ impl DsmEngine {
             PendingWrite {
                 requester,
                 awaiting: targets.iter().copied().collect(),
+                flow: profile::current_flow(),
             },
         );
         for t in targets {
@@ -1192,17 +1210,18 @@ impl DsmEngine {
             pw.awaiting.is_empty()
         };
         if done {
-            let requester = self
-                .ns_mut(at)
-                .pending_write
-                .remove(&oid)
-                .expect("present")
-                .requester;
-            self.complete_write_transfer(at, oid, requester, sh, send)?;
+            let pw = self.ns_mut(at).pending_write.remove(&oid).expect("present");
+            {
+                // The final ack completes someone else's acquire; the
+                // grant belongs on the original requester's track.
+                let _flow = profile::flow_scope(pw.flow);
+                self.complete_write_transfer(at, oid, pw.requester, sh, send)?;
+            }
             // Requests queued behind the transfer can now be served (they
             // will be forwarded to the new owner).
             let queued = self.ns_mut(at).queued.remove(&oid).unwrap_or_default();
             for q in queued {
+                let _flow = profile::flow_scope(q.flow);
                 match q.kind {
                     ReqKind::Read => self.handle_read_req(at, oid, q.requester, sh, send)?,
                     ReqKind::Write => self.handle_write_req(at, oid, q.requester, sh, send)?,

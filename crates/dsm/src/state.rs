@@ -36,6 +36,12 @@ pub struct QueuedReq {
     pub requester: NodeId,
     /// What it asked for.
     pub kind: ReqKind,
+    /// The wall-clock profiler flow the request arrived under (0 when
+    /// profiling is off). Purely observational — never compared, never
+    /// branched on — it lets the eventual grant inherit the requester's
+    /// flow even though it is sent from a *later* protocol step (the
+    /// holder's release), keeping the cross-node acquire stitched.
+    pub flow: u64,
 }
 
 /// Pending write-token transfer at the owner: invalidation acks outstanding.
@@ -45,6 +51,10 @@ pub struct PendingWrite {
     pub requester: NodeId,
     /// Direct copy-set members whose (aggregated) acks are still missing.
     pub awaiting: BTreeSet<NodeId>,
+    /// Profiler flow of the write request (same observational contract
+    /// as [`QueuedReq::flow`]): restored when the last ack completes the
+    /// transfer, so the grant joins the requester's track.
+    pub flow: u64,
 }
 
 /// Pending transitive invalidation at a non-owner: children's acks missing.

@@ -41,7 +41,7 @@ pub mod watchdog;
 
 pub use histogram::{Histogram, BUCKETS};
 pub use registry::{Ctr, Gge, Hst, LinkCtr, LinkScope, NodeScope, Registry, Snapshot};
-pub use watchdog::{evaluate_parallel, WatchdogConfig};
+pub use watchdog::{evaluate_parallel, inject_alarm, WatchdogConfig};
 
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;

@@ -19,6 +19,25 @@ fn header(out: &mut String, name: &str, help: &str, kind: &str) {
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
+/// Escapes a label value per the text-exposition format: backslash,
+/// double quote, and line feed must be written `\\`, `\"`, `\n`.
+/// Today's label values are numeric or snake_case and pass through
+/// untouched, but the bunch/link values are parsed back out of snapshot
+/// *paths* — one creative path segment must not be able to smuggle a
+/// quote into the exposition and corrupt every later sample.
+pub(crate) fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders the registry in Prometheus text-exposition format.
 pub fn render(reg: &Registry) -> String {
     let mut out = String::new();
@@ -95,7 +114,12 @@ pub fn render(reg: &Registry) -> String {
             if let Some(rest) = path.strip_prefix("link") {
                 if let Some(pair) = rest.strip_suffix(&suffix) {
                     if let Some((s, d)) = pair.split_once('-') {
-                        let _ = writeln!(out, "{name}{{src=\"{s}\",dst=\"{d}\"}} {v}");
+                        let _ = writeln!(
+                            out,
+                            "{name}{{src=\"{}\",dst=\"{}\"}} {v}",
+                            escape_label(s),
+                            escape_label(d)
+                        );
                     }
                 }
             }
@@ -113,7 +137,12 @@ pub fn render(reg: &Registry) -> String {
         if let Some(rest) = path.strip_prefix("bunch/node") {
             if let Some((node, tail)) = rest.split_once("/b") {
                 if let Some(bunch) = tail.strip_suffix("/live_bytes") {
-                    let _ = writeln!(out, "{name}{{node=\"{node}\",bunch=\"{bunch}\"}} {v}");
+                    let _ = writeln!(
+                        out,
+                        "{name}{{node=\"{}\",bunch=\"{}\"}} {v}",
+                        escape_label(node),
+                        escape_label(bunch)
+                    );
                 }
             }
         }
@@ -127,7 +156,12 @@ pub fn render(reg: &Registry) -> String {
         "counter",
     );
     for k in AlarmKind::ALL {
-        let _ = writeln!(out, "{name}{{kind=\"{}\"}} {}", snake(k), reg.alarms(k));
+        let _ = writeln!(
+            out,
+            "{name}{{kind=\"{}\"}} {}",
+            escape_label(&snake(k)),
+            reg.alarms(k)
+        );
     }
 
     out
@@ -167,5 +201,49 @@ mod tests {
                 "malformed line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain_0-9"), "plain_0-9");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        // All three at once, in order.
+        assert_eq!(escape_label("\\\"\n"), "\\\\\\\"\\n");
+    }
+
+    #[test]
+    fn empty_histograms_render_complete_zeroed_series() {
+        let reg = Registry::default();
+        // Touch node 0 so one scope exists but every histogram is empty.
+        reg.node(0).add(Ctr::BgcCollections, 0);
+        let text = render(&reg);
+        // An empty histogram still exposes the full series: every bucket
+        // at 0, sum 0, count 0 — scrape targets must see consistent
+        // families whether or not an observation has landed yet.
+        assert!(text.contains("bmx_mutex_wait_micros_bucket{node=\"0\",le=\"1\"} 0"));
+        assert!(text.contains("bmx_mutex_wait_micros_bucket{node=\"0\",le=\"+Inf\"} 0"));
+        assert!(text.contains("bmx_mutex_wait_micros_sum{node=\"0\"} 0"));
+        assert!(text.contains("bmx_mutex_wait_micros_count{node=\"0\"} 0"));
+        // And the bucket series stays cumulative (all-zero is trivially
+        // monotone, but the le bounds must be present and ordered).
+        let buckets: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("bmx_driver_apply_micros_bucket{node=\"0\""))
+            .collect();
+        assert_eq!(buckets.len(), crate::histogram::BUCKETS + 1, "{buckets:?}");
+        assert!(buckets.last().unwrap().contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn zero_node_registry_renders_headers_only() {
+        let reg = Registry::default();
+        let text = render(&reg);
+        // No scopes yet: families are declared (HELP/TYPE) but carry no
+        // samples except the dense alarm table.
+        assert!(text.contains("# TYPE bmx_mutex_hold_micros histogram"));
+        assert!(!text.contains("bmx_mutex_hold_micros_count"));
+        assert!(text.contains("bmx_watchdog_alarms_total{kind=\"progress_stall\"} 0"));
     }
 }

@@ -105,6 +105,16 @@ pub enum Hst {
     AcquireReadMicros,
     /// Wall-clock microseconds a parallel-mode write acquire blocked.
     AcquireWriteMicros,
+    /// Wall-clock microseconds a thread waited for the coarse protocol
+    /// mutex, attributed to the node the thread was working for (holder
+    /// attribution: a hot node shows up in its *own* wait/hold rows).
+    MutexWaitMicros,
+    /// Wall-clock microseconds the protocol mutex was held per critical
+    /// section, same attribution as [`Hst::MutexWaitMicros`].
+    MutexHoldMicros,
+    /// Wall-clock microseconds a driver thread spent applying one
+    /// delivered envelope (dispatch + staged-send export, lock held).
+    DriverApplyMicros,
 }
 
 /// Per-(src, dst) link counters.
@@ -156,7 +166,7 @@ impl Gge {
 }
 
 impl Hst {
-    pub(crate) const COUNT: usize = 10;
+    pub(crate) const COUNT: usize = 13;
     /// All histograms, in index order.
     pub const ALL: [Hst; Self::COUNT] = [
         Hst::AcquireReadTicks,
@@ -169,6 +179,9 @@ impl Hst {
         Hst::EnvelopeMsgs,
         Hst::AcquireReadMicros,
         Hst::AcquireWriteMicros,
+        Hst::MutexWaitMicros,
+        Hst::MutexHoldMicros,
+        Hst::DriverApplyMicros,
     ];
 }
 
@@ -490,6 +503,30 @@ impl Snapshot {
     /// The reading at `path`, or 0.
     pub fn get(&self, path: &str) -> u64 {
         self.entries.get(path).copied().unwrap_or(0)
+    }
+
+    /// Stamps post-hoc ordering metadata onto the snapshot: the
+    /// wall-clock capture time (`meta/captured_unix_ms`, milliseconds
+    /// since the Unix epoch) and each node's failure-domain generation
+    /// (`node{i}/meta/generation`). Registry readings are monotonic
+    /// *within* one process life, but blackbox dumps and chaos-soak
+    /// snapshots are compared across threads, runs, and node restarts —
+    /// the capture time orders dumps from different threads after the
+    /// fact, and the generation says which incarnation of a crashed
+    /// node a reading belongs to. Meta entries ride the same flat
+    /// `path -> u64` map, so the JSON codec and `diff` handle them
+    /// unmodified; plain `Registry::snapshot()` output stays meta-free
+    /// (equality tests diff unstamped snapshots).
+    pub fn stamp_meta(&mut self, generations: &[(u32, u64)]) {
+        let ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        self.entries.insert("meta/captured_unix_ms".into(), ms);
+        for &(node, generation) in generations {
+            self.entries
+                .insert(format!("node{node}/meta/generation"), generation);
+        }
     }
 
     /// Per-path change from `baseline` to `self`, dropping unchanged

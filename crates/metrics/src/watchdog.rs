@@ -129,6 +129,15 @@ fn fire(reg: &Registry, node: u32, kind: AlarmKind, value: u64, since_tick: u64)
     );
 }
 
+/// Fires `kind` at `node` immediately, bypassing every detector. The
+/// alarm is indistinguishable from a detector-fired one (counted, noted
+/// per node, emitted on the trace plane), which is the point: test
+/// harnesses use it to exercise the alarm -> blackbox pipeline without
+/// having to manufacture a real leak or stall first.
+pub fn inject_alarm(reg: &Registry, node: u32, kind: AlarmKind) {
+    fire(reg, node, kind, 0, 0);
+}
+
 /// Runs every detector against the registry's current readings, plus the
 /// parallel-only progress-stall detector: `pending_work` is the
 /// transport's `in_flight()` reading. While it stays nonzero and the

@@ -380,6 +380,7 @@ mod tests {
             seq: MsgSeq(seq),
             class,
             lamport: 0,
+            span: 0,
             payload: v,
         }
     }

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, VecDeque};
 use bmx_common::{MsgSeq, NodeId, SplitMix64};
 use bmx_metrics as metrics;
 use bmx_metrics::{Ctr, Gge, LinkCtr};
+use bmx_profile as profile;
 use bmx_trace as trace;
 
 use crate::fault::{FaultConfigError, FaultEvent, FaultPlan, FaultStats};
@@ -80,6 +81,13 @@ pub struct Envelope<M> {
     /// nothing in the simulation reads it, so traced and untraced runs
     /// are bit-identical.
     pub lamport: u64,
+    /// The sender's wall-clock profiler flow id (0 when profiling is
+    /// disabled or the send belongs to no flow). Same contract as
+    /// `lamport`: purely observational, no protocol meaning — it lets a
+    /// driver thread attribute the apply of this envelope (and any sends
+    /// it stages) to the mutator operation that caused it, stitching a
+    /// cross-node acquire into one Perfetto track.
+    pub span: u64,
     /// The payload.
     pub payload: M,
 }
@@ -376,6 +384,10 @@ impl<M: WireSize + Clone> Network<M> {
             seq,
             class,
             lamport,
+            // Like the Lamport stamp: the profiler flow of the thread
+            // staging this send (a mutator mid-acquire, or a driver
+            // applying an envelope that itself carried a flow).
+            span: profile::current_flow(),
             payload,
         };
         if duplicate {

@@ -212,6 +212,7 @@ mod tests {
             seq: MsgSeq(seq),
             class: MsgClass::Dsm,
             lamport: 0,
+            span: 0,
             payload: v,
         }
     }

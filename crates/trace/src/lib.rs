@@ -131,6 +131,26 @@ pub fn take_global() -> Vec<TraceRecord> {
     }
 }
 
+/// Copy the process-global sink's retained records (oldest first)
+/// without disturbing them: the flight recorder keeps flying. Used by
+/// the post-mortem blackbox, which must not consume the trace a later
+/// test assertion (or a second dump) still wants. Implemented as a
+/// drain-then-re-record under the global lock, so concurrent emitters
+/// never observe a half-empty recorder.
+pub fn snapshot_global() -> Vec<TraceRecord> {
+    let mut g = GLOBAL.lock().expect("trace global recorder");
+    match g.as_mut() {
+        Some(rec) => {
+            let records = rec.sink.drain();
+            for r in &records {
+                rec.sink.record(*r);
+            }
+            records
+        }
+        None => Vec::new(),
+    }
+}
+
 impl Recorder {
     fn clock(&mut self, node: NodeId) -> &mut u64 {
         let idx = node.0 as usize;

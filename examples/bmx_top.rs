@@ -14,12 +14,15 @@
 //!
 //! Pass `--parallel` (or set `BMX_TOP_PARALLEL=1`) to watch the *real
 //! parallelism* runtime instead: a [`ParallelCluster`] with one driver
-//! thread per node and racing mutator threads, live ops/sec from
-//! [`Ctr::ParallelOps`], and the wall-clock acquire-latency histograms
-//! ([`Hst::AcquireReadMicros`]/[`Hst::AcquireWriteMicros`]) the E13
+//! thread per node and racing mutator threads. Rates (ops/sec and
+//! envelopes/sec) and the latency columns are derived by diffing
+//! consecutive [`Registry::snapshot`]s — per-interval readings, not
+//! monotonic totals — including a last-interval p99 over the wall-clock
+//! acquire and protocol-mutex histograms ([`Hst::AcquireReadMicros`],
+//! [`Hst::AcquireWriteMicros`], [`Hst::MutexWaitMicros`]) the E13
 //! benchmark reports — same registry, different execution mode.
 
-use bmx_repro::metrics::{self, Ctr, Gge, Hst, LinkCtr, Registry};
+use bmx_repro::metrics::{self, Ctr, Gge, Hst, LinkCtr, Registry, Snapshot};
 use bmx_repro::prelude::*;
 use bmx_repro::trace;
 use bmx_repro::workloads::churn;
@@ -48,6 +51,44 @@ fn quantile(reg: &Registry, node: u32, h: Hst, q: f64) -> String {
     }
     let _ = seen;
     "inf".to_string()
+}
+
+/// Approximate quantile over the *last interval only*: reconstructs the
+/// interval's bucket counts by diffing the cumulative `le_*` readings of
+/// two consecutive snapshots. Cumulative quantiles converge to the
+/// steady-state mix and stop moving; the interval quantile is what a
+/// dashboard actually wants — "how slow were acquires *just now*".
+fn interval_quantile(prev: &Snapshot, cur: &Snapshot, node: u32, hist: &str, q: f64) -> String {
+    let base = format!("node{node}/hist/{hist}");
+    let total = cur
+        .get(&format!("{base}/count"))
+        .saturating_sub(prev.get(&format!("{base}/count")));
+    if total == 0 {
+        return "-".to_string();
+    }
+    let need = (total as f64 * q).ceil() as u64;
+    // Bucket bounds, in order, recovered from the snapshot's own paths
+    // (the `le_inf` overflow bucket sorts last by construction).
+    let le_prefix = format!("{base}/le_");
+    let mut bounds: Vec<u64> = cur
+        .entries
+        .keys()
+        .filter_map(|k| k.strip_prefix(&le_prefix))
+        .filter_map(|b| b.parse().ok())
+        .collect();
+    bounds.sort_unstable();
+    for b in bounds {
+        let key = format!("{base}/le_{b}");
+        if cur.get(&key).saturating_sub(prev.get(&key)) >= need {
+            return format!("≤{b}");
+        }
+    }
+    "inf".to_string()
+}
+
+/// Per-second rate of a counter path between two snapshots.
+fn rate(prev: &Snapshot, cur: &Snapshot, path: &str, dt: f64) -> u64 {
+    (cur.get(path).saturating_sub(prev.get(path)) as f64 / dt) as u64
 }
 
 fn frame(c: &Cluster, reg: &Registry, round: u64) -> String {
@@ -189,7 +230,10 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
         })
         .collect();
 
-    let mut last_ops = 0u64;
+    // Rates and "just now" latency come from *snapshot diffs*: each frame
+    // takes a full registry snapshot and compares it against the previous
+    // frame's. Raw counters only ever grow; the diff is what moves.
+    let mut last_snap = reg.snapshot();
     let mut last_t = Instant::now();
     for f in 0..frames {
         if !fast {
@@ -203,26 +247,29 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
         if f == frames / 3 {
             pc.inject_crash(NodeId(NODES - 1));
         }
-        let ops = pc.ops();
+        let snap = reg.snapshot();
         let dt = last_t.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
-        let rate = ((ops - last_ops) as f64 / dt) as u64;
-        last_ops = ops;
         last_t = Instant::now();
+        let total_rate = |ctr: &str| -> u64 {
+            (0..NODES)
+                .map(|i| rate(&last_snap, &snap, &format!("node{i}/ctr/{ctr}"), dt))
+                .sum()
+        };
 
         let mut out = format!(
-            "bmx-top (parallel) — frame {:>3}  ops {:>9}  ops/sec {:>9}  in-flight {}\n\n",
+            "bmx-top (parallel) — frame {:>3}  ops {:>9}  ops/sec {:>8}  env/sec {:>8}  in-flight {}\n\n",
             f,
-            ops,
-            rate,
+            pc.ops(),
+            total_rate("parallel_ops"),
+            total_rate("parallel_deliveries"),
             pc.in_flight(),
         );
         out.push_str(
-            "node  status      restarts  last_alarm     parallel_ops  \
-             acq_rd_p50(us)  acq_rd_p99(us)  acq_wr_p50(us)  acq_wr_p99(us)\n",
+            "node  status      restarts  last_alarm     ops/s   env/s  \
+             acq_rd_p99(us)  acq_wr_p99(us)  mtx_wait_p99(us)\n",
         );
         let liveness = pc.liveness();
         for i in 0..NODES {
-            let scope = reg.node(i);
             let lv = &liveness[i as usize];
             let status = match lv.status {
                 bmx::NodeStatus::Alive => "alive",
@@ -233,18 +280,24 @@ fn run_parallel(frames: u64, fast: bool) -> Result<()> {
                 .last_alarm(i)
                 .map_or_else(|| "-".to_string(), |k| format!("{k:?}"));
             out.push_str(&format!(
-                "{:>4}  {:<10}  {:>8}  {:<13}  {:>12}  {:>14}  {:>14}  {:>14}  {:>14}\n",
+                "{:>4}  {:<10}  {:>8}  {:<13}  {:>6}  {:>6}  {:>14}  {:>14}  {:>16}\n",
                 i,
                 status,
                 lv.restarts,
                 alarm,
-                scope.ctr(Ctr::ParallelOps),
-                quantile(&reg, i, Hst::AcquireReadMicros, 0.5),
-                quantile(&reg, i, Hst::AcquireReadMicros, 0.99),
-                quantile(&reg, i, Hst::AcquireWriteMicros, 0.5),
-                quantile(&reg, i, Hst::AcquireWriteMicros, 0.99),
+                rate(&last_snap, &snap, &format!("node{i}/ctr/parallel_ops"), dt),
+                rate(
+                    &last_snap,
+                    &snap,
+                    &format!("node{i}/ctr/parallel_deliveries"),
+                    dt
+                ),
+                interval_quantile(&last_snap, &snap, i, "acquire_read_micros", 0.99),
+                interval_quantile(&last_snap, &snap, i, "acquire_write_micros", 0.99),
+                interval_quantile(&last_snap, &snap, i, "mutex_wait_micros", 0.99),
             ));
         }
+        last_snap = snap;
         print!("\x1b[2J\x1b[H{out}");
     }
 

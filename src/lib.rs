@@ -13,6 +13,9 @@
 //! * [`rvm`] — recoverable virtual memory;
 //! * [`trace`] — causal event tracing: flight recorder, Chrome-trace
 //!   export, trace-backed invariant checking;
+//! * [`profile`] — wall-clock span profiler: per-thread bounded rings,
+//!   distributed flow stitching, Perfetto export, post-mortem blackbox
+//!   source (see DESIGN.md §13);
 //! * [`metrics`] — the cluster-wide metrics plane: allocation-free
 //!   counters/gauges/histograms, leak watchdogs, Prometheus and JSON
 //!   exposition (see DESIGN.md §9);
@@ -30,6 +33,7 @@ pub use bmx_dsm as dsm;
 pub use bmx_gc as gc;
 pub use bmx_metrics as metrics;
 pub use bmx_net as net;
+pub use bmx_profile as profile;
 pub use bmx_rvm as rvm;
 pub use bmx_trace as trace;
 pub use bmx_workloads as workloads;

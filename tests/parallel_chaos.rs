@@ -23,9 +23,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bmx_common::SplitMix64;
-use bmx_repro::bmx::audit;
+use bmx_repro::bmx::{audit, blackbox};
 use bmx_repro::metrics::{self, WatchdogConfig};
 use bmx_repro::prelude::*;
+use bmx_repro::profile;
 use bmx_repro::trace::{self, AlarmKind, TraceEvent};
 use parking_lot::Mutex;
 
@@ -250,16 +251,18 @@ fn write_report(tag: &str, seed: u64, report: &ShutdownReport) {
     );
 }
 
-fn write_metrics_snapshot(tag: &str, seed: u64) {
+/// Writes a *stamped* snapshot (capture time + node generations, from
+/// [`ParallelCluster::metrics_snapshot`]) so soak artifacts from
+/// different seeds and runs stay orderable after the fact.
+fn write_metrics_snapshot(tag: &str, seed: u64, snap: &metrics::Snapshot) {
     let out = std::path::Path::new("target/chaos");
     let _ = std::fs::create_dir_all(out);
-    let snap = metrics::snapshot();
     let _ = std::fs::write(
         // Deliberately NOT `metrics-*.json`: the nightly chaos job greps
         // those for unconditional watchdog silence, and a faulted
         // parallel run may legitimately latch ProgressStall/ClockStall.
         out.join(format!("parallel-metrics-{tag}-seed-{seed:#x}.json")),
-        metrics::json::to_json(&snap),
+        metrics::json::to_json(snap),
     );
 }
 
@@ -287,6 +290,11 @@ fn run_fault_soak(seed: u64) {
         interval: 50,
         ..WatchdogConfig::default()
     });
+    // Armed for the whole soak: a watchdog alarm, a genuine node crash,
+    // or a failed shutdown writes a post-mortem to
+    // `target/blackbox/soak-seed-<seed>/`. Disarmed on the success path
+    // below, so a green run leaves the directory absent (the CI gate).
+    blackbox::arm(&format!("soak-seed-{seed:#x}"));
 
     let cfg = ClusterConfig::with_nodes(NODES).with_acquire_timeout(Duration::from_secs(30));
     let pc = ParallelCluster::spawn_with_chaos(
@@ -321,6 +329,7 @@ fn run_fault_soak(seed: u64) {
         "failed to quiesce under faults (seed {seed:#x})"
     );
     let stats = pc.fault_stats().expect("chaos stats");
+    let snap = pc.metrics_snapshot().expect("registry installed");
     let (mut cluster, report) = pc.shutdown(Shutdown::Drain).expect("drain shutdown");
     write_report("soak", seed, &report);
 
@@ -380,7 +389,8 @@ fn run_fault_soak(seed: u64) {
              snapshot in target/chaos/parallel-metrics-soak-seed-{seed:#x}.json)"
         );
     }
-    write_metrics_snapshot("soak", seed);
+    write_metrics_snapshot("soak", seed, &snap);
+    blackbox::disarm();
     metrics::disable();
     trace::disable_global();
 }
@@ -658,6 +668,110 @@ fn user_closure_panic_does_not_crash_the_node() {
     assert_eq!(report.delivered + report.dropped, report.sent);
 }
 
+/// Acceptance for the post-mortem blackbox (DESIGN.md §13): an injected
+/// watchdog alarm on an armed runtime must make the *supervisor* write
+/// `target/blackbox/<label>/` containing the span trace, a stamped
+/// metrics snapshot, and the flight recorder — and every file must parse
+/// with the repo's own readers. The dump directory is removed on the way
+/// out: this dump is expected, and the nightly gate treats any surviving
+/// `target/blackbox/` entry on a green run as a bug.
+#[test]
+fn injected_watchdog_alarm_produces_blackbox_dump() {
+    let _serial = SERIAL.lock().unwrap();
+    let label = format!("alarm-test-{:x}", std::process::id());
+    let dir = std::path::Path::new("target/blackbox").join(&label);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    trace::install_global_vec();
+    let _ = trace::take_global();
+    let mreg = metrics::install_with(WatchdogConfig {
+        interval: 10,
+        ..WatchdogConfig::default()
+    });
+    profile::enable(2048);
+    blackbox::arm(&label);
+
+    // A little real traffic first, so the dump has spans, counters, and
+    // flight-recorder events to carry.
+    let pc = ParallelCluster::spawn(ClusterConfig::with_nodes(2));
+    let h0 = pc.handle(n(0));
+    let h1 = pc.handle(n(1));
+    let b = h0.create_bunch().expect("bunch");
+    let o = h0.alloc(b, &ObjSpec::with_refs(2, &[0])).expect("alloc");
+    h0.add_root(o).expect("root");
+    h1.map_bunch(b, n(0)).expect("map");
+    h1.acquire_write(o).expect("acquire");
+    h1.write_data(o, 1, 7).expect("write");
+    h1.release(o).expect("release");
+    assert!(pc.quiesce(Duration::from_secs(10)), "quiesce");
+
+    // Stands in for a real watchdog detection; the supervisor's next
+    // watchdog pulse sees the alarm total move and writes the dump.
+    metrics::inject_alarm(&mreg, 0, AlarmKind::FromSpaceLeak);
+
+    // `flight.trace.json` is written last, so its existence means the
+    // whole dump is on disk.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !dir.join("flight.trace.json").exists() {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never wrote the blackbox dump to {}",
+            dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let reason = std::fs::read_to_string(dir.join("reason.txt")).expect("reason.txt");
+    assert!(
+        reason.contains("watchdog alarm"),
+        "reason names the trigger: {reason:?}"
+    );
+
+    let spans = std::fs::read_to_string(dir.join("spans.trace.json")).expect("spans.trace.json");
+    trace::chrome::validate(&spans).expect("span trace parses");
+    assert!(
+        spans.contains("\"acquire\"") && spans.contains("mutex/hold"),
+        "span dump carries the recorded spans"
+    );
+
+    let snap = metrics::json::from_json(
+        &std::fs::read_to_string(dir.join("metrics.json")).expect("metrics.json"),
+    )
+    .expect("metrics snapshot parses");
+    assert!(
+        snap.get("meta/captured_unix_ms") > 0,
+        "snapshot is stamped with capture time"
+    );
+    assert!(
+        snap.entries.contains_key("node0/meta/generation"),
+        "snapshot is stamped with node generations"
+    );
+    assert_eq!(
+        snap.get("alarm/from_space_leak"),
+        1,
+        "the injected alarm is in the dumped snapshot"
+    );
+
+    let flight = std::fs::read_to_string(dir.join("flight.trace.json")).expect("flight");
+    trace::chrome::validate(&flight).expect("flight trace parses");
+    // The snapshot is non-draining: the recorder still holds its events
+    // for the run's own checkers.
+    assert!(
+        !trace::take_global().is_empty(),
+        "the blackbox must not consume the flight recorder"
+    );
+
+    blackbox::disarm();
+    profile::disable();
+    let (_cluster, report) = pc.shutdown(Shutdown::Drain).expect("shutdown");
+    assert_eq!(report.dropped, 0);
+    metrics::disable();
+    trace::disable_global();
+    // Expected dump: clean it up so a green run leaves target/blackbox/
+    // empty for the CI gate.
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The CI sweep entry point: seeds from `PARALLEL_CHAOS_SEEDS`
 /// (comma-separated, 0x-hex or decimal), defaulting to 1..=8. Runs the
 /// full fault soak per seed; a failing seed writes a replay artifact to
@@ -688,6 +802,11 @@ fn parallel_chaos_seed_sweep() {
                 .cloned()
                 .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
                 .unwrap_or_else(|| "non-string panic".into());
+            // The harness itself failing is the third blackbox trigger
+            // class: grab the post-mortem under the soak's armed label
+            // while the span rings still hold the failing run.
+            blackbox::dump_if_armed(&format!("chaos soak failed: {msg}"), None, &[]);
+            blackbox::disarm();
             metrics::disable();
             trace::disable_global();
             let dir = std::path::Path::new("target/chaos");

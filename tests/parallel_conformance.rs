@@ -27,6 +27,7 @@ use std::time::Duration;
 use bmx_common::SplitMix64;
 use bmx_repro::bmx::audit;
 use bmx_repro::prelude::*;
+use bmx_repro::profile;
 use bmx_repro::trace::{self, TraceEvent};
 use parking_lot::Mutex;
 
@@ -361,6 +362,32 @@ fn parallel_matches_sim_on_eight_seeds() {
         );
         assert_eq!(sim, par, "mode divergence (seed {seed:#x})");
     }
+}
+
+/// The wall-clock span profiler's zero-cost claim, pinned as protocol
+/// conformance: the same seeded workload, run once with the profiler off
+/// and once recording every span kind, must produce *bit-identical*
+/// digests (and both must match the deterministic simulation).
+/// Observation must never become participation — a profiler that
+/// perturbed token placement or payloads would fail here, not in a
+/// dashboard someone squints at later.
+#[test]
+fn profiled_run_digest_is_identical_to_unprofiled() {
+    let _serial = TRACE_SERIAL.lock().unwrap();
+    let seed = 0x0F11_ED00u64;
+    let sim = run_sim(seed);
+    profile::disable();
+    let unprofiled = run_parallel(seed, None);
+    profile::enable(4096);
+    let profiled = run_parallel(seed, None);
+    let spans: usize = profile::snapshot_all().iter().map(|t| t.spans.len()).sum();
+    profile::disable();
+    assert!(
+        spans > 0,
+        "profiler on but no spans recorded — check vacuous"
+    );
+    assert_eq!(sim, unprofiled, "unprofiled parallel diverged from sim");
+    assert_eq!(unprofiled, profiled, "profiling perturbed protocol state");
 }
 
 /// The schedule fuzzer: seeded sleeps and yields perturb the parallel
